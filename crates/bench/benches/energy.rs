@@ -1,0 +1,46 @@
+//! Micro-benchmarks for the energy substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gm_energy::battery::{Battery, BatterySpec};
+use gm_energy::forecast::{Forecaster, PersistenceForecaster};
+use gm_energy::solar::{SolarFarm, SolarFarmSpec, SolarProfile};
+use gm_energy::supply::PowerSource;
+use gm_sim::time::SimDuration;
+use gm_sim::{RngFactory, SlotClock};
+
+fn bench_battery(c: &mut Criterion) {
+    let hour = SimDuration::from_hours(1);
+    c.bench_function("battery/charge_discharge_cycle", |b| {
+        let mut batt = Battery::new(BatterySpec::lithium_ion(40_000.0));
+        b.iter(|| {
+            let out = batt.charge(black_box(5_000.0), hour);
+            let got = batt.discharge(black_box(4_000.0), hour);
+            batt.apply_self_discharge(hour);
+            black_box((out.stored_wh, got))
+        })
+    });
+}
+
+fn bench_solar(c: &mut Criterion) {
+    c.bench_function("solar/materialize_week", |b| {
+        let rngs = RngFactory::new(7);
+        b.iter(|| {
+            let mut farm =
+                SolarFarm::new(SolarFarmSpec::panels(96, SolarProfile::SunnySummer), &rngs);
+            black_box(farm.materialize(SlotClock::hourly(), 168).energy_wh())
+        })
+    });
+}
+
+fn bench_forecast(c: &mut Criterion) {
+    let rngs = RngFactory::new(7);
+    let mut farm = SolarFarm::new(SolarFarmSpec::panels(96, SolarProfile::SunnySummer), &rngs);
+    let trace = farm.materialize(SlotClock::hourly(), 168);
+    c.bench_function("forecast/persistence_24h", |b| {
+        let mut f = PersistenceForecaster::new(trace.clone());
+        b.iter(|| black_box(f.predict(black_box(80), 24)))
+    });
+}
+
+criterion_group!(benches, bench_battery, bench_solar, bench_forecast);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Micro-benchmarks for the simulation kernel hot paths.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gm_sim::dist::Zipf;
+use gm_sim::time::SimTime;
+use gm_sim::{EventQueue, LogHistogram, RngFactory};
+use rand::Rng;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for n in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            // Pseudo-random times from a cheap LCG to keep the bench focused
+            // on the queue, not the RNG.
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                let mut x = 0x1234_5678_9abc_def0u64;
+                for i in 0..n {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    q.push(SimTime(x >> 32), i);
+                }
+                let mut sum = 0usize;
+                while let Some((_, v)) = q.pop() {
+                    sum += v;
+                }
+                black_box(sum)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zipf");
+    for n in [1_000usize, 100_000] {
+        let z = Zipf::new(n, 0.9);
+        let mut rng = RngFactory::new(1).stream("bench");
+        group.bench_with_input(BenchmarkId::new("sample", n), &n, |b, _| {
+            b.iter(|| black_box(z.sample(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut rng = RngFactory::new(2).stream("bench");
+    c.bench_function("histogram/record", |b| {
+        let mut h = LogHistogram::for_latency_secs();
+        b.iter(|| h.record(black_box(rng.gen::<f64>() * 0.1 + 1e-5)))
+    });
+    c.bench_function("histogram/quantile_p99", |b| {
+        let mut h = LogHistogram::for_latency_secs();
+        for _ in 0..100_000 {
+            h.record(rng.gen::<f64>() * 0.1 + 1e-5);
+        }
+        b.iter(|| black_box(h.quantile(0.99)))
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_zipf, bench_histogram);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Micro-benchmarks for the storage substrate hot paths: request routing
+//! and service, gear transitions, and slot energy integration.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gm_sim::time::{SimDuration, SimTime};
+use gm_storage::{Cluster, ClusterSpec, IoRequest, ObjectId};
+
+fn medium() -> Cluster {
+    Cluster::new(ClusterSpec::medium_dc())
+}
+
+fn bench_serve(c: &mut Criterion) {
+    c.bench_function("cluster/serve_read", |b| {
+        let mut cluster = medium();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let req = IoRequest::read(
+                SimTime::from_secs(i),
+                ObjectId(i * 7919 % 100_000),
+                black_box(256 << 10),
+            );
+            black_box(cluster.serve_request(&req))
+        })
+    });
+    c.bench_function("cluster/serve_write_gated", |b| {
+        let mut cluster = medium();
+        cluster.set_active_gears(1, SimTime::ZERO);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let req = IoRequest::write(
+                SimTime::from_secs(i),
+                ObjectId(i * 104729 % 100_000),
+                black_box(256 << 10),
+            );
+            black_box(cluster.serve_request(&req))
+        })
+    });
+}
+
+fn bench_gear_transitions(c: &mut Criterion) {
+    c.bench_function("cluster/gear_cycle", |b| {
+        let mut cluster = medium();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 7_200;
+            cluster.set_active_gears(1, SimTime::from_secs(t));
+            cluster.set_active_gears(3, SimTime::from_secs(t + 3_600));
+            black_box(cluster.total_spinups())
+        })
+    });
+}
+
+fn bench_end_slot(c: &mut Criterion) {
+    c.bench_function("cluster/end_slot", |b| {
+        let mut cluster = medium();
+        let width = SimDuration::from_hours(1);
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            black_box(cluster.end_slot(SimTime::from_hours(s), width))
+        })
+    });
+}
+
+criterion_group!(benches, bench_serve, bench_gear_transitions, bench_end_slot);
+criterion_main!(benches);

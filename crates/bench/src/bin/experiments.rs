@@ -1,0 +1,82 @@
+//! CLI regenerating the reconstructed evaluation (DESIGN.md §4).
+//!
+//! ```text
+//! experiments all                 # every figure, table and ablation
+//! experiments fig3 table2        # a subset
+//! experiments all --quick        # thinned sweeps + scaled workload
+//! experiments all --out results --seed 42
+//! experiments list               # show the registry
+//! ```
+
+use gm_bench::experiments::{find, registry};
+use gm_bench::runner::ExpContext;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!("usage: experiments <ids...|all|list> [--quick] [--out DIR] [--seed N]");
+    eprintln!("experiments:");
+    for e in registry() {
+        eprintln!("  {:<16} {}", e.id, e.about);
+    }
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+
+    let mut ids: Vec<String> = Vec::new();
+    let mut out = "results".to_string();
+    let mut seed = 42u64;
+    let mut scale = 1.0f64;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = 0.25,
+            "--out" => out = it.next().unwrap_or_else(|| usage()),
+            "--seed" => {
+                seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--scale" => {
+                scale = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "list" => {
+                for e in registry() {
+                    println!("{:<16} {}", e.id, e.about);
+                }
+                return;
+            }
+            "all" => ids.extend(registry().iter().map(|e| e.id.to_string())),
+            other if other.starts_with('-') => usage(),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+    }
+    ids.dedup();
+
+    let ctx = ExpContext::new(&out, seed, scale);
+    println!(
+        "GreenMatch reconstructed evaluation — seed {seed}, scale {scale}, output: {out}/"
+    );
+    let mut summaries = Vec::new();
+    for id in &ids {
+        let Some(exp) = find(id) else {
+            eprintln!("unknown experiment {id:?}");
+            usage();
+        };
+        println!("\n== {} — {}", exp.id, exp.about);
+        let t = Instant::now();
+        let summary = (exp.run)(&ctx);
+        println!("   {summary}");
+        println!("   done in {:.1?}", t.elapsed());
+        summaries.push(format!("{}: {}", exp.id, summary));
+    }
+
+    let index = summaries.join("\n");
+    ctx.write("SUMMARY.txt", &format!("seed={seed} scale={scale}\n\n{index}\n"));
+    println!("\nAll requested experiments complete. Index written to {out}/SUMMARY.txt");
+}

@@ -1,0 +1,126 @@
+//! Run a single experiment from a JSON config file (or a built-in preset)
+//! and print the report; optionally archive the full report as JSON.
+//!
+//! ```text
+//! run_once --preset medium --policy greenmatch --out report.json
+//! run_once --config my_experiment.json
+//! run_once --preset small --describe-workload
+//! ```
+//!
+//! Config files use the same schema the experiment harness archives under
+//! `results/configs/` — copy one of those and edit it.
+
+use greenmatch::config::ExperimentConfig;
+use greenmatch::harness::run_experiment;
+use greenmatch::policy::PolicyKind;
+use gm_sim::time::SimDuration;
+use gm_workload::trace::Workload;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: run_once [--config FILE | --preset small|medium] [--policy NAME] \
+         [--seed N] [--slots N] [--out FILE] [--describe-workload]\n\
+         policies: all-on power-prop edf greedy-green greenmatch greenmatch30 greenmatch-carbon"
+    );
+    std::process::exit(2)
+}
+
+fn parse_policy(name: &str) -> PolicyKind {
+    match name {
+        "all-on" => PolicyKind::AllOn,
+        "power-prop" => PolicyKind::PowerProportional,
+        "edf" => PolicyKind::Edf,
+        "greedy-green" => PolicyKind::GreedyGreen,
+        "greenmatch" => PolicyKind::GreenMatch { delay_fraction: 1.0 },
+        "greenmatch30" => PolicyKind::GreenMatch { delay_fraction: 0.3 },
+        "greenmatch-carbon" => PolicyKind::GreenMatchCarbon { delay_fraction: 1.0 },
+        other => {
+            eprintln!("unknown policy {other:?}");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let mut cfg: Option<ExperimentConfig> = None;
+    let mut policy: Option<PolicyKind> = None;
+    let mut seed: Option<u64> = None;
+    let mut slots: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut describe = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--config" => {
+                let path = args.next().unwrap_or_else(|| usage());
+                let json = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+                cfg = Some(
+                    serde_json::from_str(&json).unwrap_or_else(|e| panic!("bad config {path}: {e}")),
+                );
+            }
+            "--preset" => {
+                cfg = Some(match args.next().as_deref() {
+                    Some("small") => ExperimentConfig::small_demo(42),
+                    Some("medium") => ExperimentConfig::medium(42),
+                    _ => usage(),
+                });
+            }
+            "--policy" => policy = Some(parse_policy(&args.next().unwrap_or_else(|| usage()))),
+            "--seed" => seed = args.next().and_then(|s| s.parse().ok()).or_else(|| usage()),
+            "--slots" => slots = args.next().and_then(|s| s.parse().ok()).or_else(|| usage()),
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            "--describe-workload" => describe = true,
+            _ => usage(),
+        }
+    }
+
+    let mut cfg = cfg.unwrap_or_else(|| ExperimentConfig::small_demo(42));
+    if let Some(p) = policy {
+        cfg.policy = p;
+    }
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    if let Some(n) = slots {
+        cfg.slots = n;
+    }
+
+    if describe {
+        let workload = Workload::generate(cfg.workload.clone(), cfg.seed);
+        let stats = gm_workload::characterize(
+            &workload,
+            cfg.clock,
+            cfg.slots,
+            cfg.cluster.disk.transfer_bps,
+        );
+        let demand = gm_workload::stats::batch_demand_ratio(
+            &workload,
+            cfg.cluster.topology.n_disks(),
+            cfg.cluster.disk.transfer_bps,
+            SimDuration(cfg.clock.width().0 * cfg.slots as u64),
+        );
+        println!("workload characterisation (seed {}):", cfg.seed);
+        println!("  interactive: mean {:.1} req/s, peak/mean {:.2}", stats.interactive_rps.mean(), stats.interactive_peak_to_mean);
+        println!(
+            "  batch: {} jobs, mean size {:.1} GiB (σ {:.1}), slack mean {:.1} h (min {:.1})",
+            stats.job_size.count,
+            stats.job_size.mean / (1u64 << 30) as f64,
+            stats.job_size.std_dev / (1u64 << 30) as f64,
+            stats.slack_hours.mean,
+            stats.slack_hours.min,
+        );
+        println!("  batch demand / sequential capacity: {:.3}", demand);
+        return;
+    }
+
+    eprintln!("running {} slots with {} ...", cfg.slots, cfg.policy.label());
+    let report = run_experiment(&cfg);
+    println!("{report}");
+    if let Some(path) = out {
+        let json = serde_json::to_string_pretty(&report).expect("report serialises");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("full report written to {path}");
+    }
+}

@@ -1,0 +1,31 @@
+//! Run the executable shape checks (EXPERIMENTS.md claims) and report
+//! PASS/FAIL per claim. Exit code 1 if anything fails.
+//!
+//! ```text
+//! validate            # full scale (~2 min on one core)
+//! validate --quick    # reduced workload
+//! ```
+
+use gm_bench::runner::ExpContext;
+use gm_bench::shapes;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { 0.25 } else { 1.0 };
+    let ctx = ExpContext::new(std::env::temp_dir().join("gm-validate"), 42, scale);
+    eprintln!("running shape checks at scale {scale} ...");
+    let checks = shapes::run_all(&ctx);
+
+    let mut failed = 0;
+    for c in &checks {
+        let status = if c.pass { "PASS" } else { "FAIL" };
+        println!("[{status}] {:<36} {}", c.name, c.detail);
+        if !c.pass {
+            failed += 1;
+        }
+    }
+    println!("\n{}/{} shape checks passed", checks.len() - failed, checks.len());
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Experiment execution: tagged parallel sweeps and result output.
+//!
+//! Sweeps run across a crossbeam scope with one worker per available core
+//! (which degrades gracefully to sequential on single-core machines);
+//! results are collected under a `parking_lot` mutex and returned in input
+//! order so CSV output is deterministic regardless of completion order.
+
+use greenmatch::config::ExperimentConfig;
+use greenmatch::harness::run_experiment;
+use greenmatch::report::RunReport;
+use parking_lot::Mutex;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Shared knobs for one experiment invocation.
+#[derive(Debug, Clone)]
+pub struct ExpContext {
+    /// Output directory (created on demand).
+    pub out_dir: PathBuf,
+    /// Master seed.
+    pub seed: u64,
+    /// Workload/sweep scale in `(0, 1]`: 1.0 = full reconstruction,
+    /// smaller values shrink the workload and thin the sweeps for quick
+    /// iteration.
+    pub scale: f64,
+}
+
+impl ExpContext {
+    /// Context writing into `out_dir` at full scale.
+    pub fn new(out_dir: impl Into<PathBuf>, seed: u64, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0,1]");
+        ExpContext { out_dir: out_dir.into(), seed, scale }
+    }
+
+    /// Whether the invocation is a thinned quick pass.
+    pub fn is_quick(&self) -> bool {
+        self.scale < 0.999
+    }
+
+    /// Write `content` to `<out_dir>/<name>`, creating directories.
+    pub fn write(&self, name: &str, content: &str) -> PathBuf {
+        let path = self.out_dir.join(name);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).expect("create results dir");
+        }
+        fs::write(&path, content).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        path
+    }
+
+    /// Archive the JSON of a config next to the results for provenance.
+    pub fn archive_config(&self, name: &str, cfg: &ExperimentConfig) {
+        let json = serde_json::to_string_pretty(cfg).expect("config serialises");
+        self.write(&format!("configs/{name}.json"), &json);
+    }
+}
+
+/// Run every tagged config, in parallel where cores allow, returning
+/// `(tag, report)` pairs in input order.
+pub fn run_tagged(configs: Vec<(String, ExperimentConfig)>) -> Vec<(String, RunReport)> {
+    let n = configs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<(String, RunReport)>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let (tag, cfg) = &configs[i];
+                let report = run_experiment(cfg);
+                eprintln!("  [{}/{}] {} → brown {:.1} kWh", i + 1, n, tag, report.brown_kwh);
+                results.lock()[i] = Some((tag.clone(), report));
+            });
+        }
+    })
+    .expect("sweep workers must not panic");
+
+    results.into_inner().into_iter().map(|r| r.expect("all runs completed")).collect()
+}
+
+/// Convenience: run the configs and also archive each config JSON.
+pub fn run_and_archive(
+    ctx: &ExpContext,
+    exp_name: &str,
+    configs: Vec<(String, ExperimentConfig)>,
+) -> Vec<(String, RunReport)> {
+    for (tag, cfg) in &configs {
+        ctx.archive_config(&format!("{exp_name}-{tag}"), cfg);
+    }
+    run_tagged(configs)
+}
+
+/// Read a previously written result file (used by tests).
+pub fn read_result(dir: &Path, name: &str) -> std::io::Result<String> {
+    fs::read_to_string(dir.join(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(seed: u64) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::small_demo(seed);
+        cfg.slots = 12;
+        cfg
+    }
+
+    #[test]
+    fn run_tagged_preserves_order_and_tags() {
+        let configs = vec![
+            ("a".to_string(), tiny_cfg(1)),
+            ("b".to_string(), tiny_cfg(2)),
+            ("c".to_string(), tiny_cfg(3)),
+        ];
+        let out = run_tagged(configs);
+        let tags: Vec<&str> = out.iter().map(|(t, _)| t.as_str()).collect();
+        assert_eq!(tags, vec!["a", "b", "c"]);
+        assert_eq!(out[0].1.seed, 1);
+        assert_eq!(out[2].1.seed, 3);
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        assert!(run_tagged(vec![]).is_empty());
+    }
+
+    #[test]
+    fn context_writes_files() {
+        let dir = std::env::temp_dir().join(format!("gmbench-test-{}", std::process::id()));
+        let ctx = ExpContext::new(&dir, 1, 1.0);
+        let p = ctx.write("sub/test.csv", "a,b\n1,2\n");
+        assert!(p.exists());
+        assert_eq!(read_result(&dir, "sub/test.csv").unwrap(), "a,b\n1,2\n");
+        ctx.archive_config("t", &tiny_cfg(9));
+        assert!(dir.join("configs/t.json").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in (0,1]")]
+    fn bad_scale_panics() {
+        let _ = ExpContext::new("/tmp/x", 1, 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Tiny table builder rendering to CSV and aligned markdown.
+
+/// An in-memory table with string cells.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row; must match the header arity.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as CSV (no quoting — cells must not contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for r in &self.rows {
+            debug_assert!(r.iter().all(|c| !c.contains(',')), "CSV cells must be comma-free");
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as column-aligned GitHub markdown.
+    pub fn to_markdown(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::from("|");
+            for i in 0..ncols {
+                line.push_str(&format!(" {:<w$} |", cells[i], w = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+        }
+        out
+    }
+}
+
+/// Format a float with 1 decimal for table cells.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a float with 3 decimals for table cells.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a fraction as a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1", "2"]).row(vec!["3", "4"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n3,4\n");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn markdown_is_aligned() {
+        let mut t = Table::new(vec!["policy", "kWh"]);
+        t.row(vec!["all-on", "1187.2"]);
+        t.row(vec!["gm", "12.3"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| policy |"));
+        assert!(md.contains("|--------|"));
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(pct(0.336), "33.6%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1", "2"]);
+    }
+}

@@ -1,0 +1,354 @@
+//! Experiment configuration.
+//!
+//! An [`ExperimentConfig`] fully determines a run: cluster, workload,
+//! energy system (source, battery, grid, forecaster), policy, seed and
+//! horizon. All fields are serde-serialisable so the bench harness can
+//! archive the exact configuration next to every result.
+
+use crate::policy::PolicyKind;
+use gm_energy::battery::BatterySpec;
+use gm_energy::forecast::{
+    EwmaForecaster, Forecaster, NoisyOracle, OracleForecaster, PersistenceForecaster,
+};
+use gm_energy::grid::Grid;
+use gm_energy::solar::{SolarFarm, SolarFarmSpec, SolarProfile};
+use gm_energy::supply::{MixedSource, PowerSource};
+use gm_energy::wind::{TurbineSpec, WindFarm, WindProfile};
+use gm_sim::time::SimDuration;
+use gm_sim::{RngFactory, SlotClock, TimeSeries};
+use gm_storage::ClusterSpec;
+use gm_workload::trace::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// Which renewable source supplies the site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SourceKind {
+    /// No on-site renewables (pure-grid reference).
+    None,
+    /// PV farm of the given area.
+    Solar {
+        /// Total panel area (m²).
+        area_m2: f64,
+        /// Weather preset.
+        profile: SolarProfile,
+    },
+    /// Wind turbine of the given nameplate power.
+    Wind {
+        /// Rated power (W).
+        rated_w: f64,
+        /// Wind climate preset.
+        profile: WindProfile,
+    },
+    /// Solar + wind.
+    Mixed {
+        /// PV area (m²).
+        area_m2: f64,
+        /// Solar weather preset.
+        solar_profile: SolarProfile,
+        /// Turbine rated power (W).
+        rated_w: f64,
+        /// Wind climate preset.
+        wind_profile: WindProfile,
+    },
+    /// A measured production trace in the interchange CSV format
+    /// (`gm_energy::traces`), read from disk at materialisation time —
+    /// the substitution point for real PV-logger data.
+    TraceCsv {
+        /// Label for reports.
+        label: String,
+        /// Path to the CSV file.
+        path: String,
+    },
+}
+
+impl SourceKind {
+    /// Materialise the source into a frozen per-slot power trace (W).
+    ///
+    /// Panics if a [`SourceKind::TraceCsv`] file is missing or malformed —
+    /// a configured measurement file that cannot be read is a setup error,
+    /// not a condition to silently zero-fill.
+    pub fn materialize(&self, clock: SlotClock, slots: usize, rngs: &RngFactory) -> TimeSeries {
+        match *self {
+            SourceKind::None => TimeSeries::zeros(clock, slots),
+            SourceKind::TraceCsv { ref label, ref path } => {
+                let csv = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("trace {label}: cannot read {path}: {e}"));
+                let trace = gm_energy::traces::trace_from_csv(&csv, clock)
+                    .unwrap_or_else(|e| panic!("trace {label}: {e}"));
+                // Re-window onto the requested horizon (zero-padded).
+                TimeSeries::from_values(clock, (0..slots).map(|s| trace.get(s)).collect())
+            }
+            SourceKind::Solar { area_m2, profile } => {
+                SolarFarm::new(SolarFarmSpec::with_area(area_m2, profile), rngs)
+                    .materialize(clock, slots)
+            }
+            SourceKind::Wind { rated_w, profile } => {
+                WindFarm::new(TurbineSpec::small_site(rated_w), profile, rngs)
+                    .materialize(clock, slots)
+            }
+            SourceKind::Mixed { area_m2, solar_profile, rated_w, wind_profile } => {
+                MixedSource::new()
+                    .with(Box::new(SolarFarm::new(
+                        SolarFarmSpec::with_area(area_m2, solar_profile),
+                        rngs,
+                    )))
+                    .with(Box::new(WindFarm::new(
+                        TurbineSpec::small_site(rated_w),
+                        wind_profile,
+                        rngs,
+                    )))
+                    .materialize(clock, slots)
+            }
+        }
+    }
+
+    /// Label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            SourceKind::None => "no-renewables".into(),
+            SourceKind::Solar { area_m2, profile } => format!("{}:{area_m2:.0}m2", profile.label()),
+            SourceKind::Wind { rated_w, profile } => {
+                format!("{}:{:.0}kW", profile.label(), rated_w / 1000.0)
+            }
+            SourceKind::Mixed { .. } => "mixed".into(),
+            SourceKind::TraceCsv { label, .. } => format!("trace:{label}"),
+        }
+    }
+}
+
+/// Which production forecaster the policy plans with.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ForecastKind {
+    /// Error-free (the era's validation convention).
+    Oracle,
+    /// Same-hour-yesterday persistence.
+    Persistence,
+    /// Per-hour-of-day EWMA with the given smoothing factor.
+    Ewma {
+        /// Smoothing factor in `(0, 1]`.
+        alpha: f64,
+    },
+    /// Oracle with multiplicative lognormal error.
+    Noisy {
+        /// Error coefficient of variation.
+        cv: f64,
+    },
+}
+
+impl ForecastKind {
+    /// Build the forecaster over a materialised trace.
+    pub fn build(
+        &self,
+        trace: &TimeSeries,
+        clock: SlotClock,
+        rngs: &RngFactory,
+    ) -> Box<dyn Forecaster + Send> {
+        match *self {
+            ForecastKind::Oracle => Box::new(OracleForecaster::new(trace.clone())),
+            ForecastKind::Persistence => Box::new(PersistenceForecaster::new(trace.clone())),
+            ForecastKind::Ewma { alpha } => {
+                Box::new(EwmaForecaster::new(alpha, clock.slots_per_day()))
+            }
+            ForecastKind::Noisy { cv } => Box::new(NoisyOracle::new(trace.clone(), cv, rngs)),
+        }
+    }
+}
+
+/// When the harness lets the battery discharge into a deficit.
+///
+/// Charging is always eager (surplus is otherwise curtailed); *discharge*
+/// timing is a real design choice: draining eagerly may leave nothing for
+/// the expensive/dirty evening peak.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum DischargeStrategy {
+    /// Cover any deficit as soon as it appears (the common default).
+    #[default]
+    Eager,
+    /// Discharge only while the grid is at peak price/carbon
+    /// (07:00–23:00); off-peak deficits go straight to the (cheap, clean)
+    /// grid, preserving charge for the next peak.
+    PeakOnly,
+    /// Keep the given fraction of the usable window in reserve except
+    /// during the evening carbon peak (17:00–23:00), when the reserve may
+    /// be spent too.
+    Reserve(f64),
+}
+
+/// The energy side of an experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyConfig {
+    /// Renewable source.
+    pub source: SourceKind,
+    /// ESD, if any.
+    pub battery: Option<BatterySpec>,
+    /// Grid backup.
+    pub grid: Grid,
+    /// Forecaster the policy plans with.
+    pub forecast: ForecastKind,
+    /// Battery discharge timing.
+    #[serde(default)]
+    pub discharge: DischargeStrategy,
+}
+
+/// A complete, reproducible experiment description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Cluster to simulate.
+    pub cluster: ClusterSpec,
+    /// Workload to drive it with.
+    pub workload: WorkloadSpec,
+    /// Energy system.
+    pub energy: EnergyConfig,
+    /// Scheduling policy.
+    pub policy: PolicyKind,
+    /// Disk-failure injection (None = reliable hardware). When enabled,
+    /// failures spawn repair jobs that the policy schedules like any other
+    /// deferrable work, and exposure windows are tracked as data-loss
+    /// events.
+    pub failures: Option<gm_storage::FailureSpec>,
+    /// Master seed (workload, weather, placement noise).
+    pub seed: u64,
+    /// Number of slots to run.
+    pub slots: usize,
+    /// Slot clock.
+    pub clock: SlotClock,
+}
+
+impl ExperimentConfig {
+    /// A small, fast configuration for tests and the quickstart example:
+    /// 6-server cluster, scaled-down week, modest PV + LI battery.
+    pub fn small_demo(seed: u64) -> Self {
+        let cluster = ClusterSpec::small();
+        let workload = WorkloadSpec::small_week(cluster.objects);
+        ExperimentConfig {
+            cluster,
+            workload,
+            energy: EnergyConfig {
+                source: SourceKind::Solar { area_m2: 15.0, profile: SolarProfile::SunnySummer },
+                battery: Some(BatterySpec::lithium_ion(10_000.0)),
+                grid: Grid::typical_eu(),
+                forecast: ForecastKind::Oracle,
+                discharge: DischargeStrategy::Eager,
+            },
+            policy: PolicyKind::GreenMatch { delay_fraction: 1.0 },
+            failures: None,
+            seed,
+            slots: 7 * 24,
+            clock: SlotClock::hourly(),
+        }
+    }
+
+    /// The medium data center of the headline experiments: 48 servers,
+    /// full medium week, PV sized at ~1/3 of the zero-brown area, 40 kWh
+    /// LI battery.
+    pub fn medium(seed: u64) -> Self {
+        let cluster = ClusterSpec::medium_dc();
+        let workload = WorkloadSpec::medium_week(cluster.objects);
+        ExperimentConfig {
+            cluster,
+            workload,
+            energy: EnergyConfig {
+                source: SourceKind::Solar { area_m2: 120.0, profile: SolarProfile::SunnySummer },
+                battery: Some(BatterySpec::lithium_ion(40_000.0)),
+                grid: Grid::typical_eu(),
+                forecast: ForecastKind::Oracle,
+                discharge: DischargeStrategy::Eager,
+            },
+            policy: PolicyKind::GreenMatch { delay_fraction: 1.0 },
+            failures: None,
+            seed,
+            slots: 7 * 24,
+            clock: SlotClock::hourly(),
+        }
+    }
+
+    /// Horizon as a duration.
+    pub fn horizon(&self) -> SimDuration {
+        self.clock.width() * self.slots as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_materialize_to_requested_length() {
+        let rngs = RngFactory::new(1);
+        let c = SlotClock::hourly();
+        for src in [
+            SourceKind::None,
+            SourceKind::Solar { area_m2: 50.0, profile: SolarProfile::SunnySummer },
+            SourceKind::Wind { rated_w: 10_000.0, profile: WindProfile::SteadyCoastal },
+            SourceKind::Mixed {
+                area_m2: 50.0,
+                solar_profile: SolarProfile::SunnySummer,
+                rated_w: 10_000.0,
+                wind_profile: WindProfile::SteadyCoastal,
+            },
+        ] {
+            let trace = src.materialize(c, 48, &rngs);
+            assert_eq!(trace.len(), 48, "{}", src.label());
+            assert!(trace.values().iter().all(|v| *v >= 0.0));
+        }
+        // None produces exactly zero; mixed at least as much as either part.
+        assert_eq!(SourceKind::None.materialize(c, 5, &rngs).sum(), 0.0);
+    }
+
+    #[test]
+    fn mixed_is_sum_of_parts() {
+        let rngs = RngFactory::new(9);
+        let c = SlotClock::hourly();
+        let solar = SourceKind::Solar { area_m2: 30.0, profile: SolarProfile::SunnySummer }
+            .materialize(c, 72, &rngs);
+        let wind = SourceKind::Wind { rated_w: 8_000.0, profile: WindProfile::CalmWeek }
+            .materialize(c, 72, &rngs);
+        let mixed = SourceKind::Mixed {
+            area_m2: 30.0,
+            solar_profile: SolarProfile::SunnySummer,
+            rated_w: 8_000.0,
+            wind_profile: WindProfile::CalmWeek,
+        }
+        .materialize(c, 72, &rngs);
+        // Same seed ⇒ same component streams ⇒ exact sum.
+        for s in 0..72 {
+            assert!((mixed.get(s) - (solar.get(s) + wind.get(s))).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forecasters_build() {
+        let rngs = RngFactory::new(2);
+        let c = SlotClock::hourly();
+        let trace = TimeSeries::from_values(c, vec![5.0; 48]);
+        for kind in [
+            ForecastKind::Oracle,
+            ForecastKind::Persistence,
+            ForecastKind::Ewma { alpha: 0.5 },
+            ForecastKind::Noisy { cv: 0.2 },
+        ] {
+            let mut f = kind.build(&trace, c, &rngs);
+            assert_eq!(f.predict(0, 4).len(), 4);
+        }
+    }
+
+    #[test]
+    fn presets_are_consistent() {
+        let small = ExperimentConfig::small_demo(1);
+        assert_eq!(small.slots, 168);
+        assert_eq!(small.horizon(), SimDuration::from_days(7));
+        assert_eq!(small.workload.interactive.objects, small.cluster.objects);
+        let medium = ExperimentConfig::medium(1);
+        assert_eq!(medium.workload.interactive.objects, medium.cluster.objects);
+    }
+
+    #[test]
+    fn config_roundtrips_through_json() {
+        let cfg = ExperimentConfig::small_demo(3);
+        let json = serde_json::to_string(&cfg).expect("serialises");
+        let back: ExperimentConfig = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.seed, cfg.seed);
+        assert_eq!(back.slots, cfg.slots);
+        assert_eq!(back.policy, cfg.policy);
+    }
+}

@@ -1,0 +1,50 @@
+//! # greenmatch — renewable-aware workload scheduling for massive storage
+//!
+//! The core library of the GreenMatch reproduction. It composes the
+//! substrates (`gm-sim`, `gm-energy`, `gm-storage`, `gm-workload`) into an
+//! end-to-end slot simulator and implements the scheduling policies under
+//! study:
+//!
+//! * [`scheduler::GreenMatchPolicy`] — **the contribution**: each slot it
+//!   (1) computes the minimum gear level that keeps interactive latency in
+//!   budget, (2) solves a min-cost assignment (successive-shortest-path
+//!   min-cost max-flow, [`mincostflow`]) of pending deferrable batch bytes
+//!   to the slots of the forecast horizon, where green-funded capacity is
+//!   free and brown-funded capacity costs, and (3) raises gears into green
+//!   surplus windows to execute the matched work, falling back to EDF for
+//!   deadline-critical jobs. A `delay_fraction` knob blends it toward
+//!   run-ASAP, giving the hybrid family.
+//! * [`baselines`] — energy-oblivious All-On, load-only PowerProportional,
+//!   greedy opportunistic GreedyGreen, and EDF ordering; with a battery in
+//!   the config, All-On is exactly the "ESD-only" reference policy.
+//! * [`harness`] — the slot loop: workload synthesis, policy decision, I/O
+//!   service, batch execution, write-log reclaim, battery flows and ledger
+//!   accounting, producing a [`report::RunReport`].
+//!
+//! ```no_run
+//! use greenmatch::config::ExperimentConfig;
+//! use greenmatch::harness::run_experiment;
+//! use greenmatch::policy::PolicyKind;
+//!
+//! let mut cfg = ExperimentConfig::small_demo(42);
+//! cfg.policy = PolicyKind::GreenMatch { delay_fraction: 1.0 };
+//! let report = run_experiment(&cfg);
+//! println!("brown energy: {:.1} kWh", report.brown_kwh);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod config;
+pub mod harness;
+pub mod matcher;
+pub mod mincostflow;
+pub mod policy;
+pub mod report;
+pub mod scheduler;
+
+pub use config::{EnergyConfig, ExperimentConfig, SourceKind};
+pub use harness::run_experiment;
+pub use policy::{Decision, PolicyKind, SchedContext, Scheduler};
+pub use report::RunReport;

@@ -1,0 +1,395 @@
+//! The GreenMatch matcher: assign deferrable batch bytes to forecast slots.
+//!
+//! Each slot, pending deferrable work is matched against the next `H` slots
+//! by solving a small transportation problem with [`crate::mincostflow`]:
+//!
+//! ```text
+//!  source ──(group bytes)──► deadline-group d ──► slot t (t ≤ d) ──► sink
+//!                                   │                  green arc: cap = surplus-funded units, cost = t
+//!                                   │                  brown arc: cap = rest of capacity,     cost = BROWN + t
+//!                                   └──(far deadlines)──► beyond ──► sink   (cost = DEFER)
+//! ```
+//!
+//! * Jobs are aggregated into **deadline groups** (work is divisible and
+//!   jobs within a group are interchangeable), keeping the graph at
+//!   ~`2H` nodes regardless of job count.
+//! * Work is quantised into [`UNIT_BYTES`] units.
+//! * A slot's **green capacity** is the work fundable by its predicted
+//!   green surplus (forecast minus the non-batch floor: minimum-gear idle
+//!   power plus the interactive marginal); the remainder of its physical
+//!   capacity is **brown** and costs [`BROWN_COST`] per unit. The linear
+//!   time-preference term breaks ties toward earlier slots so plans do not
+//!   thrash between equal-cost schedules.
+//! * Groups whose deadline is inside the window may overflow to `beyond`
+//!   only at [`INFEASIBLE_COST`], so the solver stays feasible under
+//!   overload and the overflow is a congestion signal.
+//!
+//! Gear-up fixed costs are deliberately *not* in the flow network (they are
+//! concave); the executing policy re-checks gear economics when it turns
+//! the slot-0 plan into a [`crate::policy::Decision`].
+
+use crate::mincostflow::{EdgeId, MinCostFlow};
+use crate::policy::{JobView, PlanningModel};
+use gm_sim::time::SlotIdx;
+
+/// Quantum of batch work in the flow network (8 GiB).
+pub const UNIT_BYTES: u64 = 8 << 30;
+/// Per-unit cost of brown-funded capacity (green costs only its slot offset).
+pub const BROWN_COST: i64 = 1_000;
+/// Per-unit cost of deferring past-window work (far deadlines only).
+pub const DEFER_COST: i64 = 100;
+/// Per-unit cost of the overload escape for in-window deadlines.
+pub const INFEASIBLE_COST: i64 = 100_000;
+
+/// Input to one matching round.
+#[derive(Debug, Clone)]
+pub struct MatchInput<'a> {
+    /// Pending deferrable jobs.
+    pub jobs: &'a [JobView],
+    /// Slot being decided (offset 0 of the window).
+    pub current_slot: SlotIdx,
+    /// Window length in slots.
+    pub horizon: usize,
+    /// Forecast green energy per slot (Wh), index 0 = current slot.
+    pub green_forecast_wh: &'a [f64],
+    /// Expected interactive busy-seconds per slot, same indexing.
+    pub interactive_busy_secs: &'a [f64],
+    /// Planning arithmetic.
+    pub model: PlanningModel,
+    /// Slot width in seconds.
+    pub slot_secs: f64,
+    /// Per-offset brown cost override (e.g. scaled by the grid's carbon
+    /// intensity for carbon-aware scheduling). `None` ⇒ uniform
+    /// [`BROWN_COST`]. Values should be on the same scale as `BROWN_COST`.
+    pub brown_cost_per_slot: Option<&'a [i64]>,
+}
+
+/// Output of one matching round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchPlan {
+    /// Bytes planned per window offset (0 = run now).
+    pub per_slot_bytes: Vec<u64>,
+    /// Bytes pushed to the `beyond` node (deferred past the window).
+    pub deferred_bytes: u64,
+    /// Bytes that could only be placed via the overload escape (deadline
+    /// pressure exceeds window capacity).
+    pub infeasible_bytes: u64,
+    /// Bytes of the plan sitting on green-funded arcs.
+    pub green_bytes: u64,
+    /// Bytes of the plan sitting on brown-funded arcs.
+    pub brown_bytes: u64,
+    /// Total solver cost (diagnostic).
+    pub cost: i64,
+}
+
+impl MatchPlan {
+    /// Bytes the plan wants executed in the current slot.
+    pub fn bytes_now(&self) -> u64 {
+        self.per_slot_bytes.first().copied().unwrap_or(0)
+    }
+}
+
+/// Estimated non-batch energy floor (Wh) of window offset `k`: idle power
+/// at the interactive minimum gear level plus the interactive marginal.
+pub fn non_batch_floor_wh(input: &MatchInput<'_>, k: usize) -> f64 {
+    let busy = input.interactive_busy_secs.get(k).copied().unwrap_or(0.0);
+    let min_g = input.model.min_gears_for_interactive(busy, input.slot_secs);
+    let hours = input.slot_secs / 3600.0;
+    let interactive_marginal_wh = busy / 3600.0
+        * (input.model.batch_wh_per_byte * input.model.disk_bw_bps * 3600.0);
+    input.model.idle_w(min_g) * hours + interactive_marginal_wh
+}
+
+/// Solve one matching round.
+pub fn solve(input: &MatchInput<'_>) -> MatchPlan {
+    let h = input.horizon.max(1);
+    // Aggregate jobs into deadline groups, clamped into the window; the
+    // "far" group collects deadlines beyond it.
+    // Group index: 0..h for in-window deadline offsets, h = far.
+    let mut group_units = vec![0i64; h + 1];
+    for j in input.jobs {
+        if j.remaining_bytes == 0 {
+            continue;
+        }
+        let units = (j.remaining_bytes.div_ceil(UNIT_BYTES)) as i64;
+        let off = j.deadline_slot.saturating_sub(input.current_slot);
+        let g = off.min(h); // ≥ h ⇒ far
+        group_units[g] += units;
+    }
+    let total_units: i64 = group_units.iter().sum();
+
+    // Node numbering.
+    let source = 0usize;
+    let group_base = 1usize; // h+1 group nodes
+    let slot_base = group_base + h + 1; // h slot nodes
+    let beyond = slot_base + h;
+    let sink = beyond + 1;
+    let mut g = MinCostFlow::new(sink + 1);
+
+    // Source → groups.
+    for (gi, &units) in group_units.iter().enumerate() {
+        if units > 0 {
+            g.add_edge(source, group_base + gi, units, 0);
+        }
+    }
+
+    // Groups → eligible slots (+ escapes).
+    for (gi, &units) in group_units.iter().enumerate() {
+        if units == 0 {
+            continue;
+        }
+        let last_slot = if gi == h { h - 1 } else { gi.min(h - 1) };
+        for t in 0..=last_slot {
+            g.add_edge(group_base + gi, slot_base + t, units, 0);
+        }
+        let escape_cost = if gi == h { DEFER_COST } else { INFEASIBLE_COST };
+        g.add_edge(group_base + gi, beyond, units, escape_cost);
+    }
+
+    // Slots → sink (green + brown arcs), remember handles for extraction.
+    let mut green_arcs: Vec<Option<EdgeId>> = vec![None; h];
+    let mut brown_arcs: Vec<Option<EdgeId>> = vec![None; h];
+    for t in 0..h {
+        let busy = input.interactive_busy_secs.get(t).copied().unwrap_or(0.0);
+        let capacity_units = (input
+            .model
+            .batch_capacity_bytes(input.model.gears, busy, input.slot_secs)
+            / UNIT_BYTES) as i64;
+        if capacity_units == 0 {
+            continue;
+        }
+        let surplus_wh =
+            (input.green_forecast_wh.get(t).copied().unwrap_or(0.0) - non_batch_floor_wh(input, t)).max(0.0);
+        let green_units =
+            ((input.model.bytes_fundable_by(surplus_wh) / UNIT_BYTES) as i64).min(capacity_units);
+        if green_units > 0 {
+            green_arcs[t] = Some(g.add_edge(slot_base + t, sink, green_units, t as i64));
+        }
+        let brown_units = capacity_units - green_units;
+        if brown_units > 0 {
+            // Brown capacity procrastinates: prefer the *latest* feasible
+            // slot, so re-planning with fresh forecasts can still rescue the
+            // work into a green window. A per-slot override (carbon-aware
+            // mode) can additionally steer brown work toward clean hours.
+            let base = input
+                .brown_cost_per_slot
+                .and_then(|c| c.get(t).copied())
+                .unwrap_or(BROWN_COST);
+            brown_arcs[t] = Some(g.add_edge(slot_base + t, sink, brown_units, base + (h - t) as i64));
+        }
+    }
+    let beyond_arc = g.add_edge(beyond, sink, total_units.max(1), 0);
+
+    let result = g.solve(source, sink, total_units);
+    debug_assert_eq!(result.flow, total_units, "network must absorb all work");
+
+    // Extract per-slot plan.
+    let mut per_slot_bytes = vec![0u64; h];
+    let mut green_bytes = 0u64;
+    let mut brown_bytes = 0u64;
+    for t in 0..h {
+        let mut units = 0i64;
+        if let Some(e) = green_arcs[t] {
+            let f = g.flow_on(e);
+            units += f;
+            green_bytes += f as u64 * UNIT_BYTES;
+        }
+        if let Some(e) = brown_arcs[t] {
+            let f = g.flow_on(e);
+            units += f;
+            brown_bytes += f as u64 * UNIT_BYTES;
+        }
+        per_slot_bytes[t] = units as u64 * UNIT_BYTES;
+    }
+    let beyond_units = g.flow_on(beyond_arc);
+    // Split the escape flow into benign deferral vs deadline overflow by
+    // re-deriving how much far-group work there was.
+    let far_units = group_units[h];
+    let deferred_units = beyond_units.min(far_units);
+    let infeasible_units = beyond_units - deferred_units;
+
+    MatchPlan {
+        per_slot_bytes,
+        deferred_bytes: deferred_units as u64 * UNIT_BYTES,
+        infeasible_bytes: infeasible_units as u64 * UNIT_BYTES,
+        green_bytes,
+        brown_bytes,
+        cost: result.cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_storage::ClusterSpec;
+    use gm_workload::JobId;
+
+    fn model() -> PlanningModel {
+        PlanningModel::from_spec(&ClusterSpec::small())
+    }
+
+    fn job(id: u64, gib: u64, deadline_slot: usize) -> JobView {
+        JobView {
+            id: JobId(id),
+            remaining_bytes: gib << 30,
+            deadline_slot,
+            critical: false,
+        }
+    }
+
+    /// Green forecast with surplus only in the given offsets.
+    fn forecast(h: usize, green_offsets: &[usize], wh: f64) -> Vec<f64> {
+        let mut v = vec![0.0; h];
+        for &o in green_offsets {
+            v[o] = wh;
+        }
+        v
+    }
+
+    fn input<'a>(
+        jobs: &'a [JobView],
+        green: &'a [f64],
+        busy: &'a [f64],
+    ) -> MatchInput<'a> {
+        MatchInput {
+            jobs,
+            current_slot: 0,
+            horizon: green.len(),
+            green_forecast_wh: green,
+            interactive_busy_secs: busy,
+            model: model(),
+            slot_secs: 3600.0,
+            brown_cost_per_slot: None,
+        }
+    }
+
+    #[test]
+    fn work_flows_to_green_slots() {
+        // Surplus at offset 3 only; job deadline at offset 6.
+        let jobs = vec![job(1, 64, 6)];
+        let green = forecast(8, &[3], 5_000.0);
+        let busy = vec![0.0; 8];
+        let plan = solve(&input(&jobs, &green, &busy));
+        assert_eq!(plan.bytes_now(), 0, "nothing runs in the brown present");
+        assert!(plan.per_slot_bytes[3] >= 64 << 30, "work lands in the green slot");
+        assert_eq!(plan.brown_bytes, 0);
+        assert!(plan.green_bytes >= 64 << 30);
+        assert_eq!(plan.infeasible_bytes, 0);
+    }
+
+    #[test]
+    fn deadline_forces_brown_when_no_green_in_window() {
+        let jobs = vec![job(1, 64, 2)];
+        let green = forecast(8, &[], 0.0);
+        let busy = vec![0.0; 8];
+        let plan = solve(&input(&jobs, &green, &busy));
+        let placed: u64 = plan.per_slot_bytes[..3].iter().sum();
+        assert!(placed >= 64 << 30, "deadline work placed despite brown cost");
+        assert!(plan.brown_bytes >= 64 << 30);
+        assert_eq!(plan.deferred_bytes, 0);
+    }
+
+    #[test]
+    fn far_deadlines_defer_past_window() {
+        let jobs = vec![job(1, 64, 1_000)];
+        let green = forecast(8, &[], 0.0);
+        let busy = vec![0.0; 8];
+        let plan = solve(&input(&jobs, &green, &busy));
+        assert_eq!(plan.bytes_now(), 0);
+        assert!(plan.deferred_bytes >= 64 << 30, "no green, far deadline ⇒ wait");
+        assert_eq!(plan.infeasible_bytes, 0);
+    }
+
+    #[test]
+    fn far_work_still_takes_free_green() {
+        let jobs = vec![job(1, 64, 1_000)];
+        let green = forecast(8, &[2], 5_000.0);
+        let busy = vec![0.0; 8];
+        let plan = solve(&input(&jobs, &green, &busy));
+        assert!(plan.per_slot_bytes[2] > 0, "green capacity is cheaper than deferring");
+    }
+
+    #[test]
+    fn earlier_green_preferred_on_ties() {
+        let jobs = vec![job(1, 16, 1_000)];
+        let green = forecast(8, &[2, 5], 5_000.0);
+        let busy = vec![0.0; 8];
+        let plan = solve(&input(&jobs, &green, &busy));
+        assert!(plan.per_slot_bytes[2] >= plan.per_slot_bytes[5]);
+        assert!(plan.per_slot_bytes[2] >= 16 << 30);
+    }
+
+    #[test]
+    fn overload_reports_infeasible_bytes() {
+        // One-slot window; more deadline work than one slot's capacity.
+        let capacity = model().batch_capacity_bytes(3, 0.0, 3600.0);
+        let too_much_gib = (capacity / (1 << 30)) * 3;
+        let jobs = vec![job(1, too_much_gib, 0)];
+        let green = forecast(1, &[], 0.0);
+        let busy = vec![0.0; 1];
+        let plan = solve(&input(&jobs, &green, &busy));
+        assert!(plan.infeasible_bytes > 0, "overflow must be flagged");
+        assert!(plan.per_slot_bytes[0] > 0, "window still packed full");
+    }
+
+    #[test]
+    fn no_jobs_is_an_empty_plan() {
+        let green = forecast(4, &[1], 1_000.0);
+        let busy = vec![0.0; 4];
+        let plan = solve(&input(&[], &green, &busy));
+        assert_eq!(plan.bytes_now(), 0);
+        assert_eq!(plan.green_bytes + plan.brown_bytes + plan.deferred_bytes, 0);
+        assert_eq!(plan.cost, 0);
+    }
+
+    #[test]
+    fn interactive_load_shrinks_green_capacity() {
+        let jobs = vec![job(1, 512, 1_000)];
+        // 400 Wh: barely above the 1-gear idle floor when idle, below the
+        // 2-gear floor once interactive load forces a second gear.
+        let green = forecast(4, &[1], 400.0);
+        let idle_busy = vec![0.0; 4];
+        let plan_idle = solve(&input(&jobs, &green, &idle_busy));
+        // Same green, but heavy interactive load in slot 1.
+        let loaded_busy = vec![0.0, 12_000.0, 0.0, 0.0];
+        let plan_loaded = solve(&input(&jobs, &green, &loaded_busy));
+        assert!(
+            plan_loaded.per_slot_bytes[1] < plan_idle.per_slot_bytes[1],
+            "interactive floor eats green surplus: {} vs {}",
+            plan_loaded.per_slot_bytes[1],
+            plan_idle.per_slot_bytes[1]
+        );
+    }
+
+    #[test]
+    fn brown_cost_override_steers_forced_work() {
+        // No green; deadline at offset 2, so the work must land in offsets
+        // 0..=2 on brown power. Uniform pricing procrastinates to offset 2;
+        // an override making offset 0 far cheaper pulls it forward.
+        let jobs = vec![job(1, 16, 2)];
+        let green = forecast(4, &[], 0.0);
+        let busy = vec![0.0; 4];
+        let uniform = solve(&input(&jobs, &green, &busy));
+        assert_eq!(uniform.bytes_now(), 0, "uniform pricing procrastinates");
+        assert!(uniform.per_slot_bytes[2] >= 16 << 30);
+
+        let costs = vec![100i64, 5_000, 5_000, 5_000];
+        let mut inp = input(&jobs, &green, &busy);
+        inp.brown_cost_per_slot = Some(&costs);
+        let steered = solve(&inp);
+        assert!(steered.bytes_now() >= 16 << 30, "cheap-now pricing runs now");
+    }
+
+    #[test]
+    fn non_batch_floor_includes_idle_and_marginal() {
+        let jobs: Vec<JobView> = vec![];
+        let green = vec![0.0; 2];
+        let busy = vec![0.0, 7_200.0];
+        let inp = input(&jobs, &green, &busy);
+        let floor0 = non_batch_floor_wh(&inp, 0);
+        let floor1 = non_batch_floor_wh(&inp, 1);
+        // Offset 0: one idle gear = 284 Wh.
+        assert!((floor0 - 284.0).abs() < 1e-6, "{floor0}");
+        assert!(floor1 > floor0, "busy slot has a higher floor");
+    }
+}

@@ -1,0 +1,368 @@
+//! The GreenMatch policy.
+//!
+//! Per slot:
+//!
+//! 1. **Classify** pending batch jobs. A stable per-job hash marks
+//!    `delay_fraction` of them *deferrable* (they participate in matching);
+//!    the rest are *ASAP* (run like PowerProportional would). Jobs whose
+//!    slack is exhausted are *critical* regardless of class — deadlines
+//!    always dominate greenness.
+//! 2. **Match** the deferrable work onto the forecast window with the
+//!    min-cost-flow matcher ([`crate::matcher`]): green-funded capacity is
+//!    free, brown capacity is expensive, deferring past the window is
+//!    mildly discouraged. The plan's slot-0 allocation is what runs now.
+//! 3. **Gear** the cluster to the work: the smallest gear level whose
+//!    capacity (net of interactive load) covers the slot's chosen batch
+//!    bytes, but never below the interactive minimum.
+//! 4. **Reclaim** the write log during green surplus (reclaim is deferrable
+//!    work too), or whenever the pending log exceeds a safety threshold.
+//!
+//! With `delay_fraction = 0` the policy degenerates to PowerProportional;
+//! with `1.0` it is pure GreenMatch; intermediate values are the hybrid
+//! family the balance study sweeps.
+
+use crate::matcher::{self, MatchInput};
+use crate::policy::{Decision, JobView, SchedContext, Scheduler};
+use gm_sim::rng::splitmix64;
+use gm_workload::JobId;
+
+/// Write-log size above which reclaim is forced even on brown power.
+pub const RECLAIM_FORCE_BYTES: u64 = 256 << 30;
+
+/// Default planning window (slots).
+pub const DEFAULT_HORIZON: usize = 24;
+
+/// The GreenMatch scheduling policy.
+pub struct GreenMatchPolicy {
+    delay_fraction: f64,
+    horizon: usize,
+    /// When set, brown capacity is priced by the grid's forecast carbon
+    /// intensity instead of uniformly, steering unavoidable brown work into
+    /// the cleanest hours of the window.
+    carbon_aware: bool,
+    /// Diagnostics: bytes the matcher flagged as deadline-infeasible.
+    pub infeasible_bytes_seen: u64,
+}
+
+impl GreenMatchPolicy {
+    /// Policy with the given deferrable fraction and the default window.
+    pub fn new(delay_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&delay_fraction), "delay fraction must be in [0,1]");
+        GreenMatchPolicy {
+            delay_fraction,
+            horizon: DEFAULT_HORIZON,
+            carbon_aware: false,
+            infeasible_bytes_seen: 0,
+        }
+    }
+
+    /// Override the planning window.
+    pub fn with_horizon(mut self, horizon: usize) -> Self {
+        assert!(horizon >= 1);
+        self.horizon = horizon;
+        self
+    }
+
+    /// Enable carbon-aware brown pricing.
+    pub fn with_carbon_awareness(mut self) -> Self {
+        self.carbon_aware = true;
+        self
+    }
+
+    /// The deferrable fraction.
+    pub fn delay_fraction(&self) -> f64 {
+        self.delay_fraction
+    }
+
+    /// Stable classification: is this job deferrable under the fraction?
+    pub fn is_deferrable(&self, id: JobId) -> bool {
+        let mut s = id.0 ^ 0x6A09_E667_F3BC_C909;
+        let h = splitmix64(&mut s) % 10_000;
+        (h as f64) < self.delay_fraction * 10_000.0
+    }
+}
+
+impl Scheduler for GreenMatchPolicy {
+    fn decide(&mut self, ctx: &SchedContext) -> Decision {
+        let busy = ctx.interactive_busy_secs.first().copied().unwrap_or(0.0);
+        let slot_secs = ctx.slot_secs();
+
+        // 1. Classification.
+        let mut critical: Vec<JobView> = Vec::new();
+        let mut asap: Vec<JobView> = Vec::new();
+        let mut deferrable: Vec<JobView> = Vec::new();
+        for j in ctx.jobs.iter().filter(|j| j.remaining_bytes > 0) {
+            if j.critical {
+                critical.push(*j);
+            } else if self.is_deferrable(j.id) {
+                deferrable.push(*j);
+            } else {
+                asap.push(*j);
+            }
+        }
+
+        // 2. Matching over the deferrable set. In carbon-aware mode the
+        //    brown arcs are priced by the slot's forecast carbon intensity
+        //    (relative to the grid's base), so unavoidable brown work slides
+        //    into the cleanest hours.
+        let brown_costs: Option<Vec<i64>> = self.carbon_aware.then(|| {
+            (0..self.horizon)
+                .map(|k| {
+                    let mid = ctx.clock.slot_start(ctx.slot + k) + ctx.clock.width() / 2;
+                    let rel = ctx.grid.carbon_intensity(mid) / ctx.grid.base_carbon_g_per_kwh;
+                    (matcher::BROWN_COST as f64 * rel).round() as i64
+                })
+                .collect()
+        });
+        let bytes_now_matched = if deferrable.is_empty() {
+            0
+        } else {
+            let input = MatchInput {
+                jobs: &deferrable,
+                current_slot: ctx.slot,
+                horizon: self.horizon,
+                green_forecast_wh: &ctx.green_forecast_wh,
+                interactive_busy_secs: &ctx.interactive_busy_secs,
+                model: ctx.model,
+                slot_secs,
+                brown_cost_per_slot: brown_costs.as_deref(),
+            };
+            let plan = matcher::solve(&input);
+            self.infeasible_bytes_seen += plan.infeasible_bytes;
+            plan.bytes_now()
+        };
+
+        // 3. Assemble the slot's batch list: critical first, then ASAP,
+        //    then the matched share of deferrable work — each in EDF order.
+        let mut order: Vec<(JobView, u64)> = Vec::new();
+        critical.sort_by_key(|j| (j.deadline_slot, j.id));
+        asap.sort_by_key(|j| (j.deadline_slot, j.id));
+        deferrable.sort_by_key(|j| (j.deadline_slot, j.id));
+        for j in &critical {
+            order.push((*j, j.remaining_bytes));
+        }
+        for j in &asap {
+            order.push((*j, j.remaining_bytes));
+        }
+        let mut matched_left = bytes_now_matched;
+        for j in &deferrable {
+            if matched_left == 0 {
+                break;
+            }
+            let take = j.remaining_bytes.min(matched_left);
+            order.push((*j, take));
+            matched_left -= take;
+        }
+        let total_want: u64 = order.iter().map(|(_, b)| b).sum();
+
+        // 4. Gear to the work (never below the interactive minimum).
+        let min_g = ctx.min_gears_now();
+        let mut gears = min_g;
+        while gears < ctx.model.gears
+            && ctx.model.batch_capacity_bytes(gears, busy, slot_secs) < total_want
+        {
+            gears += 1;
+        }
+        let capacity = ctx.model.batch_capacity_bytes(gears, busy, slot_secs);
+
+        // Cap the list at physical capacity, preserving priority order.
+        let mut remaining = capacity;
+        let mut batch_bytes = Vec::with_capacity(order.len());
+        for (j, want) in order {
+            if remaining == 0 {
+                break;
+            }
+            let take = want.min(remaining);
+            batch_bytes.push((j.id, take));
+            remaining -= take;
+        }
+
+        // 5. Reclaim policy.
+        let hours = ctx.slot_hours();
+        let green_now = ctx.green_forecast_wh.first().copied().unwrap_or(0.0);
+        let surplus_now = green_now - ctx.model.idle_w(gears) * hours;
+        let reclaim_budget_bytes = if surplus_now > 0.0
+            || ctx.writelog_pending_bytes > RECLAIM_FORCE_BYTES
+        {
+            u64::MAX
+        } else {
+            0
+        };
+
+        Decision { gears, batch_bytes, reclaim_budget_bytes }
+    }
+
+    fn label(&self) -> String {
+        if self.carbon_aware {
+            format!("greenmatch-carbon({:.0}%)", self.delay_fraction * 100.0)
+        } else {
+            format!("greenmatch({:.0}%)", self.delay_fraction * 100.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BatteryView, PlanningModel};
+    use gm_sim::time::SimTime;
+    use gm_sim::SlotClock;
+    use gm_storage::ClusterSpec;
+
+    fn ctx(green: Vec<f64>, jobs: Vec<JobView>) -> SchedContext {
+        let h = green.len();
+        SchedContext {
+            slot: 0,
+            now: SimTime::ZERO,
+            clock: SlotClock::hourly(),
+            green_forecast_wh: green,
+            interactive_busy_secs: vec![500.0; h],
+            jobs,
+            battery: BatteryView::default(),
+            model: PlanningModel::from_spec(&ClusterSpec::small()),
+            writelog_pending_bytes: 0,
+            grid: gm_energy::grid::Grid::typical_eu(),
+        }
+    }
+
+    fn job(id: u64, gib: u64, deadline: usize, critical: bool) -> JobView {
+        JobView { id: JobId(id), remaining_bytes: gib << 30, deadline_slot: deadline, critical }
+    }
+
+    #[test]
+    fn defers_everything_when_brown_and_slack() {
+        let mut p = GreenMatchPolicy::new(1.0);
+        let c = ctx(vec![0.0; 24], vec![job(1, 64, 20, false), job(2, 32, 18, false)]);
+        let d = p.decide(&c);
+        assert_eq!(d.total_batch_bytes(), 0, "all deferrable, no green, slack left");
+        assert_eq!(d.gears, 1);
+        assert_eq!(d.reclaim_budget_bytes, 0);
+    }
+
+    #[test]
+    fn runs_matched_work_in_green_present() {
+        let mut p = GreenMatchPolicy::new(1.0);
+        let mut green = vec![0.0; 24];
+        green[0] = 5_000.0; // big surplus now
+        let c = ctx(green, vec![job(1, 64, 20, false)]);
+        let d = p.decide(&c);
+        assert!(d.total_batch_bytes() >= 64 << 30, "green present ⇒ run now");
+        assert_eq!(d.reclaim_budget_bytes, u64::MAX, "reclaim rides green surplus");
+    }
+
+    #[test]
+    fn waits_for_future_green_window() {
+        let mut p = GreenMatchPolicy::new(1.0);
+        let mut green = vec![0.0; 24];
+        green[5] = 5_000.0;
+        let c = ctx(green, vec![job(1, 64, 20, false)]);
+        let d = p.decide(&c);
+        assert_eq!(d.total_batch_bytes(), 0, "work waits for offset-5 surplus");
+    }
+
+    #[test]
+    fn critical_jobs_run_regardless() {
+        let mut p = GreenMatchPolicy::new(1.0);
+        let c = ctx(vec![0.0; 24], vec![job(1, 16, 0, true)]);
+        let d = p.decide(&c);
+        assert_eq!(d.total_batch_bytes(), 16 << 30);
+    }
+
+    #[test]
+    fn zero_delay_fraction_runs_asap() {
+        let mut p = GreenMatchPolicy::new(0.0);
+        let c = ctx(vec![0.0; 24], vec![job(1, 16, 20, false)]);
+        let d = p.decide(&c);
+        assert_eq!(d.total_batch_bytes(), 16 << 30, "ASAP class ignores greenness");
+    }
+
+    #[test]
+    fn classification_is_stable_and_proportional() {
+        let p30 = GreenMatchPolicy::new(0.3);
+        let n = 10_000;
+        let deferred = (0..n).filter(|&i| p30.is_deferrable(JobId(i))).count();
+        let frac = deferred as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.02, "fraction {frac}");
+        // Stability: same answer twice.
+        assert_eq!(p30.is_deferrable(JobId(77)), p30.is_deferrable(JobId(77)));
+        // Monotone in fraction: a job deferrable at 0.3 stays deferrable at 0.9.
+        let p90 = GreenMatchPolicy::new(0.9);
+        for i in 0..1_000 {
+            if p30.is_deferrable(JobId(i)) {
+                assert!(p90.is_deferrable(JobId(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn gears_rise_with_chosen_work() {
+        let mut p = GreenMatchPolicy::new(1.0);
+        let mut green = vec![0.0; 24];
+        green[0] = 50_000.0;
+        // More work than one gear's slot capacity (~1.6 TB).
+        let c = ctx(green, vec![job(1, 4 * 1024, 20, false)]);
+        let d = p.decide(&c);
+        assert!(d.gears >= 2, "execution requires gear-up, got {}", d.gears);
+    }
+
+    #[test]
+    fn forced_reclaim_above_threshold() {
+        let mut p = GreenMatchPolicy::new(1.0);
+        let mut c = ctx(vec![0.0; 24], vec![]);
+        c.writelog_pending_bytes = RECLAIM_FORCE_BYTES + 1;
+        let d = p.decide(&c);
+        assert_eq!(d.reclaim_budget_bytes, u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "delay fraction")]
+    fn bad_fraction_panics() {
+        let _ = GreenMatchPolicy::new(1.5);
+    }
+
+    #[test]
+    fn carbon_aware_prefers_clean_brown_hours() {
+        // No green anywhere; job must run on brown before its deadline.
+        // Slot 0 starts at 14:00: the 17:00–21:00 evening-peak slots are the
+        // dirtiest; late-night slots are base intensity. The carbon-aware
+        // variant should hold work out of the present (procrastination +
+        // clean-hour pricing both point later); the plain variant behaves
+        // identically here because brown is procrastinated anyway, so we
+        // check the *labels* and that both defer, then verify the pricing
+        // vector itself orders evening above night.
+        let mut plain = GreenMatchPolicy::new(1.0);
+        let mut carbon = GreenMatchPolicy::new(1.0).with_carbon_awareness();
+        assert_eq!(carbon.label(), "greenmatch-carbon(100%)");
+
+        // Deadline at slot 34 (offset 20): the window reaches the clean
+        // late-night hours, so both variants defer out of the present.
+        let mut c = ctx(vec![0.0; 24], vec![job(1, 64, 34, false)]);
+        c.slot = 14; // slot clock aligns slots with hours
+        c.now = SimTime::from_hours(14);
+        let dp = plain.decide(&c);
+        let dc = carbon.decide(&c);
+        assert_eq!(dp.total_batch_bytes(), 0);
+        assert_eq!(dc.total_batch_bytes(), 0, "carbon-aware also waits for cleaner hours");
+
+        // But when the deadline falls *inside* the dirty evening peak, the
+        // carbon-aware variant prefers running in the (cleaner) afternoon
+        // now, while the plain variant procrastinates into the peak.
+        let mut tight = ctx(vec![0.0; 24], vec![job(2, 64, 20, false)]);
+        tight.slot = 14;
+        tight.now = SimTime::from_hours(14);
+        let dp_tight = plain.decide(&tight);
+        let dc_tight = carbon.decide(&tight);
+        assert_eq!(dp_tight.total_batch_bytes(), 0, "plain defers toward the deadline");
+        assert!(
+            dc_tight.total_batch_bytes() >= 64 << 30,
+            "carbon-aware runs now rather than in the evening peak"
+        );
+
+        // The pricing the carbon variant feeds the matcher must rank the
+        // 19:00 peak above 03:00 base.
+        let grid = gm_energy::grid::Grid::typical_eu();
+        let evening = grid.carbon_intensity(SimTime::from_hours(19));
+        let night = grid.carbon_intensity(SimTime::from_hours(27));
+        assert!(evening > night);
+    }
+}

@@ -1,0 +1,268 @@
+//! Renewable-production forecasters.
+//!
+//! Renewable-aware schedulers plan against *predicted* green power for the
+//! next few slots. The modeling convention of the era is short-horizon
+//! (next-slot to next-day) prediction, often assumed error-free in
+//! validation; this module provides that oracle plus realistic alternatives
+//! so forecast sensitivity (R-Table4) can be measured:
+//!
+//! * [`OracleForecaster`] — perfect knowledge of the materialised trace.
+//! * [`PersistenceForecaster`] — "same as yesterday at this hour", the
+//!   classic no-skill baseline for diurnal sources.
+//! * [`EwmaForecaster`] — exponentially-weighted average per hour-of-day.
+//! * [`NoisyOracle`] — the oracle with multiplicative lognormal error of a
+//!   configurable magnitude, for dose–response studies.
+
+use gm_sim::dist::lognormal_mean_cv;
+use gm_sim::time::SlotIdx;
+use gm_sim::{RngFactory, TimeSeries};
+use rand::rngs::SmallRng;
+
+/// Predicts average green power (W) for future slots.
+///
+/// `predict(s, h)` returns the forecast for slots `s, s+1, …, s+h-1`, made
+/// with information available strictly before slot `s` begins (except the
+/// oracle, which is exact by construction).
+pub trait Forecaster {
+    /// Forecast `horizon` slots starting at `from_slot`.
+    fn predict(&mut self, from_slot: SlotIdx, horizon: usize) -> Vec<f64>;
+
+    /// Feed the realised production of a completed slot. Stateless
+    /// forecasters ignore it; learning ones (EWMA) update.
+    fn observe_actual(&mut self, _slot: SlotIdx, _power_w: f64) {}
+
+    /// Label for reports.
+    fn label(&self) -> String;
+}
+
+/// Error-free forecast straight from the materialised trace.
+#[derive(Debug, Clone)]
+pub struct OracleForecaster {
+    trace: TimeSeries,
+}
+
+impl OracleForecaster {
+    /// Oracle over the given trace.
+    pub fn new(trace: TimeSeries) -> Self {
+        OracleForecaster { trace }
+    }
+}
+
+impl Forecaster for OracleForecaster {
+    fn predict(&mut self, from_slot: SlotIdx, horizon: usize) -> Vec<f64> {
+        (from_slot..from_slot + horizon).map(|s| self.trace.get(s)).collect()
+    }
+
+    fn label(&self) -> String {
+        "oracle".into()
+    }
+}
+
+/// "Tomorrow is like today": the value observed one day earlier in the true
+/// trace (zero for the first day, i.e. a cold start).
+#[derive(Debug, Clone)]
+pub struct PersistenceForecaster {
+    trace: TimeSeries,
+    slots_per_day: usize,
+}
+
+impl PersistenceForecaster {
+    /// Persistence forecaster over the actual trace (it only ever reads
+    /// values at least one day in the past).
+    pub fn new(trace: TimeSeries) -> Self {
+        let slots_per_day = trace.clock().slots_per_day();
+        PersistenceForecaster { trace, slots_per_day }
+    }
+}
+
+impl Forecaster for PersistenceForecaster {
+    fn predict(&mut self, from_slot: SlotIdx, horizon: usize) -> Vec<f64> {
+        (from_slot..from_slot + horizon)
+            .map(|s| {
+                if s >= self.slots_per_day {
+                    self.trace.get(s - self.slots_per_day)
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    fn label(&self) -> String {
+        "persistence".into()
+    }
+}
+
+/// Exponentially-weighted moving average per slot-of-day position.
+///
+/// Must be fed observations via [`EwmaForecaster::observe`] as the
+/// simulation advances; predictions for a slot use the EWMA of previous
+/// days' observations at the same position.
+#[derive(Debug, Clone)]
+pub struct EwmaForecaster {
+    alpha: f64,
+    slots_per_day: usize,
+    /// EWMA per slot-of-day; None until first observation at that position.
+    state: Vec<Option<f64>>,
+}
+
+impl EwmaForecaster {
+    /// EWMA with smoothing factor `alpha ∈ (0, 1]` for a clock with
+    /// `slots_per_day` positions.
+    pub fn new(alpha: f64, slots_per_day: usize) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        assert!(slots_per_day > 0);
+        EwmaForecaster { alpha, slots_per_day, state: vec![None; slots_per_day] }
+    }
+
+    /// Record the actual production of `slot`.
+    pub fn observe(&mut self, slot: SlotIdx, power_w: f64) {
+        let pos = slot % self.slots_per_day;
+        self.state[pos] = Some(match self.state[pos] {
+            None => power_w,
+            Some(prev) => self.alpha * power_w + (1.0 - self.alpha) * prev,
+        });
+    }
+}
+
+impl Forecaster for EwmaForecaster {
+    fn predict(&mut self, from_slot: SlotIdx, horizon: usize) -> Vec<f64> {
+        (from_slot..from_slot + horizon)
+            .map(|s| self.state[s % self.slots_per_day].unwrap_or(0.0))
+            .collect()
+    }
+
+    fn observe_actual(&mut self, slot: SlotIdx, power_w: f64) {
+        self.observe(slot, power_w);
+    }
+
+    fn label(&self) -> String {
+        format!("ewma({})", self.alpha)
+    }
+}
+
+/// Oracle perturbed by multiplicative lognormal noise with unit mean and the
+/// given coefficient of variation — a controllable "how wrong can the
+/// forecast be before the policy breaks" knob.
+pub struct NoisyOracle {
+    trace: TimeSeries,
+    cv: f64,
+    rng: SmallRng,
+}
+
+impl NoisyOracle {
+    /// Noisy oracle with error coefficient-of-variation `cv`.
+    pub fn new(trace: TimeSeries, cv: f64, rngs: &RngFactory) -> Self {
+        assert!(cv >= 0.0);
+        NoisyOracle { trace, cv, rng: rngs.stream("forecast-noise") }
+    }
+}
+
+impl Forecaster for NoisyOracle {
+    fn predict(&mut self, from_slot: SlotIdx, horizon: usize) -> Vec<f64> {
+        (from_slot..from_slot + horizon)
+            .map(|s| {
+                let v = self.trace.get(s);
+                if v == 0.0 || self.cv == 0.0 {
+                    v
+                } else {
+                    v * lognormal_mean_cv(&mut self.rng, 1.0, self.cv)
+                }
+            })
+            .collect()
+    }
+
+    fn label(&self) -> String {
+        format!("noisy-oracle(cv={})", self.cv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_sim::SlotClock;
+
+    fn trace(vals: &[f64]) -> TimeSeries {
+        TimeSeries::from_values(SlotClock::hourly(), vals.to_vec())
+    }
+
+    fn two_day_trace() -> TimeSeries {
+        // Day 1: ramp 0..23, Day 2: ramp scaled ×2.
+        let mut v: Vec<f64> = (0..24).map(|h| h as f64).collect();
+        v.extend((0..24).map(|h| 2.0 * h as f64));
+        trace(&v)
+    }
+
+    #[test]
+    fn oracle_is_exact() {
+        let t = trace(&[1.0, 2.0, 3.0, 4.0]);
+        let mut f = OracleForecaster::new(t);
+        assert_eq!(f.predict(1, 3), vec![2.0, 3.0, 4.0]);
+        assert_eq!(f.predict(3, 3), vec![4.0, 0.0, 0.0], "beyond end is zero");
+    }
+
+    #[test]
+    fn persistence_returns_yesterday() {
+        let mut f = PersistenceForecaster::new(two_day_trace());
+        // Slot 24 (day-2 hour 0) predicted as day-1 hour 0 = 0.
+        assert_eq!(f.predict(24, 2), vec![0.0, 1.0]);
+        // Slot 30 predicted as slot 6 = 6.0 (actual is 12.0).
+        assert_eq!(f.predict(30, 1), vec![6.0]);
+        // Cold start: day 1 predicts zero.
+        assert_eq!(f.predict(5, 1), vec![0.0]);
+    }
+
+    #[test]
+    fn ewma_learns_daily_pattern() {
+        let mut f = EwmaForecaster::new(0.5, 24);
+        // Observe two days of constant 100 W at hour 12, zero elsewhere.
+        for day in 0..2 {
+            for h in 0..24 {
+                f.observe(day * 24 + h, if h == 12 { 100.0 } else { 0.0 });
+            }
+        }
+        let p = f.predict(48, 24);
+        assert_eq!(p[12], 100.0);
+        assert_eq!(p[0], 0.0);
+        // New lower observation shifts the EWMA halfway.
+        f.observe(48 + 12, 0.0);
+        assert_eq!(f.predict(72, 24)[12], 50.0);
+    }
+
+    #[test]
+    fn ewma_cold_start_is_zero() {
+        let mut f = EwmaForecaster::new(0.3, 24);
+        assert_eq!(f.predict(0, 3), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn noisy_oracle_zero_cv_is_oracle() {
+        let t = two_day_trace();
+        let rngs = RngFactory::new(3);
+        let mut noisy = NoisyOracle::new(t.clone(), 0.0, &rngs);
+        let mut oracle = OracleForecaster::new(t);
+        assert_eq!(noisy.predict(10, 5), oracle.predict(10, 5));
+    }
+
+    #[test]
+    fn noisy_oracle_is_unbiased_but_noisy() {
+        let t = trace(&vec![100.0; 500]);
+        let rngs = RngFactory::new(4);
+        let mut noisy = NoisyOracle::new(t, 0.3, &rngs);
+        let p = noisy.predict(0, 500);
+        let mean = p.iter().sum::<f64>() / 500.0;
+        assert!((mean - 100.0).abs() < 5.0, "unbiased mean {mean}");
+        let distinct = p.iter().filter(|&&v| (v - 100.0).abs() > 1.0).count();
+        assert!(distinct > 400, "noise actually applied");
+        // Night (zero) slots stay exactly zero.
+        let mut dark = NoisyOracle::new(trace(&[0.0; 5]), 0.3, &RngFactory::new(4));
+        assert_eq!(dark.predict(0, 5), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(OracleForecaster::new(trace(&[])).label(), "oracle");
+        assert_eq!(PersistenceForecaster::new(trace(&[])).label(), "persistence");
+        assert_eq!(EwmaForecaster::new(0.5, 24).label(), "ewma(0.5)");
+    }
+}

@@ -1,0 +1,118 @@
+//! Brown (grid) supply.
+//!
+//! The grid is the infinite backup source. It is characterised by a
+//! carbon-intensity profile (gCO₂ per kWh, varying by hour to model the
+//! evening fossil peak) and a two-tier price. Schedulers never *ration* grid
+//! power — the metric of interest is how much of it they consume.
+
+use gm_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Grid supply parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    /// Base carbon intensity in gCO₂/kWh.
+    pub base_carbon_g_per_kwh: f64,
+    /// Additional carbon intensity at the evening peak (gCO₂/kWh).
+    pub peak_carbon_g_per_kwh: f64,
+    /// Off-peak electricity price ($/kWh).
+    pub offpeak_price_per_kwh: f64,
+    /// Peak electricity price ($/kWh), applied 07:00–23:00.
+    pub peak_price_per_kwh: f64,
+}
+
+impl Grid {
+    /// A Western-European-style mix of the era: ~300 g/kWh base with a
+    /// fossil-peaker evening bump, 0.10/0.16 $ per kWh tariffs.
+    pub fn typical_eu() -> Self {
+        Grid {
+            base_carbon_g_per_kwh: 300.0,
+            peak_carbon_g_per_kwh: 150.0,
+            offpeak_price_per_kwh: 0.10,
+            peak_price_per_kwh: 0.16,
+        }
+    }
+
+    /// Carbon intensity (gCO₂/kWh) at instant `t`: base plus a cosine bump
+    /// centred on 19:00 with a 6-hour half-width.
+    pub fn carbon_intensity(&self, t: SimTime) -> f64 {
+        let h = t.hour_of_day();
+        let dist = {
+            let d = (h - 19.0).abs();
+            d.min(24.0 - d)
+        };
+        if dist >= 6.0 {
+            self.base_carbon_g_per_kwh
+        } else {
+            let w = (dist / 6.0 * std::f64::consts::FRAC_PI_2).cos();
+            self.base_carbon_g_per_kwh + self.peak_carbon_g_per_kwh * w
+        }
+    }
+
+    /// Price ($/kWh) at instant `t`.
+    pub fn price(&self, t: SimTime) -> f64 {
+        let h = t.hour_of_day();
+        if (7.0..23.0).contains(&h) {
+            self.peak_price_per_kwh
+        } else {
+            self.offpeak_price_per_kwh
+        }
+    }
+
+    /// Carbon (grams) emitted by drawing `energy_wh` at instant `t`.
+    pub fn carbon_for(&self, energy_wh: f64, t: SimTime) -> f64 {
+        self.carbon_intensity(t) * energy_wh / 1000.0
+    }
+
+    /// Cost ($) of drawing `energy_wh` at instant `t`.
+    pub fn cost_for(&self, energy_wh: f64, t: SimTime) -> f64 {
+        self.price(t) * energy_wh / 1000.0
+    }
+}
+
+impl Default for Grid {
+    fn default() -> Self {
+        Grid::typical_eu()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_sim::time::SimDuration;
+
+    #[test]
+    fn carbon_peaks_in_evening() {
+        let g = Grid::typical_eu();
+        let noon = g.carbon_intensity(SimTime::from_hours(12));
+        let evening = g.carbon_intensity(SimTime::from_hours(19));
+        let night = g.carbon_intensity(SimTime::from_hours(3));
+        assert!(evening > noon);
+        assert!((night - 300.0).abs() < 1e-9);
+        assert!((evening - 450.0).abs() < 1.0, "peak {evening}");
+    }
+
+    #[test]
+    fn carbon_bump_wraps_midnight_correctly() {
+        let g = Grid::typical_eu();
+        // 23:30 is 4.5h past the 19:00 peak -> still elevated.
+        let late = g.carbon_intensity(SimTime::from_hours(23) + SimDuration::from_mins(30));
+        assert!(late > g.base_carbon_g_per_kwh);
+    }
+
+    #[test]
+    fn price_tiers() {
+        let g = Grid::typical_eu();
+        assert_eq!(g.price(SimTime::from_hours(12)), 0.16);
+        assert_eq!(g.price(SimTime::from_hours(3)), 0.10);
+        assert_eq!(g.price(SimTime::from_hours(23)), 0.10);
+    }
+
+    #[test]
+    fn cost_and_carbon_scale_linearly() {
+        let g = Grid::typical_eu();
+        let t = SimTime::from_hours(12);
+        assert!((g.cost_for(2_000.0, t) - 2.0 * g.cost_for(1_000.0, t)).abs() < 1e-12);
+        assert!((g.carbon_for(1_000.0, SimTime::from_hours(3)) - 300.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,44 @@
+//! # gm-energy — renewable supply, storage and grid models
+//!
+//! The energy substrate of the GreenMatch reproduction:
+//!
+//! * [`solar`] — a photovoltaic farm model: clear-sky solar elevation
+//!   (declination + hour angle) × panel area/efficiency × an AR(1) cloud
+//!   attenuation process. Presets reproduce the "mostly sunny summer week"
+//!   shape that on-site-PV papers of the era evaluate on, plus cloudy and
+//!   winter profiles for sensitivity.
+//! * [`wind`] — a wind farm model: AR(1) log wind-speed with diurnal
+//!   modulation fed through a cut-in/rated/cut-out turbine power curve.
+//! * [`supply`] — the [`supply::PowerSource`] abstraction, trace playback and
+//!   source mixing, and materialisation into per-slot [`gm_sim::TimeSeries`].
+//! * [`battery`] — the Energy Storage Device model with efficiency,
+//!   charge/discharge rate limits, depth-of-discharge and self-discharge;
+//!   lead-acid and lithium-ion presets.
+//! * [`grid`] — the brown backup supply with a carbon-intensity profile.
+//! * [`forecast`] — per-slot green-production forecasters (oracle,
+//!   persistence, EWMA, noisy-oracle) used by renewable-aware schedulers.
+//! * [`ledger`] — the per-slot energy bookkeeping with conservation
+//!   identities checked in tests.
+//!
+//! Units: power in **watts**, energy in **watt-hours**, capacity in Wh.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod forecast;
+pub mod grid;
+pub mod ledger;
+pub mod solar;
+pub mod supply;
+pub mod traces;
+pub mod wind;
+
+pub use battery::{Battery, BatteryChemistry, BatterySpec};
+pub use forecast::{EwmaForecaster, Forecaster, NoisyOracle, OracleForecaster, PersistenceForecaster};
+pub use grid::Grid;
+pub use ledger::{EnergyLedger, SlotFlows};
+pub use solar::{SolarFarm, SolarProfile};
+pub use supply::{MixedSource, PowerSource, TraceSource};
+pub use traces::{source_from_csv, trace_from_csv, trace_to_csv};
+pub use wind::{WindFarm, WindProfile};

@@ -1,0 +1,128 @@
+//! Supply-trace import/export.
+//!
+//! The substitution point for *measured* production data: the genuine
+//! evaluation would replay a university PV installation's logger output.
+//! This module defines a minimal CSV interchange format for per-slot power
+//! traces and converts both ways, so a user with real data can bypass the
+//! synthetic models entirely:
+//!
+//! ```text
+//! slot,power_w
+//! 0,0.0
+//! 1,0.0
+//! 2,143.5
+//! ...
+//! ```
+//!
+//! Slots must be contiguous from zero; the slot width travels out-of-band
+//! (it is part of the experiment config). [`TraceSource`] wraps a parsed
+//! trace for use anywhere a [`crate::supply::PowerSource`] is expected.
+
+use crate::supply::TraceSource;
+use gm_sim::{SlotClock, TimeSeries};
+
+/// Render a per-slot power trace as interchange CSV.
+pub fn trace_to_csv(trace: &TimeSeries) -> String {
+    let mut out = String::from("slot,power_w\n");
+    for (s, v) in trace.iter() {
+        out.push_str(&format!("{s},{v}\n"));
+    }
+    out
+}
+
+/// Parse interchange CSV into a trace aligned to `clock`.
+///
+/// Rejects gaps, out-of-order slots, negative power and malformed rows —
+/// a mangled measurement file should fail loudly, not silently zero-fill.
+pub fn trace_from_csv(csv: &str, clock: SlotClock) -> Result<TimeSeries, String> {
+    let mut values = Vec::new();
+    for (lineno, line) in csv.lines().enumerate() {
+        if lineno == 0 || line.trim().is_empty() {
+            continue;
+        }
+        let (slot_s, power_s) = line
+            .split_once(',')
+            .ok_or_else(|| format!("line {}: expected `slot,power_w`", lineno + 1))?;
+        let slot: usize =
+            slot_s.trim().parse().map_err(|e| format!("line {}: slot: {e}", lineno + 1))?;
+        if slot != values.len() {
+            return Err(format!(
+                "line {}: slots must be contiguous from 0 (expected {}, got {slot})",
+                lineno + 1,
+                values.len()
+            ));
+        }
+        let power: f64 =
+            power_s.trim().parse().map_err(|e| format!("line {}: power: {e}", lineno + 1))?;
+        if !power.is_finite() || power < 0.0 {
+            return Err(format!("line {}: power must be finite and non-negative", lineno + 1));
+        }
+        values.push(power);
+    }
+    Ok(TimeSeries::from_values(clock, values))
+}
+
+/// Parse interchange CSV straight into a playback [`TraceSource`].
+pub fn source_from_csv(
+    label: &str,
+    csv: &str,
+    clock: SlotClock,
+) -> Result<TraceSource, String> {
+    Ok(TraceSource::new(label, trace_from_csv(csv, clock)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supply::PowerSource;
+
+    fn clock() -> SlotClock {
+        SlotClock::hourly()
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let trace = TimeSeries::from_values(clock(), vec![0.0, 12.5, 990.125, 3.0]);
+        let csv = trace_to_csv(&trace);
+        let back = trace_from_csv(&csv, clock()).expect("roundtrip parses");
+        assert_eq!(back.values(), trace.values());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let trace = TimeSeries::zeros(clock(), 0);
+        let back = trace_from_csv(&trace_to_csv(&trace), clock()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn rejects_gaps_and_disorder() {
+        assert!(trace_from_csv("h\n0,1.0\n2,2.0\n", clock()).is_err(), "gap");
+        assert!(trace_from_csv("h\n1,1.0\n", clock()).is_err(), "not from zero");
+        assert!(trace_from_csv("h\n0,1.0\n0,2.0\n", clock()).is_err(), "duplicate");
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(trace_from_csv("h\n0,-5.0\n", clock()).is_err(), "negative");
+        assert!(trace_from_csv("h\n0,NaN\n", clock()).is_err(), "NaN");
+        assert!(trace_from_csv("h\n0,abc\n", clock()).is_err(), "non-numeric");
+        assert!(trace_from_csv("h\nzero,1.0\n", clock()).is_err(), "bad slot");
+        assert!(trace_from_csv("h\n0\n", clock()).is_err(), "missing column");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let t = trace_from_csv("slot,power_w\n0,1.0\n\n1,2.0\n", clock()).unwrap();
+        assert_eq!(t.values(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn source_from_csv_plays_back() {
+        let mut src =
+            source_from_csv("measured-pv", "slot,power_w\n0,10.0\n1,20.0\n", clock()).unwrap();
+        assert_eq!(src.power_in_slot(clock(), 0), 10.0);
+        assert_eq!(src.power_in_slot(clock(), 1), 20.0);
+        assert_eq!(src.label(), "measured-pv");
+    }
+}

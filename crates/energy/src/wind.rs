@@ -1,0 +1,198 @@
+//! Wind farm model.
+//!
+//! Wind speed is modeled as an AR(1) process on the *logarithm* of speed
+//! (keeping speeds positive and right-skewed, approximating the Weibull
+//! marginals real sites exhibit), with a mild diurnal modulation (surface
+//! wind tends to peak in the afternoon). Speed feeds a standard turbine
+//! power curve:
+//!
+//! * below `cut_in` — no power;
+//! * between `cut_in` and `rated` — cubic ramp (power ∝ v³ normalised to hit
+//!   rated power at rated speed);
+//! * between `rated` and `cut_out` — constant rated power;
+//! * above `cut_out` — shutdown (zero), the storm-protection regime.
+//!
+//! The paper's future-work section motivates wind as the "completely
+//! different production profile" counterpart to solar: roughly stationary
+//! across the day but much burstier; R-Table3 exercises exactly that.
+
+use crate::supply::PowerSource;
+use gm_sim::dist::Ar1;
+use gm_sim::time::SlotIdx;
+use gm_sim::{RngFactory, SlotClock};
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+/// Wind climate preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindProfile {
+    /// Steady coastal regime: mean ~7 m/s, moderate gustiness.
+    SteadyCoastal,
+    /// Gusty continental regime: mean ~5 m/s, high variance, more lulls.
+    GustyContinental,
+    /// Calm week: mean ~3.5 m/s, long lulls below cut-in.
+    CalmWeek,
+}
+
+impl WindProfile {
+    /// `(mean_speed_mps, log_phi, log_noise_std)`.
+    fn params(self) -> (f64, f64, f64) {
+        match self {
+            WindProfile::SteadyCoastal => (7.0, 0.92, 0.10),
+            WindProfile::GustyContinental => (5.0, 0.85, 0.22),
+            WindProfile::CalmWeek => (3.5, 0.90, 0.15),
+        }
+    }
+
+    /// Label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            WindProfile::SteadyCoastal => "wind-coastal",
+            WindProfile::GustyContinental => "wind-gusty",
+            WindProfile::CalmWeek => "wind-calm",
+        }
+    }
+}
+
+/// Turbine electrical characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TurbineSpec {
+    /// Nameplate (rated) power in watts.
+    pub rated_power_w: f64,
+    /// Cut-in wind speed (m/s) below which no power is produced.
+    pub cut_in_mps: f64,
+    /// Rated wind speed (m/s) at which rated power is reached.
+    pub rated_mps: f64,
+    /// Cut-out speed (m/s) above which the turbine furls to zero.
+    pub cut_out_mps: f64,
+}
+
+impl TurbineSpec {
+    /// A small-site turbine comparable in peak to a ~10 kWp PV array.
+    pub fn small_site(rated_power_w: f64) -> Self {
+        TurbineSpec { rated_power_w, cut_in_mps: 3.0, rated_mps: 11.0, cut_out_mps: 25.0 }
+    }
+
+    /// Electrical power (W) at wind speed `v` (m/s).
+    pub fn power_at(&self, v: f64) -> f64 {
+        if v < self.cut_in_mps || v >= self.cut_out_mps {
+            0.0
+        } else if v >= self.rated_mps {
+            self.rated_power_w
+        } else {
+            // Cubic ramp normalised so cut_in→0 and rated→rated_power.
+            let num = v.powi(3) - self.cut_in_mps.powi(3);
+            let den = self.rated_mps.powi(3) - self.cut_in_mps.powi(3);
+            self.rated_power_w * num / den
+        }
+    }
+}
+
+/// A wind installation as a [`PowerSource`].
+pub struct WindFarm {
+    turbine: TurbineSpec,
+    profile: WindProfile,
+    log_speed: Ar1,
+    rng: SmallRng,
+}
+
+impl WindFarm {
+    /// Build a farm; the wind process stream is derived from `rngs`.
+    pub fn new(turbine: TurbineSpec, profile: WindProfile, rngs: &RngFactory) -> Self {
+        let (mean, phi, noise) = profile.params();
+        WindFarm {
+            turbine,
+            profile,
+            log_speed: Ar1::new(phi, mean.ln(), noise),
+            rng: rngs.stream("wind-speed"),
+        }
+    }
+
+    /// The turbine spec.
+    pub fn turbine(&self) -> &TurbineSpec {
+        &self.turbine
+    }
+
+    /// Sample the wind speed (m/s) for a slot midpoint at `hour_of_day`.
+    fn speed_for(&mut self, hour_of_day: f64) -> f64 {
+        // Diurnal modulation: ±10% peaking mid-afternoon (15:00).
+        let diurnal = 1.0 + 0.10 * ((hour_of_day - 15.0) / 24.0 * std::f64::consts::TAU).cos();
+        self.log_speed.step(&mut self.rng).exp() * diurnal
+    }
+}
+
+impl PowerSource for WindFarm {
+    fn power_in_slot(&mut self, clock: SlotClock, s: SlotIdx) -> f64 {
+        let mid = clock.slot_start(s) + clock.width() / 2;
+        let v = self.speed_for(mid.hour_of_day());
+        self.turbine.power_at(v)
+    }
+
+    fn label(&self) -> String {
+        format!("{}({:.1}kW)", self.profile.label(), self.turbine.rated_power_w / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_sim::SlotClock;
+
+    #[test]
+    fn power_curve_regimes() {
+        let t = TurbineSpec::small_site(10_000.0);
+        assert_eq!(t.power_at(0.0), 0.0);
+        assert_eq!(t.power_at(2.9), 0.0, "below cut-in");
+        assert_eq!(t.power_at(11.0), 10_000.0, "at rated");
+        assert_eq!(t.power_at(20.0), 10_000.0, "rated plateau");
+        assert_eq!(t.power_at(25.0), 0.0, "cut-out");
+        let mid = t.power_at(7.0);
+        assert!(mid > 0.0 && mid < 10_000.0);
+        // Monotone on the ramp.
+        assert!(t.power_at(8.0) > t.power_at(6.0));
+    }
+
+    #[test]
+    fn ramp_is_continuous_at_cut_in() {
+        let t = TurbineSpec::small_site(10_000.0);
+        let eps = t.power_at(3.0 + 1e-9);
+        assert!(eps < 1.0, "power just above cut-in should be ~0, got {eps}");
+    }
+
+    #[test]
+    fn coastal_produces_more_than_calm() {
+        let rngs = RngFactory::new(5);
+        let t = TurbineSpec::small_site(10_000.0);
+        let week = 7 * 24;
+        let c = SlotClock::hourly();
+        let coastal = WindFarm::new(t, WindProfile::SteadyCoastal, &rngs)
+            .materialize(c, week)
+            .energy_wh();
+        let calm = WindFarm::new(t, WindProfile::CalmWeek, &rngs).materialize(c, week).energy_wh();
+        assert!(coastal > calm * 1.5, "coastal {coastal} vs calm {calm}");
+    }
+
+    #[test]
+    fn wind_produces_at_night_unlike_solar() {
+        let rngs = RngFactory::new(11);
+        let t = TurbineSpec::small_site(10_000.0);
+        let mut farm = WindFarm::new(t, WindProfile::SteadyCoastal, &rngs);
+        let trace = farm.materialize(SlotClock::hourly(), 7 * 24);
+        // At least some night slots (00:00–04:00 of each day) have power.
+        let night_energy: f64 = (0..7)
+            .flat_map(|d| (0..4).map(move |h| d * 24 + h))
+            .map(|s| trace.get(s))
+            .sum();
+        assert!(night_energy > 0.0, "wind should blow at night");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = TurbineSpec::small_site(5_000.0);
+        let a = WindFarm::new(t, WindProfile::GustyContinental, &RngFactory::new(3))
+            .materialize(SlotClock::hourly(), 48);
+        let b = WindFarm::new(t, WindProfile::GustyContinental, &RngFactory::new(3))
+            .materialize(SlotClock::hourly(), 48);
+        assert_eq!(a.values(), b.values());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the energy substrate: battery invariants under
+//! arbitrary operation sequences and ledger identities under arbitrary
+//! balanced flows.
+
+use gm_energy::battery::{Battery, BatterySpec};
+use gm_energy::forecast::{Forecaster, OracleForecaster, PersistenceForecaster};
+use gm_energy::grid::Grid;
+use gm_energy::ledger::{EnergyLedger, SlotFlows};
+use gm_sim::time::SimDuration;
+use gm_sim::{SlotClock, TimeSeries};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Charge(f64),
+    Discharge(f64),
+    SelfDischarge(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0.0f64..50_000.0).prop_map(Op::Charge),
+        (0.0f64..50_000.0).prop_map(Op::Discharge),
+        (1u64..48).prop_map(Op::SelfDischarge),
+    ]
+}
+
+fn spec_strategy() -> impl Strategy<Value = BatterySpec> {
+    prop_oneof![
+        (0.0f64..100_000.0).prop_map(BatterySpec::lead_acid),
+        (0.0f64..100_000.0).prop_map(BatterySpec::lithium_ion),
+        (0.0f64..100_000.0).prop_map(BatterySpec::ideal),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn battery_invariants_under_random_ops(
+        spec in spec_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 0..200),
+    ) {
+        let hour = SimDuration::from_hours(1);
+        let mut b = Battery::new(spec);
+        for op in ops {
+            match op {
+                Op::Charge(wh) => {
+                    let out = b.charge(wh, hour);
+                    // Never draws more than offered or than the rate allows.
+                    prop_assert!(out.drawn_wh <= wh + 1e-9);
+                    if spec.max_charge_power_w().is_finite() {
+                        prop_assert!(out.drawn_wh <= spec.max_charge_power_w() + 1e-9);
+                    }
+                    prop_assert!(out.stored_wh <= out.drawn_wh + 1e-9, "σ ≤ 1");
+                }
+                Op::Discharge(wh) => {
+                    let got = b.discharge(wh, hour);
+                    prop_assert!(got <= wh + 1e-9);
+                }
+                Op::SelfDischarge(h) => b.apply_self_discharge(SimDuration::from_hours(h)),
+            }
+            // DoD window always respected.
+            prop_assert!(b.stored_wh() >= -1e-9);
+            prop_assert!(b.stored_wh() <= spec.usable_wh() + 1e-6,
+                "stored {} exceeds usable {}", b.stored_wh(), spec.usable_wh());
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&b.soc()));
+            // Conservation at every step.
+            prop_assert!(b.conservation_residual_wh().abs() < 1e-5,
+                "residual {}", b.conservation_residual_wh());
+        }
+    }
+
+    #[test]
+    fn ledger_totals_match_series(
+        slots in proptest::collection::vec((0.0f64..5_000.0, 0.0f64..5_000.0, 0.0f64..1.0, 0.0f64..1.0), 1..100)
+    ) {
+        let mut ledger = EnergyLedger::new(SlotClock::hourly(), Grid::typical_eu());
+        // A toy battery keeps the generated flows physical: discharge never
+        // exceeds what was previously stored (×0.85 efficiency).
+        let mut stored = 0.0f64;
+        for (s, (green, load, store_frac, batt_frac)) in slots.iter().enumerate() {
+            let direct = green.min(*load);
+            let surplus = green - direct;
+            let drawn = surplus * store_frac;
+            stored += drawn * 0.85;
+            let deficit = load - direct;
+            let batt_out = (deficit * batt_frac).min(stored);
+            stored -= batt_out;
+            ledger.record_slot(s, SlotFlows {
+                green_produced_wh: *green,
+                green_direct_wh: direct,
+                battery_drawn_wh: drawn,
+                battery_out_wh: batt_out,
+                brown_wh: deficit - batt_out,
+                curtailed_wh: surplus - drawn,
+                load_wh: *load,
+            });
+        }
+        let t = ledger.totals();
+        prop_assert!((t.load_wh - ledger.load_series().sum()).abs() < 1e-6);
+        prop_assert!((t.brown_wh - ledger.brown_series().sum()).abs() < 1e-6);
+        prop_assert!((t.green_produced_wh - ledger.green_series().sum()).abs() < 1e-6);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&ledger.green_utilization()));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&ledger.green_coverage()));
+        prop_assert!(ledger.carbon_g() >= 0.0);
+        prop_assert!(ledger.cost_dollars() >= 0.0);
+    }
+
+    #[test]
+    fn oracle_forecast_equals_trace(values in proptest::collection::vec(0.0f64..1e5, 1..100)) {
+        let trace = TimeSeries::from_values(SlotClock::hourly(), values.clone());
+        let mut f = OracleForecaster::new(trace);
+        let p = f.predict(0, values.len());
+        for (a, b) in p.iter().zip(&values) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn persistence_forecast_never_invents_energy(
+        values in proptest::collection::vec(0.0f64..1e5, 24..96)
+    ) {
+        let trace = TimeSeries::from_values(SlotClock::hourly(), values.clone());
+        let mut f = PersistenceForecaster::new(trace);
+        let horizon = values.len();
+        for s in 0..horizon {
+            for (k, v) in f.predict(s, 4).into_iter().enumerate() {
+                let slot = s + k;
+                if slot >= 24 {
+                    prop_assert_eq!(v.to_bits(), values[slot - 24].to_bits());
+                } else {
+                    prop_assert_eq!(v, 0.0, "cold start is pessimistic, not inventive");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Probability distributions used by the workload and energy models.
+//!
+//! Implemented directly against [`rand::Rng`] so the workspace needs no
+//! extra distribution crate. Each sampler documents the algorithm it uses;
+//! all are standard textbook methods chosen for determinism and clarity over
+//! micro-performance (sampling is nowhere near the simulation hot path).
+
+use rand::Rng;
+
+/// Draw `u ∈ (0, 1)` — open at both ends so `ln(u)` is always finite.
+#[inline]
+fn open_unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 && u < 1.0 {
+            return u;
+        }
+    }
+}
+
+/// Standard normal via the Box–Muller transform (one value per call; the
+/// second value is intentionally discarded to keep samplers stateless).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = open_unit(rng);
+    let u2 = open_unit(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    debug_assert!(std_dev >= 0.0);
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Exponential with rate `lambda` (mean `1/lambda`), via inverse CDF.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "exponential rate must be positive, got {lambda}");
+    -open_unit(rng).ln() / lambda
+}
+
+/// Poisson with mean `lambda`.
+///
+/// Uses Knuth's product method for small means and a normal approximation
+/// (with continuity correction, clamped at zero) for `lambda > 30`, where the
+/// approximation error is far below the noise floor of any experiment here.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "poisson mean must be non-negative, got {lambda}");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        let x = normal(rng, lambda, lambda.sqrt());
+        return (x + 0.5).max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= open_unit(rng);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Weibull with shape `k` and scale `lambda`, via inverse CDF.
+/// `k ≈ 2` is the classic fit for wind-speed distributions.
+pub fn weibull<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    assert!(shape > 0.0 && scale > 0.0, "weibull parameters must be positive");
+    scale * (-open_unit(rng).ln()).powf(1.0 / shape)
+}
+
+/// Lognormal parameterised by the mean and std-dev of the *underlying*
+/// normal (`mu`, `sigma`). Classic model for I/O request sizes.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Lognormal parameterised by its own mean and coefficient of variation —
+/// friendlier for workload configs ("mean 256 KiB, cv 1.5").
+pub fn lognormal_mean_cv<R: Rng + ?Sized>(rng: &mut R, mean: f64, cv: f64) -> f64 {
+    assert!(mean > 0.0 && cv >= 0.0);
+    if cv == 0.0 {
+        return mean;
+    }
+    let sigma2 = (1.0 + cv * cv).ln();
+    let mu = mean.ln() - sigma2 / 2.0;
+    lognormal(rng, mu, sigma2.sqrt())
+}
+
+/// Zipf sampler over ranks `0..n` with exponent `s` (popularity skew).
+///
+/// Builds the CDF once (O(n)) and samples with binary search (O(log n)).
+/// Object-popularity skew in storage traces is classically Zipfian with
+/// `s ≈ 0.8–1.2`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Construct for `n` ranks with exponent `s ≥ 0`. `s = 0` is uniform.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "zipf exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against FP round-off leaving the last CDF entry below 1.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Sample a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+/// First-order autoregressive process `x' = phi·x + (1-phi)·mean + noise`,
+/// the standard minimal model for temporally-correlated weather residuals
+/// (cloud cover, wind-speed deviations).
+#[derive(Debug, Clone)]
+pub struct Ar1 {
+    phi: f64,
+    mean: f64,
+    noise_std: f64,
+    state: f64,
+}
+
+impl Ar1 {
+    /// New process with persistence `phi ∈ [0,1)`, long-run `mean`, and
+    /// innovation std-dev `noise_std`; starts at the mean.
+    pub fn new(phi: f64, mean: f64, noise_std: f64) -> Self {
+        assert!((0.0..1.0).contains(&phi), "AR(1) phi must be in [0,1), got {phi}");
+        assert!(noise_std >= 0.0);
+        Ar1 { phi, mean, noise_std, state: mean }
+    }
+
+    /// Override the current state (e.g. to start a trace mid-storm).
+    pub fn set_state(&mut self, x: f64) {
+        self.state = x;
+    }
+
+    /// Current state without advancing.
+    pub fn state(&self) -> f64 {
+        self.state
+    }
+
+    /// Advance one step and return the new state.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        self.state = self.phi * self.state
+            + (1.0 - self.phi) * self.mean
+            + self.noise_std * standard_normal(rng);
+        self.state
+    }
+
+    /// Advance one step and return the state clamped into `[lo, hi]`
+    /// (clamping also feeds back, keeping the process inside the band).
+    pub fn step_clamped<R: Rng + ?Sized>(&mut self, rng: &mut R, lo: f64, hi: f64) -> f64 {
+        let x = self.step(rng).clamp(lo, hi);
+        self.state = x;
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0x5EED)
+    }
+
+    const N: usize = 40_000;
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..N).map(|_| normal(&mut r, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / N as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / N as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let mean = (0..N).map(|_| exponential(&mut r, 0.5)).sum::<f64>() / N as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_small_and_large_means() {
+        let mut r = rng();
+        let m1 = (0..N).map(|_| poisson(&mut r, 3.0) as f64).sum::<f64>() / N as f64;
+        assert!((m1 - 3.0).abs() < 0.1, "small-mean {m1}");
+        let m2 = (0..N).map(|_| poisson(&mut r, 100.0) as f64).sum::<f64>() / N as f64;
+        assert!((m2 - 100.0).abs() < 0.5, "large-mean {m2}");
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn weibull_mean_shape2() {
+        // Mean of Weibull(k=2, λ) is λ·Γ(1.5) = λ·√π/2.
+        let mut r = rng();
+        let scale = 8.0;
+        let mean = (0..N).map(|_| weibull(&mut r, 2.0, scale)).sum::<f64>() / N as f64;
+        let expect = scale * (std::f64::consts::PI.sqrt() / 2.0);
+        assert!((mean - expect).abs() / expect < 0.02, "mean {mean} expect {expect}");
+    }
+
+    #[test]
+    fn lognormal_mean_cv_hits_target_mean() {
+        let mut r = rng();
+        let mean = (0..N).map(|_| lognormal_mean_cv(&mut r, 256.0, 1.0)).sum::<f64>() / N as f64;
+        assert!((mean - 256.0).abs() / 256.0 < 0.05, "mean {mean}");
+        assert_eq!(lognormal_mean_cv(&mut r, 10.0, 0.0), 10.0);
+    }
+
+    #[test]
+    fn zipf_rank0_most_popular() {
+        let z = Zipf::new(100, 1.0);
+        let mut r = rng();
+        let mut counts = vec![0usize; 100];
+        for _ in 0..N {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // pmf sums to 1
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.pmf(100), 0.0);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_cover_full_support() {
+        let z = Zipf::new(5, 0.9);
+        let mut r = rng();
+        let mut seen = [false; 5];
+        for _ in 0..5_000 {
+            seen[z.sample(&mut r)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all ranks should appear: {seen:?}");
+    }
+
+    #[test]
+    fn ar1_reverts_to_mean() {
+        let mut p = Ar1::new(0.9, 5.0, 0.0);
+        p.set_state(100.0);
+        let mut r = rng();
+        for _ in 0..200 {
+            p.step(&mut r);
+        }
+        assert!((p.state() - 5.0).abs() < 0.01, "state {}", p.state());
+    }
+
+    #[test]
+    fn ar1_clamped_stays_in_band() {
+        let mut p = Ar1::new(0.5, 0.5, 0.5);
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let x = p.step_clamped(&mut r, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf needs at least one rank")]
+    fn zipf_empty_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential rate must be positive")]
+    fn exponential_bad_rate_panics() {
+        let mut r = rng();
+        let _ = exponential(&mut r, 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Deterministic discrete-event queue.
+//!
+//! A thin wrapper over [`std::collections::BinaryHeap`] keyed by
+//! `(time, sequence)`: events scheduled for the same instant pop in the order
+//! they were pushed (FIFO tie-breaking), which is what keeps runs
+//! reproducible regardless of heap internals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event payload `E` tagged with its firing time and insertion sequence.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// ```
+/// use gm_sim::event::EventQueue;
+/// use gm_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime(10), "b");
+/// q.push(SimTime(5), "a");
+/// q.push(SimTime(10), "c"); // same instant as "b": FIFO order preserved
+/// assert_eq!(q.pop(), Some((SimTime(5), "a")));
+/// assert_eq!(q.pop(), Some((SimTime(10), "b")));
+/// assert_eq!(q.pop(), Some((SimTime(10), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// An empty queue with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0 }
+    }
+
+    /// Schedule `payload` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, payload });
+    }
+
+    /// Remove and return the earliest event, FIFO among ties.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.time, s.payload))
+    }
+
+    /// Firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Pop the earliest event only if it fires at or before `t`.
+    pub fn pop_before(&mut self, t: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(et) if et <= t => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all pending events (the sequence counter keeps advancing so
+    /// determinism is unaffected).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        for t in [30u64, 10, 20, 5, 25] {
+            q.push(SimTime(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![5, 10, 20, 25, 30]);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn pop_before_respects_bound() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), 'a');
+        q.push(SimTime(20), 'b');
+        assert_eq!(q.pop_before(SimTime(5)), None);
+        assert_eq!(q.pop_before(SimTime(10)), Some((SimTime(10), 'a')));
+        assert_eq!(q.pop_before(SimTime(15)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_and_clear() {
+        let mut q = EventQueue::with_capacity(4);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_hours(1), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_hours(1)));
+        q.clear();
+        assert!(q.is_empty());
+        // Determinism after clear: new pushes still FIFO.
+        let t = SimTime::ZERO + SimDuration::from_secs(1);
+        q.push(t, ());
+        q.push(t, ());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(3), 3);
+        q.push(SimTime(1), 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(SimTime(2), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+}

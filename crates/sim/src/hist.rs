@@ -1,0 +1,236 @@
+//! Log-bucketed histogram for latency distributions.
+//!
+//! Latencies in the storage substrate span six orders of magnitude (µs cache
+//! hits to 10 s spin-up waits), so a fixed-width histogram is useless.
+//! [`LogHistogram`] uses geometrically-spaced buckets with a configurable
+//! precision (buckets per decade); quantile queries return the upper bound of
+//! the bucket containing the quantile, i.e. an over-estimate by at most one
+//! bucket width — the standard HDR-style trade-off.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometric-bucket histogram over positive values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Lower bound of the first bucket; values below land in bucket 0.
+    floor: f64,
+    /// Geometric growth factor between bucket bounds.
+    factor: f64,
+    /// `ln(factor)` cached for index computation.
+    ln_factor: f64,
+    /// `ln(floor)` cached.
+    ln_floor: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    max_seen: f64,
+}
+
+impl LogHistogram {
+    /// Histogram starting at `floor` with `buckets_per_decade` geometric
+    /// buckets per ×10 range.
+    pub fn new(floor: f64, buckets_per_decade: u32) -> Self {
+        assert!(floor > 0.0, "floor must be positive");
+        assert!(buckets_per_decade > 0);
+        let factor = 10f64.powf(1.0 / buckets_per_decade as f64);
+        LogHistogram {
+            floor,
+            factor,
+            ln_factor: factor.ln(),
+            ln_floor: floor.ln(),
+            counts: Vec::new(),
+            total: 0,
+            sum: 0.0,
+            max_seen: 0.0,
+        }
+    }
+
+    /// Default latency histogram: floor 1 µs (in seconds), 20 buckets per
+    /// decade (≈12 % relative quantile error).
+    pub fn for_latency_secs() -> Self {
+        LogHistogram::new(1e-6, 20)
+    }
+
+    fn bucket_of(&self, v: f64) -> usize {
+        if v <= self.floor {
+            return 0;
+        }
+        ((v.ln() - self.ln_floor) / self.ln_factor).floor() as usize + 1
+    }
+
+    /// Upper bound of bucket `i`.
+    fn bucket_upper(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.floor
+        } else {
+            self.floor * self.factor.powi(i as i32)
+        }
+    }
+
+    /// Record one observation (non-negative; zeros count in bucket 0).
+    pub fn record(&mut self, v: f64) {
+        debug_assert!(v >= 0.0 && v.is_finite(), "bad histogram value {v}");
+        let b = self.bucket_of(v);
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += v;
+        if v > self.max_seen {
+            self.max_seen = v;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact mean of recorded values (tracked outside the buckets).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Exact maximum recorded value.
+    pub fn max(&self) -> f64 {
+        self.max_seen
+    }
+
+    /// Value at quantile `q ∈ [0, 1]`: the upper bound of the bucket holding
+    /// the `ceil(q·n)`-th observation (never under-estimates by more than
+    /// one bucket). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                // Cap at the true max so p100 is exact.
+                return self.bucket_upper(i).min(self.max_seen.max(self.floor));
+            }
+        }
+        self.max_seen
+    }
+
+    /// Merge another histogram with identical geometry.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert!(
+            (self.floor - other.floor).abs() < f64::EPSILON
+                && (self.factor - other.factor).abs() < f64::EPSILON,
+            "histogram geometry mismatch"
+        );
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let h = LogHistogram::for_latency_secs();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn mean_and_max_are_exact() {
+        let mut h = LogHistogram::for_latency_secs();
+        for v in [0.001, 0.002, 0.003] {
+            h.record(v);
+        }
+        assert!((h.mean() - 0.002).abs() < 1e-12);
+        assert_eq!(h.max(), 0.003);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn quantile_bounds_relative_error() {
+        let mut h = LogHistogram::new(1e-6, 20);
+        let values: Vec<f64> = (1..=1000).map(|i| i as f64 * 1e-4).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        for q in [0.5f64, 0.9, 0.99] {
+            let exact = values[((q * 1000.0).ceil() as usize).max(1) - 1];
+            let est = h.quantile(q);
+            assert!(est >= exact * 0.999, "q{q}: est {est} < exact {exact}");
+            // 20 buckets/decade => factor ~1.122; allow 13% overshoot.
+            assert!(est <= exact * 1.13, "q{q}: est {est} >> exact {exact}");
+        }
+    }
+
+    #[test]
+    fn p100_equals_max() {
+        let mut h = LogHistogram::for_latency_secs();
+        for v in [0.5, 1.0, 7.25] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(1.0), 7.25);
+    }
+
+    #[test]
+    fn tiny_values_land_in_floor_bucket() {
+        let mut h = LogHistogram::new(1e-6, 10);
+        h.record(0.0);
+        h.record(1e-9);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.5) <= 1e-6);
+    }
+
+    #[test]
+    fn merge_equivalent_to_sequential() {
+        let mut a = LogHistogram::new(1e-6, 20);
+        let mut b = LogHistogram::new(1e-6, 20);
+        let mut all = LogHistogram::new(1e-6, 20);
+        for i in 1..500 {
+            let v = i as f64 * 3.3e-5;
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn merge_geometry_mismatch_panics() {
+        let mut a = LogHistogram::new(1e-6, 20);
+        let b = LogHistogram::new(1e-6, 10);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn bad_quantile_panics() {
+        let h = LogHistogram::for_latency_secs();
+        let _ = h.quantile(1.5);
+    }
+}

@@ -1,0 +1,47 @@
+//! # gm-sim — deterministic simulation kernel
+//!
+//! The GreenMatch reproduction is a *trace-driven, slot/event hybrid*
+//! simulation: scheduling decisions happen on a coarse slotted clock
+//! (1 hour by default, matching the paper-era convention of hourly
+//! renewable-energy prediction), while intra-slot storage service is
+//! resolved at microsecond resolution through a discrete-event queue.
+//!
+//! This crate provides the substrate every other crate builds on:
+//!
+//! * [`time`] — integer microsecond [`time::SimTime`] / [`time::SimDuration`]
+//!   and the slotted [`time::SlotClock`]. Integer time makes every run
+//!   bit-for-bit reproducible.
+//! * [`event`] — a generic deterministic event queue with FIFO tie-breaking.
+//! * [`engine`] — a small driver that pumps an [`event::EventQueue`] into a
+//!   model callback.
+//! * [`rng`] — named, independently-seeded RNG streams so adding a new
+//!   consumer of randomness never perturbs existing ones.
+//! * [`dist`] — the probability distributions the workload and energy models
+//!   need (exponential, Poisson, Weibull, lognormal, Zipf, AR(1)), written
+//!   against [`rand::Rng`] so no extra dependency is required.
+//! * [`series`] — fixed-width slot time series with integration helpers
+//!   (power ⇒ energy bookkeeping).
+//! * [`stats`] — streaming moments (Welford) and counters.
+//! * [`hist`] — a log-bucketed latency histogram with quantile queries.
+//!
+//! Everything here is intentionally free of I/O and wall-clock access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod engine;
+pub mod event;
+pub mod hist;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Engine, Model};
+pub use event::EventQueue;
+pub use hist::LogHistogram;
+pub use rng::RngFactory;
+pub use series::TimeSeries;
+pub use stats::{Counter, StreamingStats};
+pub use time::{SimDuration, SimTime, SlotClock, SlotIdx};

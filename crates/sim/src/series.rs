@@ -1,0 +1,246 @@
+//! Fixed-width slot time series.
+//!
+//! Energy accounting in GreenMatch is slot-granular: renewable production,
+//! cluster draw and battery flows are all per-slot averages (W) or totals
+//! (Wh). [`TimeSeries`] stores one `f64` per slot and provides the
+//! integration, resampling and element-wise algebra the ledger and the
+//! experiment harness need.
+
+use crate::time::{SimTime, SlotClock, SlotIdx};
+use serde::{Deserialize, Serialize};
+
+/// A per-slot `f64` series aligned to a [`SlotClock`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    clock: SlotClock,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// An all-zero series of `n` slots.
+    pub fn zeros(clock: SlotClock, n: usize) -> Self {
+        TimeSeries { clock, values: vec![0.0; n] }
+    }
+
+    /// Wrap existing per-slot values.
+    pub fn from_values(clock: SlotClock, values: Vec<f64>) -> Self {
+        TimeSeries { clock, values }
+    }
+
+    /// Build by evaluating `f(slot_midpoint_time)` for each slot — the usual
+    /// way supply models materialise a week.
+    pub fn from_fn(clock: SlotClock, n: usize, mut f: impl FnMut(SimTime) -> f64) -> Self {
+        let half = clock.width() / 2;
+        let values = (0..n).map(|s| f(clock.slot_start(s) + half)).collect();
+        TimeSeries { clock, values }
+    }
+
+    /// The slot clock this series is aligned to.
+    pub fn clock(&self) -> SlotClock {
+        self.clock
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value of slot `s`; zero beyond the end (series act as finite-support
+    /// signals).
+    pub fn get(&self, s: SlotIdx) -> f64 {
+        self.values.get(s).copied().unwrap_or(0.0)
+    }
+
+    /// Set slot `s`, growing the series with zeros if needed.
+    pub fn set(&mut self, s: SlotIdx, v: f64) {
+        if s >= self.values.len() {
+            self.values.resize(s + 1, 0.0);
+        }
+        self.values[s] = v;
+    }
+
+    /// Add `v` into slot `s`, growing as needed.
+    pub fn add(&mut self, s: SlotIdx, v: f64) {
+        if s >= self.values.len() {
+            self.values.resize(s + 1, 0.0);
+        }
+        self.values[s] += v;
+    }
+
+    /// Raw values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterate `(slot, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotIdx, f64)> + '_ {
+        self.values.iter().copied().enumerate()
+    }
+
+    /// Sum of all slot values.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Maximum slot value (0 for an empty series).
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean slot value (0 for an empty series).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.values.len() as f64
+        }
+    }
+
+    /// Interpreting the series as average **power in watts** per slot,
+    /// integrate to **energy in watt-hours** over the whole horizon.
+    pub fn energy_wh(&self) -> f64 {
+        self.sum() * self.clock.width_hours()
+    }
+
+    /// Energy (Wh) of a single slot under the power interpretation.
+    pub fn slot_energy_wh(&self, s: SlotIdx) -> f64 {
+        self.get(s) * self.clock.width_hours()
+    }
+
+    /// Element-wise `self - other`, truncated/padded to `self`'s length,
+    /// clamped at zero: the "surplus of A over B" operator used for
+    /// green-surplus computation.
+    pub fn surplus_over(&self, other: &TimeSeries) -> TimeSeries {
+        let values = (0..self.len()).map(|s| (self.get(s) - other.get(s)).max(0.0)).collect();
+        TimeSeries { clock: self.clock, values }
+    }
+
+    /// Element-wise sum; result has the longer length.
+    pub fn plus(&self, other: &TimeSeries) -> TimeSeries {
+        let n = self.len().max(other.len());
+        let values = (0..n).map(|s| self.get(s) + other.get(s)).collect();
+        TimeSeries { clock: self.clock, values }
+    }
+
+    /// Scale every slot by `k`.
+    pub fn scaled(&self, k: f64) -> TimeSeries {
+        TimeSeries { clock: self.clock, values: self.values.iter().map(|v| v * k).collect() }
+    }
+
+    /// Resample to a clock with a width that is an integer multiple of the
+    /// current one, averaging (power interpretation preserved).
+    pub fn downsample_to(&self, coarse: SlotClock) -> TimeSeries {
+        let ratio = coarse.width().0 / self.clock.width().0;
+        assert!(
+            ratio >= 1 && coarse.width().0.is_multiple_of(self.clock.width().0),
+            "downsample target width must be an integer multiple of source width"
+        );
+        let ratio = ratio as usize;
+        let n = self.len().div_ceil(ratio);
+        let mut values = Vec::with_capacity(n);
+        for c in 0..n {
+            let lo = c * ratio;
+            let hi = ((c + 1) * ratio).min(self.len());
+            let sum: f64 = self.values[lo..hi].iter().sum();
+            values.push(sum / ratio as f64);
+        }
+        TimeSeries { clock: coarse, values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn hourly(vals: &[f64]) -> TimeSeries {
+        TimeSeries::from_values(SlotClock::hourly(), vals.to_vec())
+    }
+
+    #[test]
+    fn energy_integration() {
+        // 100 W for 3 hours = 300 Wh.
+        let s = hourly(&[100.0, 100.0, 100.0]);
+        assert!((s.energy_wh() - 300.0).abs() < 1e-9);
+        assert!((s.slot_energy_wh(1) - 100.0).abs() < 1e-9);
+        // 15-minute slots: same power, quarter energy per slot.
+        let c = SlotClock::new(SimDuration::from_mins(15));
+        let q = TimeSeries::from_values(c, vec![100.0; 12]);
+        assert!((q.energy_wh() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn get_beyond_end_is_zero_and_set_grows() {
+        let mut s = hourly(&[1.0]);
+        assert_eq!(s.get(5), 0.0);
+        s.set(3, 7.0);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.get(2), 0.0);
+        assert_eq!(s.get(3), 7.0);
+        s.add(3, 1.0);
+        assert_eq!(s.get(3), 8.0);
+        s.add(10, 2.0);
+        assert_eq!(s.len(), 11);
+    }
+
+    #[test]
+    fn surplus_is_clamped() {
+        let g = hourly(&[5.0, 10.0, 2.0]);
+        let w = hourly(&[7.0, 4.0, 2.0]);
+        let surplus = g.surplus_over(&w);
+        assert_eq!(surplus.values(), &[0.0, 6.0, 0.0]);
+        let deficit = w.surplus_over(&g);
+        assert_eq!(deficit.values(), &[2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn plus_and_scale() {
+        let a = hourly(&[1.0, 2.0]);
+        let b = hourly(&[10.0, 20.0, 30.0]);
+        assert_eq!(a.plus(&b).values(), &[11.0, 22.0, 30.0]);
+        assert_eq!(a.scaled(3.0).values(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn stats() {
+        let s = hourly(&[1.0, 3.0, 8.0]);
+        assert_eq!(s.sum(), 12.0);
+        assert_eq!(s.max(), 8.0);
+        assert_eq!(s.mean(), 4.0);
+        let e = TimeSeries::zeros(SlotClock::hourly(), 0);
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.max(), 0.0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn from_fn_uses_midpoints() {
+        let s = TimeSeries::from_fn(SlotClock::hourly(), 3, |t| t.as_hours_f64());
+        assert_eq!(s.values(), &[0.5, 1.5, 2.5]);
+    }
+
+    #[test]
+    fn downsample_averages() {
+        let fine = SlotClock::new(SimDuration::from_mins(30));
+        let s = TimeSeries::from_values(fine, vec![2.0, 4.0, 6.0, 8.0, 10.0]);
+        let coarse = s.downsample_to(SlotClock::hourly());
+        // pairs (2,4), (6,8), (10, pad->only 10 summed over ratio 2)
+        assert_eq!(coarse.len(), 3);
+        assert_eq!(coarse.get(0), 3.0);
+        assert_eq!(coarse.get(1), 7.0);
+        assert_eq!(coarse.get(2), 5.0);
+        assert!((s.energy_wh() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "integer multiple")]
+    fn downsample_bad_ratio_panics() {
+        let s = hourly(&[1.0]);
+        let _ = s.downsample_to(SlotClock::new(SimDuration::from_mins(90)));
+    }
+}

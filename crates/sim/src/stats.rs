@@ -1,0 +1,202 @@
+//! Streaming statistics.
+//!
+//! [`StreamingStats`] keeps count/mean/variance/min/max in O(1) memory via
+//! Welford's online algorithm; [`Counter`] is a labelled monotone counter.
+//! Both are used pervasively for per-run metrics (latency means, queue
+//! depths, spin-up counts, …).
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance/min/max accumulator (Welford).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StreamingStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        StreamingStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Merge another accumulator into this one (parallel-reduction support;
+    /// Chan et al. pairwise formula).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A labelled monotone event counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Zeroed counter.
+    pub fn new() -> Self {
+        Counter { value: 0 }
+    }
+
+    /// Increment by one.
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Increment by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = StreamingStats::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = StreamingStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.sum(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = StreamingStats::new();
+        for &x in &xs {
+            all.record(x);
+        }
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = StreamingStats::new();
+        a.record(1.0);
+        a.record(3.0);
+        let before = a.clone();
+        a.merge(&StreamingStats::new());
+        assert!((a.mean() - before.mean()).abs() < 1e-12);
+        let mut e = StreamingStats::new();
+        e.merge(&before);
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+}

@@ -1,0 +1,386 @@
+//! Integer simulation time.
+//!
+//! All simulation time is counted in **microseconds since simulation start**
+//! as a `u64`. Using integers (rather than `f64` seconds) keeps event
+//! ordering exact and runs bit-for-bit reproducible; a `u64` of microseconds
+//! covers ~584 000 years, far beyond any experiment horizon.
+//!
+//! Scheduling in GreenMatch operates on *slots* (1 hour by default). The
+//! [`SlotClock`] maps between continuous sim time and slot indices.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Microseconds in one second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+/// Microseconds in one minute.
+pub const MICROS_PER_MIN: u64 = 60 * MICROS_PER_SEC;
+/// Microseconds in one hour.
+pub const MICROS_PER_HOUR: u64 = 60 * MICROS_PER_MIN;
+/// Microseconds in one day.
+pub const MICROS_PER_DAY: u64 = 24 * MICROS_PER_HOUR;
+
+/// An absolute instant in simulation time (µs since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+/// A span of simulation time (µs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation origin, t = 0.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * MICROS_PER_SEC)
+    }
+
+    /// Construct from whole minutes.
+    pub fn from_mins(m: u64) -> Self {
+        SimTime(m * MICROS_PER_MIN)
+    }
+
+    /// Construct from whole hours.
+    pub fn from_hours(h: u64) -> Self {
+        SimTime(h * MICROS_PER_HOUR)
+    }
+
+    /// Construct from whole days.
+    pub fn from_days(d: u64) -> Self {
+        SimTime(d * MICROS_PER_DAY)
+    }
+
+    /// This instant expressed as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// This instant expressed as fractional hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_HOUR as f64
+    }
+
+    /// Hour-of-day in `[0, 24)`, useful for diurnal models.
+    pub fn hour_of_day(self) -> f64 {
+        (self.0 % MICROS_PER_DAY) as f64 / MICROS_PER_HOUR as f64
+    }
+
+    /// Whole days elapsed since the origin.
+    pub fn day_index(self) -> u64 {
+        self.0 / MICROS_PER_DAY
+    }
+
+    /// Saturating subtraction: `self - other`, clamped at zero.
+    pub fn saturating_sub(self, other: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked duration since an earlier instant.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(self >= earlier, "duration_since: {self:?} < {earlier:?}");
+        SimDuration(self.0 - earlier.0)
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Construct from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * MICROS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest µs.
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0 && s.is_finite(), "negative/NaN duration: {s}");
+        SimDuration((s * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Construct from whole minutes.
+    pub fn from_mins(m: u64) -> Self {
+        SimDuration(m * MICROS_PER_MIN)
+    }
+
+    /// Construct from whole hours.
+    pub fn from_hours(h: u64) -> Self {
+        SimDuration(h * MICROS_PER_HOUR)
+    }
+
+    /// Construct from whole days.
+    pub fn from_days(d: u64) -> Self {
+        SimDuration(d * MICROS_PER_DAY)
+    }
+
+    /// Span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Span as fractional hours — the natural unit when converting average
+    /// power (W) into energy (Wh).
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_HOUR as f64
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// The larger of two spans.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// The smaller of two spans.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.0 / MICROS_PER_DAY;
+        let rem = self.0 % MICROS_PER_DAY;
+        let h = rem / MICROS_PER_HOUR;
+        let m = (rem % MICROS_PER_HOUR) / MICROS_PER_MIN;
+        let s = (rem % MICROS_PER_MIN) as f64 / MICROS_PER_SEC as f64;
+        write!(f, "d{d}+{h:02}:{m:02}:{s:06.3}")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= MICROS_PER_HOUR {
+            write!(f, "{:.3}h", self.as_hours_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+/// Index of a scheduling slot (0-based from simulation start).
+pub type SlotIdx = usize;
+
+/// Maps between continuous [`SimTime`] and discrete scheduling slots.
+///
+/// GreenMatch takes all scheduling decisions at slot boundaries; renewable
+/// production, workload power and battery state are likewise accounted per
+/// slot. The default slot width is one hour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotClock {
+    width: SimDuration,
+}
+
+impl SlotClock {
+    /// A clock with the given slot width. Panics on a zero width.
+    pub fn new(width: SimDuration) -> Self {
+        assert!(width.0 > 0, "slot width must be positive");
+        SlotClock { width }
+    }
+
+    /// The paper-era default: 1 hour slots.
+    pub fn hourly() -> Self {
+        SlotClock::new(SimDuration::from_hours(1))
+    }
+
+    /// Slot width.
+    pub fn width(&self) -> SimDuration {
+        self.width
+    }
+
+    /// Slot width in fractional hours.
+    pub fn width_hours(&self) -> f64 {
+        self.width.as_hours_f64()
+    }
+
+    /// The slot containing instant `t`.
+    pub fn slot_of(&self, t: SimTime) -> SlotIdx {
+        (t.0 / self.width.0) as SlotIdx
+    }
+
+    /// Start instant of slot `s`.
+    pub fn slot_start(&self, s: SlotIdx) -> SimTime {
+        SimTime(s as u64 * self.width.0)
+    }
+
+    /// End instant (exclusive) of slot `s`.
+    pub fn slot_end(&self, s: SlotIdx) -> SimTime {
+        SimTime((s as u64 + 1) * self.width.0)
+    }
+
+    /// Number of whole slots covering `horizon`.
+    pub fn slots_in(&self, horizon: SimDuration) -> usize {
+        (horizon.0 / self.width.0) as usize
+    }
+
+    /// Number of slots per 24 h day (assumes the width divides a day).
+    pub fn slots_per_day(&self) -> usize {
+        (MICROS_PER_DAY / self.width.0) as usize
+    }
+
+    /// Remaining time from `t` to the end of its slot.
+    pub fn remaining_in_slot(&self, t: SimTime) -> SimDuration {
+        let end = self.slot_end(self.slot_of(t));
+        end.duration_since(t)
+    }
+}
+
+impl Default for SlotClock {
+    fn default() -> Self {
+        SlotClock::hourly()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_constructors_agree() {
+        assert_eq!(SimTime::from_hours(2).0, 2 * MICROS_PER_HOUR);
+        assert_eq!(SimTime::from_days(1), SimTime::from_hours(24));
+        assert_eq!(SimDuration::from_mins(60), SimDuration::from_hours(1));
+        assert_eq!(SimDuration::from_secs_f64(1.5).0, 1_500_000);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_hours(5);
+        let d = SimDuration::from_mins(30);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d).duration_since(t), d);
+        assert_eq!(d * 2, SimDuration::from_hours(1));
+        assert_eq!(SimDuration::from_hours(1) / 4, SimDuration::from_mins(15));
+    }
+
+    #[test]
+    fn hour_of_day_wraps() {
+        let t = SimTime::from_days(3) + SimDuration::from_hours(7) + SimDuration::from_mins(30);
+        assert!((t.hour_of_day() - 7.5).abs() < 1e-9);
+        assert_eq!(t.day_index(), 3);
+    }
+
+    #[test]
+    fn slot_clock_maps_boundaries() {
+        let c = SlotClock::hourly();
+        assert_eq!(c.slot_of(SimTime::ZERO), 0);
+        assert_eq!(c.slot_of(SimTime(MICROS_PER_HOUR - 1)), 0);
+        assert_eq!(c.slot_of(SimTime(MICROS_PER_HOUR)), 1);
+        assert_eq!(c.slot_start(3), SimTime::from_hours(3));
+        assert_eq!(c.slot_end(3), SimTime::from_hours(4));
+        assert_eq!(c.slots_in(SimDuration::from_days(7)), 168);
+        assert_eq!(c.slots_per_day(), 24);
+    }
+
+    #[test]
+    fn remaining_in_slot() {
+        let c = SlotClock::hourly();
+        let t = SimTime::from_hours(2) + SimDuration::from_mins(45);
+        assert_eq!(c.remaining_in_slot(t), SimDuration::from_mins(15));
+        assert_eq!(c.remaining_in_slot(SimTime::from_hours(2)), SimDuration::from_hours(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = SimTime::from_days(1) + SimDuration::from_hours(2) + SimDuration::from_secs(3);
+        assert_eq!(format!("{t}"), "d1+02:00:03.000");
+        assert_eq!(format!("{}", SimDuration::from_mins(90)), "1.500h");
+        assert_eq!(format!("{}", SimDuration::from_millis(250)), "0.250s");
+        assert_eq!(format!("{}", SimDuration::from_micros(42)), "42us");
+    }
+
+    #[test]
+    fn saturating_ops() {
+        let a = SimTime::from_hours(1);
+        let b = SimTime::from_hours(2);
+        assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_sub(a), SimDuration::from_hours(1));
+        assert_eq!(
+            SimDuration::from_secs(1).saturating_sub(SimDuration::from_secs(5)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "slot width must be positive")]
+    fn zero_slot_width_panics() {
+        let _ = SlotClock::new(SimDuration::ZERO);
+    }
+}

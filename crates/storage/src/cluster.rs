@@ -1,0 +1,865 @@
+//! The assembled storage cluster.
+//!
+//! [`Cluster`] owns the servers, disks, per-disk FCFS timelines, the object
+//! directory, the gear controller and the write log, and exposes the three
+//! operations schedulers compose:
+//!
+//! 1. [`Cluster::set_active_gears`] — spatial matching: power servers (and
+//!    their disks) of gears `g..` down, `..g` up. Gear 0 can never be
+//!    powered off (it holds the primary copy of every object under the gear
+//!    layout, plus the write log).
+//! 2. [`Cluster::serve_request`] — route one interactive I/O: reads go to
+//!    the least-backlogged *active* replica (with on-demand spin-up as a
+//!    last resort for layouts that orphan objects); writes hit every active
+//!    replica and off-load powered-down replicas to the write log.
+//! 3. [`Cluster::add_sequential_work`] / [`Cluster::reclaim`] — batch work
+//!    placement and write-log replay.
+//!
+//! [`Cluster::end_slot`] integrates the slot's energy: per-disk busy/idle/
+//! standby blending, per-server linear CPU power (utilisation proxied by
+//! the mean busy fraction of the server's disks), plus the spin-up and
+//! boot surcharges incurred during the slot. Overhead energy (spin-ups,
+//! reclaim replay work) is also reported separately so the loss-breakdown
+//! experiment can attribute it.
+
+use crate::cache::{LruCache, CACHE_HIT_SERVICE};
+use crate::disk::{Disk, DiskSpec};
+use crate::failure::FailureReport;
+use crate::layout::{LayoutKind, Topology};
+use crate::object::{DataObject, DiskIdx, ObjectId};
+use crate::queue::{DiskQueue, ServedRequest};
+use crate::request::{IoKind, IoRequest};
+use crate::server::{Server, ServerSpec};
+use crate::writelog::WriteLog;
+use gm_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Static cluster configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Physical shape (servers × bays, gear count).
+    pub topology: Topology,
+    /// Disk model.
+    pub disk: DiskSpec,
+    /// Server model.
+    pub server: ServerSpec,
+    /// Replication factor (≤ gears for the gear layout).
+    pub replication: usize,
+    /// Placement strategy.
+    pub layout: LayoutKind,
+    /// Placement seed.
+    pub layout_seed: u64,
+    /// Number of objects to pre-place.
+    pub objects: usize,
+    /// Object size in bytes (uniform; object-size spread is carried by
+    /// request sizes instead, which is what latency actually sees).
+    pub object_size_bytes: u64,
+    /// Aggregate RAM read-cache capacity in bytes (0 = disabled). Models
+    /// the gear-0 frontends' page cache at object granularity.
+    pub cache_bytes: u64,
+}
+
+impl ClusterSpec {
+    /// The default medium data center of the reconstruction: 48 servers ×
+    /// 4 disks, 3-way gear replication, 100 k objects of 64 MiB.
+    pub fn medium_dc() -> Self {
+        ClusterSpec {
+            topology: Topology::new(48, 4, 3),
+            disk: DiskSpec::enterprise_sata(),
+            server: ServerSpec::storage_node(),
+            replication: 3,
+            layout: LayoutKind::Gear,
+            layout_seed: 0x6EA2,
+            objects: 100_000,
+            object_size_bytes: 64 << 20,
+            cache_bytes: 0,
+        }
+    }
+
+    /// A small cluster for tests/examples: 6 servers × 2 disks, 3 gears.
+    pub fn small() -> Self {
+        ClusterSpec {
+            topology: Topology::new(6, 2, 3),
+            disk: DiskSpec::enterprise_sata(),
+            server: ServerSpec::storage_node(),
+            replication: 3,
+            layout: LayoutKind::Gear,
+            layout_seed: 7,
+            objects: 1_000,
+            object_size_bytes: 16 << 20,
+            cache_bytes: 0,
+        }
+    }
+}
+
+/// Current gear activation state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GearState {
+    /// Gears `0..active` are powered.
+    pub active: usize,
+    /// Total gear count.
+    pub total: usize,
+}
+
+/// Energy integrated for one slot, by component (Wh).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SlotEnergy {
+    /// Disk energy (all states, including transition draw).
+    pub disks_wh: f64,
+    /// Server CPU-side energy.
+    pub servers_wh: f64,
+    /// Of the total, energy attributable to spin-up/boot surcharges.
+    pub spinup_overhead_wh: f64,
+    /// Marginal energy of write-log reclaim replay work done this slot.
+    pub reclaim_overhead_wh: f64,
+    /// Marginal energy of on-demand (availability-forced) spin-ups.
+    pub forced_spinup_count: u64,
+}
+
+impl SlotEnergy {
+    /// Total IT load of the slot (Wh).
+    pub fn total_wh(&self) -> f64 {
+        self.disks_wh + self.servers_wh
+    }
+}
+
+/// The live cluster.
+pub struct Cluster {
+    spec: ClusterSpec,
+    servers: Vec<Server>,
+    disks: Vec<Disk>,
+    queues: Vec<DiskQueue>,
+    directory: Vec<DataObject>,
+    writelog: WriteLog,
+    active_gears: usize,
+    /// Slot width used for background-interference accounting.
+    slot_width: SimDuration,
+    /// Per-disk: failed and awaiting rebuild (disk is physically replaced
+    /// immediately, but holds no data until `mark_rebuilt`).
+    pending_rebuild: Vec<bool>,
+    /// Reverse index disk → objects with a replica there (built lazily on
+    /// the first failure; empty until then).
+    disk_objects: Vec<Vec<u32>>,
+    /// Lifetime failure counters.
+    total_failures: u64,
+    total_lost_objects: u64,
+    total_rebuild_bytes: u64,
+    /// Reads whose every replica was awaiting rebuild (served degraded).
+    degraded_reads: u64,
+    /// Surcharge energy (spin-ups, boots) incurred since the last
+    /// `end_slot`, already destined for that slot's total.
+    pending_surcharge_wh: f64,
+    /// Reclaim busy time added since the last `end_slot`.
+    pending_reclaim_busy: SimDuration,
+    /// On-demand spin-ups since the last `end_slot`.
+    pending_forced_spinups: u64,
+    /// Lifetime counters.
+    total_spinups: u64,
+    total_forced_spinups: u64,
+    /// Read cache (disabled at zero capacity).
+    cache: LruCache,
+}
+
+impl Cluster {
+    /// Build a cluster and place all objects.
+    pub fn new(spec: ClusterSpec) -> Self {
+        assert!(spec.replication >= 1);
+        let topo = spec.topology;
+        let layout = spec.layout.build(spec.layout_seed);
+        let directory = (0..spec.objects)
+            .map(|i| {
+                let id = ObjectId(i as u64);
+                DataObject::new(id, spec.object_size_bytes, layout.place(&topo, id, spec.replication))
+            })
+            .collect();
+        let gears = topo.gears;
+        Cluster {
+            servers: (0..topo.servers).map(|_| Server::new(spec.server)).collect(),
+            disks: (0..topo.n_disks()).map(|_| Disk::new(spec.disk)).collect(),
+            queues: (0..topo.n_disks()).map(|_| DiskQueue::new()).collect(),
+            directory,
+            writelog: WriteLog::new(gears),
+            active_gears: gears,
+            slot_width: SimDuration::from_hours(1),
+            pending_rebuild: vec![false; topo.n_disks()],
+            disk_objects: Vec::new(),
+            total_failures: 0,
+            total_lost_objects: 0,
+            total_rebuild_bytes: 0,
+            degraded_reads: 0,
+            pending_surcharge_wh: 0.0,
+            pending_reclaim_busy: SimDuration::ZERO,
+            pending_forced_spinups: 0,
+            total_spinups: 0,
+            total_forced_spinups: 0,
+            cache: LruCache::new(spec.cache_bytes),
+            spec,
+        }
+    }
+
+    /// The static spec.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Set the slot width used for background-interference accounting
+    /// (defaults to 1 hour; call once before the run if the clock differs).
+    pub fn set_slot_width(&mut self, width: SimDuration) {
+        assert!(width.0 > 0);
+        self.slot_width = width;
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.spec.topology
+    }
+
+    /// Current gear state.
+    pub fn gear_state(&self) -> GearState {
+        GearState { active: self.active_gears, total: self.spec.topology.gears }
+    }
+
+    /// The object directory.
+    pub fn directory(&self) -> &[DataObject] {
+        &self.directory
+    }
+
+    /// The write log.
+    pub fn write_log(&self) -> &WriteLog {
+        &self.writelog
+    }
+
+    /// Lifetime spin-up count (policy-driven + forced).
+    pub fn total_spinups(&self) -> u64 {
+        self.total_spinups
+    }
+
+    /// Lifetime disk failures injected.
+    pub fn total_failures(&self) -> u64 {
+        self.total_failures
+    }
+
+    /// Objects that went through an exposure window with no intact replica.
+    pub fn total_lost_objects(&self) -> u64 {
+        self.total_lost_objects
+    }
+
+    /// Total rebuild work generated by failures (bytes).
+    pub fn total_rebuild_bytes(&self) -> u64 {
+        self.total_rebuild_bytes
+    }
+
+    /// Reads served while every replica was awaiting rebuild.
+    pub fn degraded_reads(&self) -> u64 {
+        self.degraded_reads
+    }
+
+    /// Whether `disk` is awaiting rebuild.
+    pub fn is_rebuilding(&self, disk: DiskIdx) -> bool {
+        self.pending_rebuild[disk]
+    }
+
+    /// The read cache (disabled at zero capacity).
+    pub fn cache(&self) -> &LruCache {
+        &self.cache
+    }
+
+    /// Cumulative spin-up count of one disk (failure-model input).
+    pub fn disk_spinups(&self, disk: DiskIdx) -> u64 {
+        self.disks[disk].spinup_count()
+    }
+
+    /// Whether `disk` is currently in standby (failure-model input).
+    pub fn disk_in_standby(&self, disk: DiskIdx) -> bool {
+        matches!(self.disks[disk].state(), crate::disk::DiskPowerState::Standby)
+    }
+
+    /// Build (once) the reverse index disk → object ids.
+    fn ensure_disk_index(&mut self) {
+        if !self.disk_objects.is_empty() {
+            return;
+        }
+        self.disk_objects = vec![Vec::new(); self.spec.topology.n_disks()];
+        for obj in &self.directory {
+            for &d in &obj.replicas {
+                self.disk_objects[d].push(obj.id.0 as u32);
+            }
+        }
+    }
+
+    /// Inject a disk failure at `now`. The drive is logically replaced at
+    /// once (blank); its replicas must be re-created by
+    /// [`Cluster::rebuild_step`]/[`Cluster::mark_rebuilt`]. Returns the
+    /// failure's blast radius. Failing an already-rebuilding disk extends
+    /// the window but generates no new work.
+    pub fn fail_disk(&mut self, disk: DiskIdx, now: SimTime) -> FailureReport {
+        self.ensure_disk_index();
+        self.total_failures += 1;
+        if self.pending_rebuild[disk] {
+            return FailureReport { disk, affected_objects: 0, lost_objects: 0, rebuild_bytes: 0 };
+        }
+        // Exposure check before marking, so co-failed disks are visible.
+        let mut lost = 0usize;
+        for &oid in &self.disk_objects[disk] {
+            let obj = &self.directory[oid as usize];
+            let intact = obj
+                .replicas
+                .iter()
+                .any(|&d| d != disk && !self.pending_rebuild[d]);
+            if !intact {
+                lost += 1;
+            }
+        }
+        self.pending_rebuild[disk] = true;
+        // The replacement drive spins up fresh (it must be written to).
+        let srv = self.spec.topology.server_of_disk(disk);
+        if self.servers[srv].is_on() {
+            self.disks[disk].spin_up(now);
+        }
+        let affected = self.disk_objects[disk].len();
+        let rebuild_bytes = affected as u64 * self.spec.object_size_bytes;
+        self.total_lost_objects += lost as u64;
+        self.total_rebuild_bytes += rebuild_bytes;
+        FailureReport { disk, affected_objects: affected, lost_objects: lost, rebuild_bytes }
+    }
+
+    /// Perform `bytes` of rebuild toward `disk` at `now`: sequential reads
+    /// from surviving replicas plus the sequential write onto the
+    /// replacement. The caller (scheduler) decides when this runs —
+    /// rebuild is schedulable work like any other batch job.
+    pub fn rebuild_step(&mut self, disk: DiskIdx, bytes: u64, now: SimTime) -> ServedRequest {
+        debug_assert!(self.pending_rebuild[disk], "rebuild_step on a healthy disk");
+        // Write onto the replacement drive.
+        let ready = self.ensure_disk_up(disk, now, false);
+        let service = self.spec.disk.service_time(bytes, true);
+        self.queues[disk].add_background(now, ready, service)
+    }
+
+    /// Declare `disk` fully re-populated.
+    pub fn mark_rebuilt(&mut self, disk: DiskIdx) {
+        self.pending_rebuild[disk] = false;
+    }
+
+    /// Lifetime forced (availability-driven) spin-up count.
+    pub fn total_forced_spinups(&self) -> u64 {
+        self.total_forced_spinups
+    }
+
+    /// Whether the server owning `disk` is on and the disk is spinning or
+    /// in transition.
+    fn disk_available(&self, disk: DiskIdx) -> bool {
+        let srv = self.spec.topology.server_of_disk(disk);
+        !self.pending_rebuild[disk]
+            && self.servers[srv].is_on()
+            && self.disks[disk].ready_at().is_some()
+    }
+
+    /// Ready instant of `disk`, spinning it (and booting its server) up on
+    /// demand if necessary. `forced` marks availability-driven spin-ups.
+    fn ensure_disk_up(&mut self, disk: DiskIdx, now: SimTime, forced: bool) -> SimTime {
+        let srv = self.spec.topology.server_of_disk(disk);
+        let mut ready = now;
+        if self.servers[srv].power_on() {
+            self.pending_surcharge_wh += self.spec.server.poweron_extra_wh();
+            ready = now + SimDuration::from_secs_f64(self.spec.server.poweron_latency_s);
+        }
+        if self.disks[disk].spin_up(now) {
+            self.pending_surcharge_wh += self.spec.disk.spinup_extra_wh();
+            self.total_spinups += 1;
+            if forced {
+                self.pending_forced_spinups += 1;
+                self.total_forced_spinups += 1;
+            }
+        }
+        match self.disks[disk].ready_at() {
+            Some(t) => ready.max(t),
+            None => ready,
+        }
+    }
+
+    /// Power gears `0..active` on and the rest off. Gear 0 is always kept
+    /// on. Disks that are mid-I/O finish their backlog regardless (the
+    /// timeline cursor is independent of power state; a real system would
+    /// drain before parking — the energy difference is the tail of one
+    /// request).
+    pub fn set_active_gears(&mut self, active: usize, now: SimTime) {
+        let active = active.clamp(1, self.spec.topology.gears);
+        let topo = self.spec.topology;
+        for g in 0..topo.gears {
+            let powered = g < active;
+            let spg = topo.servers_per_gear();
+            for srv in g * spg..(g + 1) * spg {
+                if powered {
+                    if self.servers[srv].power_on() {
+                        self.pending_surcharge_wh += self.spec.server.poweron_extra_wh();
+                    }
+                    for d in topo.disks_of_server(srv) {
+                        if self.disks[d].spin_up(now) {
+                            self.pending_surcharge_wh += self.spec.disk.spinup_extra_wh();
+                            self.total_spinups += 1;
+                        }
+                    }
+                } else {
+                    for d in topo.disks_of_server(srv) {
+                        self.disks[d].spin_down(now);
+                    }
+                    // Only power the server off if every disk actually
+                    // parked (spin-downs mid-transition are refused).
+                    if topo
+                        .disks_of_server(srv)
+                        .all(|d| matches!(self.disks[d].state(), crate::disk::DiskPowerState::Standby))
+                    {
+                        self.servers[srv].power_off();
+                    }
+                }
+            }
+        }
+        self.active_gears = active;
+    }
+
+    /// Serve one interactive request. Returns the client-visible outcome.
+    pub fn serve_request(&mut self, req: &IoRequest) -> ServedRequest {
+        let obj = &self.directory[req.object.0 as usize];
+        let replicas = obj.replicas.clone();
+        let obj_size = obj.size_bytes;
+        match req.kind {
+            IoKind::Read => {
+                // RAM cache absorbs hot reads without touching a disk.
+                if self.cache.probe(req.object) {
+                    let completion = req.arrival + CACHE_HIT_SERVICE;
+                    return ServedRequest {
+                        start: req.arrival,
+                        completion,
+                        latency: CACHE_HIT_SERVICE,
+                    };
+                }
+                // Least-backlogged replica among available disks.
+                let best_active = replicas
+                    .iter()
+                    .copied()
+                    .filter(|&d| self.disk_available(d))
+                    .min_by_key(|&d| self.queues[d].next_free());
+                let disk = match best_active {
+                    Some(d) => d,
+                    None => {
+                        // Orphaned (non-gear layouts, or failures): forced
+                        // spin-up of the least-backlogged replica that still
+                        // holds data.
+                        let intact = replicas
+                            .iter()
+                            .copied()
+                            .filter(|&d| !self.pending_rebuild[d])
+                            .min_by_key(|&d| self.queues[d].next_free());
+                        match intact {
+                            Some(d) => {
+                                self.ensure_disk_up(d, req.arrival, true);
+                                d
+                            }
+                            None => {
+                                // Every replica awaiting rebuild: degraded
+                                // service from the primary's replacement.
+                                self.degraded_reads += 1;
+                                let d = replicas[0];
+                                self.ensure_disk_up(d, req.arrival, true);
+                                d
+                            }
+                        }
+                    }
+                };
+                let ready = self.ensure_disk_up(disk, req.arrival, false);
+                let service = self.spec.disk.service_time(req.size_bytes, req.sequential);
+                let served = self.queues[disk].serve(req.arrival, ready, service, self.slot_width);
+                self.cache.insert(req.object, obj_size);
+                served
+            }
+            IoKind::Write => {
+                self.cache.invalidate(req.object);
+                // Primary (gear 0 under the gear layout) takes the write in
+                // the client's critical path; other active replicas absorb
+                // it too; powered-down replicas are off-loaded to the log.
+                let mut ack: Option<ServedRequest> = None;
+                for (r, &disk) in replicas.iter().enumerate() {
+                    if r == 0 || self.disk_available(disk) {
+                        let ready = self.ensure_disk_up(disk, req.arrival, r == 0 && !self.disk_available(disk));
+                        let service = self.spec.disk.service_time(req.size_bytes, req.sequential);
+                        let served = self.queues[disk].serve(req.arrival, ready, service, self.slot_width);
+                        if r == 0 {
+                            ack = Some(served);
+                        }
+                    } else {
+                        let gear = self.spec.topology.gear_of_disk(disk);
+                        self.writelog.offload(gear, req.size_bytes);
+                        // The log append itself: sequential write on the
+                        // least-loaded gear-0 disk.
+                        let log_disk = self
+                            .spec
+                            .topology
+                            .disks_in_gear(0)
+                            .into_iter()
+                            .min_by_key(|&d| self.queues[d].next_free())
+                            .expect("gear 0 is never empty");
+                        let service = self.spec.disk.service_time(req.size_bytes, true);
+                        let ready = self.ensure_disk_up(log_disk, req.arrival, false);
+                        self.queues[log_disk].serve(req.arrival, ready, service, self.slot_width);
+                    }
+                }
+                ack.expect("primary replica always written")
+            }
+        }
+    }
+
+    /// Add `bytes` of sequential batch work on `disk` starting no earlier
+    /// than `now` (the disk is spun up on demand, counted as policy-driven).
+    pub fn add_sequential_work(&mut self, disk: DiskIdx, bytes: u64, now: SimTime) -> ServedRequest {
+        let ready = self.ensure_disk_up(disk, now, false);
+        let service = self.spec.disk.service_time(bytes, true);
+        self.queues[disk].add_background(now, ready, service)
+    }
+
+    /// Replay up to `budget_bytes` of off-loaded writes for each *powered*
+    /// gear. The replay work is sequential writes on the target gear's
+    /// disks; its busy time is tagged as reclaim overhead. Returns total
+    /// bytes replayed.
+    pub fn reclaim(&mut self, budget_bytes: u64, now: SimTime) -> u64 {
+        let topo = self.spec.topology;
+        let mut replayed = 0;
+        for gear in 1..self.active_gears {
+            let bytes = self.writelog.reclaim(gear, budget_bytes);
+            if bytes == 0 {
+                continue;
+            }
+            replayed += bytes;
+            // Spread the replay across the gear's disks round-robin.
+            let disks = topo.disks_in_gear(gear);
+            let per = bytes / disks.len() as u64;
+            let service_per = self.spec.disk.service_time(per.max(1), true);
+            for &d in &disks {
+                let ready = self.ensure_disk_up(d, now, false);
+                self.queues[d].add_background(now, ready, service_per);
+                self.pending_reclaim_busy += service_per;
+            }
+        }
+        replayed
+    }
+
+    /// Queueing backlog (service debt) of `disk` at `now`.
+    pub fn backlog_of(&self, disk: DiskIdx, now: SimTime) -> SimDuration {
+        self.queues[disk].backlog_at(now)
+    }
+
+    /// Mean queue backlog (seconds) across currently-available disks.
+    pub fn mean_active_backlog_secs(&self, now: SimTime) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for d in 0..self.disks.len() {
+            if self.disk_available(d) {
+                sum += self.queues[d].backlog_at(now).as_secs_f64();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Integrate one slot ending at `slot_end` of width `width`.
+    pub fn end_slot(&mut self, slot_end: SimTime, width: SimDuration) -> SlotEnergy {
+        let topo = self.spec.topology;
+        let mut out = SlotEnergy::default();
+
+        // Settle spin-up transitions that completed within the slot.
+        for d in &mut self.disks {
+            d.settle(slot_end);
+        }
+
+        // Disk energy: drain busy time, blend power.
+        let mut busy_frac = vec![0.0f64; topo.servers];
+        for idx in 0..self.disks.len() {
+            let busy = self.queues[idx].take_busy_in(width);
+            out.disks_wh += self.disks[idx].account_slot(busy, width);
+            busy_frac[topo.server_of_disk(idx)] +=
+                busy.as_secs_f64() / width.as_secs_f64() / topo.bays as f64;
+        }
+
+        // Server energy: CPU utilisation proxied by mean disk busy fraction.
+        let hours = width.as_hours_f64();
+        for (srv, server) in self.servers.iter_mut().enumerate() {
+            out.servers_wh += server.account_slot(busy_frac[srv].min(1.0), hours);
+        }
+
+        // Surcharges incurred during this slot.
+        out.spinup_overhead_wh = self.pending_surcharge_wh;
+        out.disks_wh += self.pending_surcharge_wh; // surcharges ride on the disk/server bill
+        self.pending_surcharge_wh = 0.0;
+
+        // Reclaim overhead: marginal (active − idle) power over the replay
+        // busy time. The busy time itself is already inside `disks_wh`; the
+        // overhead figure is attribution, not additional energy.
+        let marginal_w = self.spec.disk.active_w - self.spec.disk.idle_w;
+        out.reclaim_overhead_wh = self.pending_reclaim_busy.as_hours_f64() * marginal_w;
+        self.pending_reclaim_busy = SimDuration::ZERO;
+
+        out.forced_spinup_count = self.pending_forced_spinups;
+        self.pending_forced_spinups = 0;
+
+        out
+    }
+
+    /// Power draw (W) the cluster would average if every active component
+    /// idled — the floor the gear controller plans against.
+    pub fn idle_power_at_gears(&self, gears: usize) -> f64 {
+        let topo = self.spec.topology;
+        let gears = gears.clamp(1, topo.gears);
+        let on_servers = gears * topo.servers_per_gear();
+        let off_servers = topo.servers - on_servers;
+        on_servers as f64 * (self.spec.server.idle_w + topo.bays as f64 * self.spec.disk.idle_w)
+            + off_servers as f64 * (self.spec.server.off_w + topo.bays as f64 * self.spec.disk.standby_w)
+    }
+
+    /// Peak power draw (W) with `gears` active and every disk/CPU saturated.
+    pub fn peak_power_at_gears(&self, gears: usize) -> f64 {
+        let topo = self.spec.topology;
+        let gears = gears.clamp(1, topo.gears);
+        let on_servers = gears * topo.servers_per_gear();
+        let off_servers = topo.servers - on_servers;
+        on_servers as f64 * (self.spec.server.peak_w + topo.bays as f64 * self.spec.disk.active_w)
+            + off_servers as f64 * (self.spec.server.off_w + topo.bays as f64 * self.spec.disk.standby_w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster() -> Cluster {
+        Cluster::new(ClusterSpec::small())
+    }
+
+    const HOUR: SimDuration = SimDuration(gm_sim::time::MICROS_PER_HOUR);
+
+    #[test]
+    fn builds_and_places_objects() {
+        let c = small_cluster();
+        assert_eq!(c.directory().len(), 1_000);
+        for obj in c.directory() {
+            assert_eq!(obj.replication(), 3);
+        }
+        assert_eq!(c.gear_state(), GearState { active: 3, total: 3 });
+    }
+
+    #[test]
+    fn read_served_by_active_replica() {
+        let mut c = small_cluster();
+        let req = IoRequest::read(SimTime::from_secs(10), ObjectId(5), 1 << 20);
+        let served = c.serve_request(&req);
+        assert!(served.latency.as_secs_f64() < 0.1, "uncontended read is fast");
+    }
+
+    #[test]
+    fn gear_down_keeps_reads_available() {
+        let mut c = small_cluster();
+        c.set_active_gears(1, SimTime::ZERO);
+        assert_eq!(c.gear_state().active, 1);
+        // Every object still readable without forced spin-ups.
+        for i in 0..100 {
+            let req = IoRequest::read(SimTime::from_secs(1), ObjectId(i), 64 << 10);
+            let _ = c.serve_request(&req);
+        }
+        assert_eq!(c.total_forced_spinups(), 0, "gear layout never orphans reads");
+    }
+
+    #[test]
+    fn gear_zero_cannot_be_powered_off() {
+        let mut c = small_cluster();
+        c.set_active_gears(0, SimTime::ZERO);
+        assert_eq!(c.gear_state().active, 1, "clamped to 1");
+    }
+
+    #[test]
+    fn writes_offload_to_log_when_gears_down() {
+        let mut c = small_cluster();
+        c.set_active_gears(1, SimTime::ZERO);
+        let before = c.write_log().total_offloaded();
+        let req = IoRequest::write(SimTime::from_secs(5), ObjectId(7), 1 << 20);
+        let served = c.serve_request(&req);
+        // Two replicas (gears 1, 2) off-loaded.
+        assert_eq!(c.write_log().total_offloaded() - before, 2 << 20);
+        assert!(served.latency.as_secs_f64() < 0.1);
+    }
+
+    #[test]
+    fn reclaim_replays_after_gear_up() {
+        let mut c = small_cluster();
+        c.set_active_gears(1, SimTime::ZERO);
+        for i in 0..20 {
+            let req = IoRequest::write(SimTime::from_secs(i), ObjectId(i), 1 << 20);
+            c.serve_request(&req);
+        }
+        assert!(c.write_log().pending_total() > 0);
+        // Nothing reclaimable while gears are down.
+        assert_eq!(c.reclaim(u64::MAX, SimTime::from_secs(100)), 0);
+        c.set_active_gears(3, SimTime::from_secs(200));
+        let replayed = c.reclaim(u64::MAX, SimTime::from_secs(300));
+        assert_eq!(replayed, 40 << 20);
+        assert_eq!(c.write_log().pending_total(), 0);
+        let e = c.end_slot(SimTime::from_hours(1), HOUR);
+        assert!(e.reclaim_overhead_wh > 0.0, "replay work attributed");
+    }
+
+    #[test]
+    fn random_layout_forces_spinups_when_gated() {
+        let mut spec = ClusterSpec::small();
+        spec.layout = LayoutKind::Random;
+        let mut c = Cluster::new(spec);
+        c.set_active_gears(1, SimTime::ZERO);
+        for i in 0..200 {
+            let req = IoRequest::read(SimTime::from_secs(1), ObjectId(i), 64 << 10);
+            c.serve_request(&req);
+        }
+        assert!(c.total_forced_spinups() > 0, "random layout orphans some reads");
+    }
+
+    #[test]
+    fn slot_energy_drops_when_gears_down() {
+        let mut on = small_cluster();
+        let e_on = on.end_slot(SimTime::from_hours(1), HOUR);
+        let mut off = small_cluster();
+        off.set_active_gears(1, SimTime::ZERO);
+        // Let the spin-down settle one slot, then measure a clean slot.
+        off.end_slot(SimTime::from_hours(1), HOUR);
+        let e_off = off.end_slot(SimTime::from_hours(2), HOUR);
+        assert!(
+            e_off.total_wh() < e_on.total_wh() * 0.55,
+            "gated {} vs full {}",
+            e_off.total_wh(),
+            e_on.total_wh()
+        );
+    }
+
+    #[test]
+    fn idle_and_peak_power_bounds() {
+        let c = small_cluster();
+        // 6 servers × (110 + 2×8) = 756 W at full idle.
+        assert!((c.idle_power_at_gears(3) - 756.0).abs() < 1e-9);
+        // Peak: 6 × (220 + 2×11.5) = 1458 W.
+        assert!((c.peak_power_at_gears(3) - 1458.0).abs() < 1e-9);
+        // One gear: 2 on, 4 off → 2×126 + 4×(6+2) = 284 W idle.
+        assert!((c.idle_power_at_gears(1) - 284.0).abs() < 1e-9);
+        assert!(c.idle_power_at_gears(1) < c.idle_power_at_gears(2));
+        assert!(c.idle_power_at_gears(2) < c.idle_power_at_gears(3));
+    }
+
+    #[test]
+    fn spinup_overhead_reported_in_slot() {
+        let mut c = small_cluster();
+        c.set_active_gears(1, SimTime::ZERO);
+        c.end_slot(SimTime::from_hours(1), HOUR);
+        c.set_active_gears(3, SimTime::from_hours(1));
+        let e = c.end_slot(SimTime::from_hours(2), HOUR);
+        assert!(e.spinup_overhead_wh > 0.0);
+        assert!(c.total_spinups() >= 8, "8 disks spun back up");
+    }
+
+    #[test]
+    fn failure_generates_rebuild_work_and_routes_around() {
+        let mut c = small_cluster();
+        let report = c.fail_disk(0, SimTime::from_secs(10));
+        assert!(report.affected_objects > 0);
+        assert_eq!(report.rebuild_bytes, report.affected_objects as u64 * (16 << 20));
+        assert_eq!(report.lost_objects, 0, "replication 3: single failure loses nothing");
+        assert!(c.is_rebuilding(0));
+        assert_eq!(c.total_failures(), 1);
+        // Reads for objects homed on disk 0 are served elsewhere.
+        for i in 0..200 {
+            let req = IoRequest::read(SimTime::from_secs(20), ObjectId(i), 64 << 10);
+            c.serve_request(&req);
+        }
+        assert_eq!(c.degraded_reads(), 0, "two intact replicas remain");
+        // Rebuild and recover.
+        c.rebuild_step(0, report.rebuild_bytes, SimTime::from_secs(30));
+        c.mark_rebuilt(0);
+        assert!(!c.is_rebuilding(0));
+    }
+
+    #[test]
+    fn correlated_failures_lose_objects() {
+        let mut c = small_cluster();
+        // Fail one disk per gear; under the gear layout any object whose
+        // three replicas land exactly on those disks is exposed.
+        let r0 = c.fail_disk(0, SimTime::from_secs(1)); // gear 0
+        let r1 = c.fail_disk(4, SimTime::from_secs(2)); // gear 1
+        let r2 = c.fail_disk(8, SimTime::from_secs(3)); // gear 2
+        assert_eq!(r0.lost_objects + r1.lost_objects, 0, "first two failures survivable");
+        // With 12 disks (4 per gear) and 1000 objects, ~1000/64 objects
+        // have exactly this replica triple.
+        assert!(r2.lost_objects > 0, "triple failure must expose some objects");
+        assert_eq!(c.total_lost_objects(), r2.lost_objects as u64);
+    }
+
+    #[test]
+    fn double_failure_of_same_disk_adds_no_work() {
+        let mut c = small_cluster();
+        let first = c.fail_disk(3, SimTime::from_secs(1));
+        let again = c.fail_disk(3, SimTime::from_secs(2));
+        assert!(first.rebuild_bytes > 0);
+        assert_eq!(again.rebuild_bytes, 0);
+        assert_eq!(c.total_rebuild_bytes(), first.rebuild_bytes);
+        assert_eq!(c.total_failures(), 2, "the event is still counted");
+    }
+
+    #[test]
+    fn all_replicas_rebuilding_degrades_reads() {
+        let mut c = small_cluster();
+        // Find an object's full replica set and fail it all.
+        let replicas = c.directory()[0].replicas.clone();
+        let oid = c.directory()[0].id;
+        for &d in &replicas {
+            c.fail_disk(d, SimTime::from_secs(1));
+        }
+        let req = IoRequest::read(SimTime::from_secs(5), oid, 64 << 10);
+        c.serve_request(&req);
+        assert!(c.degraded_reads() >= 1);
+    }
+
+    #[test]
+    fn cache_serves_repeated_reads_from_ram() {
+        let mut spec = ClusterSpec::small();
+        spec.cache_bytes = 10 * spec.object_size_bytes;
+        let mut c = Cluster::new(spec);
+        let req = IoRequest::read(SimTime::from_secs(1), ObjectId(5), 1 << 20);
+        let cold = c.serve_request(&req);
+        let warm = c.serve_request(&IoRequest::read(SimTime::from_secs(2), ObjectId(5), 1 << 20));
+        assert!(warm.latency < cold.latency, "hit beats media");
+        assert_eq!(warm.latency, crate::cache::CACHE_HIT_SERVICE);
+        assert_eq!(c.cache().hits(), 1);
+        assert_eq!(c.cache().misses(), 1);
+        // A write invalidates; the next read misses again.
+        c.serve_request(&IoRequest::write(SimTime::from_secs(3), ObjectId(5), 1 << 20));
+        let after_write =
+            c.serve_request(&IoRequest::read(SimTime::from_secs(4), ObjectId(5), 1 << 20));
+        assert!(after_write.latency > crate::cache::CACHE_HIT_SERVICE);
+        assert_eq!(c.cache().misses(), 2);
+    }
+
+    #[test]
+    fn zero_cache_changes_nothing() {
+        let mut c = small_cluster();
+        let r1 = c.serve_request(&IoRequest::read(SimTime::from_secs(1), ObjectId(5), 1 << 20));
+        let r2 = c.serve_request(&IoRequest::read(SimTime::from_secs(30), ObjectId(5), 1 << 20));
+        // Both reads hit media; service time identical at equal queue state.
+        assert_eq!(r1.latency, r2.latency);
+        assert_eq!(c.cache().hits() + c.cache().misses(), 0, "disabled cache never probed");
+    }
+
+    #[test]
+    fn sequential_work_lands_on_disk() {
+        let mut c = small_cluster();
+        let served = c.add_sequential_work(0, 1 << 30, SimTime::from_secs(1));
+        // 1 GiB at 140 MB/s ≈ 7.7 s.
+        assert!(served.latency.as_secs_f64() > 7.0 && served.latency.as_secs_f64() < 8.5);
+        let e = c.end_slot(SimTime::from_hours(1), HOUR);
+        assert!(e.disks_wh > 0.0);
+    }
+}

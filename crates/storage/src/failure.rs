@@ -1,0 +1,151 @@
+//! Disk failure and rebuild modeling.
+//!
+//! Massive storage systems lose disks continuously; what matters for a
+//! renewable-aware scheduler is that **rebuild is deferrable bulk work** —
+//! exactly the kind of load that can be matched to green windows, but with
+//! a hard reliability clock: while an object is under-replicated, a second
+//! failure can destroy it.
+//!
+//! The model here:
+//!
+//! * Each disk fails independently with a configurable annualised failure
+//!   rate (AFR). Spun-down (standby) disks fail at a reduced rate, but
+//!   every spin-up cycle adds wear, modeled as a fixed number of
+//!   equivalent powered-on hours — the classic cycling-wear trade-off
+//!   power-proportional systems must respect.
+//! * On failure the disk is logically replaced at once by a blank drive;
+//!   the lost replicas constitute `rebuild_bytes` of sequential write work
+//!   that the scheduler must place (as a repair job). Until
+//!   [`crate::cluster::Cluster::mark_rebuilt`] is called, reads route
+//!   around the disk and redundancy is reduced.
+//! * A **data-loss event** is recorded when a disk fails while another
+//!   disk sharing at least one object with it is still awaiting rebuild
+//!   (the standard approximation that under-replicated windows are the
+//!   loss exposure — this is what copyset-style layouts minimise).
+
+use gm_sim::rng::splitmix64;
+use serde::{Deserialize, Serialize};
+
+/// Failure-process parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureSpec {
+    /// Annualised failure rate of a powered, spinning disk (fraction/yr).
+    pub afr: f64,
+    /// Multiplier on the AFR while in standby (< 1: parked disks are
+    /// mechanically safer).
+    pub standby_factor: f64,
+    /// Wear added by one spin-up cycle, in equivalent powered-on hours.
+    pub spinup_wear_hours: f64,
+}
+
+impl FailureSpec {
+    /// Era-typical nearline AFR of ~3 %/yr, halved in standby, 10 h of
+    /// equivalent wear per start-stop cycle.
+    pub fn nearline() -> Self {
+        FailureSpec { afr: 0.03, standby_factor: 0.5, spinup_wear_hours: 10.0 }
+    }
+
+    /// Probability that a disk fails during `hours` of operation in the
+    /// given state, with `spinups` start-stop cycles in the interval.
+    pub fn failure_probability(&self, hours: f64, standby: bool, spinups: u64) -> f64 {
+        const HOURS_PER_YEAR: f64 = 8_766.0;
+        let base = if standby { self.afr * self.standby_factor } else { self.afr };
+        let effective_hours = hours + spinups as f64 * self.spinup_wear_hours;
+        // Exponential survival over the interval.
+        1.0 - (-base * effective_hours / HOURS_PER_YEAR).exp()
+    }
+}
+
+impl Default for FailureSpec {
+    fn default() -> Self {
+        FailureSpec::nearline()
+    }
+}
+
+/// Deterministic per-(disk, slot) failure draw, independent of all other
+/// randomness in the run.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureDice {
+    seed: u64,
+}
+
+impl FailureDice {
+    /// Dice for a run seed.
+    pub fn new(seed: u64) -> Self {
+        FailureDice { seed: seed ^ 0xFA11_FA11_FA11_FA11 }
+    }
+
+    /// Uniform `[0,1)` draw for `(disk, slot)`.
+    pub fn draw(&self, disk: usize, slot: usize) -> f64 {
+        let mut s = self
+            .seed
+            .wrapping_add((disk as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((slot as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        (splitmix64(&mut s) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// What one disk failure implies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureReport {
+    /// The failed disk.
+    pub disk: usize,
+    /// Objects that lost a replica.
+    pub affected_objects: usize,
+    /// Objects whose only other replicas were also failed/rebuilding —
+    /// counted as data-loss events.
+    pub lost_objects: usize,
+    /// Bytes of replica data to re-create.
+    pub rebuild_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_probability_scales_with_time() {
+        let f = FailureSpec::nearline();
+        let week = f.failure_probability(168.0, false, 0);
+        let year = f.failure_probability(8_766.0, false, 0);
+        assert!(week < year);
+        // One year at 3 % AFR ≈ 2.96 % (exponential).
+        assert!((year - 0.0296).abs() < 0.001, "{year}");
+        // A week is tiny but positive.
+        assert!(week > 4e-4 && week < 8e-4, "{week}");
+    }
+
+    #[test]
+    fn standby_is_safer_but_cycling_hurts() {
+        let f = FailureSpec::nearline();
+        let spinning = f.failure_probability(168.0, false, 0);
+        let parked = f.failure_probability(168.0, true, 0);
+        assert!(parked < spinning);
+        // Heavy cycling can overwhelm the standby benefit.
+        let cycled = f.failure_probability(168.0, true, 200);
+        assert!(cycled > parked);
+        assert!(cycled > spinning, "200 cycles × 10 h wear > the standby saving");
+    }
+
+    #[test]
+    fn zero_hours_zero_probability() {
+        let f = FailureSpec::nearline();
+        assert_eq!(f.failure_probability(0.0, false, 0), 0.0);
+    }
+
+    #[test]
+    fn dice_are_deterministic_and_spread() {
+        let d = FailureDice::new(42);
+        assert_eq!(d.draw(3, 7), d.draw(3, 7));
+        assert_ne!(d.draw(3, 7), d.draw(3, 8));
+        assert_ne!(d.draw(3, 7), d.draw(4, 7));
+        // Roughly uniform: mean of many draws near 0.5.
+        let mean: f64 =
+            (0..1_000).map(|i| d.draw(i % 37, i / 37)).sum::<f64>() / 1_000.0;
+        assert!((mean - 0.5).abs() < 0.05, "{mean}");
+        for i in 0..100 {
+            let v = d.draw(i, i * 3);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Replica placement layouts.
+//!
+//! The layout decides which disks hold an object's replicas, and it is the
+//! *enabler* of spatial matching: with the **gear layout**, replica `r` of
+//! every object lives in gear group `r`, so powering only gears `0..g`
+//! leaves every object readable (gear 0 holds a full copy of the data set)
+//! while each extra gear adds a full cluster's worth of read bandwidth.
+//! This is the Sierra/Rabbit power-proportional design the GreenMatch
+//! scheduler drives.
+//!
+//! Baseline layouts for the ablation (R-ablate-layout):
+//!
+//! * [`RandomLayout`] — R distinct uniformly random disks. Spinning down
+//!   *any* disk under this layout loses the only nearby copy for ~`1/R` of
+//!   objects, so power-gating needs the write log and spin-up waits.
+//! * [`ChainedDeclustering`] — replica `r` on disk `(p + r) mod n`;
+//!   classic availability layout, no power structure.
+//! * [`CopysetLayout`] — replicas confined to precomputed copysets,
+//!   minimising data-loss event probability; no power structure either.
+
+use crate::object::DiskIdx;
+use crate::object::ObjectId;
+use gm_sim::rng::splitmix64;
+use serde::{Deserialize, Serialize};
+
+/// Physical shape of the cluster, shared by layouts and the cluster proper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of servers.
+    pub servers: usize,
+    /// Disk bays per server.
+    pub bays: usize,
+    /// Number of gear groups (= replication factor for the gear layout).
+    pub gears: usize,
+}
+
+impl Topology {
+    /// Construct; `servers` must be divisible by `gears` so gear groups are
+    /// equal-sized (a deliberate simplification — real deployments pad).
+    pub fn new(servers: usize, bays: usize, gears: usize) -> Self {
+        assert!(servers > 0 && bays > 0 && gears > 0);
+        assert!(
+            servers.is_multiple_of(gears),
+            "servers ({servers}) must be divisible by gears ({gears})"
+        );
+        Topology { servers, bays, gears }
+    }
+
+    /// Total disk count.
+    pub fn n_disks(&self) -> usize {
+        self.servers * self.bays
+    }
+
+    /// Servers per gear group.
+    pub fn servers_per_gear(&self) -> usize {
+        self.servers / self.gears
+    }
+
+    /// Gear group of a server. Groups are contiguous: gear 0 is servers
+    /// `0..n/g`, etc.
+    pub fn gear_of_server(&self, server: usize) -> usize {
+        debug_assert!(server < self.servers);
+        server / self.servers_per_gear()
+    }
+
+    /// Gear group of a disk.
+    pub fn gear_of_disk(&self, disk: DiskIdx) -> usize {
+        self.gear_of_server(self.server_of_disk(disk))
+    }
+
+    /// Server owning a disk.
+    pub fn server_of_disk(&self, disk: DiskIdx) -> usize {
+        debug_assert!(disk < self.n_disks());
+        disk / self.bays
+    }
+
+    /// Disks of one server.
+    pub fn disks_of_server(&self, server: usize) -> std::ops::Range<DiskIdx> {
+        let start = server * self.bays;
+        start..start + self.bays
+    }
+
+    /// All disks in a gear group.
+    pub fn disks_in_gear(&self, gear: usize) -> Vec<DiskIdx> {
+        debug_assert!(gear < self.gears);
+        let spg = self.servers_per_gear();
+        (gear * spg..(gear + 1) * spg).flat_map(|s| self.disks_of_server(s)).collect()
+    }
+}
+
+/// A replica-placement strategy.
+pub trait Layout {
+    /// Choose the replica disks (in replica order, all distinct) for an
+    /// object. Deterministic in `(self, id)`.
+    fn place(&self, topo: &Topology, id: ObjectId, replication: usize) -> Vec<DiskIdx>;
+
+    /// Label for reports.
+    fn label(&self) -> &'static str;
+}
+
+/// Identifier for the built-in layouts (config/serde friendly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayoutKind {
+    /// Gear-structured power-proportional layout.
+    Gear,
+    /// Uniform random distinct disks.
+    Random,
+    /// Chained declustering.
+    Chained,
+    /// Copyset placement with the given scatter seed.
+    Copyset,
+}
+
+impl LayoutKind {
+    /// Instantiate the layout with a placement seed.
+    pub fn build(self, seed: u64) -> Box<dyn Layout + Send + Sync> {
+        match self {
+            LayoutKind::Gear => Box::new(GearLayout { seed }),
+            LayoutKind::Random => Box::new(RandomLayout { seed }),
+            LayoutKind::Chained => Box::new(ChainedDeclustering { seed }),
+            LayoutKind::Copyset => Box::new(CopysetLayout { seed }),
+        }
+    }
+}
+
+/// Stateless deterministic hash of `(seed, object, salt)`.
+fn obj_hash(seed: u64, id: ObjectId, salt: u64) -> u64 {
+    let mut s = seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    splitmix64(&mut s)
+}
+
+/// Replica `r` in gear group `r`, spread within the gear by object hash.
+#[derive(Debug, Clone, Copy)]
+pub struct GearLayout {
+    /// Placement seed.
+    pub seed: u64,
+}
+
+impl Layout for GearLayout {
+    fn place(&self, topo: &Topology, id: ObjectId, replication: usize) -> Vec<DiskIdx> {
+        assert!(
+            replication <= topo.gears,
+            "gear layout needs replication ({replication}) <= gears ({})",
+            topo.gears
+        );
+        let per_gear = topo.servers_per_gear() * topo.bays;
+        (0..replication)
+            .map(|r| {
+                let within = (obj_hash(self.seed, id, r as u64) % per_gear as u64) as usize;
+                // Gear r's disks start at server r*spg.
+                r * per_gear + within
+            })
+            .collect()
+    }
+
+    fn label(&self) -> &'static str {
+        "gear"
+    }
+}
+
+/// R distinct uniformly random disks.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomLayout {
+    /// Placement seed.
+    pub seed: u64,
+}
+
+impl Layout for RandomLayout {
+    fn place(&self, topo: &Topology, id: ObjectId, replication: usize) -> Vec<DiskIdx> {
+        let n = topo.n_disks();
+        assert!(replication <= n);
+        let mut picked = Vec::with_capacity(replication);
+        let mut salt = 0u64;
+        while picked.len() < replication {
+            let d = (obj_hash(self.seed, id, salt) % n as u64) as usize;
+            salt += 1;
+            if !picked.contains(&d) {
+                picked.push(d);
+            }
+        }
+        picked
+    }
+
+    fn label(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Primary by hash; replica `r` on disk `(p + r·bays) mod n` — stepping by
+/// `bays` keeps replicas on distinct servers for the common bay counts.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainedDeclustering {
+    /// Placement seed.
+    pub seed: u64,
+}
+
+impl Layout for ChainedDeclustering {
+    fn place(&self, topo: &Topology, id: ObjectId, replication: usize) -> Vec<DiskIdx> {
+        let n = topo.n_disks();
+        assert!(replication * topo.bays <= n, "chain would wrap onto the same server");
+        let p = (obj_hash(self.seed, id, 0) % n as u64) as usize;
+        (0..replication).map(|r| (p + r * topo.bays) % n).collect()
+    }
+
+    fn label(&self) -> &'static str {
+        "chained"
+    }
+}
+
+/// Copyset placement: disks are permuted (by seed) and chunked into copysets
+/// of size R; an object maps to one copyset.
+#[derive(Debug, Clone, Copy)]
+pub struct CopysetLayout {
+    /// Permutation/assignment seed.
+    pub seed: u64,
+}
+
+impl CopysetLayout {
+    /// The permuted disk order for a topology.
+    fn permutation(&self, topo: &Topology) -> Vec<DiskIdx> {
+        let n = topo.n_disks();
+        let mut perm: Vec<DiskIdx> = (0..n).collect();
+        // Fisher–Yates with splitmix64 as the generator.
+        let mut state = self.seed ^ 0xC0FF_EE00_D15C_0000;
+        for i in (1..n).rev() {
+            let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        perm
+    }
+}
+
+impl Layout for CopysetLayout {
+    fn place(&self, topo: &Topology, id: ObjectId, replication: usize) -> Vec<DiskIdx> {
+        let n = topo.n_disks();
+        assert!(replication <= n);
+        let perm = self.permutation(topo);
+        let n_sets = n / replication;
+        assert!(n_sets > 0);
+        let set = (obj_hash(self.seed, id, 1) % n_sets as u64) as usize;
+        perm[set * replication..(set + 1) * replication].to_vec()
+    }
+
+    fn label(&self) -> &'static str {
+        "copyset"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::new(12, 4, 3) // 48 disks, 3 gears of 16 disks
+    }
+
+    #[test]
+    fn topology_partitions() {
+        let t = topo();
+        assert_eq!(t.n_disks(), 48);
+        assert_eq!(t.servers_per_gear(), 4);
+        assert_eq!(t.gear_of_server(0), 0);
+        assert_eq!(t.gear_of_server(4), 1);
+        assert_eq!(t.gear_of_server(11), 2);
+        assert_eq!(t.gear_of_disk(0), 0);
+        assert_eq!(t.gear_of_disk(47), 2);
+        assert_eq!(t.server_of_disk(17), 4);
+        // Gear disk sets are disjoint and cover everything.
+        let mut all: Vec<DiskIdx> = (0..3).flat_map(|g| t.disks_in_gear(g)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..48).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn uneven_gears_panic() {
+        let _ = Topology::new(10, 4, 3);
+    }
+
+    #[test]
+    fn gear_layout_replica_r_in_gear_r() {
+        let t = topo();
+        let l = GearLayout { seed: 1 };
+        for i in 0..500 {
+            let reps = l.place(&t, ObjectId(i), 3);
+            assert_eq!(reps.len(), 3);
+            for (r, &d) in reps.iter().enumerate() {
+                assert_eq!(t.gear_of_disk(d), r, "object {i} replica {r} on disk {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn gear_layout_balances_within_gear() {
+        let t = topo();
+        let l = GearLayout { seed: 2 };
+        let mut counts = vec![0usize; t.n_disks()];
+        for i in 0..16_000 {
+            for d in l.place(&t, ObjectId(i), 3) {
+                counts[d] += 1;
+            }
+        }
+        // Every disk holds ~1000 replicas; allow ±20 %.
+        for (d, &c) in counts.iter().enumerate() {
+            assert!((800..1200).contains(&c), "disk {d} has {c} replicas");
+        }
+    }
+
+    #[test]
+    fn all_layouts_produce_distinct_replicas() {
+        let t = topo();
+        for kind in [LayoutKind::Gear, LayoutKind::Random, LayoutKind::Chained, LayoutKind::Copyset]
+        {
+            let l = kind.build(7);
+            for i in 0..300 {
+                let reps = l.place(&t, ObjectId(i), 3);
+                let mut sorted = reps.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), 3, "{}: {reps:?}", l.label());
+                assert!(reps.iter().all(|&d| d < t.n_disks()));
+            }
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let t = topo();
+        for kind in [LayoutKind::Gear, LayoutKind::Random, LayoutKind::Chained, LayoutKind::Copyset]
+        {
+            let a = kind.build(9).place(&t, ObjectId(123), 3);
+            let b = kind.build(9).place(&t, ObjectId(123), 3);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn chained_replicas_on_distinct_servers() {
+        let t = topo();
+        let l = ChainedDeclustering { seed: 3 };
+        for i in 0..300 {
+            let reps = l.place(&t, ObjectId(i), 3);
+            let mut servers: Vec<usize> = reps.iter().map(|&d| t.server_of_disk(d)).collect();
+            servers.sort_unstable();
+            servers.dedup();
+            assert_eq!(servers.len(), 3, "object {i}: {reps:?}");
+        }
+    }
+
+    #[test]
+    fn copysets_limit_distinct_sets() {
+        let t = topo();
+        let l = CopysetLayout { seed: 4 };
+        let mut sets = std::collections::HashSet::new();
+        for i in 0..5_000 {
+            let mut reps = l.place(&t, ObjectId(i), 3);
+            reps.sort_unstable();
+            sets.insert(reps);
+        }
+        // 48 disks / 3 = 16 copysets max.
+        assert!(sets.len() <= 16, "found {} copysets", sets.len());
+        assert!(sets.len() >= 12, "hash should reach most copysets: {}", sets.len());
+    }
+
+    #[test]
+    fn random_layout_spreads_over_gears() {
+        let t = topo();
+        let l = RandomLayout { seed: 5 };
+        // With random placement, some object must have NO replica in gear 0
+        // (the property that breaks naive power-gating).
+        let orphaned = (0..200).any(|i| {
+            l.place(&t, ObjectId(i), 3).iter().all(|&d| t.gear_of_disk(d) != 0)
+        });
+        assert!(orphaned, "random layout should orphan some objects from gear 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "replication")]
+    fn gear_layout_rejects_over_replication() {
+        let t = topo();
+        let _ = GearLayout { seed: 0 }.place(&t, ObjectId(0), 4);
+    }
+}

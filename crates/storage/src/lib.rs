@@ -1,0 +1,54 @@
+//! # gm-storage — massive storage system substrate
+//!
+//! Models the storage cluster GreenMatch schedules: servers full of disks,
+//! replicated data laid out so that subsets of the cluster can be powered
+//! down without losing availability, per-disk FCFS service with realistic
+//! seek/rotate/transfer times, spin-up/spin-down state machines with their
+//! energy surcharges, and a write-offloading log that absorbs writes aimed
+//! at powered-down replicas.
+//!
+//! Module map:
+//!
+//! * [`disk`] — the disk power/performance model (Active/Idle/Standby +
+//!   spin-up transitions, service times).
+//! * [`server`] — server CPU power model ("idle burns half of peak") and
+//!   whole-server power gating.
+//! * [`object`] — data objects and replica metadata.
+//! * [`layout`] — replica placement: **gear layout** (replica *r* in gear
+//!   group *r*, the power-proportional design), plus random, chained
+//!   declustering and copyset baselines for the layout ablation.
+//! * [`cluster`] — the assembled cluster: topology, directory, gear
+//!   controller, routing of reads to the lowest active replica, per-slot
+//!   power integration.
+//! * [`queue`] — per-disk FCFS timelines producing exact per-request
+//!   latencies, with backlog carried across slot boundaries.
+//! * [`writelog`] — write off-loading for powered-down gears and the
+//!   reclaim (replay) bookkeeping.
+//! * [`request`] — I/O request types.
+//!
+//! Power is in watts, energy in watt-hours, sizes in bytes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cluster;
+pub mod disk;
+pub mod failure;
+pub mod layout;
+pub mod object;
+pub mod queue;
+pub mod request;
+pub mod server;
+pub mod writelog;
+
+pub use cache::LruCache;
+pub use cluster::{Cluster, ClusterSpec, GearState};
+pub use disk::{Disk, DiskPowerState, DiskSpec};
+pub use failure::{FailureDice, FailureReport, FailureSpec};
+pub use layout::{ChainedDeclustering, CopysetLayout, GearLayout, Layout, LayoutKind, RandomLayout};
+pub use object::{DataObject, ObjectId};
+pub use queue::{DiskQueue, ServedRequest};
+pub use request::{IoKind, IoRequest};
+pub use server::{Server, ServerSpec};
+pub use writelog::WriteLog;

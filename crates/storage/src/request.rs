@@ -1,0 +1,56 @@
+//! I/O request types.
+
+use crate::object::ObjectId;
+use gm_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoKind {
+    /// Read from any replica.
+    Read,
+    /// Write to all live replicas (or the write log).
+    Write,
+}
+
+/// One I/O request against the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoRequest {
+    /// Arrival instant.
+    pub arrival: SimTime,
+    /// Target object.
+    pub object: ObjectId,
+    /// Read or write.
+    pub kind: IoKind,
+    /// Transfer size in bytes.
+    pub size_bytes: u64,
+    /// Whether the access pattern is sequential (skips positioning cost).
+    pub sequential: bool,
+}
+
+impl IoRequest {
+    /// A random-access read.
+    pub fn read(arrival: SimTime, object: ObjectId, size_bytes: u64) -> Self {
+        IoRequest { arrival, object, kind: IoKind::Read, size_bytes, sequential: false }
+    }
+
+    /// A random-access write.
+    pub fn write(arrival: SimTime, object: ObjectId, size_bytes: u64) -> Self {
+        IoRequest { arrival, object, kind: IoKind::Write, size_bytes, sequential: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let r = IoRequest::read(SimTime::from_secs(1), ObjectId(5), 4096);
+        assert_eq!(r.kind, IoKind::Read);
+        assert!(!r.sequential);
+        let w = IoRequest::write(SimTime::from_secs(2), ObjectId(5), 8192);
+        assert_eq!(w.kind, IoKind::Write);
+        assert_eq!(w.size_bytes, 8192);
+    }
+}

@@ -1,0 +1,185 @@
+//! Server power model.
+//!
+//! The CPU/board side of a storage server follows the era-standard linear
+//! model: an idle server burns roughly **half of its peak** power, and the
+//! dynamic part grows linearly with CPU utilisation. Disks are accounted
+//! separately (see [`crate::disk`]); a *powered-off* server draws only a
+//! small standby (BMC/vampire) power and its disks are necessarily in
+//! standby too.
+//!
+//! Defaults model a dual-socket 2U storage node of the era: 220 W peak,
+//! 110 W idle, 6 W off/standby.
+
+use serde::{Deserialize, Serialize};
+
+/// Static server characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// Power at 100 % CPU utilisation, excluding disks (W).
+    pub peak_w: f64,
+    /// Power at 0 % utilisation while on (W).
+    pub idle_w: f64,
+    /// Power while the server is shut down (BMC etc.) (W).
+    pub off_w: f64,
+    /// Number of disk bays.
+    pub disk_bays: usize,
+    /// Energy cost of one power-on cycle (J): POST + OS boot at near-peak.
+    pub poweron_extra_j: f64,
+    /// Latency of a power-on cycle (s).
+    pub poweron_latency_s: f64,
+}
+
+impl ServerSpec {
+    /// Era-typical 2U storage node with 4 data disks.
+    pub fn storage_node() -> Self {
+        ServerSpec {
+            peak_w: 220.0,
+            idle_w: 110.0,
+            off_w: 6.0,
+            disk_bays: 4,
+            poweron_extra_j: 13_200.0, // ~60 s boot at ~220 W
+            poweron_latency_s: 60.0,
+        }
+    }
+
+    /// CPU-side power (W) at utilisation `u ∈ [0,1]` while on.
+    pub fn power_at(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        self.idle_w + (self.peak_w - self.idle_w) * u
+    }
+
+    /// Power-on surcharge in Wh.
+    pub fn poweron_extra_wh(&self) -> f64 {
+        self.poweron_extra_j / 3600.0
+    }
+}
+
+impl Default for ServerSpec {
+    fn default() -> Self {
+        ServerSpec::storage_node()
+    }
+}
+
+/// A server: spec + on/off state + cumulative accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Server {
+    spec: ServerSpec,
+    powered_on: bool,
+    poweron_count: u64,
+    energy_wh: f64,
+    poweron_energy_wh: f64,
+}
+
+impl Server {
+    /// A new, powered-on server.
+    pub fn new(spec: ServerSpec) -> Self {
+        Server { spec, powered_on: true, poweron_count: 0, energy_wh: 0.0, poweron_energy_wh: 0.0 }
+    }
+
+    /// The static spec.
+    pub fn spec(&self) -> &ServerSpec {
+        &self.spec
+    }
+
+    /// Whether the server is on.
+    pub fn is_on(&self) -> bool {
+        self.powered_on
+    }
+
+    /// Power the server on; returns `true` if it was off (and charges the
+    /// boot surcharge).
+    pub fn power_on(&mut self) -> bool {
+        if self.powered_on {
+            return false;
+        }
+        self.powered_on = true;
+        self.poweron_count += 1;
+        self.poweron_energy_wh += self.spec.poweron_extra_wh();
+        self.energy_wh += self.spec.poweron_extra_wh();
+        true
+    }
+
+    /// Power the server off; returns `true` if it was on.
+    pub fn power_off(&mut self) -> bool {
+        if !self.powered_on {
+            return false;
+        }
+        self.powered_on = false;
+        true
+    }
+
+    /// Average CPU-side power over a slot at mean utilisation `u`.
+    pub fn power_in_slot(&self, u: f64) -> f64 {
+        if self.powered_on {
+            self.spec.power_at(u)
+        } else {
+            self.spec.off_w
+        }
+    }
+
+    /// Integrate one slot of CPU-side energy at mean utilisation `u`.
+    /// Returns the energy added (Wh).
+    pub fn account_slot(&mut self, u: f64, slot_hours: f64) -> f64 {
+        let wh = self.power_in_slot(u) * slot_hours;
+        self.energy_wh += wh;
+        wh
+    }
+
+    /// Number of power-on cycles.
+    pub fn poweron_count(&self) -> u64 {
+        self.poweron_count
+    }
+
+    /// Total CPU-side energy so far (Wh).
+    pub fn energy_wh(&self) -> f64 {
+        self.energy_wh
+    }
+
+    /// Cumulative boot-surcharge energy (Wh).
+    pub fn poweron_energy_wh(&self) -> f64 {
+        self.poweron_energy_wh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_is_half_of_peak() {
+        let s = ServerSpec::storage_node();
+        assert!((s.power_at(0.0) / s.power_at(1.0) - 0.5).abs() < 1e-12);
+        assert!((s.power_at(0.5) - 165.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilisation_is_clamped() {
+        let s = ServerSpec::storage_node();
+        assert_eq!(s.power_at(-1.0), s.power_at(0.0));
+        assert_eq!(s.power_at(2.0), s.power_at(1.0));
+    }
+
+    #[test]
+    fn power_cycle_accounting() {
+        let mut srv = Server::new(ServerSpec::storage_node());
+        assert!(srv.is_on());
+        assert!(!srv.power_on(), "already on");
+        assert!(srv.power_off());
+        assert!(!srv.power_off(), "already off");
+        assert_eq!(srv.power_in_slot(0.9), 6.0, "off power ignores utilisation");
+        assert!(srv.power_on());
+        assert_eq!(srv.poweron_count(), 1);
+        assert!((srv.poweron_energy_wh() - 13_200.0 / 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slot_energy_integration() {
+        let mut srv = Server::new(ServerSpec::storage_node());
+        let wh = srv.account_slot(0.0, 1.0);
+        assert!((wh - 110.0).abs() < 1e-12);
+        srv.power_off();
+        let wh_off = srv.account_slot(0.5, 1.0);
+        assert!((wh_off - 6.0).abs() < 1e-12);
+        assert!((srv.energy_wh() - 116.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the storage substrate: placement validity for every
+//! layout/topology combination, FCFS queue monotonicity, write-log
+//! conservation, and gear-transition sanity.
+
+use gm_sim::time::{SimDuration, SimTime};
+use gm_storage::layout::Topology;
+use gm_storage::{DiskQueue, LayoutKind, ObjectId, WriteLog};
+use proptest::prelude::*;
+
+fn topo_strategy() -> impl Strategy<Value = Topology> {
+    // gears ∈ {2,3,4}, servers a multiple of gears, bays 1..4.
+    (2usize..=4, 1usize..=6, 1usize..=4)
+        .prop_map(|(gears, mult, bays)| Topology::new(gears * mult, bays, gears))
+}
+
+proptest! {
+    #[test]
+    fn every_layout_places_validly(
+        topo in topo_strategy(),
+        kind in prop_oneof![
+            Just(LayoutKind::Gear),
+            Just(LayoutKind::Random),
+            Just(LayoutKind::Chained),
+            Just(LayoutKind::Copyset),
+        ],
+        seed in 0u64..1_000,
+        ids in proptest::collection::vec(0u64..100_000, 1..50),
+    ) {
+        // Replication limited by what the layout can host.
+        let replication = match kind {
+            LayoutKind::Gear => topo.gears.min(3),
+            LayoutKind::Chained => (topo.n_disks() / topo.bays).min(3),
+            _ => 3.min(topo.n_disks()),
+        };
+        let layout = kind.build(seed);
+        for id in ids {
+            let reps = layout.place(&topo, ObjectId(id), replication);
+            prop_assert_eq!(reps.len(), replication);
+            prop_assert!(reps.iter().all(|&d| d < topo.n_disks()), "in range");
+            let mut sorted = reps.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), replication, "distinct disks");
+            // Determinism.
+            prop_assert_eq!(layout.place(&topo, ObjectId(id), replication), reps);
+        }
+    }
+
+    #[test]
+    fn gear_layout_respects_gear_structure(
+        topo in topo_strategy(),
+        seed in 0u64..1_000,
+        id in 0u64..100_000,
+    ) {
+        let layout = LayoutKind::Gear.build(seed);
+        let reps = layout.place(&topo, ObjectId(id), topo.gears);
+        for (r, &d) in reps.iter().enumerate() {
+            prop_assert_eq!(topo.gear_of_disk(d), r);
+        }
+    }
+
+    #[test]
+    fn queue_completions_are_monotone_for_ordered_arrivals(
+        arrivals in proptest::collection::vec((0u64..10_000, 1u64..100), 1..100)
+    ) {
+        let hour = SimDuration::from_hours(1);
+        let mut sorted = arrivals;
+        sorted.sort_by_key(|(t, _)| *t);
+        let mut q = DiskQueue::new();
+        let mut last_completion = SimTime::ZERO;
+        for (t, svc) in sorted {
+            let r = q.serve(SimTime::from_secs(t), SimTime::ZERO, SimDuration::from_secs(svc), hour);
+            prop_assert!(r.start >= SimTime::from_secs(t), "no time travel");
+            prop_assert!(r.completion >= last_completion, "FCFS completions monotone");
+            prop_assert!(r.latency >= SimDuration::from_secs(svc), "latency ≥ service");
+            last_completion = r.completion;
+        }
+    }
+
+    #[test]
+    fn queue_busy_drain_conserves_time(
+        services in proptest::collection::vec(1u64..5_000, 0..50)
+    ) {
+        let hour = SimDuration::from_hours(1);
+        let mut q = DiskQueue::new();
+        let mut total = SimDuration::ZERO;
+        for s in &services {
+            q.add_background(SimTime::ZERO, SimTime::ZERO, SimDuration::from_secs(*s));
+            total += SimDuration::from_secs(*s);
+        }
+        let mut drained = SimDuration::ZERO;
+        for _ in 0..200 {
+            let d = q.take_busy_in(hour);
+            drained += d;
+            if d == SimDuration::ZERO {
+                break;
+            }
+        }
+        prop_assert_eq!(drained, total, "busy time neither created nor destroyed");
+        prop_assert_eq!(q.pending_busy(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn cache_invariants_under_random_ops(
+        capacity in 1u64..10_000,
+        ops in proptest::collection::vec((0u64..100, 1u64..2_000, 0usize..3), 0..300),
+    ) {
+        use gm_storage::cache::LruCache;
+        let mut c = LruCache::new(capacity);
+        for (id, bytes, op) in ops {
+            match op {
+                0 => {
+                    let _ = c.probe(ObjectId(id));
+                }
+                1 => {
+                    c.insert(ObjectId(id), bytes);
+                    // A just-inserted fitting object must hit immediately
+                    // (it is the most-recent entry, immune to eviction).
+                    if bytes <= capacity {
+                        prop_assert!(c.probe(ObjectId(id)), "fresh insert of {id} must hit");
+                    }
+                }
+                _ => {
+                    c.invalidate(ObjectId(id));
+                    // Invalidate makes the very next probe a miss…
+                    let before = c.misses();
+                    prop_assert!(!c.probe(ObjectId(id)));
+                    prop_assert_eq!(c.misses(), before + 1);
+                }
+            }
+            prop_assert!(c.used_bytes() <= capacity,
+                "used {} > capacity {capacity}", c.used_bytes());
+            prop_assert!((0.0..=1.0).contains(&c.hit_ratio()));
+        }
+    }
+
+    #[test]
+    fn writelog_conserves_bytes(
+        ops in proptest::collection::vec((0usize..3, 0u64..1_000_000), 0..200)
+    ) {
+        let mut log = WriteLog::new(3);
+        for (gear, bytes) in ops {
+            if bytes % 2 == 0 {
+                log.offload(gear, bytes);
+            } else {
+                log.reclaim(gear, bytes);
+            }
+            prop_assert_eq!(log.conservation_residual(), 0);
+            prop_assert!(log.peak_pending() >= log.pending_total());
+        }
+    }
+}

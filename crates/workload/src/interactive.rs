@@ -1,0 +1,314 @@
+//! Interactive (latency-critical) request streams.
+//!
+//! An [`InteractiveStream`] is a client session issuing random I/O at a
+//! base rate for its lifetime (~12 h in the medium-DC preset). The cluster-
+//! wide intensity is the superposition of all live streams, modulated by a
+//! diurnal curve (business-hours peak, small-hours trough) — the canonical
+//! shape of private-cloud traces.
+//!
+//! Request synthesis is **per-slot and seeded**: the requests of slot `s`
+//! are a pure function of `(workload seed, s)`, so a run materialises only
+//! one slot at a time and every policy sees the identical byte stream.
+
+use gm_sim::dist::{exponential, lognormal_mean_cv, poisson, Zipf};
+use gm_sim::time::{SimDuration, SimTime};
+use gm_sim::{RngFactory, SlotClock};
+use gm_storage::{IoRequest, ObjectId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the interactive half of the workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InteractiveSpec {
+    /// Number of streams over the horizon.
+    pub streams: usize,
+    /// Mean stream lifetime.
+    pub mean_lifetime: SimDuration,
+    /// Per-stream base request rate (req/s) before diurnal modulation.
+    pub rate_rps: f64,
+    /// Fraction of requests that are reads.
+    pub read_fraction: f64,
+    /// Mean request size (bytes).
+    pub mean_size_bytes: f64,
+    /// Coefficient of variation of request size (lognormal).
+    pub size_cv: f64,
+    /// Zipf exponent of object popularity.
+    pub zipf_s: f64,
+    /// Diurnal modulation amplitude in `[0,1)`: intensity swings between
+    /// `1−a` and `1+a` around the base, peaking mid-afternoon.
+    pub diurnal_amplitude: f64,
+    /// Number of addressable objects (must match the cluster directory).
+    pub objects: usize,
+    /// Horizon over which streams start.
+    pub horizon: SimDuration,
+}
+
+impl InteractiveSpec {
+    /// Medium-DC preset: ≈790 streams of ~12 h over one week.
+    pub fn medium_week(objects: usize) -> Self {
+        InteractiveSpec {
+            streams: 787,
+            mean_lifetime: SimDuration::from_hours(12),
+            rate_rps: 0.20,
+            read_fraction: 0.70,
+            mean_size_bytes: 256.0 * 1024.0,
+            size_cv: 1.5,
+            zipf_s: 0.9,
+            diurnal_amplitude: 0.6,
+            objects,
+            horizon: SimDuration::from_days(7),
+        }
+    }
+
+    /// Diurnal intensity multiplier at `t` (peak 15:00, trough 03:00).
+    pub fn diurnal(&self, t: SimTime) -> f64 {
+        let h = t.hour_of_day();
+        1.0 + self.diurnal_amplitude * ((h - 15.0) / 24.0 * std::f64::consts::TAU).cos()
+    }
+}
+
+/// One client session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InteractiveStream {
+    /// Session start.
+    pub start: SimTime,
+    /// Session end.
+    pub end: SimTime,
+    /// Base rate (req/s).
+    pub rate_rps: f64,
+}
+
+impl InteractiveStream {
+    /// Overlap of this stream with `[a, b)`.
+    pub fn overlap(&self, a: SimTime, b: SimTime) -> SimDuration {
+        let lo = self.start.max(a);
+        let hi = self.end.min(b);
+        hi.saturating_sub(lo)
+    }
+}
+
+/// Generator over an [`InteractiveSpec`]: pre-draws the stream population,
+/// then synthesises requests slot by slot.
+#[derive(Debug, Clone)]
+pub struct InteractiveGenerator {
+    spec: InteractiveSpec,
+    streams: Vec<InteractiveStream>,
+    popularity: Zipf,
+    rngs: RngFactory,
+}
+
+impl InteractiveGenerator {
+    /// Draw the stream population deterministically from `rngs`.
+    ///
+    /// Stream starts follow the diurnal curve (thinning an exponential
+    /// arrival process), so business hours see more session launches.
+    pub fn new(spec: InteractiveSpec, rngs: &RngFactory) -> Self {
+        assert!(spec.objects > 0);
+        assert!((0.0..=1.0).contains(&spec.read_fraction));
+        let mut rng = rngs.stream("interactive-streams");
+        let horizon_s = spec.horizon.as_secs_f64();
+        let mut streams = Vec::with_capacity(spec.streams);
+        // Thinned Poisson process over the horizon with target count.
+        let base_rate = spec.streams as f64 / horizon_s * 2.0; // oversample, thin
+        let mut t = 0.0;
+        while streams.len() < spec.streams {
+            t += exponential(&mut rng, base_rate);
+            if t >= horizon_s {
+                // Wrap: sessions keep arriving; restart the clock.
+                t -= horizon_s;
+            }
+            let start = SimTime::ZERO + SimDuration::from_secs_f64(t);
+            let accept = spec.diurnal(start) / (1.0 + spec.diurnal_amplitude);
+            if rng.gen::<f64>() > accept {
+                continue;
+            }
+            let life = exponential(&mut rng, 1.0 / spec.mean_lifetime.as_secs_f64());
+            streams.push(InteractiveStream {
+                start,
+                end: start + SimDuration::from_secs_f64(life),
+                rate_rps: spec.rate_rps,
+            });
+        }
+        streams.sort_by_key(|s| s.start);
+        let popularity = Zipf::new(spec.objects, spec.zipf_s);
+        InteractiveGenerator { spec, streams, popularity, rngs: *rngs }
+    }
+
+    /// The spec.
+    pub fn spec(&self) -> &InteractiveSpec {
+        &self.spec
+    }
+
+    /// The stream population.
+    pub fn streams(&self) -> &[InteractiveStream] {
+        &self.streams
+    }
+
+    /// Expected aggregate request rate (req/s) in a slot — what capacity
+    /// planners use.
+    pub fn expected_rate_in_slot(&self, clock: SlotClock, slot: usize) -> f64 {
+        let a = clock.slot_start(slot);
+        let b = clock.slot_end(slot);
+        let width_s = clock.width().as_secs_f64();
+        let mid = a + clock.width() / 2;
+        let diurnal = self.spec.diurnal(mid);
+        let live: f64 = self
+            .streams
+            .iter()
+            .map(|s| s.overlap(a, b).as_secs_f64() / width_s * s.rate_rps)
+            .sum();
+        live * diurnal
+    }
+
+    /// Synthesise the requests of one slot, sorted by arrival.
+    pub fn requests_in_slot(&self, clock: SlotClock, slot: usize) -> Vec<IoRequest> {
+        let a = clock.slot_start(slot);
+        let b = clock.slot_end(slot);
+        let mid = a + clock.width() / 2;
+        let diurnal = self.spec.diurnal(mid);
+        let mut rng = self.rngs.indexed_stream("interactive-slot", slot as u64);
+        let mut out = Vec::new();
+        for s in &self.streams {
+            let ov = s.overlap(a, b).as_secs_f64();
+            if ov <= 0.0 {
+                continue;
+            }
+            let mean = s.rate_rps * ov * diurnal;
+            let n = poisson(&mut rng, mean);
+            for _ in 0..n {
+                let lo = s.start.max(a);
+                let span = s.end.min(b).saturating_sub(lo).as_secs_f64();
+                let dt = rng.gen::<f64>() * span;
+                let arrival = lo + SimDuration::from_secs_f64(dt);
+                let object = ObjectId(self.popularity.sample(&mut rng) as u64);
+                let size = lognormal_mean_cv(&mut rng, self.spec.mean_size_bytes, self.spec.size_cv)
+                    .max(512.0) as u64;
+                let req = if rng.gen::<f64>() < self.spec.read_fraction {
+                    IoRequest::read(arrival, object, size)
+                } else {
+                    IoRequest::write(arrival, object, size)
+                };
+                out.push(req);
+            }
+        }
+        out.sort_by_key(|r| r.arrival);
+        out
+    }
+
+    /// Expected disk busy-seconds the slot's requests will cost, assuming
+    /// random access at `service_secs_per_byte` + `positioning_secs` each —
+    /// the planner's load estimate.
+    pub fn expected_busy_secs_in_slot(
+        &self,
+        clock: SlotClock,
+        slot: usize,
+        positioning_secs: f64,
+        secs_per_byte: f64,
+    ) -> f64 {
+        let rate = self.expected_rate_in_slot(clock, slot);
+        let width_s = clock.width().as_secs_f64();
+        rate * width_s * (positioning_secs + self.spec.mean_size_bytes * secs_per_byte)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_storage::IoKind;
+
+    fn generator() -> InteractiveGenerator {
+        let mut spec = InteractiveSpec::medium_week(1_000);
+        spec.streams = 100; // keep tests fast
+        InteractiveGenerator::new(spec, &RngFactory::new(42))
+    }
+
+    #[test]
+    fn population_size_and_ordering() {
+        let g = generator();
+        assert_eq!(g.streams().len(), 100);
+        assert!(g.streams().windows(2).all(|w| w[0].start <= w[1].start));
+        for s in g.streams() {
+            assert!(s.end > s.start);
+        }
+    }
+
+    #[test]
+    fn slot_synthesis_is_deterministic() {
+        let g1 = generator();
+        let g2 = generator();
+        let c = SlotClock::hourly();
+        let a = g1.requests_in_slot(c, 40);
+        let b = g2.requests_in_slot(c, 40);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.object, y.object);
+            assert_eq!(x.size_bytes, y.size_bytes);
+        }
+    }
+
+    #[test]
+    fn requests_fall_inside_slot_and_stream() {
+        let g = generator();
+        let c = SlotClock::hourly();
+        for slot in [10usize, 50, 100] {
+            for r in g.requests_in_slot(c, slot) {
+                assert!(r.arrival >= c.slot_start(slot) && r.arrival < c.slot_end(slot));
+                assert!(r.size_bytes >= 512);
+                assert!(r.object.0 < 1_000);
+            }
+        }
+    }
+
+    #[test]
+    fn read_write_mix_approximates_spec() {
+        let g = generator();
+        let c = SlotClock::hourly();
+        let mut reads = 0usize;
+        let mut total = 0usize;
+        for slot in 0..168 {
+            for r in g.requests_in_slot(c, slot) {
+                total += 1;
+                if r.kind == IoKind::Read {
+                    reads += 1;
+                }
+            }
+        }
+        assert!(total > 1_000, "enough requests to judge the mix: {total}");
+        let frac = reads as f64 / total as f64;
+        assert!((frac - 0.70).abs() < 0.05, "read fraction {frac}");
+    }
+
+    #[test]
+    fn diurnal_peaks_in_afternoon() {
+        let spec = InteractiveSpec::medium_week(10);
+        let peak = spec.diurnal(SimTime::from_hours(15));
+        let trough = spec.diurnal(SimTime::from_hours(3));
+        assert!((peak - 1.6).abs() < 1e-9);
+        assert!((trough - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_rate_tracks_synthesis() {
+        let g = generator();
+        let c = SlotClock::hourly();
+        // Sum expectation vs realisation over the busiest day.
+        let mut expect = 0.0;
+        let mut actual = 0usize;
+        for slot in 24..48 {
+            expect += g.expected_rate_in_slot(c, slot) * 3600.0;
+            actual += g.requests_in_slot(c, slot).len();
+        }
+        assert!(expect > 0.0);
+        let ratio = actual as f64 / expect;
+        assert!((0.8..1.2).contains(&ratio), "actual/expected = {ratio}");
+    }
+
+    #[test]
+    fn busy_estimate_is_positive_during_activity() {
+        let g = generator();
+        let c = SlotClock::hourly();
+        let busy = g.expected_busy_secs_in_slot(c, 30, 0.0127, 1.0 / 140.0e6);
+        assert!(busy >= 0.0);
+    }
+}

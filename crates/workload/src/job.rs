@@ -1,0 +1,213 @@
+//! Deferrable batch jobs.
+//!
+//! A batch job is a quantity of **divisible sequential I/O work** (bytes)
+//! with a submission time and a deadline. The scheduler may run it in any
+//! slots between the two; *slack* is the scheduling freedom left. When
+//! slack reaches zero the job must run at full available rate regardless of
+//! energy (the "promoted to web job" rule of opportunistic scheduling).
+
+use gm_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Batch job identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+/// What kind of bulk work the job is (affects nothing but reporting and the
+/// gear the work prefers; all kinds are sequential-I/O measured in bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BatchKind {
+    /// Integrity scrub: read-verify a slice of the data set.
+    Scrub,
+    /// Backup: stream a slice out (reads).
+    Backup,
+    /// Analytics scan: map over a slice (reads).
+    Analytics,
+    /// Replication repair: re-write replicas (writes).
+    Repair,
+}
+
+impl BatchKind {
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BatchKind::Scrub => "scrub",
+            BatchKind::Backup => "backup",
+            BatchKind::Analytics => "analytics",
+            BatchKind::Repair => "repair",
+        }
+    }
+
+    /// All kinds, for generators and reports.
+    pub const ALL: [BatchKind; 4] =
+        [BatchKind::Scrub, BatchKind::Backup, BatchKind::Analytics, BatchKind::Repair];
+}
+
+/// Lifecycle state of a batch job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Submitted, some work remaining.
+    Pending,
+    /// All work done (at the contained completion instant).
+    Done {
+        /// Completion instant.
+        at: SimTime,
+    },
+}
+
+/// A deferrable batch job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchJob {
+    /// Identifier.
+    pub id: JobId,
+    /// Kind of work.
+    pub kind: BatchKind,
+    /// Submission instant.
+    pub submit: SimTime,
+    /// Deadline instant.
+    pub deadline: SimTime,
+    /// Total work in bytes of sequential I/O.
+    pub total_bytes: u64,
+    /// Work not yet performed.
+    pub remaining_bytes: u64,
+    /// Lifecycle state.
+    pub state: JobState,
+}
+
+impl BatchJob {
+    /// A new pending job.
+    pub fn new(id: JobId, kind: BatchKind, submit: SimTime, deadline: SimTime, bytes: u64) -> Self {
+        assert!(deadline > submit, "deadline must follow submission");
+        assert!(bytes > 0, "a job needs work");
+        BatchJob {
+            id,
+            kind,
+            submit,
+            deadline,
+            total_bytes: bytes,
+            remaining_bytes: bytes,
+            state: JobState::Pending,
+        }
+    }
+
+    /// Whether the job still has work.
+    pub fn is_pending(&self) -> bool {
+        matches!(self.state, JobState::Pending)
+    }
+
+    /// Perform up to `bytes` of the job's work at instant `now`. Returns
+    /// the bytes actually consumed from the job.
+    pub fn perform(&mut self, bytes: u64, now: SimTime) -> u64 {
+        let take = bytes.min(self.remaining_bytes);
+        self.remaining_bytes -= take;
+        if self.remaining_bytes == 0 && self.is_pending() {
+            self.state = JobState::Done { at: now };
+        }
+        take
+    }
+
+    /// Time needed to finish the remaining work at `throughput_bps`.
+    pub fn time_to_finish(&self, throughput_bps: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.remaining_bytes as f64 / throughput_bps)
+    }
+
+    /// Slack at `now` given an achievable `throughput_bps`: the time the
+    /// job can still be deferred and meet its deadline. Zero (not negative)
+    /// when the job is already critical or late.
+    pub fn slack(&self, now: SimTime, throughput_bps: f64) -> SimDuration {
+        if now >= self.deadline {
+            return SimDuration::ZERO;
+        }
+        self.deadline.duration_since(now).saturating_sub(self.time_to_finish(throughput_bps))
+    }
+
+    /// Whether the job must run *now* to meet its deadline at the given
+    /// throughput.
+    pub fn is_critical(&self, now: SimTime, throughput_bps: f64) -> bool {
+        self.is_pending() && self.slack(now, throughput_bps) == SimDuration::ZERO
+    }
+
+    /// Whether the job finished by its deadline (meaningful once done or
+    /// once `now` is past the deadline).
+    pub fn met_deadline(&self) -> Option<bool> {
+        match self.state {
+            JobState::Done { at } => Some(at <= self.deadline),
+            JobState::Pending => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(bytes: u64) -> BatchJob {
+        BatchJob::new(
+            JobId(1),
+            BatchKind::Scrub,
+            SimTime::from_hours(0),
+            SimTime::from_hours(12),
+            bytes,
+        )
+    }
+
+    #[test]
+    fn perform_consumes_and_completes() {
+        let mut j = job(1000);
+        assert!(j.is_pending());
+        assert_eq!(j.perform(400, SimTime::from_hours(1)), 400);
+        assert_eq!(j.remaining_bytes, 600);
+        assert!(j.is_pending());
+        // Over-asking consumes only what's left.
+        assert_eq!(j.perform(10_000, SimTime::from_hours(2)), 600);
+        assert_eq!(j.state, JobState::Done { at: SimTime::from_hours(2) });
+        assert_eq!(j.met_deadline(), Some(true));
+        // Performing on a done job is a no-op.
+        assert_eq!(j.perform(5, SimTime::from_hours(3)), 0);
+    }
+
+    #[test]
+    fn late_completion_misses_deadline() {
+        let mut j = job(100);
+        j.perform(100, SimTime::from_hours(13));
+        assert_eq!(j.met_deadline(), Some(false));
+    }
+
+    #[test]
+    fn slack_shrinks_with_time_and_work() {
+        // 3600s of work at 1 B/s… use bytes = throughput×secs for clarity:
+        // 1 MB at 1 kB/s = 1000 s to finish.
+        let j = job(1_000_000);
+        let bps = 1_000.0;
+        let slack0 = j.slack(SimTime::ZERO, bps);
+        // 12 h − 1000 s.
+        assert_eq!(slack0, SimDuration::from_hours(12) - SimDuration::from_secs(1_000));
+        let slack_later = j.slack(SimTime::from_hours(6), bps);
+        assert_eq!(slack_later, SimDuration::from_hours(6) - SimDuration::from_secs(1_000));
+        assert!(!j.is_critical(SimTime::ZERO, bps));
+    }
+
+    #[test]
+    fn critical_when_slack_exhausted() {
+        // Needs 11 h of work with a 12 h window: critical after 1 h.
+        let j = job((11.0 * 3600.0 * 1_000.0) as u64);
+        let bps = 1_000.0;
+        assert!(!j.is_critical(SimTime::from_mins(59), bps));
+        assert!(j.is_critical(SimTime::from_hours(2), bps));
+        // Past deadline: slack is zero, not negative.
+        assert_eq!(j.slack(SimTime::from_hours(13), bps), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must follow submission")]
+    fn bad_deadline_panics() {
+        let _ = BatchJob::new(JobId(1), BatchKind::Backup, SimTime::from_hours(2), SimTime::from_hours(1), 1);
+    }
+
+    #[test]
+    fn kinds_have_labels() {
+        for k in BatchKind::ALL {
+            assert!(!k.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Workload characterisation.
+//!
+//! Computes the summary statistics a trace-driven study reports about its
+//! workload (and that a user substituting a real trace should check match
+//! their expectations): per-slot arrival-rate curves for both halves,
+//! batch size/slack distributions, object-popularity concentration, and
+//! the aggregate demand-to-capacity ratio that determines whether deferral
+//! has any room at all.
+
+use crate::job::BatchJob;
+use crate::trace::Workload;
+use gm_sim::time::SimDuration;
+use gm_sim::{SlotClock, StreamingStats, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// Characterisation of a workload over a horizon.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadStats {
+    /// Interactive requests per slot.
+    pub interactive_rps: TimeSeries,
+    /// Batch job submissions per slot.
+    pub batch_arrivals: TimeSeries,
+    /// Batch bytes submitted per slot.
+    pub batch_bytes: TimeSeries,
+    /// Batch job size distribution (bytes).
+    pub job_size: DistSummary,
+    /// Batch slack-at-submission distribution (hours), assuming the given
+    /// reference throughput per job.
+    pub slack_hours: DistSummary,
+    /// Peak-to-mean ratio of the interactive rate (diurnality indicator).
+    pub interactive_peak_to_mean: f64,
+}
+
+/// Five-number-ish summary of a sample.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DistSummary {
+    /// Sample count.
+    pub count: u64,
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl DistSummary {
+    /// Summarise from a streaming accumulator.
+    pub fn from_stats(s: &StreamingStats) -> Self {
+        DistSummary {
+            count: s.count(),
+            mean: s.mean(),
+            std_dev: s.std_dev(),
+            min: s.min().unwrap_or(0.0),
+            max: s.max().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Characterise `workload` over `slots` slots of `clock`, using
+/// `reference_bps` as the per-job throughput assumption for slack.
+pub fn characterize(
+    workload: &Workload,
+    clock: SlotClock,
+    slots: usize,
+    reference_bps: f64,
+) -> WorkloadStats {
+    assert!(reference_bps > 0.0);
+    let mut interactive_rps = TimeSeries::zeros(clock, slots);
+    let mut batch_arrivals = TimeSeries::zeros(clock, slots);
+    let mut batch_bytes = TimeSeries::zeros(clock, slots);
+    let slot_secs = clock.width().as_secs_f64();
+
+    for s in 0..slots {
+        let n = workload.requests_in_slot(clock, s).len();
+        interactive_rps.set(s, n as f64 / slot_secs);
+        let arrivals = workload.batch_arrivals_in_slot(clock, s);
+        batch_arrivals.set(s, arrivals.len() as f64);
+        batch_bytes.set(s, arrivals.iter().map(|j| j.total_bytes as f64).sum());
+    }
+
+    let mut size = StreamingStats::new();
+    let mut slack = StreamingStats::new();
+    for j in workload.batch_jobs() {
+        size.record(j.total_bytes as f64);
+        slack.record(job_slack_hours(j, reference_bps));
+    }
+
+    let mean_rps = interactive_rps.mean();
+    let peak = interactive_rps.max();
+    WorkloadStats {
+        interactive_rps,
+        batch_arrivals,
+        batch_bytes,
+        job_size: DistSummary::from_stats(&size),
+        slack_hours: DistSummary::from_stats(&slack),
+        interactive_peak_to_mean: if mean_rps > 0.0 { peak / mean_rps } else { 0.0 },
+    }
+}
+
+/// Slack of a freshly submitted job (hours) at `reference_bps`.
+pub fn job_slack_hours(job: &BatchJob, reference_bps: f64) -> f64 {
+    let window = job.deadline.duration_since(job.submit);
+    let work = SimDuration::from_secs_f64(job.total_bytes as f64 / reference_bps);
+    window.saturating_sub(work).as_hours_f64()
+}
+
+/// Demand-to-capacity ratio: total batch bytes over the horizon, divided
+/// by the cluster's sequential capacity (`disks × bps × horizon`). Above
+/// ~0.8 there is little room to defer anything.
+pub fn batch_demand_ratio(workload: &Workload, disks: usize, disk_bps: f64, horizon: SimDuration) -> f64 {
+    let capacity = disks as f64 * disk_bps * horizon.as_secs_f64();
+    if capacity <= 0.0 {
+        return 0.0;
+    }
+    workload.total_batch_bytes() as f64 / capacity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::WorkloadSpec;
+
+    fn workload() -> Workload {
+        Workload::generate(WorkloadSpec::small_week(500), 5)
+    }
+
+    #[test]
+    fn characterisation_is_consistent() {
+        let w = workload();
+        let clock = SlotClock::hourly();
+        let stats = characterize(&w, clock, 168, 100.0e6);
+        // All jobs accounted in the arrival series.
+        assert_eq!(stats.batch_arrivals.sum() as usize, w.batch_jobs().len());
+        assert!((stats.batch_bytes.sum() - w.total_batch_bytes() as f64).abs() < 1.0);
+        assert_eq!(stats.job_size.count as usize, w.batch_jobs().len());
+        assert!(stats.job_size.mean > 0.0);
+        assert!(stats.job_size.min <= stats.job_size.mean);
+        assert!(stats.job_size.mean <= stats.job_size.max);
+        // Diurnal interactive load: peak well above mean.
+        assert!(
+            stats.interactive_peak_to_mean > 1.3,
+            "peak/mean {}",
+            stats.interactive_peak_to_mean
+        );
+    }
+
+    #[test]
+    fn slack_reflects_window_minus_work() {
+        use crate::job::{BatchKind, JobId};
+        use gm_sim::time::SimTime;
+        // 12 h window, 2 h of work at the reference rate.
+        let bps = 100.0e6;
+        let job = BatchJob::new(
+            JobId(1),
+            BatchKind::Backup,
+            SimTime::from_hours(3),
+            SimTime::from_hours(15),
+            (2.0 * 3600.0 * bps) as u64,
+        );
+        assert!((job_slack_hours(&job, bps) - 10.0).abs() < 1e-9);
+        // Work exceeding the window clamps at zero.
+        let hopeless = BatchJob::new(
+            JobId(2),
+            BatchKind::Backup,
+            SimTime::ZERO,
+            SimTime::from_hours(1),
+            (10.0 * 3600.0 * bps) as u64,
+        );
+        assert_eq!(job_slack_hours(&hopeless, bps), 0.0);
+    }
+
+    #[test]
+    fn demand_ratio_scales() {
+        let w = workload();
+        let horizon = SimDuration::from_days(7);
+        let r_small = batch_demand_ratio(&w, 12, 140.0e6, horizon);
+        let r_big = batch_demand_ratio(&w, 192, 140.0e6, horizon);
+        assert!(r_small > r_big, "fewer disks ⇒ higher pressure");
+        assert!((r_small / r_big - 16.0).abs() < 1e-6);
+        assert!(r_big > 0.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Assembled workloads and trace import/export.
+//!
+//! A [`Workload`] is the pair (interactive generator, batch job list) built
+//! from a [`WorkloadSpec`] and a master seed. The **medium-week preset**
+//! mirrors the shape of the medium-private-cloud traces this literature
+//! evaluates on; the **small preset** is the same shape scaled down for
+//! tests and examples.
+//!
+//! Batch jobs can be exported to and re-imported from a simple CSV format
+//! (one row per job), the substitution point for a user's real trace.
+
+use crate::batch::{BatchGenerator, BatchSpec};
+use crate::interactive::{InteractiveGenerator, InteractiveSpec};
+use crate::job::{BatchJob, BatchKind, JobId, JobState};
+use gm_sim::time::SimTime;
+use gm_sim::{RngFactory, SlotClock};
+use gm_storage::IoRequest;
+use serde::{Deserialize, Serialize};
+
+/// Full workload parameterisation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Interactive half.
+    pub interactive: InteractiveSpec,
+    /// Batch half.
+    pub batch: BatchSpec,
+}
+
+impl WorkloadSpec {
+    /// The medium-DC non-holiday week (≈790 streams, ≈3150 batch jobs).
+    pub fn medium_week(objects: usize) -> Self {
+        WorkloadSpec {
+            interactive: InteractiveSpec::medium_week(objects),
+            batch: BatchSpec::medium_week(),
+        }
+    }
+
+    /// A scaled-down week for tests and examples (~1/8 of medium).
+    pub fn small_week(objects: usize) -> Self {
+        let mut spec = WorkloadSpec::medium_week(objects);
+        spec.interactive.streams = 100;
+        spec.batch.jobs = 400;
+        spec.batch.mean_bytes /= 4.0;
+        spec
+    }
+
+    /// Scale both halves' volume by `k` (streams and jobs), keeping shapes.
+    pub fn scaled(mut self, k: f64) -> Self {
+        assert!(k > 0.0);
+        self.interactive.streams = ((self.interactive.streams as f64 * k).round() as usize).max(1);
+        self.batch.jobs = ((self.batch.jobs as f64 * k).round() as usize).max(1);
+        self
+    }
+}
+
+/// A generated workload.
+pub struct Workload {
+    spec: WorkloadSpec,
+    interactive: InteractiveGenerator,
+    batch_jobs: Vec<BatchJob>,
+}
+
+impl Workload {
+    /// Build from a spec and master seed.
+    pub fn generate(spec: WorkloadSpec, seed: u64) -> Self {
+        let rngs = RngFactory::new(seed);
+        let interactive = InteractiveGenerator::new(spec.interactive.clone(), &rngs);
+        let batch_jobs = BatchGenerator::new(spec.batch.clone()).generate(&rngs);
+        Workload { spec, interactive, batch_jobs }
+    }
+
+    /// The spec.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// The interactive generator.
+    pub fn interactive(&self) -> &InteractiveGenerator {
+        &self.interactive
+    }
+
+    /// The batch job population (submission-ordered).
+    pub fn batch_jobs(&self) -> &[BatchJob] {
+        &self.batch_jobs
+    }
+
+    /// Requests of one slot (delegates to the interactive generator).
+    pub fn requests_in_slot(&self, clock: SlotClock, slot: usize) -> Vec<IoRequest> {
+        self.interactive.requests_in_slot(clock, slot)
+    }
+
+    /// Batch jobs submitted within slot `slot`.
+    pub fn batch_arrivals_in_slot(&self, clock: SlotClock, slot: usize) -> Vec<BatchJob> {
+        let a = clock.slot_start(slot);
+        let b = clock.slot_end(slot);
+        self.batch_jobs.iter().filter(|j| j.submit >= a && j.submit < b).cloned().collect()
+    }
+
+    /// Total batch bytes over the horizon.
+    pub fn total_batch_bytes(&self) -> u64 {
+        self.batch_jobs.iter().map(|j| j.total_bytes).sum()
+    }
+
+    /// Replace the batch population (trace substitution).
+    pub fn with_batch_jobs(mut self, jobs: Vec<BatchJob>) -> Self {
+        self.batch_jobs = jobs;
+        self.batch_jobs.sort_by_key(|j| j.submit);
+        self
+    }
+}
+
+/// Serialize batch jobs to the CSV trace format:
+/// `id,kind,submit_us,deadline_us,total_bytes`.
+pub fn batch_jobs_to_csv(jobs: &[BatchJob]) -> String {
+    let mut out = String::from("id,kind,submit_us,deadline_us,total_bytes\n");
+    for j in jobs {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            j.id.0,
+            j.kind.label(),
+            j.submit.0,
+            j.deadline.0,
+            j.total_bytes
+        ));
+    }
+    out
+}
+
+/// Parse the CSV trace format produced by [`batch_jobs_to_csv`].
+pub fn batch_jobs_from_csv(csv: &str) -> Result<Vec<BatchJob>, String> {
+    let mut jobs = Vec::new();
+    for (lineno, line) in csv.lines().enumerate() {
+        if lineno == 0 || line.trim().is_empty() {
+            continue; // header / blanks
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 5 {
+            return Err(format!("line {}: expected 5 fields, got {}", lineno + 1, fields.len()));
+        }
+        let id = fields[0].parse::<u64>().map_err(|e| format!("line {}: id: {e}", lineno + 1))?;
+        let kind = match fields[1] {
+            "scrub" => BatchKind::Scrub,
+            "backup" => BatchKind::Backup,
+            "analytics" => BatchKind::Analytics,
+            "repair" => BatchKind::Repair,
+            other => return Err(format!("line {}: unknown kind {other:?}", lineno + 1)),
+        };
+        let submit =
+            SimTime(fields[2].parse::<u64>().map_err(|e| format!("line {}: submit: {e}", lineno + 1))?);
+        let deadline = SimTime(
+            fields[3].parse::<u64>().map_err(|e| format!("line {}: deadline: {e}", lineno + 1))?,
+        );
+        let bytes =
+            fields[4].parse::<u64>().map_err(|e| format!("line {}: bytes: {e}", lineno + 1))?;
+        if deadline <= submit {
+            return Err(format!("line {}: deadline {deadline:?} <= submit {submit:?}", lineno + 1));
+        }
+        if bytes == 0 {
+            return Err(format!("line {}: zero-byte job", lineno + 1));
+        }
+        jobs.push(BatchJob {
+            id: JobId(id),
+            kind,
+            submit,
+            deadline,
+            total_bytes: bytes,
+            remaining_bytes: bytes,
+            state: JobState::Pending,
+        });
+    }
+    jobs.sort_by_key(|j| j.submit);
+    Ok(jobs)
+}
+
+/// A convenience summary of a workload used by reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSummary {
+    /// Number of interactive streams.
+    pub streams: usize,
+    /// Number of batch jobs.
+    pub batch_jobs: usize,
+    /// Total batch bytes.
+    pub batch_bytes: u64,
+    /// Horizon in hours.
+    pub horizon_hours: f64,
+}
+
+impl Workload {
+    /// Build a summary.
+    pub fn summary(&self) -> WorkloadSummary {
+        WorkloadSummary {
+            streams: self.interactive.streams().len(),
+            batch_jobs: self.batch_jobs.len(),
+            batch_bytes: self.total_batch_bytes(),
+            horizon_hours: self.spec.interactive.horizon.as_hours_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Workload {
+        Workload::generate(WorkloadSpec::small_week(1_000), 11)
+    }
+
+    #[test]
+    fn generates_both_halves() {
+        let w = small();
+        assert_eq!(w.interactive().streams().len(), 100);
+        assert_eq!(w.batch_jobs().len(), 400);
+        assert!(w.total_batch_bytes() > 0);
+        let s = w.summary();
+        assert_eq!(s.streams, 100);
+        assert_eq!(s.batch_jobs, 400);
+        assert!((s.horizon_hours - 168.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_arrivals_partition_the_week() {
+        let w = small();
+        let c = SlotClock::hourly();
+        let total: usize = (0..168).map(|s| w.batch_arrivals_in_slot(c, s).len()).sum();
+        assert_eq!(total, 400, "every job arrives in exactly one slot");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let w = small();
+        let csv = batch_jobs_to_csv(w.batch_jobs());
+        let parsed = batch_jobs_from_csv(&csv).expect("roundtrip parses");
+        assert_eq!(parsed, w.batch_jobs());
+    }
+
+    #[test]
+    fn csv_rejects_malformed_input() {
+        assert!(batch_jobs_from_csv("id,kind\n1,scrub").is_err());
+        assert!(
+            batch_jobs_from_csv("header\n1,frobnicate,0,100,5\n").is_err(),
+            "unknown kind"
+        );
+        assert!(
+            batch_jobs_from_csv("header\n1,scrub,100,100,5\n").is_err(),
+            "deadline not after submit"
+        );
+        assert!(batch_jobs_from_csv("header\n1,scrub,0,100,0\n").is_err(), "zero bytes");
+        assert!(batch_jobs_from_csv("header\n1,scrub,x,100,5\n").is_err(), "bad number");
+        // Header-only is fine.
+        assert_eq!(batch_jobs_from_csv("id,kind,submit_us,deadline_us,total_bytes\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn with_batch_jobs_substitutes_trace() {
+        let w = small();
+        let custom = vec![BatchJob::new(
+            JobId(999),
+            BatchKind::Backup,
+            SimTime::from_hours(1),
+            SimTime::from_hours(5),
+            42,
+        )];
+        let w = w.with_batch_jobs(custom.clone());
+        assert_eq!(w.batch_jobs(), &custom[..]);
+    }
+
+    #[test]
+    fn scaled_spec_scales_counts() {
+        let spec = WorkloadSpec::medium_week(100).scaled(0.5);
+        assert_eq!(spec.interactive.streams, 394);
+        assert_eq!(spec.batch.jobs, 1_574);
+    }
+
+    #[test]
+    fn same_seed_same_workload() {
+        let a = Workload::generate(WorkloadSpec::small_week(500), 3);
+        let b = Workload::generate(WorkloadSpec::small_week(500), 3);
+        assert_eq!(a.batch_jobs(), b.batch_jobs());
+        let c = SlotClock::hourly();
+        assert_eq!(a.requests_in_slot(c, 77).len(), b.requests_in_slot(c, 77).len());
+    }
+}

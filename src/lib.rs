@@ -1,0 +1,11 @@
+//! Umbrella package for the GreenMatch reproduction workspace.
+//!
+//! The real code lives in the member crates; this package exists to host
+//! the cross-crate integration tests (`tests/`) and runnable examples
+//! (`examples/`). It re-exports the member crates for convenience.
+
+pub use gm_energy as energy;
+pub use gm_sim as sim;
+pub use gm_storage as storage;
+pub use gm_workload as workload;
+pub use greenmatch as core;
