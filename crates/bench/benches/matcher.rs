@@ -2,10 +2,10 @@
 //! per-slot planning cost a deployment would pay.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use greenmatch::matcher::{self, MatchInput};
-use greenmatch::policy::{JobView, PlanningModel};
 use gm_storage::ClusterSpec;
 use gm_workload::JobId;
+use greenmatch::matcher::{self, MatchInput};
+use greenmatch::policy::{JobView, PlanningModel};
 
 fn jobs(n: usize) -> Vec<JobView> {
     (0..n)

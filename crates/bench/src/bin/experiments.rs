@@ -36,12 +36,8 @@ fn main() {
         match a.as_str() {
             "--quick" => scale = 0.25,
             "--out" => out = it.next().unwrap_or_else(|| usage()),
-            "--seed" => {
-                seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
-            }
-            "--scale" => {
-                scale = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
-            }
+            "--seed" => seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--scale" => scale = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
             "list" => {
                 for e in registry() {
                     println!("{:<16} {}", e.id, e.about);
@@ -59,9 +55,7 @@ fn main() {
     ids.dedup();
 
     let ctx = ExpContext::new(&out, seed, scale);
-    println!(
-        "GreenMatch reconstructed evaluation — seed {seed}, scale {scale}, output: {out}/"
-    );
+    println!("GreenMatch reconstructed evaluation — seed {seed}, scale {scale}, output: {out}/");
     let mut summaries = Vec::new();
     for id in &ids {
         let Some(exp) = find(id) else {

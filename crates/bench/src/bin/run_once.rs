@@ -5,21 +5,29 @@
 //! run_once --preset medium --policy greenmatch --out report.json
 //! run_once --config my_experiment.json
 //! run_once --preset small --describe-workload
+//! run_once --preset medium --trace trace.jsonl --profile
 //! ```
+//!
+//! `--trace FILE` attaches a [`JsonlTraceObserver`] and writes one JSON
+//! record per slot (deterministic: same seed ⇒ byte-identical file);
+//! `--csv FILE` writes the key per-slot series as CSV; `--profile` prints
+//! per-phase wall-clock after the run. None of these change the report.
 //!
 //! Config files use the same schema the experiment harness archives under
 //! `results/configs/` — copy one of those and edit it.
 
-use greenmatch::config::ExperimentConfig;
-use greenmatch::harness::run_experiment;
-use greenmatch::policy::PolicyKind;
 use gm_sim::time::SimDuration;
 use gm_workload::trace::Workload;
+use greenmatch::config::ExperimentConfig;
+use greenmatch::observe::{CsvSeriesObserver, JsonlTraceObserver, PhaseTimer};
+use greenmatch::policy::PolicyKind;
+use greenmatch::simulation::Simulation;
 
 fn usage() -> ! {
     eprintln!(
         "usage: run_once [--config FILE | --preset small|medium] [--policy NAME] \
-         [--seed N] [--slots N] [--out FILE] [--describe-workload]\n\
+         [--seed N] [--slots N] [--out FILE] [--trace FILE] [--csv FILE] [--profile] \
+         [--describe-workload]\n\
          policies: all-on power-prop edf greedy-green greenmatch greenmatch30 greenmatch-carbon"
     );
     std::process::exit(2)
@@ -47,6 +55,9 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut slots: Option<usize> = None;
     let mut out: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut csv: Option<String> = None;
+    let mut profile = false;
     let mut describe = false;
 
     let mut args = std::env::args().skip(1);
@@ -57,7 +68,8 @@ fn main() {
                 let json = std::fs::read_to_string(&path)
                     .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
                 cfg = Some(
-                    serde_json::from_str(&json).unwrap_or_else(|e| panic!("bad config {path}: {e}")),
+                    serde_json::from_str(&json)
+                        .unwrap_or_else(|e| panic!("bad config {path}: {e}")),
                 );
             }
             "--preset" => {
@@ -71,6 +83,9 @@ fn main() {
             "--seed" => seed = args.next().and_then(|s| s.parse().ok()).or_else(|| usage()),
             "--slots" => slots = args.next().and_then(|s| s.parse().ok()).or_else(|| usage()),
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace" => trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--csv" => csv = Some(args.next().unwrap_or_else(|| usage())),
+            "--profile" => profile = true,
             "--describe-workload" => describe = true,
             _ => usage(),
         }
@@ -102,7 +117,11 @@ fn main() {
             SimDuration(cfg.clock.width().0 * cfg.slots as u64),
         );
         println!("workload characterisation (seed {}):", cfg.seed);
-        println!("  interactive: mean {:.1} req/s, peak/mean {:.2}", stats.interactive_rps.mean(), stats.interactive_peak_to_mean);
+        println!(
+            "  interactive: mean {:.1} req/s, peak/mean {:.2}",
+            stats.interactive_rps.mean(),
+            stats.interactive_peak_to_mean
+        );
         println!(
             "  batch: {} jobs, mean size {:.1} GiB (σ {:.1}), slack mean {:.1} h (min {:.1})",
             stats.job_size.count,
@@ -116,8 +135,33 @@ fn main() {
     }
 
     eprintln!("running {} slots with {} ...", cfg.slots, cfg.policy.label());
-    let report = run_experiment(&cfg);
+    let mut sim = Simulation::new(&cfg);
+    if let Some(path) = &trace {
+        let obs = JsonlTraceObserver::create(path)
+            .unwrap_or_else(|e| panic!("cannot create trace file {path}: {e}"));
+        sim.add_observer(Box::new(obs));
+    }
+    if let Some(path) = &csv {
+        let obs = CsvSeriesObserver::create(path)
+            .unwrap_or_else(|e| panic!("cannot create csv file {path}: {e}"));
+        sim.add_observer(Box::new(obs));
+    }
+    let profile_handle = profile.then(|| {
+        let (timer, handle) = PhaseTimer::new();
+        sim.add_observer(Box::new(timer));
+        handle
+    });
+    let report = sim.run_to_end();
     println!("{report}");
+    if let Some(path) = &trace {
+        eprintln!("per-slot trace written to {path}");
+    }
+    if let Some(path) = &csv {
+        eprintln!("per-slot series written to {path}");
+    }
+    if let Some(handle) = profile_handle {
+        eprintln!("phase profile: {}", handle.lock().unwrap().summary());
+    }
     if let Some(path) = out {
         let json = serde_json::to_string_pretty(&report).expect("report serialises");
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));

@@ -3,10 +3,10 @@
 use super::base::medium_cfg;
 use crate::runner::{run_and_archive, ExpContext};
 use crate::table::{f1, f3, Table};
-use greenmatch::policy::PolicyKind;
 use gm_sim::time::SimDuration;
 use gm_sim::SlotClock;
 use gm_storage::LayoutKind;
+use greenmatch::policy::PolicyKind;
 
 /// Planning-window ablation: GreenMatch with H ∈ {1, 6, 24, 48}. H = 1
 /// degenerates to greedy one-slot matching; the gap to H = 24 is the value
@@ -32,7 +32,8 @@ pub fn matcher_window(ctx: &ExpContext) -> String {
         .collect();
     let results = run_and_archive(ctx, "ablate-matcher", configs);
 
-    let mut t = Table::new(vec!["horizon", "brown_kwh", "curtailed_kwh", "losses_kwh", "miss_rate"]);
+    let mut t =
+        Table::new(vec!["horizon", "brown_kwh", "curtailed_kwh", "losses_kwh", "miss_rate"]);
     for (tag, r) in &results {
         t.row(vec![
             tag.trim_start_matches('H').to_string(),
@@ -69,7 +70,12 @@ pub fn layout(ctx: &ExpContext) -> String {
     let results = run_and_archive(ctx, "ablate-layout", configs);
 
     let mut t = Table::new(vec![
-        "layout", "brown_kwh", "p99_ms", "max_latency_s", "forced_spinups", "spinups",
+        "layout",
+        "brown_kwh",
+        "p99_ms",
+        "max_latency_s",
+        "forced_spinups",
+        "spinups",
     ]);
     for (tag, r) in &results {
         t.row(vec![
@@ -95,11 +101,8 @@ pub fn layout(ctx: &ExpContext) -> String {
 pub fn failures(ctx: &ExpContext) -> String {
     // AFR accelerated ×50 so a one-week horizon produces a usable signal;
     // the *comparison* across policies is what matters.
-    let fail_spec = gm_storage::FailureSpec {
-        afr: 1.5,
-        standby_factor: 0.5,
-        spinup_wear_hours: 10.0,
-    };
+    let fail_spec =
+        gm_storage::FailureSpec { afr: 1.5, standby_factor: 0.5, spinup_wear_hours: 10.0 };
     let policies: Vec<(&str, PolicyKind)> = vec![
         ("esd-only", PolicyKind::AllOn),
         ("power-prop", PolicyKind::PowerProportional),
@@ -170,7 +173,12 @@ pub fn discharge(ctx: &ExpContext) -> String {
     let results = run_and_archive(ctx, "ablate-discharge", configs);
 
     let mut t = Table::new(vec![
-        "strategy", "brown_kwh", "battery_out_kwh", "grid_usd", "carbon_kg", "battery_cycles",
+        "strategy",
+        "brown_kwh",
+        "battery_out_kwh",
+        "grid_usd",
+        "carbon_kg",
+        "battery_cycles",
     ]);
     for (tag, r) in &results {
         t.row(vec![
@@ -248,7 +256,8 @@ pub fn slot_length(ctx: &ExpContext) -> String {
         .collect();
     let results = run_and_archive(ctx, "ablate-slot", configs);
 
-    let mut t = Table::new(vec!["slot", "slots", "brown_kwh", "curtailed_kwh", "miss_rate", "spinups"]);
+    let mut t =
+        Table::new(vec!["slot", "slots", "brown_kwh", "curtailed_kwh", "miss_rate", "spinups"]);
     for (tag, r) in &results {
         t.row(vec![
             tag.clone(),

@@ -1,14 +1,14 @@
 //! Shared configuration builders for the evaluation suite.
 
 use crate::runner::ExpContext;
-use greenmatch::config::{EnergyConfig, ExperimentConfig, ForecastKind, SourceKind};
-use greenmatch::policy::PolicyKind;
 use gm_energy::battery::BatterySpec;
 use gm_energy::grid::Grid;
 use gm_energy::solar::SolarProfile;
 use gm_sim::SlotClock;
 use gm_storage::ClusterSpec;
 use gm_workload::trace::WorkloadSpec;
+use greenmatch::config::{EnergyConfig, ExperimentConfig, ForecastKind, SourceKind};
+use greenmatch::policy::PolicyKind;
 
 /// Default PV area (m²) for the "solar is not sufficient" experiments
 /// (Fig 4–8, tables): sized at roughly the all-on weekly load.
@@ -24,7 +24,10 @@ pub fn medium_cfg(ctx: &ExpContext, policy: PolicyKind) -> ExperimentConfig {
         cluster,
         workload,
         energy: EnergyConfig {
-            source: SourceKind::Solar { area_m2: DEFAULT_AREA_M2, profile: SolarProfile::SunnySummer },
+            source: SourceKind::Solar {
+                area_m2: DEFAULT_AREA_M2,
+                profile: SolarProfile::SunnySummer,
+            },
             battery: Some(BatterySpec::lithium_ion(DEFAULT_BATTERY_WH)),
             grid: Grid::typical_eu(),
             forecast: ForecastKind::Oracle,

@@ -3,16 +3,15 @@
 use super::base::{medium_cfg, medium_cfg_no_battery, thin, DEFAULT_AREA_M2};
 use crate::runner::{run_and_archive, ExpContext};
 use crate::table::{f1, f3, Table};
-use greenmatch::config::SourceKind;
-use greenmatch::policy::PolicyKind;
-use greenmatch::report::RunReport;
 use gm_energy::battery::BatterySpec;
 use gm_energy::solar::SolarProfile;
 use gm_energy::wind::WindProfile;
 use gm_sim::{RngFactory, SlotClock};
-use parking_lot::Mutex;
+use greenmatch::config::SourceKind;
+use greenmatch::policy::PolicyKind;
+use greenmatch::report::RunReport;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Cache for sweeps shared between figure pairs (fig4/fig5, fig6/fig7),
 /// keyed by (seed, scale-bits) so `all` does not run them twice.
@@ -25,11 +24,11 @@ fn cached_sweep(
     build: impl FnOnce() -> Vec<(String, greenmatch::config::ExperimentConfig)>,
 ) -> Arc<Vec<(String, RunReport)>> {
     let key = (ctx.seed, ctx.scale.to_bits(), name);
-    if let Some(hit) = CACHE.lock().get_or_insert_with(HashMap::new).get(&key) {
+    if let Some(hit) = CACHE.lock().unwrap().get_or_insert_with(HashMap::new).get(&key) {
         return hit.clone();
     }
     let results = Arc::new(run_and_archive(ctx, name, build()));
-    CACHE.lock().get_or_insert_with(HashMap::new).insert(key, results.clone());
+    CACHE.lock().unwrap().get_or_insert_with(HashMap::new).insert(key, results.clone());
     results
 }
 
@@ -40,11 +39,26 @@ pub fn fig1(ctx: &ExpContext) -> String {
     let slots = 7 * 24;
     let rngs = RngFactory::new(ctx.seed);
     let columns: Vec<(&str, SourceKind)> = vec![
-        ("solar_sunny_w", SourceKind::Solar { area_m2: DEFAULT_AREA_M2, profile: SolarProfile::SunnySummer }),
-        ("solar_cloudy_w", SourceKind::Solar { area_m2: DEFAULT_AREA_M2, profile: SolarProfile::CloudySummer }),
-        ("solar_winter_w", SourceKind::Solar { area_m2: DEFAULT_AREA_M2, profile: SolarProfile::Winter }),
-        ("wind_coastal_w", SourceKind::Wind { rated_w: 15_000.0, profile: WindProfile::SteadyCoastal }),
-        ("wind_gusty_w", SourceKind::Wind { rated_w: 15_000.0, profile: WindProfile::GustyContinental }),
+        (
+            "solar_sunny_w",
+            SourceKind::Solar { area_m2: DEFAULT_AREA_M2, profile: SolarProfile::SunnySummer },
+        ),
+        (
+            "solar_cloudy_w",
+            SourceKind::Solar { area_m2: DEFAULT_AREA_M2, profile: SolarProfile::CloudySummer },
+        ),
+        (
+            "solar_winter_w",
+            SourceKind::Solar { area_m2: DEFAULT_AREA_M2, profile: SolarProfile::Winter },
+        ),
+        (
+            "wind_coastal_w",
+            SourceKind::Wind { rated_w: 15_000.0, profile: WindProfile::SteadyCoastal },
+        ),
+        (
+            "wind_gusty_w",
+            SourceKind::Wind { rated_w: 15_000.0, profile: WindProfile::GustyContinental },
+        ),
     ];
     let traces: Vec<_> =
         columns.iter().map(|(_, src)| src.materialize(clock, slots, &rngs)).collect();
@@ -64,7 +78,12 @@ pub fn fig1(ctx: &ExpContext) -> String {
         .zip(&traces)
         .map(|((n, _), tr)| format!("{n}: {:.1} kWh/week", tr.energy_wh() / 1000.0))
         .collect();
-    format!("fig1: wrote {} slots × {} sources. Weekly energy — {}", slots, columns.len(), weekly.join(", "))
+    format!(
+        "fig1: wrote {} slots × {} sources. Weekly energy — {}",
+        slots,
+        columns.len(),
+        weekly.join(", ")
+    )
 }
 
 /// R-Fig2 — cluster draw vs renewable supply timeline for three policies.
@@ -77,7 +96,14 @@ pub fn fig2(ctx: &ExpContext) -> String {
     let results = run_and_archive(ctx, "fig2", configs);
 
     let mut t = Table::new(vec![
-        "policy", "slot", "green_wh", "load_wh", "brown_wh", "battery_out_wh", "curtailed_wh", "gears",
+        "policy",
+        "slot",
+        "green_wh",
+        "load_wh",
+        "brown_wh",
+        "battery_out_wh",
+        "curtailed_wh",
+        "gears",
     ]);
     for (tag, r) in &results {
         for s in 0..r.slots {
@@ -121,14 +147,20 @@ pub fn fig3(ctx: &ExpContext) -> String {
             if *battery {
                 cfg.energy.battery = Some(BatterySpec::ideal(1.0e9));
             }
-            cfg.energy.source = SourceKind::Solar { area_m2: area, profile: SolarProfile::SunnySummer };
+            cfg.energy.source =
+                SourceKind::Solar { area_m2: area, profile: SolarProfile::SunnySummer };
             configs.push((format!("{name}@{area:.0}m2"), cfg));
         }
     }
     let results = run_and_archive(ctx, "fig3", configs);
 
     let mut t = Table::new(vec![
-        "policy", "area_m2", "brown_kwh", "brown_warm_kwh", "green_utilization", "load_kwh",
+        "policy",
+        "area_m2",
+        "brown_kwh",
+        "brown_warm_kwh",
+        "green_utilization",
+        "load_kwh",
     ]);
     let mut idx = 0;
     for &area in &areas {
@@ -167,7 +199,12 @@ pub fn fig3(ctx: &ExpContext) -> String {
             None => format!("{name} never reaches zero-brown in range"),
         });
     }
-    format!("fig3: swept {} areas × {} policies. {}", areas.len(), policies.len(), crossings.join("; "))
+    format!(
+        "fig3: swept {} areas × {} policies. {}",
+        areas.len(),
+        policies.len(),
+        crossings.join("; ")
+    )
 }
 
 /// The fig4/fig5 shared sweep: battery capacity × policy.
@@ -184,8 +221,7 @@ fn battery_sweep(ctx: &ExpContext) -> Arc<Vec<(String, RunReport)>> {
         for &kwh in &sizes {
             for (name, policy) in &policies {
                 let mut cfg = medium_cfg(ctx, *policy);
-                cfg.energy.battery =
-                    (kwh > 0.0).then(|| BatterySpec::lithium_ion(kwh * 1000.0));
+                cfg.energy.battery = (kwh > 0.0).then(|| BatterySpec::lithium_ion(kwh * 1000.0));
                 configs.push((format!("{name}@{kwh:.0}kWh"), cfg));
             }
         }
@@ -284,13 +320,24 @@ pub fn fig6(ctx: &ExpContext) -> String {
         .iter()
         .min_by(|a, b| a.1.total_losses_kwh().partial_cmp(&b.1.total_losses_kwh()).unwrap())
         .expect("non-empty sweep");
-    format!("fig6: loss breakdown over {} fractions; lowest total losses at {}", results.len(), best.0)
+    format!(
+        "fig6: loss breakdown over {} fractions; lowest total losses at {}",
+        results.len(),
+        best.0
+    )
 }
 
 /// R-Fig7 — deadline miss rate and interactive latency vs delay fraction.
 pub fn fig7(ctx: &ExpContext) -> String {
     let results = delay_sweep(ctx);
-    let mut t = Table::new(vec!["delay_pct", "miss_rate", "p50_ms", "p99_ms", "jobs_done", "jobs_submitted"]);
+    let mut t = Table::new(vec![
+        "delay_pct",
+        "miss_rate",
+        "p50_ms",
+        "p99_ms",
+        "jobs_done",
+        "jobs_submitted",
+    ]);
     for (tag, r) in results.iter() {
         t.row(vec![
             tag.trim_start_matches("delay@").to_string(),
@@ -316,8 +363,10 @@ pub fn fig7(ctx: &ExpContext) -> String {
 
 /// R-Fig8 — gear level and green coverage over time for GreenMatch.
 pub fn fig8(ctx: &ExpContext) -> String {
-    let configs =
-        vec![("greenmatch".to_string(), medium_cfg(ctx, PolicyKind::GreenMatch { delay_fraction: 1.0 }))];
+    let configs = vec![(
+        "greenmatch".to_string(),
+        medium_cfg(ctx, PolicyKind::GreenMatch { delay_fraction: 1.0 }),
+    )];
     let results = run_and_archive(ctx, "fig8", configs);
     let (_, r) = &results[0];
 

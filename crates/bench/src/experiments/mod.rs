@@ -24,26 +24,90 @@ pub struct Experiment {
 /// All experiments, in presentation order.
 pub fn registry() -> Vec<Experiment> {
     vec![
-        Experiment { id: "fig1", about: "Renewable production profiles over the week", run: figures::fig1 },
-        Experiment { id: "fig2", about: "Cluster draw vs renewable supply timeline per policy", run: figures::fig2 },
-        Experiment { id: "fig3", about: "Brown energy vs solar panel area per policy", run: figures::fig3 },
-        Experiment { id: "fig4", about: "Brown energy vs battery capacity per policy", run: figures::fig4 },
-        Experiment { id: "fig5", about: "Renewable energy lost vs battery capacity", run: figures::fig5 },
+        Experiment {
+            id: "fig1",
+            about: "Renewable production profiles over the week",
+            run: figures::fig1,
+        },
+        Experiment {
+            id: "fig2",
+            about: "Cluster draw vs renewable supply timeline per policy",
+            run: figures::fig2,
+        },
+        Experiment {
+            id: "fig3",
+            about: "Brown energy vs solar panel area per policy",
+            run: figures::fig3,
+        },
+        Experiment {
+            id: "fig4",
+            about: "Brown energy vs battery capacity per policy",
+            run: figures::fig4,
+        },
+        Experiment {
+            id: "fig5",
+            about: "Renewable energy lost vs battery capacity",
+            run: figures::fig5,
+        },
         Experiment { id: "fig6", about: "Loss breakdown vs delay fraction", run: figures::fig6 },
-        Experiment { id: "fig7", about: "Deadline misses and latency vs delay fraction", run: figures::fig7 },
-        Experiment { id: "fig8", about: "Gear level and green coverage over time", run: figures::fig8 },
+        Experiment {
+            id: "fig7",
+            about: "Deadline misses and latency vs delay fraction",
+            run: figures::fig7,
+        },
+        Experiment {
+            id: "fig8",
+            about: "Gear level and green coverage over time",
+            run: figures::fig8,
+        },
         Experiment { id: "table1", about: "Model parameters", run: tables::table1 },
-        Experiment { id: "table2", about: "Policy summary on the default configuration", run: tables::table2 },
+        Experiment {
+            id: "table2",
+            about: "Policy summary on the default configuration",
+            run: tables::table2,
+        },
         Experiment { id: "table3", about: "Sensitivity to renewable source", run: tables::table3 },
         Experiment { id: "table4", about: "Sensitivity to forecast quality", run: tables::table4 },
-        Experiment { id: "table5", about: "Weekly operating economics (grid + battery wear)", run: tables::table5 },
-        Experiment { id: "table6", about: "Carbon-aware brown pricing vs plain GreenMatch", run: tables::table6 },
-        Experiment { id: "ablate-matcher", about: "Planning-window ablation of the matcher", run: ablations::matcher_window },
-        Experiment { id: "ablate-failures", about: "Failure injection: reliability face of power-gating", run: ablations::failures },
-        Experiment { id: "ablate-layout", about: "Data-layout ablation under gear scheduling", run: ablations::layout },
-        Experiment { id: "ablate-slot", about: "Slot-length ablation", run: ablations::slot_length },
-        Experiment { id: "ablate-cache", about: "Read-cache ablation (latency + energy)", run: ablations::cache },
-        Experiment { id: "ablate-discharge", about: "Battery discharge-timing ablation", run: ablations::discharge },
+        Experiment {
+            id: "table5",
+            about: "Weekly operating economics (grid + battery wear)",
+            run: tables::table5,
+        },
+        Experiment {
+            id: "table6",
+            about: "Carbon-aware brown pricing vs plain GreenMatch",
+            run: tables::table6,
+        },
+        Experiment {
+            id: "ablate-matcher",
+            about: "Planning-window ablation of the matcher",
+            run: ablations::matcher_window,
+        },
+        Experiment {
+            id: "ablate-failures",
+            about: "Failure injection: reliability face of power-gating",
+            run: ablations::failures,
+        },
+        Experiment {
+            id: "ablate-layout",
+            about: "Data-layout ablation under gear scheduling",
+            run: ablations::layout,
+        },
+        Experiment {
+            id: "ablate-slot",
+            about: "Slot-length ablation",
+            run: ablations::slot_length,
+        },
+        Experiment {
+            id: "ablate-cache",
+            about: "Read-cache ablation (latency + energy)",
+            run: ablations::cache,
+        },
+        Experiment {
+            id: "ablate-discharge",
+            about: "Battery discharge-timing ablation",
+            run: ablations::discharge,
+        },
     ]
 }
 

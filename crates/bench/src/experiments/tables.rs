@@ -3,12 +3,12 @@
 use super::base::{medium_cfg, medium_cfg_no_battery, DEFAULT_AREA_M2};
 use crate::runner::{run_and_archive, ExpContext};
 use crate::table::{f1, f3, pct, Table};
-use greenmatch::config::{ForecastKind, SourceKind};
-use greenmatch::policy::PolicyKind;
 use gm_energy::battery::BatterySpec;
 use gm_energy::solar::SolarProfile;
 use gm_energy::wind::WindProfile;
 use gm_storage::{ClusterSpec, DiskSpec, ServerSpec};
+use greenmatch::config::{ForecastKind, SourceKind};
+use greenmatch::policy::PolicyKind;
 
 /// R-Table1 — model parameters (no simulation; a provenance table).
 pub fn table1(ctx: &ExpContext) -> String {
@@ -19,18 +19,62 @@ pub fn table1(ctx: &ExpContext) -> String {
     let li = BatterySpec::lithium_ion(90_000.0);
 
     let mut t = Table::new(vec!["parameter", "value", "unit"]);
-    t.row(vec!["servers × disk bays".into(), format!("{} × {}", cluster.topology.servers, cluster.topology.bays), "".into()]);
-    t.row(vec!["replication / gears".into(), format!("{} / {}", cluster.replication, cluster.topology.gears), "".into()]);
-    t.row(vec!["disk active / idle / standby".into(), format!("{} / {} / {}", disk.active_w, disk.idle_w, disk.standby_w), "W".into()]);
-    t.row(vec!["disk spin-up".into(), format!("{} s + {} J", disk.spinup_latency.as_secs_f64(), disk.spinup_extra_j), "".into()]);
+    t.row(vec![
+        "servers × disk bays".into(),
+        format!("{} × {}", cluster.topology.servers, cluster.topology.bays),
+        "".into(),
+    ]);
+    t.row(vec![
+        "replication / gears".into(),
+        format!("{} / {}", cluster.replication, cluster.topology.gears),
+        "".into(),
+    ]);
+    t.row(vec![
+        "disk active / idle / standby".into(),
+        format!("{} / {} / {}", disk.active_w, disk.idle_w, disk.standby_w),
+        "W".into(),
+    ]);
+    t.row(vec![
+        "disk spin-up".into(),
+        format!("{} s + {} J", disk.spinup_latency.as_secs_f64(), disk.spinup_extra_j),
+        "".into(),
+    ]);
     t.row(vec!["disk transfer".into(), f1(disk.transfer_bps / 1e6), "MB/s".into()]);
-    t.row(vec!["server peak / idle / off".into(), format!("{} / {} / {}", server.peak_w, server.idle_w, server.off_w), "W".into()]);
-    t.row(vec!["LA DoD / σ / charge-rate".into(), format!("{} / {} / {}%", la.dod, la.efficiency, la.charge_rate_per_hour * 100.0), "".into()]);
-    t.row(vec!["LI DoD / σ / charge-rate".into(), format!("{} / {} / {}%", li.dod, li.efficiency, li.charge_rate_per_hour * 100.0), "".into()]);
-    t.row(vec!["LA / LI self-discharge".into(), format!("{}% / {}%", la.self_discharge_per_day * 100.0, li.self_discharge_per_day * 100.0), "per day".into()]);
-    t.row(vec!["LA / LI price".into(), format!("{} / {}", la.price_per_kwh, li.price_per_kwh), "$/kWh".into()]);
-    t.row(vec!["LA / LI 90 kWh volume".into(), format!("{:.0} / {:.0}", la.volume_litres(), li.volume_litres()), "L".into()]);
-    t.row(vec!["PV default area / efficiency".into(), format!("{DEFAULT_AREA_M2} / 0.174"), "m² / –".into()]);
+    t.row(vec![
+        "server peak / idle / off".into(),
+        format!("{} / {} / {}", server.peak_w, server.idle_w, server.off_w),
+        "W".into(),
+    ]);
+    t.row(vec![
+        "LA DoD / σ / charge-rate".into(),
+        format!("{} / {} / {}%", la.dod, la.efficiency, la.charge_rate_per_hour * 100.0),
+        "".into(),
+    ]);
+    t.row(vec![
+        "LI DoD / σ / charge-rate".into(),
+        format!("{} / {} / {}%", li.dod, li.efficiency, li.charge_rate_per_hour * 100.0),
+        "".into(),
+    ]);
+    t.row(vec![
+        "LA / LI self-discharge".into(),
+        format!("{}% / {}%", la.self_discharge_per_day * 100.0, li.self_discharge_per_day * 100.0),
+        "per day".into(),
+    ]);
+    t.row(vec![
+        "LA / LI price".into(),
+        format!("{} / {}", la.price_per_kwh, li.price_per_kwh),
+        "$/kWh".into(),
+    ]);
+    t.row(vec![
+        "LA / LI 90 kWh volume".into(),
+        format!("{:.0} / {:.0}", la.volume_litres(), li.volume_litres()),
+        "L".into(),
+    ]);
+    t.row(vec![
+        "PV default area / efficiency".into(),
+        format!("{DEFAULT_AREA_M2} / 0.174"),
+        "m² / –".into(),
+    ]);
     t.row(vec!["slot width / horizon".to_string(), "1 h / 168 slots".to_string(), String::new()]);
 
     ctx.write("table1_parameters.md", &t.to_markdown());
@@ -55,15 +99,26 @@ pub fn table2(ctx: &ExpContext) -> String {
     let configs: Vec<(String, _)> = headline_policies()
         .into_iter()
         .map(|(name, policy, battery)| {
-            let cfg = if battery { medium_cfg(ctx, policy) } else { medium_cfg_no_battery(ctx, policy) };
+            let cfg =
+                if battery { medium_cfg(ctx, policy) } else { medium_cfg_no_battery(ctx, policy) };
             (name.to_string(), cfg)
         })
         .collect();
     let results = run_and_archive(ctx, "table2", configs);
 
     let mut t = Table::new(vec![
-        "policy", "brown_kwh", "load_kwh", "green_util", "coverage", "curtailed_kwh",
-        "losses_kwh", "miss_rate", "p99_ms", "spinups", "carbon_kg", "cost_usd",
+        "policy",
+        "brown_kwh",
+        "load_kwh",
+        "green_util",
+        "coverage",
+        "curtailed_kwh",
+        "losses_kwh",
+        "miss_rate",
+        "p99_ms",
+        "spinups",
+        "carbon_kg",
+        "cost_usd",
     ]);
     for (name, r) in &results {
         t.row(vec![
@@ -85,7 +140,8 @@ pub fn table2(ctx: &ExpContext) -> String {
     ctx.write("table2_policy_summary.csv", &t.to_csv());
 
     let esd = results.iter().find(|(n, _)| n == "esd-only").expect("esd-only present").1.brown_kwh;
-    let gm = results.iter().find(|(n, _)| n == "greenmatch").expect("greenmatch present").1.brown_kwh;
+    let gm =
+        results.iter().find(|(n, _)| n == "greenmatch").expect("greenmatch present").1.brown_kwh;
     let saving = if esd > 0.0 { (1.0 - gm / esd) * 100.0 } else { 0.0 };
     format!("table2: 6 policies; greenmatch saves {saving:.0}% brown energy vs esd-only")
 }
@@ -93,7 +149,10 @@ pub fn table2(ctx: &ExpContext) -> String {
 /// R-Table3 — sensitivity to the renewable source.
 pub fn table3(ctx: &ExpContext) -> String {
     let sources: Vec<(&str, SourceKind)> = vec![
-        ("solar", SourceKind::Solar { area_m2: DEFAULT_AREA_M2, profile: SolarProfile::SunnySummer }),
+        (
+            "solar",
+            SourceKind::Solar { area_m2: DEFAULT_AREA_M2, profile: SolarProfile::SunnySummer },
+        ),
         ("wind", SourceKind::Wind { rated_w: 25_000.0, profile: WindProfile::SteadyCoastal }),
         (
             "mixed",
@@ -120,7 +179,8 @@ pub fn table3(ctx: &ExpContext) -> String {
     }
     let results = run_and_archive(ctx, "table3", configs);
 
-    let mut t = Table::new(vec!["source", "policy", "green_kwh", "brown_kwh", "green_util", "miss_rate"]);
+    let mut t =
+        Table::new(vec!["source", "policy", "green_kwh", "brown_kwh", "green_util", "miss_rate"]);
     for (tag, r) in &results {
         let (s, p) = tag.split_once('/').expect("source/policy tag");
         t.row(vec![
@@ -153,14 +213,16 @@ pub fn table4(ctx: &ExpContext) -> String {
     let configs: Vec<(String, _)> = kinds
         .iter()
         .map(|(name, kind)| {
-            let mut cfg = medium_cfg_no_battery(ctx, PolicyKind::GreenMatch { delay_fraction: 1.0 });
+            let mut cfg =
+                medium_cfg_no_battery(ctx, PolicyKind::GreenMatch { delay_fraction: 1.0 });
             cfg.energy.forecast = *kind;
             (name.to_string(), cfg)
         })
         .collect();
     let results = run_and_archive(ctx, "table4", configs);
 
-    let mut t = Table::new(vec!["forecast", "brown_kwh", "green_util", "curtailed_kwh", "miss_rate"]);
+    let mut t =
+        Table::new(vec!["forecast", "brown_kwh", "green_util", "curtailed_kwh", "miss_rate"]);
     for (name, r) in &results {
         t.row(vec![
             name.clone(),
@@ -174,8 +236,7 @@ pub fn table4(ctx: &ExpContext) -> String {
     ctx.write("table4_forecasts.csv", &t.to_csv());
 
     let oracle = results[0].1.brown_kwh;
-    let worst =
-        results.iter().map(|(_, r)| r.brown_kwh).fold(f64::NEG_INFINITY, f64::max);
+    let worst = results.iter().map(|(_, r)| r.brown_kwh).fold(f64::NEG_INFINITY, f64::max);
     format!("table4: oracle brown {oracle:.1} kWh; worst forecaster {worst:.1} kWh")
 }
 
@@ -184,7 +245,8 @@ pub fn table4(ctx: &ExpContext) -> String {
 /// scheduling: fewer stored kWh means both a smaller pack *and* slower
 /// cycling wear on whatever pack is installed.
 pub fn table5(ctx: &ExpContext) -> String {
-    let batteries: Vec<(&str, f64)> = vec![("none", 0.0), ("40kWh", 40_000.0), ("110kWh", 110_000.0)];
+    let batteries: Vec<(&str, f64)> =
+        vec![("none", 0.0), ("40kWh", 40_000.0), ("110kWh", 110_000.0)];
     let policies: Vec<(&str, PolicyKind)> = vec![
         ("esd-only", PolicyKind::AllOn),
         ("greedy-green", PolicyKind::GreedyGreen),
@@ -202,7 +264,12 @@ pub fn table5(ctx: &ExpContext) -> String {
     let results = run_and_archive(ctx, "table5", configs);
 
     let mut t = Table::new(vec![
-        "battery", "policy", "grid_usd_week", "battery_cycles", "wear_usd_week", "opex_usd_week",
+        "battery",
+        "policy",
+        "grid_usd_week",
+        "battery_cycles",
+        "wear_usd_week",
+        "opex_usd_week",
         "brown_kwh",
     ]);
     for (tag, r) in &results {
@@ -254,7 +321,12 @@ pub fn table6(ctx: &ExpContext) -> String {
     let results = run_and_archive(ctx, "table6", configs);
 
     let mut t = Table::new(vec![
-        "policy", "brown_kwh", "carbon_kg", "g_per_brown_kwh", "grid_usd", "miss_rate",
+        "policy",
+        "brown_kwh",
+        "carbon_kg",
+        "g_per_brown_kwh",
+        "grid_usd",
+        "miss_rate",
     ]);
     for (name, r) in &results {
         let intensity = if r.brown_kwh > 0.0 { r.carbon_kg * 1000.0 / r.brown_kwh } else { 0.0 };

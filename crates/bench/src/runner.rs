@@ -1,17 +1,18 @@
 //! Experiment execution: tagged parallel sweeps and result output.
 //!
-//! Sweeps run across a crossbeam scope with one worker per available core
-//! (which degrades gracefully to sequential on single-core machines);
-//! results are collected under a `parking_lot` mutex and returned in input
-//! order so CSV output is deterministic regardless of completion order.
+//! Sweeps run across a `std::thread::scope` with one worker per available
+//! core (which degrades gracefully to sequential on single-core machines);
+//! results are collected under a mutex and returned in input order so CSV
+//! output is deterministic regardless of completion order.
 
 use greenmatch::config::ExperimentConfig;
-use greenmatch::harness::run_experiment;
+use greenmatch::observe::SlotObserver;
 use greenmatch::report::RunReport;
-use parking_lot::Mutex;
+use greenmatch::simulation::Simulation;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Shared knobs for one experiment invocation.
 #[derive(Debug, Clone)]
@@ -58,31 +59,54 @@ impl ExpContext {
 /// Run every tagged config, in parallel where cores allow, returning
 /// `(tag, report)` pairs in input order.
 pub fn run_tagged(configs: Vec<(String, ExperimentConfig)>) -> Vec<(String, RunReport)> {
+    run_tagged_with(configs, |_, _, _| Vec::new())
+}
+
+/// Like [`run_tagged`], but attaches observers to every run: the factory
+/// is called once per run (with its index, tag and config) and returns the
+/// observers that run should carry — e.g. a `JsonlTraceObserver` writing a
+/// per-run trace file. Reports are unaffected by observers.
+pub fn run_tagged_with<F>(
+    configs: Vec<(String, ExperimentConfig)>,
+    observer_factory: F,
+) -> Vec<(String, RunReport)>
+where
+    F: Fn(usize, &str, &ExperimentConfig) -> Vec<Box<dyn SlotObserver + Send>> + Sync,
+{
     let n = configs.len();
     if n == 0 {
         return Vec::new();
     }
     let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<(String, RunReport)>>> = Mutex::new((0..n).map(|_| None).collect());
+    let results: Mutex<Vec<Option<(String, RunReport)>>> =
+        Mutex::new((0..n).map(|_| None).collect());
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let (tag, cfg) = &configs[i];
-                let report = run_experiment(cfg);
+                let mut sim = Simulation::new(cfg);
+                for obs in observer_factory(i, tag, cfg) {
+                    sim.add_observer(obs);
+                }
+                let report = sim.run_to_end();
                 eprintln!("  [{}/{}] {} → brown {:.1} kWh", i + 1, n, tag, report.brown_kwh);
-                results.lock()[i] = Some((tag.clone(), report));
+                results.lock().unwrap()[i] = Some((tag.clone(), report));
             });
         }
-    })
-    .expect("sweep workers must not panic");
+    });
 
-    results.into_inner().into_iter().map(|r| r.expect("all runs completed")).collect()
+    results
+        .into_inner()
+        .expect("sweep workers must not panic")
+        .into_iter()
+        .map(|r| r.expect("all runs completed"))
+        .collect()
 }
 
 /// Convenience: run the configs and also archive each config JSON.
@@ -107,9 +131,7 @@ mod tests {
     use super::*;
 
     fn tiny_cfg(seed: u64) -> ExperimentConfig {
-        let mut cfg = ExperimentConfig::small_demo(seed);
-        cfg.slots = 12;
-        cfg
+        ExperimentConfig::small_demo(seed).with_slots(12)
     }
 
     #[test]
@@ -129,6 +151,29 @@ mod tests {
     #[test]
     fn empty_sweep_is_fine() {
         assert!(run_tagged(vec![]).is_empty());
+    }
+
+    #[test]
+    fn observer_factory_sees_every_run_and_changes_nothing() {
+        use std::sync::atomic::AtomicU64;
+
+        struct CountingObserver<'a>(&'a AtomicU64);
+        impl SlotObserver for CountingObserver<'_> {
+            fn on_slot(&mut self, _o: &greenmatch::simulation::SlotOutcome) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // 'a must outlive the run; a static counter keeps the test simple.
+        static SLOTS_SEEN: AtomicU64 = AtomicU64::new(0);
+
+        let configs = vec![("a".to_string(), tiny_cfg(1)), ("b".to_string(), tiny_cfg(2))];
+        let plain = run_tagged(configs.clone());
+        let observed = run_tagged_with(configs, |_, _, _| {
+            vec![Box::new(CountingObserver(&SLOTS_SEEN)) as Box<dyn SlotObserver + Send>]
+        });
+        assert_eq!(SLOTS_SEEN.load(Ordering::Relaxed), 24, "12 slots × 2 runs");
+        assert_eq!(plain[0].1.brown_kwh, observed[0].1.brown_kwh);
+        assert_eq!(plain[1].1.gears_series, observed[1].1.gears_series);
     }
 
     #[test]

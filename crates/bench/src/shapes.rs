@@ -9,12 +9,12 @@
 
 use crate::experiments::base::{medium_cfg, medium_cfg_no_battery};
 use crate::runner::{run_tagged, ExpContext};
-use greenmatch::config::SourceKind;
-use greenmatch::policy::PolicyKind;
-use greenmatch::report::RunReport;
 use gm_energy::battery::BatterySpec;
 use gm_energy::solar::SolarProfile;
 use gm_storage::LayoutKind;
+use greenmatch::config::SourceKind;
+use greenmatch::policy::PolicyKind;
+use greenmatch::report::RunReport;
 
 /// Outcome of one shape check.
 #[derive(Debug, Clone)]
@@ -32,7 +32,12 @@ fn check(name: &'static str, pass: bool, detail: String) -> ShapeCheck {
 }
 
 fn brown(results: &[(String, RunReport)], tag: &str) -> f64 {
-    results.iter().find(|(t, _)| t == tag).unwrap_or_else(|| panic!("missing run {tag}")).1.brown_kwh
+    results
+        .iter()
+        .find(|(t, _)| t == tag)
+        .unwrap_or_else(|| panic!("missing run {tag}"))
+        .1
+        .brown_kwh
 }
 
 /// Run every shape check. `ctx.scale` trades fidelity for speed.
@@ -114,7 +119,10 @@ pub fn run_all(ctx: &ExpContext) -> Vec<ShapeCheck> {
     checks.push(check(
         "deferral-cuts-battery-loss",
         d100.battery_eff_loss_kwh <= d0.battery_eff_loss_kwh + 1e-6,
-        format!("{:.1} → {:.1} kWh battery loss", d0.battery_eff_loss_kwh, d100.battery_eff_loss_kwh),
+        format!(
+            "{:.1} → {:.1} kWh battery loss",
+            d0.battery_eff_loss_kwh, d100.battery_eff_loss_kwh
+        ),
     ));
     checks.push(check(
         "deferral-adds-cycling",
@@ -135,7 +143,10 @@ pub fn run_all(ctx: &ExpContext) -> Vec<ShapeCheck> {
     checks.push(check(
         "gear-layout-availability",
         gear.forced_spinups == 0 && random.forced_spinups > 0,
-        format!("forced spin-ups: gear {} vs random {}", gear.forced_spinups, random.forced_spinups),
+        format!(
+            "forced spin-ups: gear {} vs random {}",
+            gear.forced_spinups, random.forced_spinups
+        ),
     ));
 
     // 7. Latency stays interactive everywhere except the random layout,

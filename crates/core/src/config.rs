@@ -61,20 +61,82 @@ pub enum SourceKind {
     },
 }
 
+/// Why a configuration could not be materialised into a runnable
+/// simulation.
+///
+/// `Display` keeps the exact wording the old panicking path used, so
+/// `materialize` (the compatibility wrapper) panics with byte-identical
+/// messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A [`SourceKind::TraceCsv`] file could not be read from disk.
+    TraceRead {
+        /// Trace label from the config.
+        label: String,
+        /// Path that failed to open.
+        path: String,
+        /// Underlying I/O error text.
+        error: String,
+    },
+    /// A [`SourceKind::TraceCsv`] file was read but failed to parse.
+    TraceParse {
+        /// Trace label from the config.
+        label: String,
+        /// Parse error text.
+        error: String,
+    },
+    /// The configuration itself is unusable (e.g. zero slots).
+    Invalid {
+        /// What is wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::TraceRead { label, path, error } => {
+                write!(f, "trace {label}: cannot read {path}: {error}")
+            }
+            ConfigError::TraceParse { label, error } => write!(f, "trace {label}: {error}"),
+            ConfigError::Invalid { message } => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl SourceKind {
     /// Materialise the source into a frozen per-slot power trace (W).
     ///
     /// Panics if a [`SourceKind::TraceCsv`] file is missing or malformed —
     /// a configured measurement file that cannot be read is a setup error,
-    /// not a condition to silently zero-fill.
+    /// not a condition to silently zero-fill. Prefer [`try_materialize`]
+    /// (`SourceKind::try_materialize`) when the caller wants to report the
+    /// problem instead.
     pub fn materialize(&self, clock: SlotClock, slots: usize, rngs: &RngFactory) -> TimeSeries {
-        match *self {
+        self.try_materialize(clock, slots, rngs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Materialise the source, reporting a missing or malformed trace file
+    /// as a [`ConfigError`] instead of panicking.
+    pub fn try_materialize(
+        &self,
+        clock: SlotClock,
+        slots: usize,
+        rngs: &RngFactory,
+    ) -> Result<TimeSeries, ConfigError> {
+        Ok(match *self {
             SourceKind::None => TimeSeries::zeros(clock, slots),
             SourceKind::TraceCsv { ref label, ref path } => {
-                let csv = std::fs::read_to_string(path)
-                    .unwrap_or_else(|e| panic!("trace {label}: cannot read {path}: {e}"));
-                let trace = gm_energy::traces::trace_from_csv(&csv, clock)
-                    .unwrap_or_else(|e| panic!("trace {label}: {e}"));
+                let csv = std::fs::read_to_string(path).map_err(|e| ConfigError::TraceRead {
+                    label: label.clone(),
+                    path: path.clone(),
+                    error: e.to_string(),
+                })?;
+                let trace = gm_energy::traces::trace_from_csv(&csv, clock).map_err(|e| {
+                    ConfigError::TraceParse { label: label.clone(), error: e.to_string() }
+                })?;
                 // Re-window onto the requested horizon (zero-padded).
                 TimeSeries::from_values(clock, (0..slots).map(|s| trace.get(s)).collect())
             }
@@ -99,7 +161,7 @@ impl SourceKind {
                     )))
                     .materialize(clock, slots)
             }
-        }
+        })
     }
 
     /// Label for reports.
@@ -265,6 +327,73 @@ impl ExperimentConfig {
     /// Horizon as a duration.
     pub fn horizon(&self) -> SimDuration {
         self.clock.width() * self.slots as u64
+    }
+
+    // --- chainable builder surface -------------------------------------
+    //
+    // Start from a preset and override the knobs under study:
+    //
+    // ```
+    // use greenmatch::config::ExperimentConfig;
+    // use greenmatch::policy::PolicyKind;
+    //
+    // let cfg = ExperimentConfig::small_demo(42)
+    //     .with_policy(PolicyKind::AllOn)
+    //     .with_slots(24);
+    // ```
+
+    /// Use the given scheduling policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Use any renewable source (see also [`Self::with_solar`] /
+    /// [`Self::with_wind`] shorthands).
+    pub fn with_source(mut self, source: SourceKind) -> Self {
+        self.energy.source = source;
+        self
+    }
+
+    /// Power the site from a PV farm of the given area.
+    pub fn with_solar(self, area_m2: f64, profile: SolarProfile) -> Self {
+        self.with_source(SourceKind::Solar { area_m2, profile })
+    }
+
+    /// Power the site from a wind turbine of the given nameplate power.
+    pub fn with_wind(self, rated_w: f64, profile: WindProfile) -> Self {
+        self.with_source(SourceKind::Wind { rated_w, profile })
+    }
+
+    /// Install the given battery (`None` removes it; a bare `BatterySpec`
+    /// works too, via `Into<Option<_>>`).
+    pub fn with_battery(mut self, battery: impl Into<Option<BatterySpec>>) -> Self {
+        self.energy.battery = battery.into();
+        self
+    }
+
+    /// Plan with the given production forecaster.
+    pub fn with_forecast(mut self, forecast: ForecastKind) -> Self {
+        self.energy.forecast = forecast;
+        self
+    }
+
+    /// Enable (or with `None`, disable) disk-failure injection.
+    pub fn with_failures(mut self, failures: impl Into<Option<gm_storage::FailureSpec>>) -> Self {
+        self.failures = failures.into();
+        self
+    }
+
+    /// Simulate the given number of slots.
+    pub fn with_slots(mut self, slots: usize) -> Self {
+        self.slots = slots;
+        self
+    }
+
+    /// Use the given master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 

@@ -1,378 +1,29 @@
 //! End-to-end experiment harness.
 //!
-//! [`run_experiment`] wires a configuration into the slot loop:
-//!
-//! ```text
-//! each slot:
-//!   battery self-discharge
-//!   batch arrivals join the pending set
-//!   build the SchedContext (green forecast, interactive forecast, jobs,
-//!     battery state) — slot 0 of the forecast is the actual production,
-//!     per the era's accurate-next-slot-prediction convention
-//!   policy.decide() → gears, batch bytes, reclaim budget
-//!   execute: gear the cluster, serve every interactive request, spread
-//!     the chosen batch bytes across the active disks, replay the write log
-//!   integrate energy; settle the supply chain:
-//!     green → load directly, surplus → battery (rate/efficiency limited),
-//!     remainder curtailed; deficit → battery, remainder from the grid
-//!   record the slot in the ledger; update learning forecasters
-//! ```
+//! [`run_experiment`] is the one-shot convenience entry point: it builds a
+//! [`crate::simulation::Simulation`] from the configuration and runs it to
+//! the end of the horizon. The slot loop itself lives in
+//! [`crate::simulation`]; see that module for the step structure
+//! (decide → execute → settle) and for the observer hooks that expose
+//! per-slot telemetry.
 //!
 //! The supply-settlement order (green first, battery second, grid last) is
 //! common to every policy; policies differentiate themselves purely through
 //! *when* work runs and *how many* gears are powered.
 
 use crate::config::ExperimentConfig;
-use crate::policy::{BatteryView, JobView, PlanningModel, SchedContext, TOTAL_RHO};
-use crate::report::{BatchReport, LatencyReport, RunReport};
-use crate::scheduler::DEFAULT_HORIZON;
-use gm_energy::battery::{Battery, BatterySpec};
-use gm_energy::ledger::{EnergyLedger, SlotFlows};
-use gm_sim::time::{SimTime, SlotIdx};
-use gm_sim::{LogHistogram, RngFactory};
-use gm_storage::Cluster;
-use gm_workload::trace::Workload;
-use gm_workload::{BatchJob, JobId};
-use std::collections::HashMap;
+use crate::report::RunReport;
+use crate::simulation::Simulation;
 
-/// Last slot whose *end* is at or before `deadline` — the latest slot in
-/// which deadline work can safely be scheduled.
-fn deadline_slot_for(clock: gm_sim::SlotClock, deadline: SimTime) -> SlotIdx {
-    if deadline.0 < clock.width().0 {
-        return 0;
-    }
-    let k = clock.slot_of(SimTime(deadline.0 - 1));
-    if clock.slot_end(k) <= deadline {
-        k
-    } else {
-        k.saturating_sub(1)
-    }
-}
+#[cfg(test)]
+pub(crate) use crate::simulation::deadline_slot_for;
 
 /// Run one experiment to completion.
+///
+/// Equivalent to `Simulation::new(cfg).run_to_end()` — the step-wise API
+/// produces a field-for-field identical report.
 pub fn run_experiment(cfg: &ExperimentConfig) -> RunReport {
-    let clock = cfg.clock;
-    let slots = cfg.slots;
-    let width = clock.width();
-    let hours = clock.width_hours();
-    let rngs = RngFactory::new(cfg.seed);
-
-    let mut cluster = Cluster::new(cfg.cluster.clone());
-    cluster.set_slot_width(width);
-    let workload = Workload::generate(cfg.workload.clone(), cfg.seed);
-    let model = PlanningModel::from_spec(&cfg.cluster);
-
-    let green_trace = cfg.energy.source.materialize(clock, slots, &rngs);
-    let mut forecaster = cfg.energy.forecast.build(&green_trace, clock, &rngs);
-    let battery_spec = cfg.energy.battery.unwrap_or_else(|| BatterySpec::lithium_ion(0.0));
-    let mut battery = Battery::new(battery_spec);
-    let mut ledger = EnergyLedger::new(clock, cfg.energy.grid);
-    let mut policy = cfg.policy.build();
-
-    let mut hist = LogHistogram::for_latency_secs();
-    let mut jobs: Vec<BatchJob> = Vec::new();
-    let mut job_index: HashMap<JobId, usize> = HashMap::new();
-    let mut batch_report = BatchReport::default();
-    let mut gears_series = Vec::with_capacity(slots);
-
-    // Pre-derive per-request service constants for the interactive
-    // busy-time forecast.
-    let positioning_s =
-        cfg.cluster.disk.avg_seek.as_secs_f64() + cfg.cluster.disk.avg_rotation.as_secs_f64();
-    let secs_per_byte = 1.0 / cfg.cluster.disk.transfer_bps;
-    let total_batch_bw = model.gears as f64 * model.disks_per_gear as f64 * model.disk_bw_bps;
-
-    // Round-robin cursor so batch work spreads evenly across slots too.
-    let mut rr_cursor = 0usize;
-
-    // Failure-injection state: per-disk spin-up counts at the last slot
-    // boundary (cycling wear input) and the repair-job → disk map.
-    let failure_dice = gm_storage::FailureDice::new(cfg.seed);
-    let n_disks = cfg.cluster.topology.n_disks();
-    let mut prev_spinups = vec![0u64; n_disks];
-    let mut repair_jobs: HashMap<JobId, usize> = HashMap::new();
-    let mut next_repair_id = 1u64 << 40; // well above workload job ids
-    let mut repairs_completed = 0u64;
-
-    for s in 0..slots {
-        let now = clock.slot_start(s);
-        let slot_end = clock.slot_end(s);
-
-        battery.apply_self_discharge(width);
-
-        // Failure injection: draw per disk, spawn repair jobs.
-        if let Some(fail_spec) = cfg.failures {
-            for (d, prev) in prev_spinups.iter_mut().enumerate() {
-                let spinups = cluster.disk_spinups(d);
-                let cycles = spinups - *prev;
-                *prev = spinups;
-                let p = fail_spec.failure_probability(
-                    hours,
-                    cluster.disk_in_standby(d),
-                    cycles,
-                );
-                if failure_dice.draw(d, s) < p {
-                    let report = cluster.fail_disk(d, now);
-                    if report.rebuild_bytes > 0 {
-                        let id = JobId(next_repair_id);
-                        next_repair_id += 1;
-                        repair_jobs.insert(id, d);
-                        job_index.insert(id, jobs.len());
-                        jobs.push(BatchJob::new(
-                            id,
-                            gm_workload::BatchKind::Repair,
-                            now,
-                            now + gm_sim::SimDuration::from_hours(24),
-                            report.rebuild_bytes,
-                        ));
-                    }
-                }
-            }
-        }
-
-        // Batch arrivals.
-        for job in workload.batch_arrivals_in_slot(clock, s) {
-            batch_report.jobs_submitted += 1;
-            batch_report.bytes_submitted += job.total_bytes;
-            job_index.insert(job.id, jobs.len());
-            jobs.push(job);
-        }
-
-        // Forecasts: the policy sees the forecaster's view of the whole
-        // window, *including* the current slot. With the Oracle forecaster
-        // this reproduces the era's accurate-next-slot-prediction
-        // convention exactly; with imperfect forecasters the policy may now
-        // misjudge even the present — which is what forecast-sensitivity
-        // experiments measure. Energy settlement always uses the truth.
-        let green_forecast_wh: Vec<f64> =
-            forecaster.predict(s, DEFAULT_HORIZON).into_iter().map(|w| w * hours).collect();
-        let interactive_busy_secs: Vec<f64> = (0..DEFAULT_HORIZON)
-            .map(|k| {
-                workload.interactive().expected_busy_secs_in_slot(
-                    clock,
-                    s + k,
-                    positioning_s,
-                    secs_per_byte,
-                )
-            })
-            .collect();
-
-        // Job views.
-        let pending_count = jobs.iter().filter(|j| j.is_pending()).count();
-        let share_bps = total_batch_bw * TOTAL_RHO / pending_count.max(1) as f64;
-        let job_views: Vec<JobView> = jobs
-            .iter()
-            .filter(|j| j.is_pending())
-            .map(|j| JobView {
-                id: j.id,
-                remaining_bytes: j.remaining_bytes,
-                deadline_slot: deadline_slot_for(clock, j.deadline),
-                critical: j.is_critical(now, share_bps),
-            })
-            .collect();
-
-        let ctx = SchedContext {
-            slot: s,
-            now,
-            clock,
-            green_forecast_wh,
-            interactive_busy_secs,
-            jobs: job_views,
-            battery: BatteryView {
-                stored_wh: battery.stored_wh(),
-                headroom_wh: battery.headroom_wh(),
-                efficiency: battery.spec().efficiency,
-                charge_capacity_wh: battery.charge_capacity_wh(width),
-                discharge_capacity_wh: battery.discharge_capacity_wh(width),
-            },
-            model,
-            writelog_pending_bytes: cluster.write_log().pending_total(),
-            grid: cfg.energy.grid,
-        };
-
-        let decision = policy.decide(&ctx);
-        let gears = decision.gears.clamp(1, model.gears);
-        cluster.set_active_gears(gears, now);
-        gears_series.push(gears);
-
-        // Interactive service.
-        for req in workload.requests_in_slot(clock, s) {
-            let served = cluster.serve_request(&req);
-            hist.record(served.latency.as_secs_f64());
-        }
-
-        // Batch execution: spread each job's bytes across the active disks.
-        let active_disks: Vec<usize> =
-            (0..gears).flat_map(|g| cluster.topology().disks_in_gear(g)).collect();
-        for (job_id, bytes) in &decision.batch_bytes {
-            let Some(&idx) = job_index.get(job_id) else { continue };
-            let job = &mut jobs[idx];
-            let bytes = (*bytes).min(job.remaining_bytes);
-            if bytes == 0 {
-                continue;
-            }
-            // Repair jobs write onto their specific replacement disk.
-            if let Some(&disk) = repair_jobs.get(job_id) {
-                let served = cluster.rebuild_step(disk, bytes, now);
-                job.perform(bytes, served.completion);
-                continue;
-            }
-            // Spread over up to 32 disks per job per slot (keeps chunks
-            // sequential and large).
-            let spread = active_disks.len().clamp(1, 32);
-            let per = (bytes / spread as u64).max(1);
-            let mut assigned = 0u64;
-            let mut last_completion = now;
-            for k in 0..spread {
-                if assigned >= bytes {
-                    break;
-                }
-                let chunk = per.min(bytes - assigned);
-                let disk = active_disks[(rr_cursor + k) % active_disks.len()];
-                let served = cluster.add_sequential_work(disk, chunk, now);
-                last_completion = last_completion.max(served.completion);
-                assigned += chunk;
-            }
-            rr_cursor = (rr_cursor + spread) % active_disks.len().max(1);
-            job.perform(assigned, last_completion);
-        }
-
-        // Write-log reclaim.
-        if decision.reclaim_budget_bytes > 0 {
-            cluster.reclaim(decision.reclaim_budget_bytes, now);
-        }
-
-        // Energy integration and supply settlement.
-        let slot_energy = cluster.end_slot(slot_end, width);
-        let load_wh = slot_energy.total_wh();
-        let green_wh = green_trace.get(s) * hours;
-        let green_direct = green_wh.min(load_wh);
-        let surplus = green_wh - green_direct;
-        let charge = battery.charge(surplus, width);
-        let curtailed = surplus - charge.drawn_wh;
-        let deficit = load_wh - green_direct;
-        // Discharge timing per the configured strategy.
-        let mid = now + width / 2;
-        let hour = mid.hour_of_day();
-        let allowed = match cfg.energy.discharge {
-            crate::config::DischargeStrategy::Eager => deficit,
-            crate::config::DischargeStrategy::PeakOnly => {
-                if (7.0..23.0).contains(&hour) {
-                    deficit
-                } else {
-                    0.0
-                }
-            }
-            crate::config::DischargeStrategy::Reserve(frac) => {
-                if (17.0..23.0).contains(&hour) {
-                    deficit // the peak may spend the reserve
-                } else {
-                    let reserve = battery.spec().usable_wh() * frac.clamp(0.0, 1.0);
-                    deficit.min((battery.stored_wh() - reserve).max(0.0))
-                }
-            }
-        };
-        let battery_out = battery.discharge(allowed, width);
-        let brown = deficit - battery_out;
-
-        ledger.record_slot(
-            s,
-            SlotFlows {
-                green_produced_wh: green_wh,
-                green_direct_wh: green_direct,
-                battery_drawn_wh: charge.drawn_wh,
-                battery_out_wh: battery_out,
-                brown_wh: brown,
-                curtailed_wh: curtailed,
-                load_wh,
-            },
-        );
-        ledger.add_spinup_overhead(slot_energy.spinup_overhead_wh);
-        ledger.add_reclaim_overhead(slot_energy.reclaim_overhead_wh);
-
-        forecaster.observe_actual(s, green_trace.get(s));
-
-        // Retire completed jobs (each counted exactly once: completed jobs
-        // leave the index below). Repair completions restore redundancy
-        // instead of entering the batch statistics.
-        for j in jobs.iter() {
-            if let Some(met) = j.met_deadline() {
-                if job_index.contains_key(&j.id) {
-                    if let Some(&disk) = repair_jobs.get(&j.id) {
-                        cluster.mark_rebuilt(disk);
-                        repairs_completed += 1;
-                    } else {
-                        batch_report.jobs_completed += 1;
-                        batch_report.bytes_completed += j.total_bytes;
-                        if !met {
-                            batch_report.deadline_misses += 1;
-                        }
-                    }
-                }
-            }
-        }
-        job_index.retain(|_, &mut idx| jobs[idx].is_pending());
-    }
-
-    // Unfinished work at the end of the horizon (repair jobs are tracked
-    // separately and excluded from batch statistics).
-    let horizon_end = clock.slot_end(slots - 1);
-    for j in jobs.iter().filter(|j| j.is_pending() && !repair_jobs.contains_key(&j.id)) {
-        batch_report.bytes_completed += j.total_bytes - j.remaining_bytes;
-        if j.deadline <= horizon_end {
-            batch_report.unfinished_late += 1;
-        }
-    }
-
-    ledger.set_battery_losses(battery.efficiency_loss_wh(), battery.self_discharge_loss_wh());
-
-    let battery_label = if battery_spec.capacity_wh > 0.0 {
-        format!("LI-like:{:.1}kWh(σ={})", battery_spec.capacity_wh / 1000.0, battery_spec.efficiency)
-    } else {
-        "none".to_string()
-    };
-
-    let totals = ledger.totals();
-    RunReport {
-        policy: policy.label(),
-        source: cfg.energy.source.label(),
-        battery: battery_label,
-        seed: cfg.seed,
-        slots,
-        load_kwh: totals.load_wh / 1000.0,
-        brown_kwh: ledger.brown_kwh(),
-        green_produced_kwh: totals.green_produced_wh / 1000.0,
-        green_direct_kwh: totals.green_direct_wh / 1000.0,
-        battery_out_kwh: totals.battery_out_wh / 1000.0,
-        curtailed_kwh: totals.curtailed_wh / 1000.0,
-        battery_eff_loss_kwh: ledger.battery_efficiency_loss_wh() / 1000.0,
-        battery_selfdisch_kwh: ledger.battery_self_discharge_wh() / 1000.0,
-        spinup_overhead_kwh: ledger.spinup_overhead_wh() / 1000.0,
-        reclaim_overhead_kwh: ledger.reclaim_overhead_wh() / 1000.0,
-        green_utilization: ledger.green_utilization(),
-        green_coverage: ledger.green_coverage(),
-        carbon_kg: ledger.carbon_g() / 1000.0,
-        cost_dollars: ledger.cost_dollars(),
-        battery_cycles: battery.equivalent_full_cycles(),
-        battery_wear_dollars: battery.wear_cost_dollars(),
-        latency: LatencyReport::from_histogram(&hist),
-        batch: batch_report,
-        spinups: cluster.total_spinups(),
-        forced_spinups: cluster.total_forced_spinups(),
-        writelog_peak_bytes: cluster.write_log().peak_pending(),
-        failures: cluster.total_failures(),
-        lost_objects: cluster.total_lost_objects(),
-        degraded_reads: cluster.degraded_reads(),
-        rebuild_bytes: cluster.total_rebuild_bytes(),
-        repairs_completed,
-        cache_hit_ratio: cluster.cache().hit_ratio(),
-        gears_series,
-        load_series_wh: ledger.load_series().values().to_vec(),
-        green_series_wh: ledger.green_series().values().to_vec(),
-        brown_series_wh: ledger.brown_series().values().to_vec(),
-        battery_out_series_wh: ledger.battery_out_series().values().to_vec(),
-        curtailed_series_wh: ledger.curtailed_series().values().to_vec(),
-    }
+    Simulation::new(cfg).run_to_end()
 }
 
 #[cfg(test)]
@@ -381,6 +32,7 @@ mod tests {
     use crate::config::SourceKind;
     use crate::policy::PolicyKind;
     use gm_energy::solar::SolarProfile;
+    use gm_sim::time::SimTime;
     use gm_sim::SlotClock;
 
     fn quick_cfg(policy: PolicyKind) -> ExperimentConfig {
@@ -463,7 +115,8 @@ mod tests {
     #[test]
     fn battery_reduces_brown_for_all_on() {
         let mut with = quick_cfg(PolicyKind::AllOn);
-        with.energy.source = SourceKind::Solar { area_m2: 120.0, profile: SolarProfile::SunnySummer };
+        with.energy.source =
+            SourceKind::Solar { area_m2: 120.0, profile: SolarProfile::SunnySummer };
         let mut without = with.clone();
         without.energy.battery = None;
         let r_with = run_experiment(&with);

@@ -17,19 +17,39 @@
 //! * [`baselines`] — energy-oblivious All-On, load-only PowerProportional,
 //!   greedy opportunistic GreedyGreen, and EDF ordering; with a battery in
 //!   the config, All-On is exactly the "ESD-only" reference policy.
-//! * [`harness`] — the slot loop: workload synthesis, policy decision, I/O
-//!   service, batch execution, write-log reclaim, battery flows and ledger
-//!   accounting, producing a [`report::RunReport`].
+//! * [`simulation`] — the slot loop as a resumable state machine:
+//!   [`simulation::Simulation`] steps one slot at a time, each step
+//!   yielding a [`simulation::SlotOutcome`] (decision, executed bytes,
+//!   energy flows, battery state, job events, latency); [`observe`]
+//!   provides the [`observe::SlotObserver`] hook plus ready-made JSONL /
+//!   CSV trace writers and a per-phase profiler.
+//! * [`harness`] — [`harness::run_experiment`], the one-shot wrapper that
+//!   runs a simulation to the end and returns a [`report::RunReport`].
 //!
 //! ```no_run
 //! use greenmatch::config::ExperimentConfig;
 //! use greenmatch::harness::run_experiment;
 //! use greenmatch::policy::PolicyKind;
 //!
-//! let mut cfg = ExperimentConfig::small_demo(42);
-//! cfg.policy = PolicyKind::GreenMatch { delay_fraction: 1.0 };
+//! let cfg = ExperimentConfig::small_demo(42)
+//!     .with_policy(PolicyKind::GreenMatch { delay_fraction: 1.0 });
 //! let report = run_experiment(&cfg);
 //! println!("brown energy: {:.1} kWh", report.brown_kwh);
+//! ```
+//!
+//! For per-slot visibility, drive the simulation yourself:
+//!
+//! ```no_run
+//! use greenmatch::config::ExperimentConfig;
+//! use greenmatch::simulation::Simulation;
+//!
+//! let cfg = ExperimentConfig::small_demo(42);
+//! let mut sim = Simulation::new(&cfg);
+//! while let Some(slot) = sim.step() {
+//!     println!("slot {}: {} gears, {:.1} Wh grid", slot.slot, slot.gears, slot.energy.grid_wh);
+//! }
+//! let report = sim.into_report();
+//! # let _ = report;
 //! ```
 
 #![forbid(unsafe_code)]
@@ -40,11 +60,18 @@ pub mod config;
 pub mod harness;
 pub mod matcher;
 pub mod mincostflow;
+pub mod observe;
 pub mod policy;
 pub mod report;
 pub mod scheduler;
+pub mod simulation;
 
-pub use config::{EnergyConfig, ExperimentConfig, SourceKind};
+pub use config::{ConfigError, EnergyConfig, ExperimentConfig, SourceKind};
 pub use harness::run_experiment;
+pub use observe::{
+    CsvSeriesObserver, JsonlTraceObserver, NullObserver, Phase, PhaseProfile, PhaseTimer,
+    SlotObserver,
+};
 pub use policy::{Decision, PolicyKind, SchedContext, Scheduler};
 pub use report::RunReport;
+pub use simulation::{EnergyFlows, Simulation, SlotEvents, SlotOutcome};

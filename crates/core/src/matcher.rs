@@ -95,8 +95,8 @@ pub fn non_batch_floor_wh(input: &MatchInput<'_>, k: usize) -> f64 {
     let busy = input.interactive_busy_secs.get(k).copied().unwrap_or(0.0);
     let min_g = input.model.min_gears_for_interactive(busy, input.slot_secs);
     let hours = input.slot_secs / 3600.0;
-    let interactive_marginal_wh = busy / 3600.0
-        * (input.model.batch_wh_per_byte * input.model.disk_bw_bps * 3600.0);
+    let interactive_marginal_wh =
+        busy / 3600.0 * (input.model.batch_wh_per_byte * input.model.disk_bw_bps * 3600.0);
     input.model.idle_w(min_g) * hours + interactive_marginal_wh
 }
 
@@ -151,15 +151,15 @@ pub fn solve(input: &MatchInput<'_>) -> MatchPlan {
     let mut brown_arcs: Vec<Option<EdgeId>> = vec![None; h];
     for t in 0..h {
         let busy = input.interactive_busy_secs.get(t).copied().unwrap_or(0.0);
-        let capacity_units = (input
-            .model
-            .batch_capacity_bytes(input.model.gears, busy, input.slot_secs)
-            / UNIT_BYTES) as i64;
+        let capacity_units =
+            (input.model.batch_capacity_bytes(input.model.gears, busy, input.slot_secs)
+                / UNIT_BYTES) as i64;
         if capacity_units == 0 {
             continue;
         }
-        let surplus_wh =
-            (input.green_forecast_wh.get(t).copied().unwrap_or(0.0) - non_batch_floor_wh(input, t)).max(0.0);
+        let surplus_wh = (input.green_forecast_wh.get(t).copied().unwrap_or(0.0)
+            - non_batch_floor_wh(input, t))
+        .max(0.0);
         let green_units =
             ((input.model.bytes_fundable_by(surplus_wh) / UNIT_BYTES) as i64).min(capacity_units);
         if green_units > 0 {
@@ -171,11 +171,10 @@ pub fn solve(input: &MatchInput<'_>) -> MatchPlan {
             // slot, so re-planning with fresh forecasts can still rescue the
             // work into a green window. A per-slot override (carbon-aware
             // mode) can additionally steer brown work toward clean hours.
-            let base = input
-                .brown_cost_per_slot
-                .and_then(|c| c.get(t).copied())
-                .unwrap_or(BROWN_COST);
-            brown_arcs[t] = Some(g.add_edge(slot_base + t, sink, brown_units, base + (h - t) as i64));
+            let base =
+                input.brown_cost_per_slot.and_then(|c| c.get(t).copied()).unwrap_or(BROWN_COST);
+            brown_arcs[t] =
+                Some(g.add_edge(slot_base + t, sink, brown_units, base + (h - t) as i64));
         }
     }
     let beyond_arc = g.add_edge(beyond, sink, total_units.max(1), 0);
@@ -229,12 +228,7 @@ mod tests {
     }
 
     fn job(id: u64, gib: u64, deadline_slot: usize) -> JobView {
-        JobView {
-            id: JobId(id),
-            remaining_bytes: gib << 30,
-            deadline_slot,
-            critical: false,
-        }
+        JobView { id: JobId(id), remaining_bytes: gib << 30, deadline_slot, critical: false }
     }
 
     /// Green forecast with surplus only in the given offsets.
@@ -246,11 +240,7 @@ mod tests {
         v
     }
 
-    fn input<'a>(
-        jobs: &'a [JobView],
-        green: &'a [f64],
-        busy: &'a [f64],
-    ) -> MatchInput<'a> {
+    fn input<'a>(jobs: &'a [JobView], green: &'a [f64], busy: &'a [f64]) -> MatchInput<'a> {
         MatchInput {
             jobs,
             current_slot: 0,

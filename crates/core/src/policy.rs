@@ -52,8 +52,8 @@ impl PlanningModel {
         let disks_per_gear = topo.servers_per_gear() * topo.bays;
         let disk_marginal = (spec.disk.active_w - spec.disk.idle_w) / spec.disk.transfer_bps;
         // Server dynamic power amortised over its disks' combined bandwidth.
-        let server_marginal = (spec.server.peak_w - spec.server.idle_w)
-            / (topo.bays as f64 * spec.disk.transfer_bps);
+        let server_marginal =
+            (spec.server.peak_w - spec.server.idle_w) / (topo.bays as f64 * spec.disk.transfer_bps);
         let batch_wh_per_byte = (disk_marginal + server_marginal) / 3600.0;
         let on_w = spec.server.idle_w + topo.bays as f64 * spec.disk.idle_w;
         let off_w = spec.server.off_w + topo.bays as f64 * spec.disk.standby_w;
@@ -96,7 +96,12 @@ impl PlanningModel {
 
     /// Batch bytes runnable in one slot at gear level `g`, after reserving
     /// `interactive_busy_secs` of disk time for interactive service.
-    pub fn batch_capacity_bytes(&self, g: usize, interactive_busy_secs: f64, slot_secs: f64) -> u64 {
+    pub fn batch_capacity_bytes(
+        &self,
+        g: usize,
+        interactive_busy_secs: f64,
+        slot_secs: f64,
+    ) -> u64 {
         let g = g.clamp(1, self.gears);
         let disk_secs = (g * self.disks_per_gear) as f64 * slot_secs * TOTAL_RHO;
         let free_secs = (disk_secs - interactive_busy_secs).max(0.0);
@@ -191,8 +196,10 @@ impl SchedContext {
 
     /// Minimum gears needed for this slot's interactive load.
     pub fn min_gears_now(&self) -> usize {
-        self.model
-            .min_gears_for_interactive(self.interactive_busy_secs.first().copied().unwrap_or(0.0), self.slot_secs())
+        self.model.min_gears_for_interactive(
+            self.interactive_busy_secs.first().copied().unwrap_or(0.0),
+            self.slot_secs(),
+        )
     }
 }
 
@@ -273,9 +280,9 @@ impl PolicyKind {
             PolicyKind::GreenMatch { delay_fraction } => {
                 Box::new(crate::scheduler::GreenMatchPolicy::new(delay_fraction))
             }
-            PolicyKind::GreenMatchWindow { delay_fraction, horizon } => {
-                Box::new(crate::scheduler::GreenMatchPolicy::new(delay_fraction).with_horizon(horizon))
-            }
+            PolicyKind::GreenMatchWindow { delay_fraction, horizon } => Box::new(
+                crate::scheduler::GreenMatchPolicy::new(delay_fraction).with_horizon(horizon),
+            ),
             PolicyKind::GreenMatchCarbon { delay_fraction } => Box::new(
                 crate::scheduler::GreenMatchPolicy::new(delay_fraction).with_carbon_awareness(),
             ),

@@ -181,13 +181,12 @@ impl Scheduler for GreenMatchPolicy {
         let hours = ctx.slot_hours();
         let green_now = ctx.green_forecast_wh.first().copied().unwrap_or(0.0);
         let surplus_now = green_now - ctx.model.idle_w(gears) * hours;
-        let reclaim_budget_bytes = if surplus_now > 0.0
-            || ctx.writelog_pending_bytes > RECLAIM_FORCE_BYTES
-        {
-            u64::MAX
-        } else {
-            0
-        };
+        let reclaim_budget_bytes =
+            if surplus_now > 0.0 || ctx.writelog_pending_bytes > RECLAIM_FORCE_BYTES {
+                u64::MAX
+            } else {
+                0
+            };
 
         Decision { gears, batch_bytes, reclaim_budget_bytes }
     }

@@ -1,0 +1,761 @@
+//! The step-wise simulation core.
+//!
+//! [`Simulation`] is the resumable state machine behind
+//! [`crate::harness::run_experiment`]: construct it from an
+//! [`ExperimentConfig`], drive it one slot at a time with
+//! [`Simulation::step`] (each step returns a [`SlotOutcome`] describing
+//! everything that happened in that slot), or let
+//! [`Simulation::run_to_end`] finish the horizon and produce the final
+//! [`RunReport`].
+//!
+//! ```text
+//! each step (one slot):
+//!   decide  — battery self-discharge, failure injection, batch arrivals,
+//!             forecasts, SchedContext assembly, policy.decide()
+//!   execute — gear the cluster, serve interactive requests, spread batch
+//!             bytes over active disks, write-log reclaim
+//!   settle  — integrate energy, settle green → battery → grid, record the
+//!             ledger slot, update forecasters, retire finished jobs
+//! ```
+//!
+//! Attached [`SlotObserver`]s receive each outcome (and optionally
+//! per-phase wall-clock); they cannot influence the run, so reports are
+//! identical with or without observers.
+
+use crate::config::{ConfigError, DischargeStrategy, ExperimentConfig};
+use crate::observe::{Phase, SlotObserver};
+use crate::policy::{BatteryView, Decision, JobView, PlanningModel, SchedContext, TOTAL_RHO};
+use crate::report::{BatchReport, LatencyReport, RunReport};
+use crate::scheduler::DEFAULT_HORIZON;
+use gm_energy::battery::{Battery, BatterySpec};
+use gm_energy::forecast::Forecaster;
+use gm_energy::ledger::{EnergyLedger, SlotFlows};
+use gm_sim::time::{SimTime, SlotIdx};
+use gm_sim::{LogHistogram, SlotClock, TimeSeries};
+use gm_storage::{Cluster, FailureDice};
+use gm_workload::trace::Workload;
+use gm_workload::{BatchJob, JobId};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Last slot whose *end* is at or before `deadline` — the latest slot in
+/// which deadline work can safely be scheduled.
+pub(crate) fn deadline_slot_for(clock: SlotClock, deadline: SimTime) -> SlotIdx {
+    if deadline.0 < clock.width().0 {
+        return 0;
+    }
+    let k = clock.slot_of(SimTime(deadline.0 - 1));
+    if clock.slot_end(k) <= deadline {
+        k
+    } else {
+        k.saturating_sub(1)
+    }
+}
+
+/// Energy flows of one slot (Wh). The settlement identities hold exactly:
+/// `load = green_direct + battery_out + grid` and
+/// `green_produced = green_direct + battery_in + curtailed`.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct EnergyFlows {
+    /// Renewable energy produced.
+    pub green_produced_wh: f64,
+    /// Renewable energy consumed directly by the load.
+    pub green_direct_wh: f64,
+    /// Surplus renewable energy accepted by the battery.
+    pub battery_in_wh: f64,
+    /// Deficit energy delivered by the battery.
+    pub battery_out_wh: f64,
+    /// Deficit energy drawn from the grid (brown).
+    pub grid_wh: f64,
+    /// Surplus renewable energy thrown away.
+    pub curtailed_wh: f64,
+    /// Total cluster consumption.
+    pub load_wh: f64,
+}
+
+/// Job lifecycle events observed in one slot.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct SlotEvents {
+    /// Batch jobs that arrived this slot.
+    pub jobs_submitted: usize,
+    /// Batch jobs that completed this slot.
+    pub jobs_completed: usize,
+    /// Completions this slot that had already missed their deadline.
+    pub deadline_misses: usize,
+    /// Disk repairs that finished this slot.
+    pub repairs_completed: u64,
+    /// Disks that failed this slot (failure injection).
+    pub disk_failures: u64,
+}
+
+/// Everything that happened in one simulated slot.
+#[derive(Debug, Clone, Serialize)]
+pub struct SlotOutcome {
+    /// Slot index.
+    pub slot: usize,
+    /// Gears actually powered (the decision clamped to the physical range).
+    pub gears: usize,
+    /// The policy's full decision (gear request, per-job batch bytes,
+    /// reclaim budget).
+    pub decision: Decision,
+    /// Batch bytes the policy asked to run.
+    pub requested_batch_bytes: u64,
+    /// Batch bytes actually executed (capped by remaining work).
+    pub executed_batch_bytes: u64,
+    /// Energy flows of the slot.
+    pub energy: EnergyFlows,
+    /// Battery state of charge after settlement (Wh).
+    pub battery_soc_wh: f64,
+    /// State of charge as a fraction of the usable window (0 when no
+    /// battery is configured).
+    pub battery_soc_frac: f64,
+    /// Job lifecycle events.
+    pub events: SlotEvents,
+    /// Interactive latency distribution of this slot alone.
+    pub latency: LatencyReport,
+    /// Batch jobs still pending after the slot.
+    pub pending_jobs: usize,
+    /// Write-log backlog after the slot (bytes).
+    pub writelog_pending_bytes: u64,
+}
+
+/// A resumable slot-by-slot simulation of one experiment.
+pub struct Simulation {
+    cfg: ExperimentConfig,
+    clock: SlotClock,
+    slots: usize,
+    hours: f64,
+
+    cluster: Cluster,
+    workload: Workload,
+    model: PlanningModel,
+    green_trace: TimeSeries,
+    forecaster: Box<dyn Forecaster + Send>,
+    battery_spec: BatterySpec,
+    battery: Battery,
+    ledger: EnergyLedger,
+    policy: Box<dyn crate::policy::Scheduler + Send>,
+
+    hist: LogHistogram,
+    jobs: Vec<BatchJob>,
+    job_index: HashMap<JobId, usize>,
+    batch_report: BatchReport,
+    gears_series: Vec<usize>,
+
+    positioning_s: f64,
+    secs_per_byte: f64,
+    total_batch_bw: f64,
+    rr_cursor: usize,
+
+    failure_dice: FailureDice,
+    prev_spinups: Vec<u64>,
+    repair_jobs: HashMap<JobId, usize>,
+    next_repair_id: u64,
+    repairs_completed: u64,
+
+    cursor: usize,
+    observers: Vec<Box<dyn SlotObserver + Send>>,
+    time_phases: bool,
+}
+
+impl Simulation {
+    /// Build a simulation, reporting configuration problems (missing trace
+    /// files, zero-slot horizons) as errors.
+    pub fn try_new(cfg: &ExperimentConfig) -> Result<Simulation, ConfigError> {
+        if cfg.slots == 0 {
+            return Err(ConfigError::Invalid {
+                message: "experiment needs at least one slot".to_string(),
+            });
+        }
+        let clock = cfg.clock;
+        let slots = cfg.slots;
+        let width = clock.width();
+        let rngs = gm_sim::RngFactory::new(cfg.seed);
+
+        let mut cluster = Cluster::new(cfg.cluster.clone());
+        cluster.set_slot_width(width);
+        let workload = Workload::generate(cfg.workload.clone(), cfg.seed);
+        let model = PlanningModel::from_spec(&cfg.cluster);
+
+        let green_trace = cfg.energy.source.try_materialize(clock, slots, &rngs)?;
+        let forecaster = cfg.energy.forecast.build(&green_trace, clock, &rngs);
+        let battery_spec = cfg.energy.battery.unwrap_or_else(|| BatterySpec::lithium_ion(0.0));
+        let battery = Battery::new(battery_spec);
+        let ledger = EnergyLedger::new(clock, cfg.energy.grid);
+        let policy = cfg.policy.build();
+
+        let positioning_s =
+            cfg.cluster.disk.avg_seek.as_secs_f64() + cfg.cluster.disk.avg_rotation.as_secs_f64();
+        let secs_per_byte = 1.0 / cfg.cluster.disk.transfer_bps;
+        let total_batch_bw = model.gears as f64 * model.disks_per_gear as f64 * model.disk_bw_bps;
+
+        let failure_dice = FailureDice::new(cfg.seed);
+        let n_disks = cfg.cluster.topology.n_disks();
+
+        Ok(Simulation {
+            cfg: cfg.clone(),
+            clock,
+            slots,
+            hours: clock.width_hours(),
+            cluster,
+            workload,
+            model,
+            green_trace,
+            forecaster,
+            battery_spec,
+            battery,
+            ledger,
+            policy,
+            hist: LogHistogram::for_latency_secs(),
+            jobs: Vec::new(),
+            job_index: HashMap::new(),
+            batch_report: BatchReport::default(),
+            gears_series: Vec::with_capacity(slots),
+            positioning_s,
+            secs_per_byte,
+            total_batch_bw,
+            rr_cursor: 0,
+            failure_dice,
+            prev_spinups: vec![0u64; n_disks],
+            repair_jobs: HashMap::new(),
+            next_repair_id: 1u64 << 40, // well above workload job ids
+            repairs_completed: 0,
+            cursor: 0,
+            observers: Vec::new(),
+            time_phases: false,
+        })
+    }
+
+    /// Build a simulation, panicking on configuration errors (the historic
+    /// behaviour; message-compatible with the old panicking path).
+    pub fn new(cfg: &ExperimentConfig) -> Simulation {
+        Simulation::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Attach an observer (builder style).
+    pub fn with_observer(mut self, observer: Box<dyn SlotObserver + Send>) -> Self {
+        self.add_observer(observer);
+        self
+    }
+
+    /// Attach an observer.
+    pub fn add_observer(&mut self, observer: Box<dyn SlotObserver + Send>) {
+        self.time_phases = self.time_phases || observer.wants_phases();
+        self.observers.push(observer);
+    }
+
+    /// Index of the next slot to simulate.
+    pub fn current_slot(&self) -> usize {
+        self.cursor
+    }
+
+    /// Total slots in the horizon.
+    pub fn total_slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Whether the horizon is exhausted.
+    pub fn is_done(&self) -> bool {
+        self.cursor >= self.slots
+    }
+
+    /// Battery state of charge right now (Wh).
+    pub fn battery_soc_wh(&self) -> f64 {
+        self.battery.stored_wh()
+    }
+
+    /// Simulate one slot. Returns `None` once the horizon is exhausted.
+    #[allow(clippy::too_many_lines)] // the slot loop is one coherent unit
+    pub fn step(&mut self) -> Option<SlotOutcome> {
+        if self.cursor >= self.slots {
+            return None;
+        }
+        let s = self.cursor;
+        let clock = self.clock;
+        let width = clock.width();
+        let hours = self.hours;
+        let now = clock.slot_start(s);
+        let slot_end = clock.slot_end(s);
+        let phase_start = self.time_phases.then(Instant::now);
+
+        // ---- decide ----------------------------------------------------
+        self.battery.apply_self_discharge(width);
+
+        // Failure injection: draw per disk, spawn repair jobs.
+        let failures_before = self.cluster.total_failures();
+        if let Some(fail_spec) = self.cfg.failures {
+            for (d, prev) in self.prev_spinups.iter_mut().enumerate() {
+                let spinups = self.cluster.disk_spinups(d);
+                let cycles = spinups - *prev;
+                *prev = spinups;
+                let p =
+                    fail_spec.failure_probability(hours, self.cluster.disk_in_standby(d), cycles);
+                if self.failure_dice.draw(d, s) < p {
+                    let report = self.cluster.fail_disk(d, now);
+                    if report.rebuild_bytes > 0 {
+                        let id = JobId(self.next_repair_id);
+                        self.next_repair_id += 1;
+                        self.repair_jobs.insert(id, d);
+                        self.job_index.insert(id, self.jobs.len());
+                        self.jobs.push(BatchJob::new(
+                            id,
+                            gm_workload::BatchKind::Repair,
+                            now,
+                            now + gm_sim::SimDuration::from_hours(24),
+                            report.rebuild_bytes,
+                        ));
+                    }
+                }
+            }
+        }
+        let disk_failures = self.cluster.total_failures() - failures_before;
+
+        // Batch arrivals.
+        let mut jobs_submitted = 0usize;
+        for job in self.workload.batch_arrivals_in_slot(clock, s) {
+            self.batch_report.jobs_submitted += 1;
+            self.batch_report.bytes_submitted += job.total_bytes;
+            self.job_index.insert(job.id, self.jobs.len());
+            self.jobs.push(job);
+            jobs_submitted += 1;
+        }
+
+        // Forecasts: the policy sees the forecaster's view of the whole
+        // window, *including* the current slot. With the Oracle forecaster
+        // this reproduces the era's accurate-next-slot-prediction
+        // convention exactly; with imperfect forecasters the policy may now
+        // misjudge even the present — which is what forecast-sensitivity
+        // experiments measure. Energy settlement always uses the truth.
+        let green_forecast_wh: Vec<f64> =
+            self.forecaster.predict(s, DEFAULT_HORIZON).into_iter().map(|w| w * hours).collect();
+        let interactive_busy_secs: Vec<f64> = (0..DEFAULT_HORIZON)
+            .map(|k| {
+                self.workload.interactive().expected_busy_secs_in_slot(
+                    clock,
+                    s + k,
+                    self.positioning_s,
+                    self.secs_per_byte,
+                )
+            })
+            .collect();
+
+        // Job views.
+        let pending_count = self.jobs.iter().filter(|j| j.is_pending()).count();
+        let share_bps = self.total_batch_bw * TOTAL_RHO / pending_count.max(1) as f64;
+        let job_views: Vec<JobView> = self
+            .jobs
+            .iter()
+            .filter(|j| j.is_pending())
+            .map(|j| JobView {
+                id: j.id,
+                remaining_bytes: j.remaining_bytes,
+                deadline_slot: deadline_slot_for(clock, j.deadline),
+                critical: j.is_critical(now, share_bps),
+            })
+            .collect();
+
+        let ctx = SchedContext {
+            slot: s,
+            now,
+            clock,
+            green_forecast_wh,
+            interactive_busy_secs,
+            jobs: job_views,
+            battery: BatteryView {
+                stored_wh: self.battery.stored_wh(),
+                headroom_wh: self.battery.headroom_wh(),
+                efficiency: self.battery.spec().efficiency,
+                charge_capacity_wh: self.battery.charge_capacity_wh(width),
+                discharge_capacity_wh: self.battery.discharge_capacity_wh(width),
+            },
+            model: self.model,
+            writelog_pending_bytes: self.cluster.write_log().pending_total(),
+            grid: self.cfg.energy.grid,
+        };
+
+        let decision = self.policy.decide(&ctx);
+        let phase_start = self.emit_phase(s, Phase::Decide, phase_start);
+
+        // ---- execute ---------------------------------------------------
+        let gears = decision.gears.clamp(1, self.model.gears);
+        self.cluster.set_active_gears(gears, now);
+        self.gears_series.push(gears);
+
+        // Interactive service: record globally (for the final report) and
+        // per slot (for the outcome), in the same order as always.
+        let mut slot_hist = LogHistogram::for_latency_secs();
+        for req in self.workload.requests_in_slot(clock, s) {
+            let served = self.cluster.serve_request(&req);
+            let latency_s = served.latency.as_secs_f64();
+            self.hist.record(latency_s);
+            slot_hist.record(latency_s);
+        }
+
+        // Batch execution: spread each job's bytes across the active disks.
+        let mut executed_batch_bytes = 0u64;
+        let active_disks: Vec<usize> =
+            (0..gears).flat_map(|g| self.cluster.topology().disks_in_gear(g)).collect();
+        for (job_id, bytes) in &decision.batch_bytes {
+            let Some(&idx) = self.job_index.get(job_id) else { continue };
+            let job = &mut self.jobs[idx];
+            let bytes = (*bytes).min(job.remaining_bytes);
+            if bytes == 0 {
+                continue;
+            }
+            // Repair jobs write onto their specific replacement disk.
+            if let Some(&disk) = self.repair_jobs.get(job_id) {
+                let served = self.cluster.rebuild_step(disk, bytes, now);
+                job.perform(bytes, served.completion);
+                executed_batch_bytes += bytes;
+                continue;
+            }
+            // Spread over up to 32 disks per job per slot (keeps chunks
+            // sequential and large).
+            let spread = active_disks.len().clamp(1, 32);
+            let per = (bytes / spread as u64).max(1);
+            let mut assigned = 0u64;
+            let mut last_completion = now;
+            for k in 0..spread {
+                if assigned >= bytes {
+                    break;
+                }
+                let chunk = per.min(bytes - assigned);
+                let disk = active_disks[(self.rr_cursor + k) % active_disks.len()];
+                let served = self.cluster.add_sequential_work(disk, chunk, now);
+                last_completion = last_completion.max(served.completion);
+                assigned += chunk;
+            }
+            self.rr_cursor = (self.rr_cursor + spread) % active_disks.len().max(1);
+            job.perform(assigned, last_completion);
+            executed_batch_bytes += assigned;
+        }
+
+        // Write-log reclaim.
+        if decision.reclaim_budget_bytes > 0 {
+            self.cluster.reclaim(decision.reclaim_budget_bytes, now);
+        }
+        let phase_start = self.emit_phase(s, Phase::Execute, phase_start);
+
+        // ---- settle ----------------------------------------------------
+        let slot_energy = self.cluster.end_slot(slot_end, width);
+        let load_wh = slot_energy.total_wh();
+        let green_wh = self.green_trace.get(s) * hours;
+        let green_direct = green_wh.min(load_wh);
+        let surplus = green_wh - green_direct;
+        let charge = self.battery.charge(surplus, width);
+        let curtailed = surplus - charge.drawn_wh;
+        let deficit = load_wh - green_direct;
+        // Discharge timing per the configured strategy.
+        let mid = now + width / 2;
+        let hour = mid.hour_of_day();
+        let allowed = match self.cfg.energy.discharge {
+            DischargeStrategy::Eager => deficit,
+            DischargeStrategy::PeakOnly => {
+                if (7.0..23.0).contains(&hour) {
+                    deficit
+                } else {
+                    0.0
+                }
+            }
+            DischargeStrategy::Reserve(frac) => {
+                if (17.0..23.0).contains(&hour) {
+                    deficit // the peak may spend the reserve
+                } else {
+                    let reserve = self.battery.spec().usable_wh() * frac.clamp(0.0, 1.0);
+                    deficit.min((self.battery.stored_wh() - reserve).max(0.0))
+                }
+            }
+        };
+        let battery_out = self.battery.discharge(allowed, width);
+        let brown = deficit - battery_out;
+
+        self.ledger.record_slot(
+            s,
+            SlotFlows {
+                green_produced_wh: green_wh,
+                green_direct_wh: green_direct,
+                battery_drawn_wh: charge.drawn_wh,
+                battery_out_wh: battery_out,
+                brown_wh: brown,
+                curtailed_wh: curtailed,
+                load_wh,
+            },
+        );
+        self.ledger.add_spinup_overhead(slot_energy.spinup_overhead_wh);
+        self.ledger.add_reclaim_overhead(slot_energy.reclaim_overhead_wh);
+
+        self.forecaster.observe_actual(s, self.green_trace.get(s));
+
+        // Retire completed jobs (each counted exactly once: completed jobs
+        // leave the index below). Repair completions restore redundancy
+        // instead of entering the batch statistics.
+        let mut jobs_completed = 0usize;
+        let mut deadline_misses = 0usize;
+        let mut slot_repairs = 0u64;
+        for j in self.jobs.iter() {
+            if let Some(met) = j.met_deadline() {
+                if self.job_index.contains_key(&j.id) {
+                    if let Some(&disk) = self.repair_jobs.get(&j.id) {
+                        self.cluster.mark_rebuilt(disk);
+                        self.repairs_completed += 1;
+                        slot_repairs += 1;
+                    } else {
+                        self.batch_report.jobs_completed += 1;
+                        self.batch_report.bytes_completed += j.total_bytes;
+                        jobs_completed += 1;
+                        if !met {
+                            self.batch_report.deadline_misses += 1;
+                            deadline_misses += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let jobs = &self.jobs;
+        self.job_index.retain(|_, &mut idx| jobs[idx].is_pending());
+        self.emit_phase(s, Phase::Settle, phase_start);
+
+        self.cursor += 1;
+
+        let usable = self.battery_spec.usable_wh();
+        let outcome = SlotOutcome {
+            slot: s,
+            gears,
+            requested_batch_bytes: decision.batch_bytes.iter().map(|(_, b)| b).sum(),
+            executed_batch_bytes,
+            decision,
+            energy: EnergyFlows {
+                green_produced_wh: green_wh,
+                green_direct_wh: green_direct,
+                battery_in_wh: charge.drawn_wh,
+                battery_out_wh: battery_out,
+                grid_wh: brown,
+                curtailed_wh: curtailed,
+                load_wh,
+            },
+            battery_soc_wh: self.battery.stored_wh(),
+            battery_soc_frac: if usable > 0.0 { self.battery.stored_wh() / usable } else { 0.0 },
+            events: SlotEvents {
+                jobs_submitted,
+                jobs_completed,
+                deadline_misses,
+                repairs_completed: slot_repairs,
+                disk_failures,
+            },
+            latency: LatencyReport::from_histogram(&slot_hist),
+            pending_jobs: self.job_index.len(),
+            writelog_pending_bytes: self.cluster.write_log().pending_total(),
+        };
+        for obs in &mut self.observers {
+            obs.on_slot(&outcome);
+        }
+        Some(outcome)
+    }
+
+    /// Emit the elapsed time since `start` as a phase sample and restart
+    /// the clock. No-op (and no clock reads) when no observer asked for
+    /// phase timing.
+    fn emit_phase(&mut self, slot: usize, phase: Phase, start: Option<Instant>) -> Option<Instant> {
+        let start = start?;
+        let nanos = start.elapsed().as_nanos() as u64;
+        for obs in &mut self.observers {
+            if obs.wants_phases() {
+                obs.on_phase(slot, phase, nanos);
+            }
+        }
+        Some(Instant::now())
+    }
+
+    /// Run the remaining slots and produce the final report.
+    pub fn run_to_end(mut self) -> RunReport {
+        while self.step().is_some() {}
+        self.into_report()
+    }
+
+    /// Produce the end-of-run report from the current state (normally
+    /// called with the horizon exhausted; an early call reports the run so
+    /// far, with every not-yet-simulated slot absent from the series).
+    pub fn into_report(mut self) -> RunReport {
+        // Unfinished work at the end of the horizon (repair jobs are
+        // tracked separately and excluded from batch statistics).
+        let horizon_end = self.clock.slot_end(self.slots - 1);
+        for j in
+            self.jobs.iter().filter(|j| j.is_pending() && !self.repair_jobs.contains_key(&j.id))
+        {
+            self.batch_report.bytes_completed += j.total_bytes - j.remaining_bytes;
+            if j.deadline <= horizon_end {
+                self.batch_report.unfinished_late += 1;
+            }
+        }
+
+        self.ledger.set_battery_losses(
+            self.battery.efficiency_loss_wh(),
+            self.battery.self_discharge_loss_wh(),
+        );
+
+        let battery_label = if self.battery_spec.capacity_wh > 0.0 {
+            format!(
+                "LI-like:{:.1}kWh(σ={})",
+                self.battery_spec.capacity_wh / 1000.0,
+                self.battery_spec.efficiency
+            )
+        } else {
+            "none".to_string()
+        };
+
+        for obs in &mut self.observers {
+            obs.on_finish();
+        }
+
+        let totals = self.ledger.totals();
+        RunReport {
+            policy: self.policy.label(),
+            source: self.cfg.energy.source.label(),
+            battery: battery_label,
+            seed: self.cfg.seed,
+            slots: self.slots,
+            load_kwh: totals.load_wh / 1000.0,
+            brown_kwh: self.ledger.brown_kwh(),
+            green_produced_kwh: totals.green_produced_wh / 1000.0,
+            green_direct_kwh: totals.green_direct_wh / 1000.0,
+            battery_out_kwh: totals.battery_out_wh / 1000.0,
+            curtailed_kwh: totals.curtailed_wh / 1000.0,
+            battery_eff_loss_kwh: self.ledger.battery_efficiency_loss_wh() / 1000.0,
+            battery_selfdisch_kwh: self.ledger.battery_self_discharge_wh() / 1000.0,
+            spinup_overhead_kwh: self.ledger.spinup_overhead_wh() / 1000.0,
+            reclaim_overhead_kwh: self.ledger.reclaim_overhead_wh() / 1000.0,
+            green_utilization: self.ledger.green_utilization(),
+            green_coverage: self.ledger.green_coverage(),
+            carbon_kg: self.ledger.carbon_g() / 1000.0,
+            cost_dollars: self.ledger.cost_dollars(),
+            battery_cycles: self.battery.equivalent_full_cycles(),
+            battery_wear_dollars: self.battery.wear_cost_dollars(),
+            latency: LatencyReport::from_histogram(&self.hist),
+            batch: self.batch_report,
+            spinups: self.cluster.total_spinups(),
+            forced_spinups: self.cluster.total_forced_spinups(),
+            writelog_peak_bytes: self.cluster.write_log().peak_pending(),
+            failures: self.cluster.total_failures(),
+            lost_objects: self.cluster.total_lost_objects(),
+            degraded_reads: self.cluster.degraded_reads(),
+            rebuild_bytes: self.cluster.total_rebuild_bytes(),
+            repairs_completed: self.repairs_completed,
+            cache_hit_ratio: self.cluster.cache().hit_ratio(),
+            gears_series: self.gears_series,
+            load_series_wh: self.ledger.load_series().values().to_vec(),
+            green_series_wh: self.ledger.green_series().values().to_vec(),
+            brown_series_wh: self.ledger.brown_series().values().to_vec(),
+            battery_out_series_wh: self.ledger.battery_out_series().values().to_vec(),
+            curtailed_series_wh: self.ledger.curtailed_series().values().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SourceKind;
+    use crate::observe::{NullObserver, PhaseTimer};
+    use crate::policy::PolicyKind;
+
+    fn quick_cfg() -> ExperimentConfig {
+        ExperimentConfig::small_demo(11).with_slots(24)
+    }
+
+    #[test]
+    fn step_returns_one_outcome_per_slot_then_none() {
+        let mut sim = Simulation::new(&quick_cfg());
+        for s in 0..24 {
+            assert_eq!(sim.current_slot(), s);
+            let o = sim.step().expect("slot available");
+            assert_eq!(o.slot, s);
+            assert!((1..=3).contains(&o.gears));
+        }
+        assert!(sim.is_done());
+        assert!(sim.step().is_none());
+        assert!(sim.step().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn outcomes_satisfy_energy_identities() {
+        let mut sim = Simulation::new(&quick_cfg());
+        while let Some(o) = sim.step() {
+            let e = &o.energy;
+            assert!(
+                (e.green_direct_wh + e.battery_out_wh + e.grid_wh - e.load_wh).abs() < 1e-9,
+                "slot {}: supply identity",
+                o.slot
+            );
+            assert!(
+                (e.green_direct_wh + e.battery_in_wh + e.curtailed_wh - e.green_produced_wh).abs()
+                    < 1e-9,
+                "slot {}: production identity",
+                o.slot
+            );
+            assert!(o.battery_soc_wh >= 0.0);
+            assert!((0.0..=1.0).contains(&o.battery_soc_frac));
+            assert!(o.executed_batch_bytes <= o.requested_batch_bytes);
+        }
+    }
+
+    #[test]
+    fn stepwise_report_equals_run_experiment() {
+        let cfg = quick_cfg();
+        let via_wrapper = crate::harness::run_experiment(&cfg);
+        let mut sim = Simulation::new(&cfg);
+        while sim.step().is_some() {}
+        let via_steps = sim.into_report();
+        assert_eq!(
+            serde_json::to_string(&via_wrapper).unwrap(),
+            serde_json::to_string(&via_steps).unwrap(),
+            "step-wise run must be field-for-field identical"
+        );
+    }
+
+    #[test]
+    fn observers_do_not_change_the_report() {
+        let cfg = quick_cfg();
+        let bare = crate::harness::run_experiment(&cfg);
+        let (timer, profile) = PhaseTimer::new();
+        let observed = Simulation::new(&cfg)
+            .with_observer(Box::new(NullObserver))
+            .with_observer(Box::new(timer))
+            .run_to_end();
+        assert_eq!(
+            serde_json::to_string(&bare).unwrap(),
+            serde_json::to_string(&observed).unwrap()
+        );
+        let p = profile.lock().unwrap();
+        assert_eq!(p.slots, 24);
+        assert!(p.total_ns() > 0);
+    }
+
+    #[test]
+    fn try_new_reports_missing_trace_instead_of_panicking() {
+        let cfg = quick_cfg().with_source(SourceKind::TraceCsv {
+            label: "x".into(),
+            path: "/nonexistent/definitely-missing.csv".into(),
+        });
+        let err = Simulation::try_new(&cfg).err().expect("missing trace is an error");
+        let msg = err.to_string();
+        assert!(
+            msg.starts_with("trace x: cannot read /nonexistent/definitely-missing.csv"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_zero_slots() {
+        let cfg = quick_cfg().with_slots(0);
+        assert!(matches!(Simulation::try_new(&cfg), Err(ConfigError::Invalid { .. })));
+    }
+
+    #[test]
+    fn policy_decisions_are_observable() {
+        let mut sim = Simulation::new(&quick_cfg().with_policy(PolicyKind::AllOn));
+        let o = sim.step().expect("first slot");
+        assert_eq!(o.decision.gears, 3, "all-on always asks for every gear");
+        assert_eq!(o.gears, 3);
+    }
+}

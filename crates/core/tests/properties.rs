@@ -1,11 +1,11 @@
 //! Property tests for the core algorithms: min-cost-flow optimality
 //! against brute force, matcher plan validity, and EDF-fill invariants.
 
+use gm_storage::ClusterSpec;
+use gm_workload::JobId;
 use greenmatch::matcher::{self, MatchInput, UNIT_BYTES};
 use greenmatch::mincostflow::MinCostFlow;
 use greenmatch::policy::{edf_fill, JobView, PlanningModel};
-use gm_storage::ClusterSpec;
-use gm_workload::JobId;
 use proptest::prelude::*;
 
 /// Brute-force minimum cost for a 2-supplier × 2-consumer transportation

@@ -78,13 +78,15 @@ impl PersistenceForecaster {
 impl Forecaster for PersistenceForecaster {
     fn predict(&mut self, from_slot: SlotIdx, horizon: usize) -> Vec<f64> {
         (from_slot..from_slot + horizon)
-            .map(|s| {
-                if s >= self.slots_per_day {
-                    self.trace.get(s - self.slots_per_day)
-                } else {
-                    0.0
-                }
-            })
+            .map(
+                |s| {
+                    if s >= self.slots_per_day {
+                        self.trace.get(s - self.slots_per_day)
+                    } else {
+                        0.0
+                    }
+                },
+            )
             .collect()
     }
 

@@ -35,7 +35,9 @@ pub mod traces;
 pub mod wind;
 
 pub use battery::{Battery, BatteryChemistry, BatterySpec};
-pub use forecast::{EwmaForecaster, Forecaster, NoisyOracle, OracleForecaster, PersistenceForecaster};
+pub use forecast::{
+    EwmaForecaster, Forecaster, NoisyOracle, OracleForecaster, PersistenceForecaster,
+};
 pub use grid::Grid;
 pub use ledger::{EnergyLedger, SlotFlows};
 pub use solar::{SolarFarm, SolarProfile};

@@ -103,12 +103,7 @@ impl SolarFarmSpec {
 
     /// A farm of the given total area with default efficiency/latitude.
     pub fn with_area(area_m2: f64, profile: SolarProfile) -> Self {
-        SolarFarmSpec {
-            area_m2,
-            efficiency: DEFAULT_PANEL_EFFICIENCY,
-            latitude_deg: 47.2,
-            profile,
-        }
+        SolarFarmSpec { area_m2, efficiency: DEFAULT_PANEL_EFFICIENCY, latitude_deg: 47.2, profile }
     }
 
     /// Theoretical peak DC power (W) under clear-sky peak irradiance.
@@ -122,7 +117,8 @@ impl SolarFarmSpec {
 pub fn clear_sky_irradiance(latitude_deg: f64, day_of_year: f64, hour_of_day: f64) -> f64 {
     let lat = latitude_deg.to_radians();
     // Cooper's declination formula.
-    let decl = (23.45f64).to_radians() * ((360.0 / 365.0) * (284.0 + day_of_year)).to_radians().sin();
+    let decl =
+        (23.45f64).to_radians() * ((360.0 / 365.0) * (284.0 + day_of_year)).to_radians().sin();
     // Hour angle: 15° per hour from solar noon.
     let hour_angle = (15.0 * (hour_of_day - 12.0)).to_radians();
     let sin_elev = lat.sin() * decl.sin() + lat.cos() * decl.cos() * hour_angle.cos();
@@ -234,7 +230,8 @@ mod tests {
     fn cloudy_profile_produces_less_than_sunny() {
         let rngs = RngFactory::new(7);
         let mut sunny = SolarFarm::new(SolarFarmSpec::panels(8, SolarProfile::SunnySummer), &rngs);
-        let mut cloudy = SolarFarm::new(SolarFarmSpec::panels(8, SolarProfile::CloudySummer), &rngs);
+        let mut cloudy =
+            SolarFarm::new(SolarFarmSpec::panels(8, SolarProfile::CloudySummer), &rngs);
         let c = SlotClock::hourly();
         let week = 7 * 24;
         let e_sunny = sunny.materialize(c, week).energy_wh();

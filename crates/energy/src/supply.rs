@@ -6,8 +6,8 @@
 //! numbers and (b) stochastic sources (clouds, wind) are frozen into a
 //! reproducible trace before any policy looks at them.
 
-use gm_sim::{SlotClock, TimeSeries};
 use gm_sim::time::SlotIdx;
+use gm_sim::{SlotClock, TimeSeries};
 
 /// A renewable production model queried per slot.
 pub trait PowerSource {
@@ -138,9 +138,7 @@ mod tests {
 
     #[test]
     fn mixed_source_sums_and_labels() {
-        let mut m = MixedSource::new()
-            .with(Box::new(flat(10.0, 3)))
-            .with(Box::new(flat(2.5, 3)));
+        let mut m = MixedSource::new().with(Box::new(flat(10.0, 3))).with(Box::new(flat(2.5, 3)));
         assert_eq!(m.len(), 2);
         let c = SlotClock::hourly();
         assert_eq!(m.power_in_slot(c, 1), 12.5);

@@ -63,11 +63,7 @@ pub fn trace_from_csv(csv: &str, clock: SlotClock) -> Result<TimeSeries, String>
 }
 
 /// Parse interchange CSV straight into a playback [`TraceSource`].
-pub fn source_from_csv(
-    label: &str,
-    csv: &str,
-    clock: SlotClock,
-) -> Result<TraceSource, String> {
+pub fn source_from_csv(label: &str, csv: &str, clock: SlotClock) -> Result<TraceSource, String> {
     Ok(TraceSource::new(label, trace_from_csv(csv, clock)?))
 }
 

@@ -165,9 +165,8 @@ mod tests {
         let t = TurbineSpec::small_site(10_000.0);
         let week = 7 * 24;
         let c = SlotClock::hourly();
-        let coastal = WindFarm::new(t, WindProfile::SteadyCoastal, &rngs)
-            .materialize(c, week)
-            .energy_wh();
+        let coastal =
+            WindFarm::new(t, WindProfile::SteadyCoastal, &rngs).materialize(c, week).energy_wh();
         let calm = WindFarm::new(t, WindProfile::CalmWeek, &rngs).materialize(c, week).energy_wh();
         assert!(coastal > calm * 1.5, "coastal {coastal} vs calm {calm}");
     }
@@ -179,10 +178,8 @@ mod tests {
         let mut farm = WindFarm::new(t, WindProfile::SteadyCoastal, &rngs);
         let trace = farm.materialize(SlotClock::hourly(), 7 * 24);
         // At least some night slots (00:00–04:00 of each day) have power.
-        let night_energy: f64 = (0..7)
-            .flat_map(|d| (0..4).map(move |h| d * 24 + h))
-            .map(|s| trace.get(s))
-            .sum();
+        let night_energy: f64 =
+            (0..7).flat_map(|d| (0..4).map(move |h| d * 24 + h)).map(|s| trace.get(s)).sum();
         assert!(night_energy > 0.0, "wind should blow at night");
     }
 

@@ -1,0 +1,173 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Implements the handful of entry points the bench targets use —
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple calibrated wall-clock loop
+//! (warm-up, then a fixed measurement window) and a one-line-per-benchmark
+//! report. No statistics, plots, or comparison baselines.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimiser identity function.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Identifier from a bare parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    measured: Option<Duration>,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up briefly, then time a fixed window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up & calibration: find an iteration count that fills ~50 ms.
+        let mut n = 1u64;
+        let per_iter = loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt > Duration::from_millis(20) || n >= 1 << 20 {
+                break dt.as_secs_f64() / n as f64;
+            }
+            n *= 4;
+        };
+        let iters = ((0.05 / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some(t0.elapsed());
+        self.iters_done = iters;
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn run_one(name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { measured: None, iters_done: 0 };
+    f(&mut b);
+    match b.measured {
+        Some(total) if b.iters_done > 0 => {
+            let per = total.as_secs_f64() / b.iters_done as f64;
+            println!("bench {name:<40} {:>12}/iter ({} iters)", human_time(per), b.iters_done);
+        }
+        _ => println!("bench {name:<40} (no measurement)"),
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes its own loops.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `routine` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        routine: R,
+    ) -> &mut Self
+    where
+        R: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), |b| routine(b, input));
+        self
+    }
+
+    /// Benchmark `routine` under the plain name `id`.
+    pub fn bench_function<R: FnOnce(&mut Bencher)>(&mut self, id: &str, routine: R) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), routine);
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _parent: self }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<R: FnOnce(&mut Bencher)>(&mut self, name: &str, routine: R) -> &mut Self {
+        run_one(name, routine);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,316 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! The workspace vendors this shim so builds never touch a registry. It
+//! implements exactly the surface the GreenMatch crates use: `Rng::gen`,
+//! `SeedableRng::seed_from_u64`, `rngs::SmallRng`, and
+//! `distributions::Standard` with `sample_iter`.
+//!
+//! `SmallRng` is xoshiro256++ (the same family upstream `rand 0.8` uses on
+//! 64-bit targets), seeded via SplitMix64, so its statistical quality is
+//! good enough for the moment-based assertions in the simulation tests.
+
+/// Core RNG abstraction: a source of `u32`/`u64` words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the `Standard` distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Sample a value in `[low, high)`.
+    fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let u: f64 = self.gen();
+        u < p
+    }
+
+    /// An iterator of samples drawn from `dist`.
+    fn sample_iter<T, D>(self, dist: D) -> distributions::DistIter<D, Self, T>
+    where
+        D: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        distributions::DistIter { dist, rng: self, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types usable with `Rng::gen_range` over a half-open range.
+pub trait SampleRange: Sized {
+    /// Sample uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as u64).wrapping_sub(low as u64);
+                low.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+}
+
+impl SampleRange for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        let unit = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+        low + unit * (high - low)
+    }
+}
+
+/// RNGs constructible from seed material.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step, used for seed expansion.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic RNG: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Match `rand_core`'s default expansion exactly: the 32-byte
+            // seed is filled in 4-byte chunks, each the low half of one
+            // SplitMix64 output, then read as little-endian u64 words.
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                let lo = splitmix64(&mut sm) as u32;
+                let hi = splitmix64(&mut sm) as u32;
+                *w = (lo as u64) | ((hi as u64) << 32);
+            }
+            // All-zero state would be a fixed point; SplitMix64 cannot
+            // produce it from any seed, but keep the guard for clarity.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            // rand_xoshiro truncates (the ++ scrambler mixes low bits well).
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// The `Standard` distribution and the `Distribution` trait.
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draw one sample using `rng`.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The uniform "every representable value / unit interval" distribution.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<u16> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u16 {
+            rng.next_u32() as u16
+        }
+    }
+
+    impl Distribution<u8> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+            rng.next_u32() as u8
+        }
+    }
+
+    impl Distribution<i64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        /// Uniform in `[0, 1)` with 53 bits of precision (matches upstream).
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    /// Iterator returned by `Rng::sample_iter`.
+    pub struct DistIter<D, R, T> {
+        pub(crate) dist: D,
+        pub(crate) rng: R,
+        pub(crate) _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<D, R, T> Iterator for DistIter<D, R, T>
+    where
+        D: Distribution<T>,
+        R: RngCore,
+    {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            Some(self.dist.sample(&mut self.rng))
+        }
+    }
+}
+
+/// `rand::prelude` — the common imports.
+pub mod prelude {
+    pub use super::distributions::Distribution;
+    pub use super::rngs::SmallRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_uniform_ish() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn sample_iter_streams() {
+        let rng = SmallRng::seed_from_u64(9);
+        let v: Vec<u64> = rng.sample_iter(crate::distributions::Standard).take(5).collect();
+        assert_eq!(v.len(), 5);
+        assert!(v.windows(2).any(|w| w[0] != w[1]));
+    }
+}

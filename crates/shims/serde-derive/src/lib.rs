@@ -1,0 +1,466 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-tree serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote) so the
+//! workspace builds with zero external dependencies. Supports the shapes
+//! this workspace actually uses:
+//!
+//! - structs with named fields (honouring `#[serde(default)]` per field)
+//! - tuple structs (newtype structs serialise transparently; wider tuples
+//!   as arrays)
+//! - enums with unit, newtype, tuple, and struct variants, encoded with
+//!   serde's external tagging (`"Variant"`, `{"Variant": ...}`)
+//!
+//! Generics are intentionally unsupported; the derive panics with a clear
+//! message if it meets them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (shim data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code =
+        format!("#[automatically_derived]\n#[allow(clippy::all)]\n{}", generate(&item, true));
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (shim data model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code =
+        format!("#[automatically_derived]\n#[allow(clippy::all)]\n{}", generate(&item, false));
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ------------------------------------------------------------------ parsing
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor { toks: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip attributes (`#[...]`), returning true if any was
+    /// `#[serde(default)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut has_default = false;
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            let Some(TokenTree::Group(g)) = self.next() else {
+                panic!("serde shim derive: malformed attribute");
+            };
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        let text = args.stream().to_string();
+                        if text.contains("default") {
+                            has_default = true;
+                        } else {
+                            panic!("serde shim derive: unsupported serde attribute {text:?}");
+                        }
+                    }
+                }
+            }
+        }
+        has_default
+    }
+
+    /// Skip `pub`, `pub(crate)`, etc.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde shim derive: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Skip a type (everything up to a top-level `,` or end), tracking
+    /// angle-bracket depth so `Vec<(A, B)>` counts as one type.
+    fn skip_type(&mut self) {
+        let mut angle: i64 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kw = c.expect_ident();
+    let name = c.expect_ident();
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generics are not supported (type {name})");
+        }
+    }
+    match kw.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde shim derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("serde shim derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde shim derive: expected struct or enum, got {other}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let default = c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_vis();
+        let name = c.expect_ident();
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected ':' after field {name}, got {other:?}"),
+        }
+        c.skip_type();
+        c.next(); // consume the trailing comma, if any
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut arity = 0;
+    while c.peek().is_some() {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_vis();
+        c.skip_type();
+        c.next(); // trailing comma
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident();
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                c.next();
+                VariantShape::Tuple(arity)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the comma.
+        while let Some(t) = c.peek() {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                c.next();
+                break;
+            }
+            c.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ------------------------------------------------------------------ codegen
+
+fn generate(item: &Item, ser: bool) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            if ser {
+                let pushes: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})),",
+                            f.name
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Obj(vec![{pushes}])\n}}\n}}"
+                )
+            } else {
+                let inits: String = fields
+                    .iter()
+                    .map(|f| {
+                        let helper = if f.default { "de_field_default" } else { "de_field" };
+                        format!("{0}: ::serde::{helper}(v, \"{0}\")?,", f.name)
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                     Ok({name} {{ {inits} }})\n}}\n}}"
+                )
+            }
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            if ser {
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n}}\n}}"
+                )
+            } else {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(v)?))\n}}\n}}"
+                )
+            }
+        }
+        Item::TupleStruct { name, arity } => {
+            if ser {
+                let items: String = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Arr(vec![{items}])\n}}\n}}"
+                )
+            } else {
+                let items: String = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                     match v {{\n\
+                     ::serde::Value::Arr(items) if items.len() == {arity} =>\n\
+                     Ok({name}({items})),\n\
+                     other => Err(::serde::DeError::expected(\"{arity}-tuple\", other)),\n\
+                     }}\n}}\n}}"
+                )
+            }
+        }
+        Item::UnitStruct { name } => {
+            if ser {
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+                )
+            } else {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(_v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                     Ok({name})\n}}\n}}"
+                )
+            }
+        }
+        Item::Enum { name, variants } => {
+            if ser {
+                generate_enum_ser(name, variants)
+            } else {
+                generate_enum_de(name, variants)
+            }
+        }
+    }
+}
+
+fn generate_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                ));
+            }
+            VariantShape::Tuple(1) => {
+                arms.push_str(&format!(
+                    "{name}::{vn}(x0) => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), \
+                     ::serde::Serialize::to_value(x0))]),\n"
+                ));
+            }
+            VariantShape::Tuple(arity) => {
+                let binds: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
+                let items: String =
+                    binds.iter().map(|b| format!("::serde::Serialize::to_value({b}),")).collect();
+                arms.push_str(&format!(
+                    "{name}::{vn}({}) => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), \
+                     ::serde::Value::Arr(vec![{items}]))]),\n",
+                    binds.join(", ")
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let pushes: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!("(\"{0}\".to_string(), ::serde::Serialize::to_value({0})),", f.name)
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {} }} => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), \
+                     ::serde::Value::Obj(vec![{pushes}]))]),\n",
+                    binds.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{\n{arms}}}\n}}\n}}"
+    )
+}
+
+fn generate_enum_de(name: &str, variants: &[Variant]) -> String {
+    // Unit variants decode from a bare string.
+    let mut str_arms = String::new();
+    // Payload variants decode from a single-field object.
+    let mut tag_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                str_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+            }
+            VariantShape::Tuple(1) => {
+                tag_arms.push_str(&format!(
+                    "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                ));
+            }
+            VariantShape::Tuple(arity) => {
+                let items: String = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                    .collect();
+                tag_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                     let ::serde::Value::Arr(items) = inner else {{\n\
+                     return Err(::serde::DeError::expected(\"{vn} payload array\", inner));\n\
+                     }};\n\
+                     if items.len() != {arity} {{\n\
+                     return Err(::serde::DeError(format!(\n\
+                     \"variant {vn}: expected {arity} items, got {{}}\", items.len())));\n\
+                     }}\n\
+                     return Ok({name}::{vn}({items}));\n\
+                     }}\n"
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let inits: String = fields
+                    .iter()
+                    .map(|f| {
+                        let helper = if f.default { "de_field_default" } else { "de_field" };
+                        format!("{0}: ::serde::{helper}(inner, \"{0}\")?,", f.name)
+                    })
+                    .collect();
+                tag_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn} {{ {inits} }}),\n"));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+         if let ::serde::Value::Str(s) = v {{\n\
+         match s.as_str() {{\n{str_arms}\
+         _ => return Err(::serde::DeError(format!(\"unknown {name} variant {{s:?}}\"))),\n\
+         }}\n\
+         }}\n\
+         if let ::serde::Value::Obj(fields) = v {{\n\
+         if fields.len() == 1 {{\n\
+         let (tag, inner) = &fields[0];\n\
+         let _ = inner;\n\
+         match tag.as_str() {{\n{tag_arms}\
+         _ => return Err(::serde::DeError(format!(\"unknown {name} variant {{tag:?}}\"))),\n\
+         }}\n\
+         }}\n\
+         }}\n\
+         Err(::serde::DeError::expected(\"{name} variant\", v))\n\
+         }}\n}}"
+    )
+}

@@ -81,8 +81,10 @@ mod tests {
     #[test]
     fn same_name_same_stream() {
         let f = RngFactory::new(42);
-        let a: Vec<u64> = f.stream("arrivals").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = f.stream("arrivals").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> =
+            f.stream("arrivals").sample_iter(rand::distributions::Standard).take(8).collect();
+        let b: Vec<u64> =
+            f.stream("arrivals").sample_iter(rand::distributions::Standard).take(8).collect();
         assert_eq!(a, b);
     }
 

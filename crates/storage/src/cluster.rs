@@ -169,7 +169,11 @@ impl Cluster {
         let directory = (0..spec.objects)
             .map(|i| {
                 let id = ObjectId(i as u64);
-                DataObject::new(id, spec.object_size_bytes, layout.place(&topo, id, spec.replication))
+                DataObject::new(
+                    id,
+                    spec.object_size_bytes,
+                    layout.place(&topo, id, spec.replication),
+                )
             })
             .collect();
         let gears = topo.gears;
@@ -302,10 +306,7 @@ impl Cluster {
         let mut lost = 0usize;
         for &oid in &self.disk_objects[disk] {
             let obj = &self.directory[oid as usize];
-            let intact = obj
-                .replicas
-                .iter()
-                .any(|&d| d != disk && !self.pending_rebuild[d]);
+            let intact = obj.replicas.iter().any(|&d| d != disk && !self.pending_rebuild[d]);
             if !intact {
                 lost += 1;
             }
@@ -405,10 +406,9 @@ impl Cluster {
                     }
                     // Only power the server off if every disk actually
                     // parked (spin-downs mid-transition are refused).
-                    if topo
-                        .disks_of_server(srv)
-                        .all(|d| matches!(self.disks[d].state(), crate::disk::DiskPowerState::Standby))
-                    {
+                    if topo.disks_of_server(srv).all(|d| {
+                        matches!(self.disks[d].state(), crate::disk::DiskPowerState::Standby)
+                    }) {
                         self.servers[srv].power_off();
                     }
                 }
@@ -480,9 +480,14 @@ impl Cluster {
                 let mut ack: Option<ServedRequest> = None;
                 for (r, &disk) in replicas.iter().enumerate() {
                     if r == 0 || self.disk_available(disk) {
-                        let ready = self.ensure_disk_up(disk, req.arrival, r == 0 && !self.disk_available(disk));
+                        let ready = self.ensure_disk_up(
+                            disk,
+                            req.arrival,
+                            r == 0 && !self.disk_available(disk),
+                        );
                         let service = self.spec.disk.service_time(req.size_bytes, req.sequential);
-                        let served = self.queues[disk].serve(req.arrival, ready, service, self.slot_width);
+                        let served =
+                            self.queues[disk].serve(req.arrival, ready, service, self.slot_width);
                         if r == 0 {
                             ack = Some(served);
                         }
@@ -510,7 +515,12 @@ impl Cluster {
 
     /// Add `bytes` of sequential batch work on `disk` starting no earlier
     /// than `now` (the disk is spun up on demand, counted as policy-driven).
-    pub fn add_sequential_work(&mut self, disk: DiskIdx, bytes: u64, now: SimTime) -> ServedRequest {
+    pub fn add_sequential_work(
+        &mut self,
+        disk: DiskIdx,
+        bytes: u64,
+        now: SimTime,
+    ) -> ServedRequest {
         let ready = self.ensure_disk_up(disk, now, false);
         let service = self.spec.disk.service_time(bytes, true);
         self.queues[disk].add_background(now, ready, service)
@@ -615,7 +625,8 @@ impl Cluster {
         let on_servers = gears * topo.servers_per_gear();
         let off_servers = topo.servers - on_servers;
         on_servers as f64 * (self.spec.server.idle_w + topo.bays as f64 * self.spec.disk.idle_w)
-            + off_servers as f64 * (self.spec.server.off_w + topo.bays as f64 * self.spec.disk.standby_w)
+            + off_servers as f64
+                * (self.spec.server.off_w + topo.bays as f64 * self.spec.disk.standby_w)
     }
 
     /// Peak power draw (W) with `gears` active and every disk/CPU saturated.
@@ -625,7 +636,8 @@ impl Cluster {
         let on_servers = gears * topo.servers_per_gear();
         let off_servers = topo.servers - on_servers;
         on_servers as f64 * (self.spec.server.peak_w + topo.bays as f64 * self.spec.disk.active_w)
-            + off_servers as f64 * (self.spec.server.off_w + topo.bays as f64 * self.spec.disk.standby_w)
+            + off_servers as f64
+                * (self.spec.server.off_w + topo.bays as f64 * self.spec.disk.standby_w)
     }
 }
 

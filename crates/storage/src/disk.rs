@@ -167,7 +167,8 @@ impl Disk {
     pub fn spin_up(&mut self, now: SimTime) -> bool {
         match self.state {
             DiskPowerState::Standby => {
-                self.state = DiskPowerState::SpinningUp { ready_at: now + self.spec.spinup_latency };
+                self.state =
+                    DiskPowerState::SpinningUp { ready_at: now + self.spec.spinup_latency };
                 self.spinup_count += 1;
                 // Surcharge accounted immediately; the idle-power draw during
                 // the transition is captured by per-slot integration.

@@ -140,8 +140,7 @@ mod tests {
         assert_ne!(d.draw(3, 7), d.draw(3, 8));
         assert_ne!(d.draw(3, 7), d.draw(4, 7));
         // Roughly uniform: mean of many draws near 0.5.
-        let mean: f64 =
-            (0..1_000).map(|i| d.draw(i % 37, i / 37)).sum::<f64>() / 1_000.0;
+        let mean: f64 = (0..1_000).map(|i| d.draw(i % 37, i / 37)).sum::<f64>() / 1_000.0;
         assert!((mean - 0.5).abs() < 0.05, "{mean}");
         for i in 0..100 {
             let v = d.draw(i, i * 3);

@@ -125,7 +125,8 @@ impl LayoutKind {
 
 /// Stateless deterministic hash of `(seed, object, salt)`.
 fn obj_hash(seed: u64, id: ObjectId, salt: u64) -> u64 {
-    let mut s = seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    let mut s =
+        seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt.wrapping_mul(0xD6E8_FEB8_6659_FD93);
     splitmix64(&mut s)
 }
 
@@ -368,9 +369,8 @@ mod tests {
         let l = RandomLayout { seed: 5 };
         // With random placement, some object must have NO replica in gear 0
         // (the property that breaks naive power-gating).
-        let orphaned = (0..200).any(|i| {
-            l.place(&t, ObjectId(i), 3).iter().all(|&d| t.gear_of_disk(d) != 0)
-        });
+        let orphaned =
+            (0..200).any(|i| l.place(&t, ObjectId(i), 3).iter().all(|&d| t.gear_of_disk(d) != 0));
         assert!(orphaned, "random layout should orphan some objects from gear 0");
     }
 

@@ -46,7 +46,9 @@ pub use cache::LruCache;
 pub use cluster::{Cluster, ClusterSpec, GearState};
 pub use disk::{Disk, DiskPowerState, DiskSpec};
 pub use failure::{FailureDice, FailureReport, FailureSpec};
-pub use layout::{ChainedDeclustering, CopysetLayout, GearLayout, Layout, LayoutKind, RandomLayout};
+pub use layout::{
+    ChainedDeclustering, CopysetLayout, GearLayout, Layout, LayoutKind, RandomLayout,
+};
 pub use object::{DataObject, ObjectId};
 pub use queue::{DiskQueue, ServedRequest};
 pub use request::{IoKind, IoRequest};

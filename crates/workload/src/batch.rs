@@ -84,8 +84,8 @@ impl BatchGenerator {
             let submit = SimTime::ZERO + SimDuration::from_secs_f64(t);
             // Diurnal thinning, same curve family as interactive sessions.
             let h = submit.hour_of_day();
-            let diurnal =
-                1.0 + self.spec.diurnal_amplitude * ((h - 15.0) / 24.0 * std::f64::consts::TAU).cos();
+            let diurnal = 1.0
+                + self.spec.diurnal_amplitude * ((h - 15.0) / 24.0 * std::f64::consts::TAU).cos();
             if rng.gen::<f64>() > diurnal / (1.0 + self.spec.diurnal_amplitude) {
                 continue;
             }

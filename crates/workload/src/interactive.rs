@@ -152,11 +152,8 @@ impl InteractiveGenerator {
         let width_s = clock.width().as_secs_f64();
         let mid = a + clock.width() / 2;
         let diurnal = self.spec.diurnal(mid);
-        let live: f64 = self
-            .streams
-            .iter()
-            .map(|s| s.overlap(a, b).as_secs_f64() / width_s * s.rate_rps)
-            .sum();
+        let live: f64 =
+            self.streams.iter().map(|s| s.overlap(a, b).as_secs_f64() / width_s * s.rate_rps).sum();
         live * diurnal
     }
 

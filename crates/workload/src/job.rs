@@ -201,7 +201,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "deadline must follow submission")]
     fn bad_deadline_panics() {
-        let _ = BatchJob::new(JobId(1), BatchKind::Backup, SimTime::from_hours(2), SimTime::from_hours(1), 1);
+        let _ = BatchJob::new(
+            JobId(1),
+            BatchKind::Backup,
+            SimTime::from_hours(2),
+            SimTime::from_hours(1),
+            1,
+        );
     }
 
     #[test]

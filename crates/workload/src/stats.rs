@@ -110,7 +110,12 @@ pub fn job_slack_hours(job: &BatchJob, reference_bps: f64) -> f64 {
 /// Demand-to-capacity ratio: total batch bytes over the horizon, divided
 /// by the cluster's sequential capacity (`disks × bps × horizon`). Above
 /// ~0.8 there is little room to defer anything.
-pub fn batch_demand_ratio(workload: &Workload, disks: usize, disk_bps: f64, horizon: SimDuration) -> f64 {
+pub fn batch_demand_ratio(
+    workload: &Workload,
+    disks: usize,
+    disk_bps: f64,
+    horizon: SimDuration,
+) -> f64 {
     let capacity = disks as f64 * disk_bps * horizon.as_secs_f64();
     if capacity <= 0.0 {
         return 0.0;

@@ -145,8 +145,9 @@ pub fn batch_jobs_from_csv(csv: &str) -> Result<Vec<BatchJob>, String> {
             "repair" => BatchKind::Repair,
             other => return Err(format!("line {}: unknown kind {other:?}", lineno + 1)),
         };
-        let submit =
-            SimTime(fields[2].parse::<u64>().map_err(|e| format!("line {}: submit: {e}", lineno + 1))?);
+        let submit = SimTime(
+            fields[2].parse::<u64>().map_err(|e| format!("line {}: submit: {e}", lineno + 1))?,
+        );
         let deadline = SimTime(
             fields[3].parse::<u64>().map_err(|e| format!("line {}: deadline: {e}", lineno + 1))?,
         );
@@ -236,10 +237,7 @@ mod tests {
     #[test]
     fn csv_rejects_malformed_input() {
         assert!(batch_jobs_from_csv("id,kind\n1,scrub").is_err());
-        assert!(
-            batch_jobs_from_csv("header\n1,frobnicate,0,100,5\n").is_err(),
-            "unknown kind"
-        );
+        assert!(batch_jobs_from_csv("header\n1,frobnicate,0,100,5\n").is_err(), "unknown kind");
         assert!(
             batch_jobs_from_csv("header\n1,scrub,100,100,5\n").is_err(),
             "deadline not after submit"
@@ -247,7 +245,10 @@ mod tests {
         assert!(batch_jobs_from_csv("header\n1,scrub,0,100,0\n").is_err(), "zero bytes");
         assert!(batch_jobs_from_csv("header\n1,scrub,x,100,5\n").is_err(), "bad number");
         // Header-only is fine.
-        assert_eq!(batch_jobs_from_csv("id,kind,submit_us,deadline_us,total_bytes\n").unwrap(), vec![]);
+        assert_eq!(
+            batch_jobs_from_csv("id,kind,submit_us,deadline_us,total_bytes\n").unwrap(),
+            vec![]
+        );
     }
 
     #[test]

@@ -12,10 +12,10 @@
 //! ```
 
 use gm_energy::battery::BatterySpec;
-use greenmatch::config::{ExperimentConfig, SourceKind};
+use gm_energy::solar::SolarProfile;
+use greenmatch::config::ExperimentConfig;
 use greenmatch::harness::run_experiment;
 use greenmatch::policy::PolicyKind;
-use gm_energy::solar::SolarProfile;
 
 fn main() {
     let sizes_kwh = [0.0, 2.0, 5.0, 10.0, 20.0, 40.0];
@@ -26,11 +26,10 @@ fn main() {
     for &kwh in &sizes_kwh {
         let mut brown = Vec::new();
         for policy in [PolicyKind::AllOn, PolicyKind::GreenMatch { delay_fraction: 1.0 }] {
-            let mut cfg = ExperimentConfig::small_demo(42);
-            cfg.policy = policy;
-            cfg.energy.source =
-                SourceKind::Solar { area_m2: 60.0, profile: SolarProfile::SunnySummer };
-            cfg.energy.battery = (kwh > 0.0).then(|| BatterySpec::lithium_ion(kwh * 1000.0));
+            let cfg = ExperimentConfig::small_demo(42)
+                .with_policy(policy)
+                .with_solar(60.0, SolarProfile::SunnySummer)
+                .with_battery((kwh > 0.0).then(|| BatterySpec::lithium_ion(kwh * 1000.0)));
             brown.push(run_experiment(&cfg).brown_kwh);
         }
         println!("{:>10.0} | {:>12.1} kWh | {:>12.1} kWh", kwh, brown[0], brown[1]);

@@ -7,17 +7,17 @@
 //! ```
 
 use gm_energy::battery::BatterySpec;
-use greenmatch::config::{ExperimentConfig, SourceKind};
+use gm_energy::solar::SolarProfile;
+use greenmatch::config::ExperimentConfig;
 use greenmatch::harness::run_experiment;
 use greenmatch::policy::PolicyKind;
-use gm_energy::solar::SolarProfile;
 
 fn brown_at(area_m2: f64, policy: PolicyKind) -> f64 {
-    let mut cfg = ExperimentConfig::small_demo(42);
-    cfg.policy = policy;
-    cfg.energy.source = SourceKind::Solar { area_m2, profile: SolarProfile::SunnySummer };
     // Idealised ESD so only panel area limits greening (sizing methodology).
-    cfg.energy.battery = Some(BatterySpec::ideal(1_000_000.0));
+    let cfg = ExperimentConfig::small_demo(42)
+        .with_policy(policy)
+        .with_solar(area_m2, SolarProfile::SunnySummer)
+        .with_battery(BatterySpec::ideal(1_000_000.0));
     let r = run_experiment(&cfg);
     // Warm-start brown: the battery starts empty, so the first night's
     // draw is a cold-start artefact independent of panel area.
@@ -49,7 +49,10 @@ fn main() {
     match (zero_allon, zero_gm) {
         (Some(a), Some(g)) => {
             println!("\nZero-brown PV area: ESD-only needs ≈{a:.0} m², GreenMatch ≈{g:.0} m²");
-            println!("GreenMatch shrinks the required installation by {:.0}%.", (1.0 - g / a) * 100.0);
+            println!(
+                "GreenMatch shrinks the required installation by {:.0}%.",
+                (1.0 - g / a) * 100.0
+            );
         }
         _ => println!("\nRange exhausted before reaching zero-brown; extend the sweep."),
     }

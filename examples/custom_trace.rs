@@ -9,9 +9,9 @@
 //! cargo run --release --example custom_trace
 //! ```
 
+use gm_sim::time::{SimDuration, SimTime};
 use gm_workload::trace::{batch_jobs_from_csv, batch_jobs_to_csv, Workload, WorkloadSpec};
 use gm_workload::{BatchJob, BatchKind, JobId};
-use gm_sim::time::{SimDuration, SimTime};
 
 fn main() {
     // Hand-author a nightly-backup style trace: one 300 GiB backup per

@@ -31,9 +31,7 @@ fn main() {
         ("power-prop", PolicyKind::PowerProportional),
         ("greenmatch", PolicyKind::GreenMatch { delay_fraction: 1.0 }),
     ] {
-        let mut cfg = ExperimentConfig::small_demo(42);
-        cfg.policy = policy;
-        cfg.failures = Some(fail_spec);
+        let cfg = ExperimentConfig::small_demo(42).with_policy(policy).with_failures(fail_spec);
         let r = run_experiment(&cfg);
         println!(
             "{:<14} | {:>9.1} | {:>8} | {:>7} | {:>6} | {:>9} | {:>10.1}",

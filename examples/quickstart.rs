@@ -13,16 +13,15 @@ fn main() {
     // A 6-server, 12-disk cluster with a 40 m² PV array and a 10 kWh
     // lithium-ion battery, driven by a scaled-down week of interactive
     // streams and deferrable batch jobs.
-    let mut cfg = ExperimentConfig::small_demo(42);
-    cfg.policy = PolicyKind::GreenMatch { delay_fraction: 1.0 };
+    let cfg = ExperimentConfig::small_demo(42)
+        .with_policy(PolicyKind::GreenMatch { delay_fraction: 1.0 });
 
     println!("Running one simulated week ({} slots)...\n", cfg.slots);
     let report = run_experiment(&cfg);
     println!("{report}");
 
     // The same week, energy-oblivious, for contrast.
-    cfg.policy = PolicyKind::AllOn;
-    let baseline = run_experiment(&cfg);
+    let baseline = run_experiment(&cfg.with_policy(PolicyKind::AllOn));
     println!("--- energy-oblivious baseline ---\n{baseline}");
 
     let saving = (1.0 - report.brown_kwh / baseline.brown_kwh.max(1e-9)) * 100.0;

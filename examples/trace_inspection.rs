@@ -1,0 +1,95 @@
+//! Per-slot telemetry: drive the simulation step by step and inspect what
+//! the policy actually did — no more staring at end-of-run aggregates.
+//!
+//! Steps a GreenMatch run one slot at a time, prints an hourly strip chart
+//! of gears vs. green energy for the first two days, then uses the
+//! [`SlotOutcome`] stream to answer a question the final report cannot:
+//! *in which hours does the policy execute batch work, and how green are
+//! those hours?* A [`PhaseTimer`] observer measures where the simulation
+//! itself spends its wall-clock.
+//!
+//! ```text
+//! cargo run --release --example trace_inspection
+//! ```
+
+use greenmatch::config::ExperimentConfig;
+use greenmatch::observe::PhaseTimer;
+use greenmatch::policy::PolicyKind;
+use greenmatch::simulation::{Simulation, SlotOutcome};
+
+fn bar(frac: f64, width: usize) -> String {
+    let n = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    "█".repeat(n)
+}
+
+fn main() {
+    let cfg = ExperimentConfig::small_demo(42)
+        .with_policy(PolicyKind::GreenMatch { delay_fraction: 1.0 });
+
+    let (timer, profile) = PhaseTimer::new();
+    let mut sim = Simulation::new(&cfg).with_observer(Box::new(timer));
+
+    println!("slot-by-slot, first 48 h (gears ▏ green production ▏ batch executed):\n");
+    println!("{:>4} {:>5} {:>12} {:>14}  green", "slot", "gears", "green Wh", "batch GiB");
+
+    let mut outcomes: Vec<SlotOutcome> = Vec::new();
+    let max_green = 3_000.0; // chart scale, Wh
+    while let Some(o) = sim.step() {
+        if o.slot < 48 {
+            println!(
+                "{:>4} {:>5} {:>12.1} {:>14.2}  {}",
+                o.slot,
+                o.gears,
+                o.energy.green_produced_wh,
+                o.executed_batch_bytes as f64 / (1u64 << 30) as f64,
+                bar(o.energy.green_produced_wh / max_green, 24),
+            );
+        }
+        outcomes.push(o);
+    }
+
+    // Question 1: how green are the hours where batch work actually ran?
+    let (mut green_funded, mut total_batch_energy) = (0.0f64, 0.0f64);
+    for o in &outcomes {
+        if o.executed_batch_bytes > 0 {
+            let batch_frac = o.executed_batch_bytes as f64
+                / outcomes.iter().map(|x| x.executed_batch_bytes).sum::<u64>() as f64;
+            let slot_green_share = if o.energy.load_wh > 0.0 {
+                o.energy.green_direct_wh / o.energy.load_wh
+            } else {
+                0.0
+            };
+            green_funded += batch_frac * slot_green_share;
+            total_batch_energy += batch_frac;
+        }
+    }
+    println!(
+        "\nbatch-weighted green share of execution hours: {:.0}%",
+        green_funded / total_batch_energy.max(1e-12) * 100.0
+    );
+
+    // Question 2: does the battery ever cover a whole night?
+    let deepest = outcomes
+        .iter()
+        .filter(|o| o.energy.battery_out_wh > 0.0)
+        .min_by(|a, b| a.battery_soc_frac.total_cmp(&b.battery_soc_frac));
+    match deepest {
+        Some(o) => println!(
+            "deepest discharge: slot {} ends at {:.0}% state of charge",
+            o.slot,
+            o.battery_soc_frac * 100.0
+        ),
+        None => println!("the battery never discharged"),
+    }
+
+    // Question 3: any deadline trouble? (events are per-slot deltas)
+    let misses: usize = outcomes.iter().map(|o| o.events.deadline_misses).sum();
+    println!("deadline misses across the horizon: {misses}");
+
+    let report = sim.into_report();
+    println!(
+        "\nfinal report cross-check: {:.1} kWh brown, p99 {:.3} s",
+        report.brown_kwh, report.latency.p99_s
+    );
+    println!("simulation cost: {}", profile.lock().unwrap().summary());
+}

@@ -11,10 +11,10 @@
 //! cargo run --release --example wind_site
 //! ```
 
-use greenmatch::config::{ExperimentConfig, SourceKind};
+use gm_energy::wind::WindProfile;
+use greenmatch::config::ExperimentConfig;
 use greenmatch::harness::run_experiment;
 use greenmatch::policy::PolicyKind;
-use gm_energy::wind::WindProfile;
 
 fn main() {
     let policies = [
@@ -31,10 +31,9 @@ fn main() {
     println!("{}", "-".repeat(68));
 
     for (name, policy) in policies {
-        let mut cfg = ExperimentConfig::small_demo(42);
-        cfg.policy = policy;
-        cfg.energy.source =
-            SourceKind::Wind { rated_w: 6_000.0, profile: WindProfile::SteadyCoastal };
+        let cfg = ExperimentConfig::small_demo(42)
+            .with_policy(policy)
+            .with_wind(6_000.0, WindProfile::SteadyCoastal);
         let r = run_experiment(&cfg);
         println!(
             "{:<20} | {:>10.1} | {:>8.1}% | {:>8.1}% | {:>8}",

@@ -8,10 +8,10 @@
 use gm_energy::battery::BatterySpec;
 use gm_energy::solar::SolarProfile;
 use gm_energy::wind::WindProfile;
+use gm_workload::trace::WorkloadSpec;
 use greenmatch::config::{ExperimentConfig, ForecastKind, SourceKind};
 use greenmatch::harness::run_experiment;
 use greenmatch::policy::PolicyKind;
-use gm_workload::trace::WorkloadSpec;
 use proptest::prelude::*;
 
 fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
@@ -36,7 +36,12 @@ fn source_strategy() -> impl Strategy<Value = SourceKind> {
     ]
 }
 
-fn tiny_cfg(seed: u64, policy: PolicyKind, source: SourceKind, battery_wh: f64) -> ExperimentConfig {
+fn tiny_cfg(
+    seed: u64,
+    policy: PolicyKind,
+    source: SourceKind,
+    battery_wh: f64,
+) -> ExperimentConfig {
     let mut cfg = ExperimentConfig::small_demo(seed);
     cfg.workload = WorkloadSpec::small_week(cfg.cluster.objects).scaled(0.3);
     cfg.slots = 24;

@@ -51,10 +51,7 @@ fn random_layout_violates_the_guarantee() {
         let req = IoRequest::read(SimTime::from_secs(i), ObjectId(i % 1_000), 64 << 10);
         c.serve_request(&req);
     }
-    assert!(
-        c.total_forced_spinups() > 0,
-        "random placement must orphan some objects from gear 0"
-    );
+    assert!(c.total_forced_spinups() > 0, "random placement must orphan some objects from gear 0");
 }
 
 #[test]

@@ -104,7 +104,13 @@ fn delay_fraction_interpolates_between_extremes() {
 
 #[test]
 fn gear_scaling_actually_moves_power() {
-    let gm = run(PolicyKind::GreenMatch { delay_fraction: 1.0 }, 0.0, 20.0);
+    // Double the batch volume: at the demo default the overnight backlog
+    // (~1.3 TB expected) only exceeds one gear's hourly batch capacity
+    // (~1.6 TB) on lucky workload draws, making gear-up a coin flip. At 2×
+    // the morning green window needs a second gear on every seed tried.
+    let mut c = cfg(PolicyKind::GreenMatch { delay_fraction: 1.0 }, 0.0, 20.0, 72);
+    c.workload.batch.mean_bytes *= 2.0;
+    let gm = run_experiment(&c);
     let min_gear = *gm.gears_series.iter().min().expect("nonempty");
     let max_gear = *gm.gears_series.iter().max().expect("nonempty");
     assert_eq!(min_gear, 1, "nights should drop to one gear");

@@ -1,0 +1,155 @@
+//! Telemetry contract tests for the step-wise simulation core.
+//!
+//! The JSONL trace is part of the repo's observable surface: downstream
+//! tooling diffs trace files across commits, so the format must stay
+//! byte-stable for a fixed seed. These tests pin that contract:
+//!
+//! * a committed golden file (`tests/golden/small_demo_trace.jsonl`) for
+//!   the `small_demo` preset — regenerate with
+//!   `GM_UPDATE_GOLDEN=1 cargo test --test telemetry`;
+//! * same-seed runs must produce byte-identical traces;
+//! * every record must conserve energy on both sides of the meter;
+//! * attaching a `NullObserver` must not change the final report.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use greenmatch::config::ExperimentConfig;
+use greenmatch::harness::run_experiment;
+use greenmatch::observe::{JsonlTraceObserver, NullObserver};
+use greenmatch::simulation::Simulation;
+
+const GOLDEN_PATH: &str = "tests/golden/small_demo_trace.jsonl";
+
+/// `io::Write` sink whose bytes remain reachable after the observer (and
+/// the simulation that owns it) is dropped.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> Vec<u8> {
+        self.0.lock().unwrap().clone()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Run `cfg` to completion with a JSONL trace observer attached and
+/// return the raw trace bytes.
+fn trace_bytes(cfg: &ExperimentConfig) -> Vec<u8> {
+    let buf = SharedBuf::default();
+    let mut sim = Simulation::new(cfg);
+    sim.add_observer(Box::new(JsonlTraceObserver::new(buf.clone())));
+    sim.run_to_end();
+    buf.contents()
+}
+
+#[test]
+fn trace_matches_committed_golden() {
+    let cfg = ExperimentConfig::small_demo(42);
+    let actual = trace_bytes(&cfg);
+
+    if std::env::var_os("GM_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all("tests/golden").expect("create golden dir");
+        std::fs::write(GOLDEN_PATH, &actual).expect("write golden trace");
+        return;
+    }
+
+    let golden = std::fs::read(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("cannot read {GOLDEN_PATH}: {e} (regenerate with GM_UPDATE_GOLDEN=1)")
+    });
+    if actual != golden {
+        // Find the first differing line for a readable failure message.
+        let actual_s = String::from_utf8_lossy(&actual);
+        let golden_s = String::from_utf8_lossy(&golden);
+        for (i, (a, g)) in actual_s.lines().zip(golden_s.lines()).enumerate() {
+            assert_eq!(a, g, "trace diverges from golden at line {}", i + 1);
+        }
+        panic!(
+            "trace length changed: {} lines vs golden {} (regenerate with GM_UPDATE_GOLDEN=1 if intended)",
+            actual_s.lines().count(),
+            golden_s.lines().count()
+        );
+    }
+}
+
+#[test]
+fn same_seed_traces_are_byte_identical() {
+    let cfg = ExperimentConfig::small_demo(7).with_slots(48);
+    let first = trace_bytes(&cfg);
+    let second = trace_bytes(&cfg);
+    assert!(!first.is_empty(), "trace should contain records");
+    assert_eq!(first, second, "same seed must reproduce the trace byte for byte");
+}
+
+#[test]
+fn every_record_conserves_energy() {
+    let cfg = ExperimentConfig::small_demo(99);
+    let bytes = trace_bytes(&cfg);
+    let text = String::from_utf8(bytes).expect("trace is UTF-8");
+
+    let mut slots_seen = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let rec: serde_json::Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("line {} is not JSON: {e}", i + 1));
+        let f = |key: &str| -> f64 {
+            rec.get(key)
+                .and_then(|v| v.as_f64())
+                .unwrap_or_else(|| panic!("line {} missing numeric field {key:?}", i + 1))
+        };
+
+        assert_eq!(
+            rec.get("slot").and_then(|v| v.as_u64()),
+            Some(i as u64),
+            "slots must be contiguous from 0"
+        );
+
+        // Consumption side: everything the cluster drew came from somewhere.
+        let supplied = f("green_direct_wh") + f("battery_out_wh") + f("grid_wh");
+        let load = f("load_wh");
+        assert!(
+            (supplied - load).abs() <= 1e-6 * load.max(1.0),
+            "slot {i}: green_direct + battery_out + grid = {supplied} but load = {load}"
+        );
+
+        // Production side: every green Wh was used, stored, or curtailed.
+        let produced = f("green_produced_wh");
+        let disposed = f("green_direct_wh") + f("battery_in_wh") + f("curtailed_wh");
+        assert!(
+            (produced - disposed).abs() <= 1e-6 * produced.max(1.0),
+            "slot {i}: produced {produced} Wh but accounted for {disposed} Wh"
+        );
+
+        // Battery state stays inside its physical envelope.
+        let soc = f("battery_soc_frac");
+        assert!((0.0..=1.0 + 1e-9).contains(&soc), "slot {i}: SoC fraction {soc} out of range");
+
+        slots_seen += 1;
+    }
+    assert_eq!(slots_seen, cfg.slots, "one record per slot");
+}
+
+#[test]
+fn null_observer_does_not_change_the_report() {
+    let cfg = ExperimentConfig::small_demo(3).with_slots(72);
+    let plain = run_experiment(&cfg);
+
+    let mut sim = Simulation::new(&cfg);
+    sim.add_observer(Box::new(NullObserver));
+    let observed = sim.run_to_end();
+
+    assert_eq!(
+        serde_json::to_string(&plain).unwrap(),
+        serde_json::to_string(&observed).unwrap(),
+        "NullObserver must be invisible to the report"
+    );
+}

@@ -2,12 +2,12 @@
 //! run through `SourceKind::TraceCsv`, and a custom batch-job CSV replaces
 //! the synthetic batch population.
 
-use greenmatch::config::{ExperimentConfig, SourceKind};
-use greenmatch::harness::run_experiment;
-use greenmatch::policy::PolicyKind;
 use gm_energy::traces::{trace_from_csv, trace_to_csv};
 use gm_sim::{SlotClock, TimeSeries};
 use gm_workload::trace::{batch_jobs_from_csv, batch_jobs_to_csv, Workload, WorkloadSpec};
+use greenmatch::config::{ExperimentConfig, SourceKind};
+use greenmatch::harness::run_experiment;
+use greenmatch::policy::PolicyKind;
 
 #[test]
 fn supply_trace_csv_drives_a_full_run() {
@@ -24,17 +24,16 @@ fn supply_trace_csv_drives_a_full_run() {
     let mut cfg = ExperimentConfig::small_demo(9);
     cfg.slots = 48;
     cfg.policy = PolicyKind::GreenMatch { delay_fraction: 1.0 };
-    cfg.energy.source = SourceKind::TraceCsv {
-        label: "square".into(),
-        path: path.to_string_lossy().into_owned(),
-    };
+    cfg.energy.source =
+        SourceKind::TraceCsv { label: "square".into(), path: path.to_string_lossy().into_owned() };
     let r = run_experiment(&cfg);
 
     // Exactly the trace's energy was produced: 2 kW × 10 h × 2 days.
     assert!((r.green_produced_kwh - 40.0).abs() < 1e-6, "{}", r.green_produced_kwh);
     assert_eq!(r.source, "trace:square");
     // And the materialised trace round-trips through the parser.
-    let parsed = trace_from_csv(&std::fs::read_to_string(&path).expect("read"), clock).expect("parse");
+    let parsed =
+        trace_from_csv(&std::fs::read_to_string(&path).expect("read"), clock).expect("parse");
     assert_eq!(parsed.values().len(), 48);
 
     std::fs::remove_dir_all(&dir).ok();
