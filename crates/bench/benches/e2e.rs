@@ -1,0 +1,38 @@
+//! End-to-end slot-loop cost at realistic scale: one full default-config
+//! week (`ExperimentConfig::small_demo`, 168 slots) per policy — the unit
+//! every sweep in the reconstructed evaluation multiplies by hundreds.
+//!
+//! The `harness` bench covers a single day for quick signal; this one runs
+//! the whole horizon so steady-state effects (job backlog growth, matcher
+//! graph reuse, scratch-buffer warm-up) are part of the measurement.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use greenmatch::config::ExperimentConfig;
+use greenmatch::harness::run_experiment;
+use greenmatch::policy::PolicyKind;
+
+fn bench_e2e_week(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e_week");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("all-on", PolicyKind::AllOn),
+        ("power-prop", PolicyKind::PowerProportional),
+        ("edf", PolicyKind::Edf),
+        ("greedy-green", PolicyKind::GreedyGreen),
+        ("greenmatch", PolicyKind::GreenMatch { delay_fraction: 1.0 }),
+        ("greenmatch30", PolicyKind::GreenMatch { delay_fraction: 0.3 }),
+        ("greenmatch-carbon", PolicyKind::GreenMatchCarbon { delay_fraction: 1.0 }),
+    ] {
+        group.bench_with_input(BenchmarkId::new("policy", name), &policy, |b, &policy| {
+            b.iter(|| {
+                let mut cfg = ExperimentConfig::small_demo(42);
+                cfg.policy = policy;
+                black_box(run_experiment(&cfg).brown_kwh)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2e_week);
+criterion_main!(benches);

@@ -84,19 +84,25 @@ where
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                // One scratch per worker, reused across every run it picks
+                // up: the per-slot buffers grow once and then the whole
+                // sweep's slot loops run allocation-free.
+                let mut scratch = greenmatch::SlotScratch::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (tag, cfg) = &configs[i];
+                    let mut sim = Simulation::new(cfg);
+                    for obs in observer_factory(i, tag, cfg) {
+                        sim.add_observer(obs);
+                    }
+                    let report = sim.run_to_end_with(&mut scratch);
+                    eprintln!("  [{}/{}] {} → brown {:.1} kWh", i + 1, n, tag, report.brown_kwh);
+                    results.lock().unwrap()[i] = Some((tag.clone(), report));
                 }
-                let (tag, cfg) = &configs[i];
-                let mut sim = Simulation::new(cfg);
-                for obs in observer_factory(i, tag, cfg) {
-                    sim.add_observer(obs);
-                }
-                let report = sim.run_to_end();
-                eprintln!("  [{}/{}] {} → brown {:.1} kWh", i + 1, n, tag, report.brown_kwh);
-                results.lock().unwrap()[i] = Some((tag.clone(), report));
             });
         }
     });

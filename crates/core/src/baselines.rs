@@ -19,7 +19,7 @@ use crate::policy::{edf_fill, Decision, SchedContext, Scheduler};
 pub struct AllOn;
 
 impl Scheduler for AllOn {
-    fn decide(&mut self, ctx: &SchedContext) -> Decision {
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
         let capacity = ctx.model.batch_capacity_bytes(
             ctx.model.gears,
             ctx.interactive_busy_secs.first().copied().unwrap_or(0.0),
@@ -27,8 +27,9 @@ impl Scheduler for AllOn {
         );
         Decision {
             gears: ctx.model.gears,
-            batch_bytes: edf_fill(&ctx.jobs, capacity),
+            batch_bytes: edf_fill(ctx.jobs, capacity),
             reclaim_budget_bytes: u64::MAX,
+            infeasible_bytes: 0,
         }
     }
 
@@ -41,7 +42,7 @@ impl Scheduler for AllOn {
 pub struct PowerProportional;
 
 impl PowerProportional {
-    fn decide_inner(ctx: &SchedContext) -> Decision {
+    fn decide_inner(ctx: &SchedContext<'_>) -> Decision {
         let busy = ctx.interactive_busy_secs.first().copied().unwrap_or(0.0);
         let min_g = ctx.min_gears_now();
         // Raise gears until pending batch fits in this slot, or max out.
@@ -55,14 +56,15 @@ impl PowerProportional {
         let capacity = ctx.model.batch_capacity_bytes(gears, busy, ctx.slot_secs());
         Decision {
             gears,
-            batch_bytes: edf_fill(&ctx.jobs, capacity),
+            batch_bytes: edf_fill(ctx.jobs, capacity),
             reclaim_budget_bytes: u64::MAX,
+            infeasible_bytes: 0,
         }
     }
 }
 
 impl Scheduler for PowerProportional {
-    fn decide(&mut self, ctx: &SchedContext) -> Decision {
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
         Self::decide_inner(ctx)
     }
 
@@ -78,7 +80,7 @@ impl Scheduler for PowerProportional {
 pub struct EdfPolicy;
 
 impl Scheduler for EdfPolicy {
-    fn decide(&mut self, ctx: &SchedContext) -> Decision {
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
         PowerProportional::decide_inner(ctx)
     }
 
@@ -95,7 +97,7 @@ impl Scheduler for EdfPolicy {
 pub struct GreedyGreen;
 
 impl Scheduler for GreedyGreen {
-    fn decide(&mut self, ctx: &SchedContext) -> Decision {
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
         let busy = ctx.interactive_busy_secs.first().copied().unwrap_or(0.0);
         let slot_secs = ctx.slot_secs();
         let hours = ctx.slot_hours();
@@ -131,7 +133,12 @@ impl Scheduler for GreedyGreen {
         let budget = fundable.saturating_add(critical_bytes).min(capacity);
         // Reclaim only piggybacks on green slots (it is deferrable too).
         let reclaim = if surplus_wh > 0.0 { u64::MAX } else { 0 };
-        Decision { gears, batch_bytes: edf_fill(&ctx.jobs, budget), reclaim_budget_bytes: reclaim }
+        Decision {
+            gears,
+            batch_bytes: edf_fill(ctx.jobs, budget),
+            reclaim_budget_bytes: reclaim,
+            infeasible_bytes: 0,
+        }
     }
 
     fn label(&self) -> String {
@@ -148,19 +155,32 @@ mod tests {
     use gm_storage::ClusterSpec;
     use gm_workload::JobId;
 
-    fn ctx(green_wh: f64, jobs: Vec<JobView>) -> SchedContext {
-        SchedContext {
-            slot: 12,
-            now: SimTime::from_hours(12),
-            clock: SlotClock::hourly(),
-            green_forecast_wh: vec![green_wh; 24],
-            interactive_busy_secs: vec![1_000.0; 24],
-            jobs,
-            battery: BatteryView::default(),
-            model: PlanningModel::from_spec(&ClusterSpec::small()),
-            writelog_pending_bytes: 0,
-            grid: gm_energy::grid::Grid::typical_eu(),
+    /// Owned backing store for a borrowed [`SchedContext`].
+    struct OwnedCtx {
+        green: Vec<f64>,
+        busy: Vec<f64>,
+        jobs: Vec<JobView>,
+    }
+
+    impl OwnedCtx {
+        fn as_ctx(&self) -> SchedContext<'_> {
+            SchedContext {
+                slot: 12,
+                now: SimTime::from_hours(12),
+                clock: SlotClock::hourly(),
+                green_forecast_wh: &self.green,
+                interactive_busy_secs: &self.busy,
+                jobs: &self.jobs,
+                battery: BatteryView::default(),
+                model: PlanningModel::from_spec(&ClusterSpec::small()),
+                writelog_pending_bytes: 0,
+                grid: gm_energy::grid::Grid::typical_eu(),
+            }
         }
+    }
+
+    fn ctx(green_wh: f64, jobs: Vec<JobView>) -> OwnedCtx {
+        OwnedCtx { green: vec![green_wh; 24], busy: vec![1_000.0; 24], jobs }
     }
 
     fn job(id: u64, gib: u64, deadline: usize, critical: bool) -> JobView {
@@ -170,7 +190,7 @@ mod tests {
     #[test]
     fn all_on_runs_everything_at_max_gears() {
         let c = ctx(0.0, vec![job(1, 10, 20, false), job(2, 5, 15, false)]);
-        let d = AllOn.decide(&c);
+        let d = AllOn.decide(&c.as_ctx());
         assert_eq!(d.gears, 3);
         assert_eq!(d.total_batch_bytes(), 15 << 30, "all pending fits easily");
         // EDF order: job 2 (deadline 15) first.
@@ -180,7 +200,7 @@ mod tests {
     #[test]
     fn power_prop_uses_min_gears_when_light() {
         let c = ctx(0.0, vec![job(1, 1, 20, false)]);
-        let d = PowerProportional.decide(&c);
+        let d = PowerProportional.decide(&c.as_ctx());
         assert_eq!(d.gears, 1, "light load fits one gear");
         assert_eq!(d.total_batch_bytes(), 1 << 30);
     }
@@ -189,14 +209,14 @@ mod tests {
     fn power_prop_raises_gears_for_heavy_backlog() {
         // One gear slot capacity ≈ 1.6 TB; ask for 5 TB.
         let c = ctx(0.0, vec![job(1, 5 * 1024, 20, false)]);
-        let d = PowerProportional.decide(&c);
+        let d = PowerProportional.decide(&c.as_ctx());
         assert!(d.gears >= 2, "backlog forces gear-up, got {}", d.gears);
     }
 
     #[test]
     fn greedy_green_defers_without_surplus() {
         let c = ctx(0.0, vec![job(1, 10, 20, false)]);
-        let d = GreedyGreen.decide(&c);
+        let d = GreedyGreen.decide(&c.as_ctx());
         assert_eq!(d.gears, 1);
         assert_eq!(d.total_batch_bytes(), 0, "no green, no deadline pressure ⇒ defer");
         assert_eq!(d.reclaim_budget_bytes, 0);
@@ -205,7 +225,7 @@ mod tests {
     #[test]
     fn greedy_green_runs_critical_even_brown() {
         let c = ctx(0.0, vec![job(1, 2, 12, true)]);
-        let d = GreedyGreen.decide(&c);
+        let d = GreedyGreen.decide(&c.as_ctx());
         assert_eq!(d.total_batch_bytes(), 2 << 30, "deadline overrides greenness");
     }
 
@@ -214,7 +234,7 @@ mod tests {
         // Plenty of green: idle floor at 1 gear ≈ 284 Wh; give 3 kWh, and
         // more pending work (4 TiB) than one gear's slot capacity.
         let c = ctx(3_000.0, vec![job(1, 4 * 1024, 20, false)]);
-        let d = GreedyGreen.decide(&c);
+        let d = GreedyGreen.decide(&c.as_ctx());
         assert!(d.total_batch_bytes() > 0, "surplus funds deferred work");
         assert!(d.gears >= 2, "surplus also pays for gear-up, got {}", d.gears);
         assert_eq!(d.reclaim_budget_bytes, u64::MAX);
@@ -223,8 +243,8 @@ mod tests {
     #[test]
     fn edf_matches_power_prop_gears() {
         let c = ctx(0.0, vec![job(1, 3, 20, false), job(2, 3, 5, false)]);
-        let a = PowerProportional.decide(&c);
-        let b = EdfPolicy.decide(&c);
+        let a = PowerProportional.decide(&c.as_ctx());
+        let b = EdfPolicy.decide(&c.as_ctx());
         assert_eq!(a.gears, b.gears);
         assert_eq!(a.batch_bytes, b.batch_bytes);
     }

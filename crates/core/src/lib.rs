@@ -61,6 +61,7 @@ pub mod harness;
 pub mod matcher;
 pub mod mincostflow;
 pub mod observe;
+pub mod phases;
 pub mod policy;
 pub mod report;
 pub mod scheduler;
@@ -72,6 +73,7 @@ pub use observe::{
     CsvSeriesObserver, JsonlTraceObserver, NullObserver, Phase, PhaseProfile, PhaseTimer,
     SlotObserver,
 };
+pub use phases::{SlotContext, SlotScratch};
 pub use policy::{Decision, PolicyKind, SchedContext, Scheduler};
 pub use report::RunReport;
 pub use simulation::{EnergyFlows, Simulation, SlotEvents, SlotOutcome};

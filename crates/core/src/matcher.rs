@@ -89,6 +89,44 @@ impl MatchPlan {
     }
 }
 
+/// Reusable state for repeated matching rounds: the flow network plus every
+/// work vector one round needs. A policy holds one scratch across slots so
+/// steady-state matching performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct MatcherScratch {
+    flow: MinCostFlow,
+    group_units: Vec<i64>,
+    green_arcs: Vec<Option<EdgeId>>,
+    brown_arcs: Vec<Option<EdgeId>>,
+    per_slot_bytes: Vec<u64>,
+}
+
+impl MatcherScratch {
+    /// Bytes planned per window offset (0 = run now) from the most recent
+    /// [`solve_with`] call.
+    pub fn per_slot_bytes(&self) -> &[u64] {
+        &self.per_slot_bytes
+    }
+}
+
+/// Copy-out summary of one matching round; the per-slot schedule stays in
+/// the [`MatcherScratch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Bytes the plan wants executed in the current slot.
+    pub bytes_now: u64,
+    /// Bytes pushed to the `beyond` node (deferred past the window).
+    pub deferred_bytes: u64,
+    /// Bytes that could only be placed via the overload escape.
+    pub infeasible_bytes: u64,
+    /// Bytes of the plan sitting on green-funded arcs.
+    pub green_bytes: u64,
+    /// Bytes of the plan sitting on brown-funded arcs.
+    pub brown_bytes: u64,
+    /// Total solver cost (diagnostic).
+    pub cost: i64,
+}
+
 /// Estimated non-batch energy floor (Wh) of window offset `k`: idle power
 /// at the interactive minimum gear level plus the interactive marginal.
 pub fn non_batch_floor_wh(input: &MatchInput<'_>, k: usize) -> f64 {
@@ -100,13 +138,31 @@ pub fn non_batch_floor_wh(input: &MatchInput<'_>, k: usize) -> f64 {
     input.model.idle_w(min_g) * hours + interactive_marginal_wh
 }
 
-/// Solve one matching round.
+/// Solve one matching round, allocating a fresh plan. Allocation-free
+/// callers use [`solve_with`] and read the schedule out of the scratch.
 pub fn solve(input: &MatchInput<'_>) -> MatchPlan {
+    let mut scratch = MatcherScratch::default();
+    let stats = solve_with(input, &mut scratch);
+    MatchPlan {
+        per_slot_bytes: scratch.per_slot_bytes,
+        deferred_bytes: stats.deferred_bytes,
+        infeasible_bytes: stats.infeasible_bytes,
+        green_bytes: stats.green_bytes,
+        brown_bytes: stats.brown_bytes,
+        cost: stats.cost,
+    }
+}
+
+/// Solve one matching round into reusable scratch state. The per-slot
+/// schedule is left in [`MatcherScratch::per_slot_bytes`].
+pub fn solve_with(input: &MatchInput<'_>, scratch: &mut MatcherScratch) -> MatchStats {
     let h = input.horizon.max(1);
     // Aggregate jobs into deadline groups, clamped into the window; the
     // "far" group collects deadlines beyond it.
     // Group index: 0..h for in-window deadline offsets, h = far.
-    let mut group_units = vec![0i64; h + 1];
+    let group_units = &mut scratch.group_units;
+    group_units.clear();
+    group_units.resize(h + 1, 0);
     for j in input.jobs {
         if j.remaining_bytes == 0 {
             continue;
@@ -124,7 +180,8 @@ pub fn solve(input: &MatchInput<'_>) -> MatchPlan {
     let slot_base = group_base + h + 1; // h slot nodes
     let beyond = slot_base + h;
     let sink = beyond + 1;
-    let mut g = MinCostFlow::new(sink + 1);
+    let g = &mut scratch.flow;
+    g.reset(sink + 1);
 
     // Source → groups.
     for (gi, &units) in group_units.iter().enumerate() {
@@ -147,8 +204,12 @@ pub fn solve(input: &MatchInput<'_>) -> MatchPlan {
     }
 
     // Slots → sink (green + brown arcs), remember handles for extraction.
-    let mut green_arcs: Vec<Option<EdgeId>> = vec![None; h];
-    let mut brown_arcs: Vec<Option<EdgeId>> = vec![None; h];
+    let green_arcs = &mut scratch.green_arcs;
+    green_arcs.clear();
+    green_arcs.resize(h, None);
+    let brown_arcs = &mut scratch.brown_arcs;
+    brown_arcs.clear();
+    brown_arcs.resize(h, None);
     for t in 0..h {
         let busy = input.interactive_busy_secs.get(t).copied().unwrap_or(0.0);
         let capacity_units =
@@ -183,7 +244,9 @@ pub fn solve(input: &MatchInput<'_>) -> MatchPlan {
     debug_assert_eq!(result.flow, total_units, "network must absorb all work");
 
     // Extract per-slot plan.
-    let mut per_slot_bytes = vec![0u64; h];
+    let per_slot_bytes = &mut scratch.per_slot_bytes;
+    per_slot_bytes.clear();
+    per_slot_bytes.resize(h, 0);
     let mut green_bytes = 0u64;
     let mut brown_bytes = 0u64;
     for t in 0..h {
@@ -207,8 +270,8 @@ pub fn solve(input: &MatchInput<'_>) -> MatchPlan {
     let deferred_units = beyond_units.min(far_units);
     let infeasible_units = beyond_units - deferred_units;
 
-    MatchPlan {
-        per_slot_bytes,
+    MatchStats {
+        bytes_now: per_slot_bytes.first().copied().unwrap_or(0),
         deferred_bytes: deferred_units as u64 * UNIT_BYTES,
         infeasible_bytes: infeasible_units as u64 * UNIT_BYTES,
         green_bytes,
@@ -368,6 +431,32 @@ mod tests {
         inp.brown_cost_per_slot = Some(&costs);
         let steered = solve(&inp);
         assert!(steered.bytes_now() >= 16 << 30, "cheap-now pricing runs now");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_solve() {
+        // One scratch across rounds of different shape and horizon must
+        // reproduce exactly what fresh per-round allocation produces.
+        let mut scratch = MatcherScratch::default();
+        let rounds: Vec<(Vec<JobView>, Vec<f64>)> = vec![
+            (vec![job(1, 64, 6)], forecast(8, &[3], 5_000.0)),
+            (vec![job(2, 64, 2), job(3, 16, 1_000)], forecast(4, &[], 0.0)),
+            (vec![], forecast(6, &[1], 1_000.0)),
+            (vec![job(4, 512, 1_000)], forecast(8, &[2, 5], 5_000.0)),
+        ];
+        for (jobs, green) in &rounds {
+            let busy = vec![0.0; green.len()];
+            let inp = input(jobs, green, &busy);
+            let fresh = solve(&inp);
+            let stats = solve_with(&inp, &mut scratch);
+            assert_eq!(scratch.per_slot_bytes(), &fresh.per_slot_bytes[..]);
+            assert_eq!(stats.bytes_now, fresh.bytes_now());
+            assert_eq!(stats.deferred_bytes, fresh.deferred_bytes);
+            assert_eq!(stats.infeasible_bytes, fresh.infeasible_bytes);
+            assert_eq!(stats.green_bytes, fresh.green_bytes);
+            assert_eq!(stats.brown_bytes, fresh.brown_bytes);
+            assert_eq!(stats.cost, fresh.cost);
+        }
     }
 
     #[test]

@@ -21,11 +21,22 @@ struct Edge {
 }
 
 /// A min-cost max-flow problem instance.
+///
+/// The instance is reusable: [`MinCostFlow::reset`] clears the network while
+/// keeping every allocation (adjacency lists, SPFA work vectors), so a hot
+/// loop that solves one instance per slot allocates nothing after warm-up.
 #[derive(Debug, Clone, Default)]
 pub struct MinCostFlow {
     graph: Vec<Vec<Edge>>,
+    /// Live node count; `graph` may hold spare cleared rows beyond it.
+    nodes: usize,
     /// `(from, index-in-from)` of every user-added edge, for flow queries.
     handles: Vec<(usize, usize)>,
+    // SPFA scratch, hoisted out of `solve` so repeated solves reuse it.
+    dist: Vec<i64>,
+    in_queue: Vec<bool>,
+    prev: Vec<Option<(usize, usize)>>,
+    queue: std::collections::VecDeque<usize>,
 }
 
 /// Identifier of an added edge, usable to query its final flow.
@@ -44,24 +55,39 @@ pub struct FlowResult {
 impl MinCostFlow {
     /// An empty network with `n` nodes.
     pub fn new(n: usize) -> Self {
-        MinCostFlow { graph: vec![Vec::new(); n], handles: Vec::new() }
+        let mut g = MinCostFlow::default();
+        g.reset(n);
+        g
+    }
+
+    /// Drop every edge and resize to `n` nodes, keeping all allocations.
+    /// After `reset(n)` the instance is indistinguishable from `new(n)`.
+    pub fn reset(&mut self, n: usize) {
+        for adj in &mut self.graph {
+            adj.clear();
+        }
+        if self.graph.len() < n {
+            self.graph.resize_with(n, Vec::new);
+        }
+        self.nodes = n;
+        self.handles.clear();
     }
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.graph.len()
+        self.nodes
     }
 
     /// Whether the network has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.graph.is_empty()
+        self.nodes == 0
     }
 
     /// Add a directed edge `from → to` with capacity `cap ≥ 0` and per-unit
     /// cost. Returns a handle to query the edge's flow after solving.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: i64) -> EdgeId {
         assert!(cap >= 0, "capacity must be non-negative");
-        assert!(from < self.graph.len() && to < self.graph.len(), "node out of range");
+        assert!(from < self.nodes && to < self.nodes, "node out of range");
         assert_ne!(from, to, "self-loops are not supported");
         let fwd_idx = self.graph[from].len();
         let rev_idx = self.graph[to].len();
@@ -83,23 +109,27 @@ impl MinCostFlow {
     /// Stops early when no augmenting path remains (the returned flow is
     /// then the max flow ≤ `max_flow`).
     pub fn solve(&mut self, s: usize, t: usize, max_flow: i64) -> FlowResult {
-        assert!(s < self.graph.len() && t < self.graph.len());
-        let n = self.graph.len();
+        assert!(s < self.nodes && t < self.nodes);
+        let n = self.nodes;
         let mut total_flow = 0i64;
         let mut total_cost = 0i64;
+        let MinCostFlow { graph, dist, in_queue, prev, queue, .. } = self;
         while total_flow < max_flow {
             // SPFA shortest path by cost in the residual graph.
-            let mut dist = vec![i64::MAX; n];
-            let mut in_queue = vec![false; n];
-            let mut prev: Vec<Option<(usize, usize)>> = vec![None; n];
+            dist.clear();
+            dist.resize(n, i64::MAX);
+            in_queue.clear();
+            in_queue.resize(n, false);
+            prev.clear();
+            prev.resize(n, None);
             dist[s] = 0;
-            let mut queue = std::collections::VecDeque::new();
+            queue.clear();
             queue.push_back(s);
             in_queue[s] = true;
             while let Some(u) = queue.pop_front() {
                 in_queue[u] = false;
                 let du = dist[u];
-                for (i, e) in self.graph[u].iter().enumerate() {
+                for (i, e) in graph[u].iter().enumerate() {
                     if e.cap > 0 && du != i64::MAX && du + e.cost < dist[e.to] {
                         dist[e.to] = du + e.cost;
                         prev[e.to] = Some((u, i));
@@ -117,15 +147,15 @@ impl MinCostFlow {
             let mut bottleneck = max_flow - total_flow;
             let mut v = t;
             while let Some((u, i)) = prev[v] {
-                bottleneck = bottleneck.min(self.graph[u][i].cap);
+                bottleneck = bottleneck.min(graph[u][i].cap);
                 v = u;
             }
             // Apply.
             let mut v = t;
             while let Some((u, i)) = prev[v] {
-                self.graph[u][i].cap -= bottleneck;
-                let rev = self.graph[u][i].rev;
-                self.graph[v][rev].cap += bottleneck;
+                graph[u][i].cap -= bottleneck;
+                let rev = graph[u][i].rev;
+                graph[v][rev].cap += bottleneck;
                 v = u;
             }
             total_flow += bottleneck;
@@ -250,6 +280,23 @@ mod tests {
         // Flow conservation on the reported per-edge flows.
         let shipped: i64 = handles.iter().map(|&h| g.flow_on(h)).sum();
         assert_eq!(shipped, 7);
+    }
+
+    #[test]
+    fn reset_reuses_like_new() {
+        let mut g = MinCostFlow::new(4);
+        g.add_edge(0, 1, 3, 1);
+        g.add_edge(1, 3, 3, 1);
+        let _ = g.solve(0, 3, 10);
+        // Reuse the instance for a different, smaller problem: results must
+        // match a fresh network exactly.
+        g.reset(2);
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+        let e = g.add_edge(0, 1, 5, 3);
+        let r = g.solve(0, 1, 10);
+        assert_eq!(r, FlowResult { flow: 5, cost: 15 });
+        assert_eq!(g.flow_on(e), 5);
     }
 
     #[test]

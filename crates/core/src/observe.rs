@@ -14,7 +14,8 @@
 //!   byte-identical across same-seed runs.
 //! * [`CsvSeriesObserver`] — the key per-slot series as CSV.
 //! * [`PhaseTimer`] — wall-clock per simulation phase
-//!   (decide / execute / settle), read out through a shared handle.
+//!   (forecast / classify / plan / gear / execute / settle), read out
+//!   through a shared handle.
 
 use crate::simulation::SlotOutcome;
 use serde::Serialize;
@@ -23,12 +24,19 @@ use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
-/// One phase of a simulation step, for profiling observers.
+/// One phase of a simulation step, for profiling observers. The variants
+/// mirror the per-slot pipeline in [`crate::phases`] in execution order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
-    /// Forecasting, context assembly and the policy decision.
-    Decide,
-    /// Gear shifting, interactive service, batch execution, reclaim.
+    /// Battery relaxation and green-energy / interactive-load forecasting.
+    Forecast,
+    /// Failure injection, batch arrivals and job-view assembly.
+    Classify,
+    /// Context assembly and the policy decision (matching).
+    Plan,
+    /// Gear shifting.
+    Gear,
+    /// Interactive service, batch execution, reclaim.
     Execute,
     /// Energy integration, battery/grid settlement, ledger and job
     /// retirement.
@@ -228,8 +236,14 @@ impl<W: Write> SlotObserver for CsvSeriesObserver<W> {
 pub struct PhaseProfile {
     /// Slots timed.
     pub slots: u64,
-    /// Total nanoseconds in the decide phase.
-    pub decide_ns: u64,
+    /// Total nanoseconds in the forecast phase.
+    pub forecast_ns: u64,
+    /// Total nanoseconds in the classify phase.
+    pub classify_ns: u64,
+    /// Total nanoseconds in the plan phase.
+    pub plan_ns: u64,
+    /// Total nanoseconds in the gear phase.
+    pub gear_ns: u64,
     /// Total nanoseconds in the execute phase.
     pub execute_ns: u64,
     /// Total nanoseconds in the settle phase.
@@ -239,7 +253,12 @@ pub struct PhaseProfile {
 impl PhaseProfile {
     /// Total measured time across phases (ns).
     pub fn total_ns(&self) -> u64 {
-        self.decide_ns + self.execute_ns + self.settle_ns
+        self.forecast_ns
+            + self.classify_ns
+            + self.plan_ns
+            + self.gear_ns
+            + self.execute_ns
+            + self.settle_ns
     }
 
     /// Human-readable one-line summary (mean per slot and share per phase).
@@ -248,13 +267,18 @@ impl PhaseProfile {
             return "no slots timed".to_string();
         }
         let total = self.total_ns().max(1) as f64;
+        let pct = |ns: u64| ns as f64 / total * 100.0;
         format!(
-            "{} slots, {:.2} ms/slot (decide {:.0}%, execute {:.0}%, settle {:.0}%)",
+            "{} slots, {:.2} ms/slot (forecast {:.0}%, classify {:.0}%, plan {:.0}%, \
+             gear {:.0}%, execute {:.0}%, settle {:.0}%)",
             self.slots,
             total / self.slots as f64 / 1e6,
-            self.decide_ns as f64 / total * 100.0,
-            self.execute_ns as f64 / total * 100.0,
-            self.settle_ns as f64 / total * 100.0,
+            pct(self.forecast_ns),
+            pct(self.classify_ns),
+            pct(self.plan_ns),
+            pct(self.gear_ns),
+            pct(self.execute_ns),
+            pct(self.settle_ns),
         )
     }
 }
@@ -282,11 +306,14 @@ impl SlotObserver for PhaseTimer {
     fn on_phase(&mut self, _slot: usize, phase: Phase, nanos: u64) {
         let mut p = self.profile.lock().unwrap();
         match phase {
-            Phase::Decide => {
-                // One Decide callback per slot leads the phase sequence.
+            Phase::Forecast => {
+                // One Forecast callback per slot leads the phase sequence.
                 p.slots += 1;
-                p.decide_ns += nanos;
+                p.forecast_ns += nanos;
             }
+            Phase::Classify => p.classify_ns += nanos,
+            Phase::Plan => p.plan_ns += nanos,
+            Phase::Gear => p.gear_ns += nanos,
             Phase::Execute => p.execute_ns += nanos,
             Phase::Settle => p.settle_ns += nanos,
         }

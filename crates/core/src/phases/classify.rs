@@ -1,0 +1,99 @@
+//! Phase 2 — Classify: who failed, who arrived, what is pending.
+//!
+//! Draws the slot's disk-failure dice (spawning repair jobs for lost
+//! redundancy), admits the batch jobs submitted during the slot (via a
+//! cursor over the submission-ordered population — no per-slot scan), and
+//! assembles the policy-visible [`crate::policy::JobView`]s for every
+//! pending job into the scratch.
+
+use super::{SlotContext, SlotScratch};
+use crate::policy::{JobView, TOTAL_RHO};
+use crate::simulation::{deadline_slot_for, Simulation};
+use gm_workload::{BatchJob, JobId};
+
+/// What the classify phase observed, for the slot outcome.
+pub(crate) struct Classified {
+    pub jobs_submitted: usize,
+    pub disk_failures: u64,
+}
+
+pub(crate) fn run(
+    sim: &mut Simulation,
+    ctx: &SlotContext,
+    scratch: &mut SlotScratch,
+) -> Classified {
+    let s = ctx.slot;
+    let now = ctx.now;
+
+    // Failure injection: draw per disk, spawn repair jobs.
+    let failures_before = sim.cluster.total_failures();
+    if let Some(fail_spec) = sim.cfg.failures {
+        for (d, prev) in sim.prev_spinups.iter_mut().enumerate() {
+            let spinups = sim.cluster.disk_spinups(d);
+            let cycles = spinups - *prev;
+            *prev = spinups;
+            let p =
+                fail_spec.failure_probability(ctx.hours, sim.cluster.disk_in_standby(d), cycles);
+            if sim.failure_dice.draw(d, s) < p {
+                let report = sim.cluster.fail_disk(d, now);
+                if report.rebuild_bytes > 0 {
+                    let id = JobId(sim.next_repair_id);
+                    sim.next_repair_id += 1;
+                    sim.repair_jobs.insert(id, d);
+                    sim.job_index.insert(id, sim.jobs.len());
+                    sim.active_jobs.push(sim.jobs.len());
+                    sim.jobs.push(BatchJob::new(
+                        id,
+                        gm_workload::BatchKind::Repair,
+                        now,
+                        now + gm_sim::SimDuration::from_hours(24),
+                        report.rebuild_bytes,
+                    ));
+                }
+            }
+        }
+    }
+    let disk_failures = sim.cluster.total_failures() - failures_before;
+
+    // Batch arrivals: the population is submission-ordered, so a cursor
+    // replaces the historic whole-population filter per slot.
+    let mut jobs_submitted = 0usize;
+    let slot_end = ctx.slot_end;
+    let population = sim.workload.batch_jobs();
+    while sim.arrivals_cursor < population.len() {
+        let job = &population[sim.arrivals_cursor];
+        if job.submit >= slot_end {
+            break;
+        }
+        sim.arrivals_cursor += 1;
+        if job.submit < ctx.now {
+            // Parity with the historic in-slot filter (`submit >= start`);
+            // unreachable for a submission-sorted population.
+            continue;
+        }
+        let job = job.clone();
+        sim.batch_report.jobs_submitted += 1;
+        sim.batch_report.bytes_submitted += job.total_bytes;
+        sim.job_index.insert(job.id, sim.jobs.len());
+        sim.active_jobs.push(sim.jobs.len());
+        sim.jobs.push(job);
+        jobs_submitted += 1;
+    }
+
+    // Job views over the active (pending) jobs, in submission order.
+    let pending_count = sim.active_jobs.len();
+    let share_bps = sim.total_batch_bw * TOTAL_RHO / pending_count.max(1) as f64;
+    scratch.job_views.clear();
+    for &idx in &sim.active_jobs {
+        let j = &sim.jobs[idx];
+        debug_assert!(j.is_pending(), "active list holds only pending jobs");
+        scratch.job_views.push(JobView {
+            id: j.id,
+            remaining_bytes: j.remaining_bytes,
+            deadline_slot: deadline_slot_for(ctx.clock, j.deadline),
+            critical: j.is_critical(now, share_bps),
+        });
+    }
+
+    Classified { jobs_submitted, disk_failures }
+}

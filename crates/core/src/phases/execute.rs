@@ -1,0 +1,81 @@
+//! Phase 5 — Execute: serve the slot's work.
+//!
+//! Serves the interactive requests (recording latency globally and into
+//! the scratch's per-slot histogram), spreads each decided batch job's
+//! bytes across the active disks (repair jobs write onto their specific
+//! replacement disk), and runs the write-log reclaim budget. Returns the
+//! batch bytes actually executed.
+
+use super::{SlotContext, SlotScratch};
+use crate::policy::Decision;
+use crate::simulation::Simulation;
+
+pub(crate) fn run(
+    sim: &mut Simulation,
+    ctx: &SlotContext,
+    scratch: &mut SlotScratch,
+    decision: &Decision,
+    gears: usize,
+) -> u64 {
+    let now = ctx.now;
+
+    // Interactive service: record globally (for the final report) and per
+    // slot (for the outcome), in the same order as always.
+    scratch.slot_hist.clear();
+    sim.workload.requests_in_slot_into(ctx.clock, ctx.slot, &mut scratch.requests);
+    for req in &scratch.requests {
+        let served = sim.cluster.serve_request(req);
+        let latency_s = served.latency.as_secs_f64();
+        sim.hist.record(latency_s);
+        scratch.slot_hist.record(latency_s);
+    }
+
+    // Batch execution: spread each job's bytes across the active disks.
+    let mut executed_batch_bytes = 0u64;
+    scratch.active_disks.clear();
+    for g in 0..gears {
+        scratch.active_disks.extend(sim.cluster.topology().disks_in_gear_range(g));
+    }
+    let active_disks = &scratch.active_disks;
+    for (job_id, bytes) in &decision.batch_bytes {
+        let Some(&idx) = sim.job_index.get(job_id) else { continue };
+        let job = &mut sim.jobs[idx];
+        let bytes = (*bytes).min(job.remaining_bytes);
+        if bytes == 0 {
+            continue;
+        }
+        // Repair jobs write onto their specific replacement disk.
+        if let Some(&disk) = sim.repair_jobs.get(job_id) {
+            let served = sim.cluster.rebuild_step(disk, bytes, now);
+            job.perform(bytes, served.completion);
+            executed_batch_bytes += bytes;
+            continue;
+        }
+        // Spread over up to 32 disks per job per slot (keeps chunks
+        // sequential and large).
+        let spread = active_disks.len().clamp(1, 32);
+        let per = (bytes / spread as u64).max(1);
+        let mut assigned = 0u64;
+        let mut last_completion = now;
+        for k in 0..spread {
+            if assigned >= bytes {
+                break;
+            }
+            let chunk = per.min(bytes - assigned);
+            let disk = active_disks[(sim.rr_cursor + k) % active_disks.len()];
+            let served = sim.cluster.add_sequential_work(disk, chunk, now);
+            last_completion = last_completion.max(served.completion);
+            assigned += chunk;
+        }
+        sim.rr_cursor = (sim.rr_cursor + spread) % active_disks.len().max(1);
+        job.perform(assigned, last_completion);
+        executed_batch_bytes += assigned;
+    }
+
+    // Write-log reclaim.
+    if decision.reclaim_budget_bytes > 0 {
+        sim.cluster.reclaim(decision.reclaim_budget_bytes, now);
+    }
+
+    executed_batch_bytes
+}

@@ -1,0 +1,33 @@
+//! Phase 1 — Forecast: battery relaxation and the policy's forward view.
+//!
+//! Applies one slot of battery self-discharge, asks the forecaster for the
+//! green-energy outlook over the planning horizon, and fills in the
+//! expected interactive busy-seconds per horizon slot (memoised on the
+//! simulation — the expectation is a pure function of the absolute slot,
+//! so each slot is computed once per run instead of once per horizon
+//! overlap).
+
+use super::{SlotContext, SlotScratch};
+use crate::scheduler::DEFAULT_HORIZON;
+use crate::simulation::Simulation;
+
+pub(crate) fn run(sim: &mut Simulation, ctx: &SlotContext, scratch: &mut SlotScratch) {
+    sim.battery.apply_self_discharge(ctx.width);
+
+    // The policy sees the forecaster's view of the whole window,
+    // *including* the current slot. With the Oracle forecaster this
+    // reproduces the era's accurate-next-slot-prediction convention
+    // exactly; with imperfect forecasters the policy may misjudge even the
+    // present — which is what forecast-sensitivity experiments measure.
+    // Energy settlement always uses the truth.
+    sim.forecaster.predict_into(ctx.slot, DEFAULT_HORIZON, &mut scratch.green_forecast_wh);
+    for w in &mut scratch.green_forecast_wh {
+        *w *= ctx.hours;
+    }
+
+    scratch.interactive_busy_secs.clear();
+    for k in 0..DEFAULT_HORIZON {
+        let busy = sim.expected_busy_secs(ctx.slot + k);
+        scratch.interactive_busy_secs.push(busy);
+    }
+}

@@ -1,0 +1,16 @@
+//! Phase 4 — Gear: apply the gear decision.
+//!
+//! Clamps the requested gear count to the physical range, shifts the
+//! cluster (spinning disks up or down), and records the gear series.
+//! Returns the gear level actually powered.
+
+use super::SlotContext;
+use crate::policy::Decision;
+use crate::simulation::Simulation;
+
+pub(crate) fn run(sim: &mut Simulation, ctx: &SlotContext, decision: &Decision) -> usize {
+    let gears = decision.gears.clamp(1, sim.model.gears);
+    sim.cluster.set_active_gears(gears, ctx.now);
+    sim.gears_series.push(gears);
+    gears
+}

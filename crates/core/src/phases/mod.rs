@@ -1,0 +1,118 @@
+//! The per-slot phase pipeline.
+//!
+//! [`crate::simulation::Simulation::step`] is not a monolith: each slot
+//! runs six typed phases in a fixed order, every phase a small module in
+//! this directory:
+//!
+//! ```text
+//! Forecast → Classify → Plan → Gear → Execute → Settle
+//! ```
+//!
+//! * [`forecast`] — battery relaxation, green-energy forecast, expected
+//!   interactive busy-time over the planning horizon.
+//! * [`classify`] — failure injection (spawning repair jobs), batch
+//!   arrivals, and assembly of the policy-visible [`crate::policy::JobView`]s.
+//! * [`plan`] — build the [`crate::policy::SchedContext`] over the scratch
+//!   buffers and ask the policy for its [`crate::policy::Decision`].
+//! * [`gear`] — clamp and apply the gear decision to the cluster.
+//! * [`execute`] — serve the slot's interactive requests, spread the
+//!   decided batch bytes over the active disks, run write-log reclaim.
+//! * [`settle`] — integrate energy, settle green → battery → grid, record
+//!   the ledger slot, update the forecaster, retire finished jobs.
+//!
+//! Phases communicate through two structs with strict ownership rules:
+//!
+//! * [`SlotContext`] — immutable per-slot facts (slot index, clock
+//!   instants). Built once by the step driver; phases only read it.
+//! * [`SlotScratch`] — reusable buffers written by earlier phases and read
+//!   by later ones. The caller owns it and passes the same instance to
+//!   every step, so the steady-state loop performs **no heap allocation**:
+//!   each buffer is `clear()`ed (capacity retained) and refilled. All
+//!   allocation happens during the first few slots while the buffers grow
+//!   to their high-water marks.
+//!
+//! Each phase also mutates its slice of the [`crate::simulation::Simulation`]
+//! state (cluster, battery, ledger, job table); the phase boundaries are
+//! exactly the boundaries reported to [`crate::observe::SlotObserver`]s
+//! via [`crate::observe::Phase`] timing callbacks.
+
+pub(crate) mod classify;
+pub(crate) mod execute;
+pub(crate) mod forecast;
+pub(crate) mod gear;
+pub(crate) mod plan;
+pub(crate) mod settle;
+
+use gm_sim::time::SimTime;
+use gm_sim::{LogHistogram, SimDuration, SlotClock};
+use gm_storage::IoRequest;
+
+use crate::policy::JobView;
+
+/// Immutable facts about the slot being simulated, shared by every phase.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotContext {
+    /// Slot index.
+    pub slot: usize,
+    /// Slot start instant.
+    pub now: SimTime,
+    /// Slot end instant.
+    pub slot_end: SimTime,
+    /// Slot width.
+    pub width: SimDuration,
+    /// Slot width in hours.
+    pub hours: f64,
+    /// The slot clock.
+    pub clock: SlotClock,
+}
+
+/// Reusable per-slot buffers threaded through the phase pipeline.
+///
+/// One instance serves arbitrarily many slots — and arbitrarily many
+/// simulations run back to back (see
+/// [`crate::simulation::Simulation::run_to_end_with`]): every phase clears
+/// the buffers it fills before refilling them, so capacity is retained and
+/// the steady-state slot loop allocates nothing. Contents are only
+/// meaningful between the phase that writes a buffer and the end of the
+/// slot; callers should treat a scratch as opaque state between steps.
+#[derive(Debug, Clone)]
+pub struct SlotScratch {
+    /// Forecast green energy per horizon slot (Wh). Written by
+    /// [`forecast`], read by [`plan`].
+    pub green_forecast_wh: Vec<f64>,
+    /// Expected interactive disk busy-seconds per horizon slot. Written by
+    /// [`forecast`], read by [`plan`].
+    pub interactive_busy_secs: Vec<f64>,
+    /// Policy-visible views of the pending jobs. Written by [`classify`],
+    /// read by [`plan`].
+    pub job_views: Vec<JobView>,
+    /// Disk indices of the gears powered this slot. Written and read by
+    /// [`execute`].
+    pub active_disks: Vec<usize>,
+    /// The slot's interactive requests. Written and read by [`execute`].
+    pub requests: Vec<IoRequest>,
+    /// Latency histogram of this slot alone (the global histogram lives on
+    /// the simulation). Cleared and refilled by [`execute`], read when the
+    /// [`crate::simulation::SlotOutcome`] is assembled.
+    pub slot_hist: LogHistogram,
+}
+
+impl Default for SlotScratch {
+    fn default() -> Self {
+        SlotScratch {
+            green_forecast_wh: Vec::new(),
+            interactive_busy_secs: Vec::new(),
+            job_views: Vec::new(),
+            active_disks: Vec::new(),
+            requests: Vec::new(),
+            slot_hist: LogHistogram::for_latency_secs(),
+        }
+    }
+}
+
+impl SlotScratch {
+    /// A fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        SlotScratch::default()
+    }
+}

@@ -1,0 +1,32 @@
+//! Phase 3 — Plan: the policy decision.
+//!
+//! Assembles the [`SchedContext`] as borrowed views over the scratch
+//! buffers the earlier phases filled (no copies, no allocation) and asks
+//! the policy to decide the slot.
+
+use super::{SlotContext, SlotScratch};
+use crate::policy::{BatteryView, Decision, SchedContext};
+use crate::simulation::Simulation;
+
+pub(crate) fn run(sim: &mut Simulation, ctx: &SlotContext, scratch: &SlotScratch) -> Decision {
+    let battery = BatteryView {
+        stored_wh: sim.battery.stored_wh(),
+        headroom_wh: sim.battery.headroom_wh(),
+        efficiency: sim.battery.spec().efficiency,
+        charge_capacity_wh: sim.battery.charge_capacity_wh(ctx.width),
+        discharge_capacity_wh: sim.battery.discharge_capacity_wh(ctx.width),
+    };
+    let sched = SchedContext {
+        slot: ctx.slot,
+        now: ctx.now,
+        clock: ctx.clock,
+        green_forecast_wh: &scratch.green_forecast_wh,
+        interactive_busy_secs: &scratch.interactive_busy_secs,
+        jobs: &scratch.job_views,
+        battery,
+        model: sim.model,
+        writelog_pending_bytes: sim.cluster.write_log().pending_total(),
+        grid: sim.cfg.energy.grid,
+    };
+    sim.policy.decide(&sched)
+}

@@ -1,0 +1,115 @@
+//! Phase 6 — Settle: energy accounting and job retirement.
+//!
+//! Integrates the cluster's energy over the slot, settles it against the
+//! true green production (green direct → battery → grid, with the
+//! configured discharge strategy), records the ledger slot, feeds the
+//! forecaster the actual, and retires completed jobs (repair completions
+//! restore redundancy instead of entering the batch statistics).
+
+use super::SlotContext;
+use crate::config::DischargeStrategy;
+use crate::simulation::{EnergyFlows, Simulation};
+use gm_energy::ledger::SlotFlows;
+
+/// What settlement produced, for the slot outcome.
+pub(crate) struct Settled {
+    pub energy: EnergyFlows,
+    pub jobs_completed: usize,
+    pub deadline_misses: usize,
+    pub repairs_completed: u64,
+}
+
+pub(crate) fn run(sim: &mut Simulation, ctx: &SlotContext) -> Settled {
+    let s = ctx.slot;
+    let slot_energy = sim.cluster.end_slot(ctx.slot_end, ctx.width);
+    let load_wh = slot_energy.total_wh();
+    let green_wh = sim.green_trace.get(s) * ctx.hours;
+    let green_direct = green_wh.min(load_wh);
+    let surplus = green_wh - green_direct;
+    let charge = sim.battery.charge(surplus, ctx.width);
+    let curtailed = surplus - charge.drawn_wh;
+    let deficit = load_wh - green_direct;
+    // Discharge timing per the configured strategy.
+    let mid = ctx.now + ctx.width / 2;
+    let hour = mid.hour_of_day();
+    let allowed = match sim.cfg.energy.discharge {
+        DischargeStrategy::Eager => deficit,
+        DischargeStrategy::PeakOnly => {
+            if (7.0..23.0).contains(&hour) {
+                deficit
+            } else {
+                0.0
+            }
+        }
+        DischargeStrategy::Reserve(frac) => {
+            if (17.0..23.0).contains(&hour) {
+                deficit // the peak may spend the reserve
+            } else {
+                let reserve = sim.battery.spec().usable_wh() * frac.clamp(0.0, 1.0);
+                deficit.min((sim.battery.stored_wh() - reserve).max(0.0))
+            }
+        }
+    };
+    let battery_out = sim.battery.discharge(allowed, ctx.width);
+    let brown = deficit - battery_out;
+
+    sim.ledger.record_slot(
+        s,
+        SlotFlows {
+            green_produced_wh: green_wh,
+            green_direct_wh: green_direct,
+            battery_drawn_wh: charge.drawn_wh,
+            battery_out_wh: battery_out,
+            brown_wh: brown,
+            curtailed_wh: curtailed,
+            load_wh,
+        },
+    );
+    sim.ledger.add_spinup_overhead(slot_energy.spinup_overhead_wh);
+    sim.ledger.add_reclaim_overhead(slot_energy.reclaim_overhead_wh);
+
+    sim.forecaster.observe_actual(s, sim.green_trace.get(s));
+
+    // Retire completed jobs (each counted exactly once: completed jobs
+    // leave the active list and the index below). Repair completions
+    // restore redundancy instead of entering the batch statistics.
+    let mut jobs_completed = 0usize;
+    let mut deadline_misses = 0usize;
+    let mut slot_repairs = 0u64;
+    for &idx in &sim.active_jobs {
+        let j = &sim.jobs[idx];
+        if let Some(met) = j.met_deadline() {
+            if let Some(&disk) = sim.repair_jobs.get(&j.id) {
+                sim.cluster.mark_rebuilt(disk);
+                sim.repairs_completed += 1;
+                slot_repairs += 1;
+            } else {
+                sim.batch_report.jobs_completed += 1;
+                sim.batch_report.bytes_completed += j.total_bytes;
+                jobs_completed += 1;
+                if !met {
+                    sim.batch_report.deadline_misses += 1;
+                    deadline_misses += 1;
+                }
+            }
+        }
+    }
+    let jobs = &sim.jobs;
+    sim.job_index.retain(|_, &mut idx| jobs[idx].is_pending());
+    sim.active_jobs.retain(|&idx| jobs[idx].is_pending());
+
+    Settled {
+        energy: EnergyFlows {
+            green_produced_wh: green_wh,
+            green_direct_wh: green_direct,
+            battery_in_wh: charge.drawn_wh,
+            battery_out_wh: battery_out,
+            grid_wh: brown,
+            curtailed_wh: curtailed,
+            load_wh,
+        },
+        jobs_completed,
+        deadline_misses,
+        repairs_completed: slot_repairs,
+    }
+}

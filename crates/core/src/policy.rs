@@ -152,8 +152,12 @@ pub struct BatteryView {
 }
 
 /// Everything a policy may consult when deciding a slot.
+///
+/// The bulk fields are borrowed slices: the simulation owns the backing
+/// buffers (in its `SlotScratch`) and rebuilds a fresh context view each
+/// slot without allocating.
 #[derive(Debug, Clone)]
-pub struct SchedContext {
+pub struct SchedContext<'a> {
     /// Slot being decided.
     pub slot: SlotIdx,
     /// Slot start instant.
@@ -163,11 +167,11 @@ pub struct SchedContext {
     /// Forecast green energy per slot (Wh), index 0 = this slot. The
     /// current slot's entry follows the era convention of accurate
     /// next-slot prediction.
-    pub green_forecast_wh: Vec<f64>,
+    pub green_forecast_wh: &'a [f64],
     /// Expected interactive disk busy-seconds per slot, same indexing.
-    pub interactive_busy_secs: Vec<f64>,
+    pub interactive_busy_secs: &'a [f64],
     /// Pending batch jobs (EDF order).
-    pub jobs: Vec<JobView>,
+    pub jobs: &'a [JobView],
     /// Battery state.
     pub battery: BatteryView,
     /// Planning arithmetic.
@@ -178,7 +182,7 @@ pub struct SchedContext {
     pub grid: Grid,
 }
 
-impl SchedContext {
+impl SchedContext<'_> {
     /// Slot width in seconds.
     pub fn slot_secs(&self) -> f64 {
         self.clock.width().as_secs_f64()
@@ -213,12 +217,16 @@ pub struct Decision {
     pub batch_bytes: Vec<(JobId, u64)>,
     /// Write-log reclaim budget for the slot (bytes per gear).
     pub reclaim_budget_bytes: u64,
+    /// Planner diagnostic: bytes whose deadline pressure exceeded the
+    /// planning window's capacity this slot. Always 0 for policies without
+    /// a feasibility-checking planner.
+    pub infeasible_bytes: u64,
 }
 
 impl Decision {
     /// A do-nothing decision at the given gear level.
     pub fn idle(gears: usize) -> Self {
-        Decision { gears, batch_bytes: Vec::new(), reclaim_budget_bytes: 0 }
+        Decision { gears, batch_bytes: Vec::new(), reclaim_budget_bytes: 0, infeasible_bytes: 0 }
     }
 
     /// Total batch bytes requested.
@@ -230,7 +238,7 @@ impl Decision {
 /// A scheduling policy.
 pub trait Scheduler {
     /// Decide one slot.
-    fn decide(&mut self, ctx: &SchedContext) -> Decision;
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision;
 
     /// Label for reports.
     fn label(&self) -> String;
@@ -313,7 +321,8 @@ impl PolicyKind {
 pub fn edf_fill(jobs: &[JobView], capacity_bytes: u64) -> Vec<(JobId, u64)> {
     let mut remaining = capacity_bytes;
     let mut sorted: Vec<&JobView> = jobs.iter().filter(|j| j.remaining_bytes > 0).collect();
-    sorted.sort_by_key(|j| (j.deadline_slot, j.id));
+    // Unstable sort is fine: (deadline, id) keys are unique per job.
+    sorted.sort_unstable_by_key(|j| (j.deadline_slot, j.id));
     let mut out = Vec::new();
     for j in sorted {
         if remaining == 0 {
@@ -410,6 +419,7 @@ mod tests {
             gears: 3,
             batch_bytes: vec![(JobId(1), 10), (JobId(2), 20)],
             reclaim_budget_bytes: 0,
+            infeasible_bytes: 0,
         };
         assert_eq!(d2.total_batch_bytes(), 30);
     }

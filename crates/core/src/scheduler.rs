@@ -21,7 +21,7 @@
 //! with `1.0` it is pure GreenMatch; intermediate values are the hybrid
 //! family the balance study sweeps.
 
-use crate::matcher::{self, MatchInput};
+use crate::matcher::{self, MatchInput, MatcherScratch};
 use crate::policy::{Decision, JobView, SchedContext, Scheduler};
 use gm_sim::rng::splitmix64;
 use gm_workload::JobId;
@@ -40,8 +40,14 @@ pub struct GreenMatchPolicy {
     /// intensity instead of uniformly, steering unavoidable brown work into
     /// the cleanest hours of the window.
     carbon_aware: bool,
-    /// Diagnostics: bytes the matcher flagged as deadline-infeasible.
-    pub infeasible_bytes_seen: u64,
+    // Per-slot work buffers, reused across decisions so the steady-state
+    // decide path allocates only the Decision it returns.
+    scratch: MatcherScratch,
+    critical: Vec<JobView>,
+    asap: Vec<JobView>,
+    deferrable: Vec<JobView>,
+    order: Vec<(JobView, u64)>,
+    brown_costs: Vec<i64>,
 }
 
 impl GreenMatchPolicy {
@@ -52,7 +58,12 @@ impl GreenMatchPolicy {
             delay_fraction,
             horizon: DEFAULT_HORIZON,
             carbon_aware: false,
-            infeasible_bytes_seen: 0,
+            scratch: MatcherScratch::default(),
+            critical: Vec::new(),
+            asap: Vec::new(),
+            deferrable: Vec::new(),
+            order: Vec::new(),
+            brown_costs: Vec::new(),
         }
     }
 
@@ -76,28 +87,34 @@ impl GreenMatchPolicy {
 
     /// Stable classification: is this job deferrable under the fraction?
     pub fn is_deferrable(&self, id: JobId) -> bool {
-        let mut s = id.0 ^ 0x6A09_E667_F3BC_C909;
-        let h = splitmix64(&mut s) % 10_000;
-        (h as f64) < self.delay_fraction * 10_000.0
+        is_deferrable_at(self.delay_fraction, id)
     }
 }
 
+/// Stable per-job classification at a given deferrable fraction.
+fn is_deferrable_at(delay_fraction: f64, id: JobId) -> bool {
+    let mut s = id.0 ^ 0x6A09_E667_F3BC_C909;
+    let h = splitmix64(&mut s) % 10_000;
+    (h as f64) < delay_fraction * 10_000.0
+}
+
 impl Scheduler for GreenMatchPolicy {
-    fn decide(&mut self, ctx: &SchedContext) -> Decision {
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
         let busy = ctx.interactive_busy_secs.first().copied().unwrap_or(0.0);
         let slot_secs = ctx.slot_secs();
 
         // 1. Classification.
-        let mut critical: Vec<JobView> = Vec::new();
-        let mut asap: Vec<JobView> = Vec::new();
-        let mut deferrable: Vec<JobView> = Vec::new();
+        let delay_fraction = self.delay_fraction;
+        self.critical.clear();
+        self.asap.clear();
+        self.deferrable.clear();
         for j in ctx.jobs.iter().filter(|j| j.remaining_bytes > 0) {
             if j.critical {
-                critical.push(*j);
-            } else if self.is_deferrable(j.id) {
-                deferrable.push(*j);
+                self.critical.push(*j);
+            } else if is_deferrable_at(delay_fraction, j.id) {
+                self.deferrable.push(*j);
             } else {
-                asap.push(*j);
+                self.asap.push(*j);
             }
         }
 
@@ -105,55 +122,54 @@ impl Scheduler for GreenMatchPolicy {
         //    brown arcs are priced by the slot's forecast carbon intensity
         //    (relative to the grid's base), so unavoidable brown work slides
         //    into the cleanest hours.
-        let brown_costs: Option<Vec<i64>> = self.carbon_aware.then(|| {
-            (0..self.horizon)
-                .map(|k| {
-                    let mid = ctx.clock.slot_start(ctx.slot + k) + ctx.clock.width() / 2;
-                    let rel = ctx.grid.carbon_intensity(mid) / ctx.grid.base_carbon_g_per_kwh;
-                    (matcher::BROWN_COST as f64 * rel).round() as i64
-                })
-                .collect()
-        });
-        let bytes_now_matched = if deferrable.is_empty() {
-            0
+        self.brown_costs.clear();
+        if self.carbon_aware {
+            self.brown_costs.extend((0..self.horizon).map(|k| {
+                let mid = ctx.clock.slot_start(ctx.slot + k) + ctx.clock.width() / 2;
+                let rel = ctx.grid.carbon_intensity(mid) / ctx.grid.base_carbon_g_per_kwh;
+                (matcher::BROWN_COST as f64 * rel).round() as i64
+            }));
+        }
+        let (bytes_now_matched, infeasible_bytes) = if self.deferrable.is_empty() {
+            (0, 0)
         } else {
             let input = MatchInput {
-                jobs: &deferrable,
+                jobs: &self.deferrable,
                 current_slot: ctx.slot,
                 horizon: self.horizon,
-                green_forecast_wh: &ctx.green_forecast_wh,
-                interactive_busy_secs: &ctx.interactive_busy_secs,
+                green_forecast_wh: ctx.green_forecast_wh,
+                interactive_busy_secs: ctx.interactive_busy_secs,
                 model: ctx.model,
                 slot_secs,
-                brown_cost_per_slot: brown_costs.as_deref(),
+                brown_cost_per_slot: self.carbon_aware.then_some(&self.brown_costs[..]),
             };
-            let plan = matcher::solve(&input);
-            self.infeasible_bytes_seen += plan.infeasible_bytes;
-            plan.bytes_now()
+            let stats = matcher::solve_with(&input, &mut self.scratch);
+            (stats.bytes_now, stats.infeasible_bytes)
         };
 
         // 3. Assemble the slot's batch list: critical first, then ASAP,
-        //    then the matched share of deferrable work — each in EDF order.
-        let mut order: Vec<(JobView, u64)> = Vec::new();
-        critical.sort_by_key(|j| (j.deadline_slot, j.id));
-        asap.sort_by_key(|j| (j.deadline_slot, j.id));
-        deferrable.sort_by_key(|j| (j.deadline_slot, j.id));
-        for j in &critical {
-            order.push((*j, j.remaining_bytes));
+        //    then the matched share of deferrable work — each in EDF order
+        //    (unstable sorts are fine: (deadline, id) keys are unique).
+        self.order.clear();
+        self.critical.sort_unstable_by_key(|j| (j.deadline_slot, j.id));
+        self.asap.sort_unstable_by_key(|j| (j.deadline_slot, j.id));
+        self.deferrable.sort_unstable_by_key(|j| (j.deadline_slot, j.id));
+        for j in &self.critical {
+            self.order.push((*j, j.remaining_bytes));
         }
-        for j in &asap {
-            order.push((*j, j.remaining_bytes));
+        for j in &self.asap {
+            self.order.push((*j, j.remaining_bytes));
         }
         let mut matched_left = bytes_now_matched;
-        for j in &deferrable {
+        for j in &self.deferrable {
             if matched_left == 0 {
                 break;
             }
             let take = j.remaining_bytes.min(matched_left);
-            order.push((*j, take));
+            self.order.push((*j, take));
             matched_left -= take;
         }
-        let total_want: u64 = order.iter().map(|(_, b)| b).sum();
+        let total_want: u64 = self.order.iter().map(|(_, b)| b).sum();
 
         // 4. Gear to the work (never below the interactive minimum).
         let min_g = ctx.min_gears_now();
@@ -167,8 +183,8 @@ impl Scheduler for GreenMatchPolicy {
 
         // Cap the list at physical capacity, preserving priority order.
         let mut remaining = capacity;
-        let mut batch_bytes = Vec::with_capacity(order.len());
-        for (j, want) in order {
+        let mut batch_bytes = Vec::with_capacity(self.order.len());
+        for &(j, want) in &self.order {
             if remaining == 0 {
                 break;
             }
@@ -188,7 +204,7 @@ impl Scheduler for GreenMatchPolicy {
                 0
             };
 
-        Decision { gears, batch_bytes, reclaim_budget_bytes }
+        Decision { gears, batch_bytes, reclaim_budget_bytes, infeasible_bytes }
     }
 
     fn label(&self) -> String {
@@ -208,19 +224,43 @@ mod tests {
     use gm_sim::SlotClock;
     use gm_storage::ClusterSpec;
 
-    fn ctx(green: Vec<f64>, jobs: Vec<JobView>) -> SchedContext {
+    /// Owned backing store for a [`SchedContext`] (which borrows its bulk
+    /// fields in production from the simulation's scratch buffers).
+    struct OwnedCtx {
+        green: Vec<f64>,
+        busy: Vec<f64>,
+        jobs: Vec<JobView>,
+        slot: usize,
+        now: SimTime,
+        writelog_pending_bytes: u64,
+    }
+
+    impl OwnedCtx {
+        fn as_ctx(&self) -> SchedContext<'_> {
+            SchedContext {
+                slot: self.slot,
+                now: self.now,
+                clock: SlotClock::hourly(),
+                green_forecast_wh: &self.green,
+                interactive_busy_secs: &self.busy,
+                jobs: &self.jobs,
+                battery: BatteryView::default(),
+                model: PlanningModel::from_spec(&ClusterSpec::small()),
+                writelog_pending_bytes: self.writelog_pending_bytes,
+                grid: gm_energy::grid::Grid::typical_eu(),
+            }
+        }
+    }
+
+    fn ctx(green: Vec<f64>, jobs: Vec<JobView>) -> OwnedCtx {
         let h = green.len();
-        SchedContext {
+        OwnedCtx {
+            busy: vec![500.0; h],
+            green,
+            jobs,
             slot: 0,
             now: SimTime::ZERO,
-            clock: SlotClock::hourly(),
-            green_forecast_wh: green,
-            interactive_busy_secs: vec![500.0; h],
-            jobs,
-            battery: BatteryView::default(),
-            model: PlanningModel::from_spec(&ClusterSpec::small()),
             writelog_pending_bytes: 0,
-            grid: gm_energy::grid::Grid::typical_eu(),
         }
     }
 
@@ -232,7 +272,7 @@ mod tests {
     fn defers_everything_when_brown_and_slack() {
         let mut p = GreenMatchPolicy::new(1.0);
         let c = ctx(vec![0.0; 24], vec![job(1, 64, 20, false), job(2, 32, 18, false)]);
-        let d = p.decide(&c);
+        let d = p.decide(&c.as_ctx());
         assert_eq!(d.total_batch_bytes(), 0, "all deferrable, no green, slack left");
         assert_eq!(d.gears, 1);
         assert_eq!(d.reclaim_budget_bytes, 0);
@@ -244,7 +284,7 @@ mod tests {
         let mut green = vec![0.0; 24];
         green[0] = 5_000.0; // big surplus now
         let c = ctx(green, vec![job(1, 64, 20, false)]);
-        let d = p.decide(&c);
+        let d = p.decide(&c.as_ctx());
         assert!(d.total_batch_bytes() >= 64 << 30, "green present ⇒ run now");
         assert_eq!(d.reclaim_budget_bytes, u64::MAX, "reclaim rides green surplus");
     }
@@ -255,7 +295,7 @@ mod tests {
         let mut green = vec![0.0; 24];
         green[5] = 5_000.0;
         let c = ctx(green, vec![job(1, 64, 20, false)]);
-        let d = p.decide(&c);
+        let d = p.decide(&c.as_ctx());
         assert_eq!(d.total_batch_bytes(), 0, "work waits for offset-5 surplus");
     }
 
@@ -263,7 +303,7 @@ mod tests {
     fn critical_jobs_run_regardless() {
         let mut p = GreenMatchPolicy::new(1.0);
         let c = ctx(vec![0.0; 24], vec![job(1, 16, 0, true)]);
-        let d = p.decide(&c);
+        let d = p.decide(&c.as_ctx());
         assert_eq!(d.total_batch_bytes(), 16 << 30);
     }
 
@@ -271,7 +311,7 @@ mod tests {
     fn zero_delay_fraction_runs_asap() {
         let mut p = GreenMatchPolicy::new(0.0);
         let c = ctx(vec![0.0; 24], vec![job(1, 16, 20, false)]);
-        let d = p.decide(&c);
+        let d = p.decide(&c.as_ctx());
         assert_eq!(d.total_batch_bytes(), 16 << 30, "ASAP class ignores greenness");
     }
 
@@ -300,7 +340,7 @@ mod tests {
         green[0] = 50_000.0;
         // More work than one gear's slot capacity (~1.6 TB).
         let c = ctx(green, vec![job(1, 4 * 1024, 20, false)]);
-        let d = p.decide(&c);
+        let d = p.decide(&c.as_ctx());
         assert!(d.gears >= 2, "execution requires gear-up, got {}", d.gears);
     }
 
@@ -309,7 +349,7 @@ mod tests {
         let mut p = GreenMatchPolicy::new(1.0);
         let mut c = ctx(vec![0.0; 24], vec![]);
         c.writelog_pending_bytes = RECLAIM_FORCE_BYTES + 1;
-        let d = p.decide(&c);
+        let d = p.decide(&c.as_ctx());
         assert_eq!(d.reclaim_budget_bytes, u64::MAX);
     }
 
@@ -338,8 +378,8 @@ mod tests {
         let mut c = ctx(vec![0.0; 24], vec![job(1, 64, 34, false)]);
         c.slot = 14; // slot clock aligns slots with hours
         c.now = SimTime::from_hours(14);
-        let dp = plain.decide(&c);
-        let dc = carbon.decide(&c);
+        let dp = plain.decide(&c.as_ctx());
+        let dc = carbon.decide(&c.as_ctx());
         assert_eq!(dp.total_batch_bytes(), 0);
         assert_eq!(dc.total_batch_bytes(), 0, "carbon-aware also waits for cleaner hours");
 
@@ -349,8 +389,8 @@ mod tests {
         let mut tight = ctx(vec![0.0; 24], vec![job(2, 64, 20, false)]);
         tight.slot = 14;
         tight.now = SimTime::from_hours(14);
-        let dp_tight = plain.decide(&tight);
-        let dc_tight = carbon.decide(&tight);
+        let dp_tight = plain.decide(&tight.as_ctx());
+        let dc_tight = carbon.decide(&tight.as_ctx());
         assert_eq!(dp_tight.total_batch_bytes(), 0, "plain defers toward the deadline");
         assert!(
             dc_tight.total_batch_bytes() >= 64 << 30,

@@ -9,27 +9,33 @@
 //! [`RunReport`].
 //!
 //! ```text
-//! each step (one slot):
-//!   decide  — battery self-discharge, failure injection, batch arrivals,
-//!             forecasts, SchedContext assembly, policy.decide()
-//!   execute — gear the cluster, serve interactive requests, spread batch
-//!             bytes over active disks, write-log reclaim
-//!   settle  — integrate energy, settle green → battery → grid, record the
-//!             ledger slot, update forecasters, retire finished jobs
+//! each step (one slot), the phase pipeline (see crate::phases):
+//!   Forecast — battery self-discharge, green forecast, expected
+//!              interactive busy time
+//!   Classify — failure injection, batch arrivals, job views
+//!   Plan     — SchedContext assembly over the scratch, policy.decide()
+//!   Gear     — clamp and apply the gear decision
+//!   Execute  — serve interactive requests, spread batch bytes over
+//!              active disks, write-log reclaim
+//!   Settle   — integrate energy, settle green → battery → grid, record
+//!              the ledger slot, update forecasters, retire finished jobs
 //! ```
 //!
-//! Attached [`SlotObserver`]s receive each outcome (and optionally
-//! per-phase wall-clock); they cannot influence the run, so reports are
-//! identical with or without observers.
+//! Each phase reads the immutable [`SlotContext`] and exchanges bulk data
+//! through a caller-owned [`SlotScratch`] of reusable buffers, so the
+//! steady-state slot loop allocates nothing. Attached [`SlotObserver`]s
+//! receive each outcome (and optionally per-phase wall-clock); they cannot
+//! influence the run, so reports are identical with or without observers.
 
-use crate::config::{ConfigError, DischargeStrategy, ExperimentConfig};
+use crate::config::{ConfigError, ExperimentConfig};
 use crate::observe::{Phase, SlotObserver};
-use crate::policy::{BatteryView, Decision, JobView, PlanningModel, SchedContext, TOTAL_RHO};
+use crate::phases::{self, SlotContext, SlotScratch};
+use crate::policy::{Decision, PlanningModel};
 use crate::report::{BatchReport, LatencyReport, RunReport};
 use crate::scheduler::DEFAULT_HORIZON;
 use gm_energy::battery::{Battery, BatterySpec};
 use gm_energy::forecast::Forecaster;
-use gm_energy::ledger::{EnergyLedger, SlotFlows};
+use gm_energy::ledger::EnergyLedger;
 use gm_sim::time::{SimTime, SlotIdx};
 use gm_sim::{LogHistogram, SlotClock, TimeSeries};
 use gm_storage::{Cluster, FailureDice};
@@ -103,6 +109,11 @@ pub struct SlotOutcome {
     pub requested_batch_bytes: u64,
     /// Batch bytes actually executed (capped by remaining work).
     pub executed_batch_bytes: u64,
+    /// Planner diagnostic: bytes whose deadline pressure exceeded the
+    /// planning window's capacity this slot (0 for policies without a
+    /// feasibility-checking planner). Mirrors
+    /// [`Decision::infeasible_bytes`].
+    pub deadline_infeasible_bytes: u64,
     /// Energy flows of the slot.
     pub energy: EnergyFlows,
     /// Battery state of charge after settlement (Wh).
@@ -121,42 +132,62 @@ pub struct SlotOutcome {
 }
 
 /// A resumable slot-by-slot simulation of one experiment.
+///
+/// Fields are `pub(crate)` so the phase modules in [`crate::phases`] can
+/// operate on their slice of the state; outside the crate the simulation
+/// is driven exclusively through its public methods.
 pub struct Simulation {
-    cfg: ExperimentConfig,
-    clock: SlotClock,
-    slots: usize,
-    hours: f64,
+    pub(crate) cfg: ExperimentConfig,
+    pub(crate) clock: SlotClock,
+    pub(crate) slots: usize,
+    pub(crate) hours: f64,
 
-    cluster: Cluster,
-    workload: Workload,
-    model: PlanningModel,
-    green_trace: TimeSeries,
-    forecaster: Box<dyn Forecaster + Send>,
-    battery_spec: BatterySpec,
-    battery: Battery,
-    ledger: EnergyLedger,
-    policy: Box<dyn crate::policy::Scheduler + Send>,
+    pub(crate) cluster: Cluster,
+    pub(crate) workload: Workload,
+    pub(crate) model: PlanningModel,
+    pub(crate) green_trace: TimeSeries,
+    pub(crate) forecaster: Box<dyn Forecaster + Send>,
+    pub(crate) battery_spec: BatterySpec,
+    pub(crate) battery: Battery,
+    pub(crate) ledger: EnergyLedger,
+    pub(crate) policy: Box<dyn crate::policy::Scheduler + Send>,
 
-    hist: LogHistogram,
-    jobs: Vec<BatchJob>,
-    job_index: HashMap<JobId, usize>,
-    batch_report: BatchReport,
-    gears_series: Vec<usize>,
+    pub(crate) hist: LogHistogram,
+    pub(crate) jobs: Vec<BatchJob>,
+    pub(crate) job_index: HashMap<JobId, usize>,
+    /// Indices into `jobs` of the still-pending jobs, in submission order
+    /// (indices only ever grow, and settle's retain preserves order), so
+    /// scanning it is equivalent to filtering `jobs` by pending state.
+    pub(crate) active_jobs: Vec<usize>,
+    /// Cursor into the submission-ordered batch population: jobs before it
+    /// have been admitted.
+    pub(crate) arrivals_cursor: usize,
+    pub(crate) batch_report: BatchReport,
+    pub(crate) gears_series: Vec<usize>,
 
-    positioning_s: f64,
-    secs_per_byte: f64,
-    total_batch_bw: f64,
-    rr_cursor: usize,
+    pub(crate) positioning_s: f64,
+    pub(crate) secs_per_byte: f64,
+    pub(crate) total_batch_bw: f64,
+    pub(crate) rr_cursor: usize,
+    /// Memoised expected interactive busy-seconds per absolute slot (NaN =
+    /// not yet computed). The expectation is pure per slot, and horizons
+    /// overlap by `DEFAULT_HORIZON - 1` slots, so memoisation turns an
+    /// O(horizon) recomputation per slot into O(1) amortised.
+    pub(crate) busy_memo: Vec<f64>,
 
-    failure_dice: FailureDice,
-    prev_spinups: Vec<u64>,
-    repair_jobs: HashMap<JobId, usize>,
-    next_repair_id: u64,
-    repairs_completed: u64,
+    pub(crate) failure_dice: FailureDice,
+    pub(crate) prev_spinups: Vec<u64>,
+    pub(crate) repair_jobs: HashMap<JobId, usize>,
+    pub(crate) next_repair_id: u64,
+    pub(crate) repairs_completed: u64,
 
-    cursor: usize,
-    observers: Vec<Box<dyn SlotObserver + Send>>,
-    time_phases: bool,
+    pub(crate) cursor: usize,
+    pub(crate) observers: Vec<Box<dyn SlotObserver + Send>>,
+    pub(crate) time_phases: bool,
+    /// The scratch used by the allocating convenience APIs ([`Self::step`],
+    /// [`Self::run_to_end`]); taken and restored around each step so
+    /// external scratches (via [`Self::step_with`]) stay possible.
+    pub(crate) scratch: SlotScratch,
 }
 
 impl Simulation {
@@ -210,12 +241,15 @@ impl Simulation {
             hist: LogHistogram::for_latency_secs(),
             jobs: Vec::new(),
             job_index: HashMap::new(),
+            active_jobs: Vec::new(),
+            arrivals_cursor: 0,
             batch_report: BatchReport::default(),
             gears_series: Vec::with_capacity(slots),
             positioning_s,
             secs_per_byte,
             total_batch_bw,
             rr_cursor: 0,
+            busy_memo: vec![f64::NAN; slots + DEFAULT_HORIZON],
             failure_dice,
             prev_spinups: vec![0u64; n_disks],
             repair_jobs: HashMap::new(),
@@ -224,6 +258,7 @@ impl Simulation {
             cursor: 0,
             observers: Vec::new(),
             time_phases: false,
+            scratch: SlotScratch::new(),
         })
     }
 
@@ -265,256 +300,48 @@ impl Simulation {
         self.battery.stored_wh()
     }
 
-    /// Simulate one slot. Returns `None` once the horizon is exhausted.
-    #[allow(clippy::too_many_lines)] // the slot loop is one coherent unit
+    /// Simulate one slot using the simulation's own scratch. Returns
+    /// `None` once the horizon is exhausted.
     pub fn step(&mut self) -> Option<SlotOutcome> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let out = self.step_with(&mut scratch);
+        self.scratch = scratch;
+        out
+    }
+
+    /// Simulate one slot through the phase pipeline
+    /// (`Forecast → Classify → Plan → Gear → Execute → Settle`, see
+    /// [`crate::phases`]), exchanging bulk data through the caller-owned
+    /// `scratch`. Passing the same scratch to every step (and across
+    /// back-to-back simulations) keeps the steady-state loop free of heap
+    /// allocation. Returns `None` once the horizon is exhausted.
+    pub fn step_with(&mut self, scratch: &mut SlotScratch) -> Option<SlotOutcome> {
         if self.cursor >= self.slots {
             return None;
         }
         let s = self.cursor;
-        let clock = self.clock;
-        let width = clock.width();
-        let hours = self.hours;
-        let now = clock.slot_start(s);
-        let slot_end = clock.slot_end(s);
-        let phase_start = self.time_phases.then(Instant::now);
-
-        // ---- decide ----------------------------------------------------
-        self.battery.apply_self_discharge(width);
-
-        // Failure injection: draw per disk, spawn repair jobs.
-        let failures_before = self.cluster.total_failures();
-        if let Some(fail_spec) = self.cfg.failures {
-            for (d, prev) in self.prev_spinups.iter_mut().enumerate() {
-                let spinups = self.cluster.disk_spinups(d);
-                let cycles = spinups - *prev;
-                *prev = spinups;
-                let p =
-                    fail_spec.failure_probability(hours, self.cluster.disk_in_standby(d), cycles);
-                if self.failure_dice.draw(d, s) < p {
-                    let report = self.cluster.fail_disk(d, now);
-                    if report.rebuild_bytes > 0 {
-                        let id = JobId(self.next_repair_id);
-                        self.next_repair_id += 1;
-                        self.repair_jobs.insert(id, d);
-                        self.job_index.insert(id, self.jobs.len());
-                        self.jobs.push(BatchJob::new(
-                            id,
-                            gm_workload::BatchKind::Repair,
-                            now,
-                            now + gm_sim::SimDuration::from_hours(24),
-                            report.rebuild_bytes,
-                        ));
-                    }
-                }
-            }
-        }
-        let disk_failures = self.cluster.total_failures() - failures_before;
-
-        // Batch arrivals.
-        let mut jobs_submitted = 0usize;
-        for job in self.workload.batch_arrivals_in_slot(clock, s) {
-            self.batch_report.jobs_submitted += 1;
-            self.batch_report.bytes_submitted += job.total_bytes;
-            self.job_index.insert(job.id, self.jobs.len());
-            self.jobs.push(job);
-            jobs_submitted += 1;
-        }
-
-        // Forecasts: the policy sees the forecaster's view of the whole
-        // window, *including* the current slot. With the Oracle forecaster
-        // this reproduces the era's accurate-next-slot-prediction
-        // convention exactly; with imperfect forecasters the policy may now
-        // misjudge even the present — which is what forecast-sensitivity
-        // experiments measure. Energy settlement always uses the truth.
-        let green_forecast_wh: Vec<f64> =
-            self.forecaster.predict(s, DEFAULT_HORIZON).into_iter().map(|w| w * hours).collect();
-        let interactive_busy_secs: Vec<f64> = (0..DEFAULT_HORIZON)
-            .map(|k| {
-                self.workload.interactive().expected_busy_secs_in_slot(
-                    clock,
-                    s + k,
-                    self.positioning_s,
-                    self.secs_per_byte,
-                )
-            })
-            .collect();
-
-        // Job views.
-        let pending_count = self.jobs.iter().filter(|j| j.is_pending()).count();
-        let share_bps = self.total_batch_bw * TOTAL_RHO / pending_count.max(1) as f64;
-        let job_views: Vec<JobView> = self
-            .jobs
-            .iter()
-            .filter(|j| j.is_pending())
-            .map(|j| JobView {
-                id: j.id,
-                remaining_bytes: j.remaining_bytes,
-                deadline_slot: deadline_slot_for(clock, j.deadline),
-                critical: j.is_critical(now, share_bps),
-            })
-            .collect();
-
-        let ctx = SchedContext {
+        let ctx = SlotContext {
             slot: s,
-            now,
-            clock,
-            green_forecast_wh,
-            interactive_busy_secs,
-            jobs: job_views,
-            battery: BatteryView {
-                stored_wh: self.battery.stored_wh(),
-                headroom_wh: self.battery.headroom_wh(),
-                efficiency: self.battery.spec().efficiency,
-                charge_capacity_wh: self.battery.charge_capacity_wh(width),
-                discharge_capacity_wh: self.battery.discharge_capacity_wh(width),
-            },
-            model: self.model,
-            writelog_pending_bytes: self.cluster.write_log().pending_total(),
-            grid: self.cfg.energy.grid,
+            now: self.clock.slot_start(s),
+            slot_end: self.clock.slot_end(s),
+            width: self.clock.width(),
+            hours: self.hours,
+            clock: self.clock,
         };
+        let t = self.time_phases.then(Instant::now);
 
-        let decision = self.policy.decide(&ctx);
-        let phase_start = self.emit_phase(s, Phase::Decide, phase_start);
-
-        // ---- execute ---------------------------------------------------
-        let gears = decision.gears.clamp(1, self.model.gears);
-        self.cluster.set_active_gears(gears, now);
-        self.gears_series.push(gears);
-
-        // Interactive service: record globally (for the final report) and
-        // per slot (for the outcome), in the same order as always.
-        let mut slot_hist = LogHistogram::for_latency_secs();
-        for req in self.workload.requests_in_slot(clock, s) {
-            let served = self.cluster.serve_request(&req);
-            let latency_s = served.latency.as_secs_f64();
-            self.hist.record(latency_s);
-            slot_hist.record(latency_s);
-        }
-
-        // Batch execution: spread each job's bytes across the active disks.
-        let mut executed_batch_bytes = 0u64;
-        let active_disks: Vec<usize> =
-            (0..gears).flat_map(|g| self.cluster.topology().disks_in_gear(g)).collect();
-        for (job_id, bytes) in &decision.batch_bytes {
-            let Some(&idx) = self.job_index.get(job_id) else { continue };
-            let job = &mut self.jobs[idx];
-            let bytes = (*bytes).min(job.remaining_bytes);
-            if bytes == 0 {
-                continue;
-            }
-            // Repair jobs write onto their specific replacement disk.
-            if let Some(&disk) = self.repair_jobs.get(job_id) {
-                let served = self.cluster.rebuild_step(disk, bytes, now);
-                job.perform(bytes, served.completion);
-                executed_batch_bytes += bytes;
-                continue;
-            }
-            // Spread over up to 32 disks per job per slot (keeps chunks
-            // sequential and large).
-            let spread = active_disks.len().clamp(1, 32);
-            let per = (bytes / spread as u64).max(1);
-            let mut assigned = 0u64;
-            let mut last_completion = now;
-            for k in 0..spread {
-                if assigned >= bytes {
-                    break;
-                }
-                let chunk = per.min(bytes - assigned);
-                let disk = active_disks[(self.rr_cursor + k) % active_disks.len()];
-                let served = self.cluster.add_sequential_work(disk, chunk, now);
-                last_completion = last_completion.max(served.completion);
-                assigned += chunk;
-            }
-            self.rr_cursor = (self.rr_cursor + spread) % active_disks.len().max(1);
-            job.perform(assigned, last_completion);
-            executed_batch_bytes += assigned;
-        }
-
-        // Write-log reclaim.
-        if decision.reclaim_budget_bytes > 0 {
-            self.cluster.reclaim(decision.reclaim_budget_bytes, now);
-        }
-        let phase_start = self.emit_phase(s, Phase::Execute, phase_start);
-
-        // ---- settle ----------------------------------------------------
-        let slot_energy = self.cluster.end_slot(slot_end, width);
-        let load_wh = slot_energy.total_wh();
-        let green_wh = self.green_trace.get(s) * hours;
-        let green_direct = green_wh.min(load_wh);
-        let surplus = green_wh - green_direct;
-        let charge = self.battery.charge(surplus, width);
-        let curtailed = surplus - charge.drawn_wh;
-        let deficit = load_wh - green_direct;
-        // Discharge timing per the configured strategy.
-        let mid = now + width / 2;
-        let hour = mid.hour_of_day();
-        let allowed = match self.cfg.energy.discharge {
-            DischargeStrategy::Eager => deficit,
-            DischargeStrategy::PeakOnly => {
-                if (7.0..23.0).contains(&hour) {
-                    deficit
-                } else {
-                    0.0
-                }
-            }
-            DischargeStrategy::Reserve(frac) => {
-                if (17.0..23.0).contains(&hour) {
-                    deficit // the peak may spend the reserve
-                } else {
-                    let reserve = self.battery.spec().usable_wh() * frac.clamp(0.0, 1.0);
-                    deficit.min((self.battery.stored_wh() - reserve).max(0.0))
-                }
-            }
-        };
-        let battery_out = self.battery.discharge(allowed, width);
-        let brown = deficit - battery_out;
-
-        self.ledger.record_slot(
-            s,
-            SlotFlows {
-                green_produced_wh: green_wh,
-                green_direct_wh: green_direct,
-                battery_drawn_wh: charge.drawn_wh,
-                battery_out_wh: battery_out,
-                brown_wh: brown,
-                curtailed_wh: curtailed,
-                load_wh,
-            },
-        );
-        self.ledger.add_spinup_overhead(slot_energy.spinup_overhead_wh);
-        self.ledger.add_reclaim_overhead(slot_energy.reclaim_overhead_wh);
-
-        self.forecaster.observe_actual(s, self.green_trace.get(s));
-
-        // Retire completed jobs (each counted exactly once: completed jobs
-        // leave the index below). Repair completions restore redundancy
-        // instead of entering the batch statistics.
-        let mut jobs_completed = 0usize;
-        let mut deadline_misses = 0usize;
-        let mut slot_repairs = 0u64;
-        for j in self.jobs.iter() {
-            if let Some(met) = j.met_deadline() {
-                if self.job_index.contains_key(&j.id) {
-                    if let Some(&disk) = self.repair_jobs.get(&j.id) {
-                        self.cluster.mark_rebuilt(disk);
-                        self.repairs_completed += 1;
-                        slot_repairs += 1;
-                    } else {
-                        self.batch_report.jobs_completed += 1;
-                        self.batch_report.bytes_completed += j.total_bytes;
-                        jobs_completed += 1;
-                        if !met {
-                            self.batch_report.deadline_misses += 1;
-                            deadline_misses += 1;
-                        }
-                    }
-                }
-            }
-        }
-        let jobs = &self.jobs;
-        self.job_index.retain(|_, &mut idx| jobs[idx].is_pending());
-        self.emit_phase(s, Phase::Settle, phase_start);
+        phases::forecast::run(self, &ctx, scratch);
+        let t = self.emit_phase(s, Phase::Forecast, t);
+        let classified = phases::classify::run(self, &ctx, scratch);
+        let t = self.emit_phase(s, Phase::Classify, t);
+        let decision = phases::plan::run(self, &ctx, scratch);
+        let t = self.emit_phase(s, Phase::Plan, t);
+        let gears = phases::gear::run(self, &ctx, &decision);
+        let t = self.emit_phase(s, Phase::Gear, t);
+        let executed_batch_bytes = phases::execute::run(self, &ctx, scratch, &decision, gears);
+        let t = self.emit_phase(s, Phase::Execute, t);
+        let settled = phases::settle::run(self, &ctx);
+        self.emit_phase(s, Phase::Settle, t);
 
         self.cursor += 1;
 
@@ -524,26 +351,19 @@ impl Simulation {
             gears,
             requested_batch_bytes: decision.batch_bytes.iter().map(|(_, b)| b).sum(),
             executed_batch_bytes,
+            deadline_infeasible_bytes: decision.infeasible_bytes,
             decision,
-            energy: EnergyFlows {
-                green_produced_wh: green_wh,
-                green_direct_wh: green_direct,
-                battery_in_wh: charge.drawn_wh,
-                battery_out_wh: battery_out,
-                grid_wh: brown,
-                curtailed_wh: curtailed,
-                load_wh,
-            },
+            energy: settled.energy,
             battery_soc_wh: self.battery.stored_wh(),
             battery_soc_frac: if usable > 0.0 { self.battery.stored_wh() / usable } else { 0.0 },
             events: SlotEvents {
-                jobs_submitted,
-                jobs_completed,
-                deadline_misses,
-                repairs_completed: slot_repairs,
-                disk_failures,
+                jobs_submitted: classified.jobs_submitted,
+                jobs_completed: settled.jobs_completed,
+                deadline_misses: settled.deadline_misses,
+                repairs_completed: settled.repairs_completed,
+                disk_failures: classified.disk_failures,
             },
-            latency: LatencyReport::from_histogram(&slot_hist),
+            latency: LatencyReport::from_histogram(&scratch.slot_hist),
             pending_jobs: self.job_index.len(),
             writelog_pending_bytes: self.cluster.write_log().pending_total(),
         };
@@ -551,6 +371,25 @@ impl Simulation {
             obs.on_slot(&outcome);
         }
         Some(outcome)
+    }
+
+    /// Memoised expected interactive busy-seconds for an absolute slot
+    /// (pure per slot; horizons overlap, so each slot is computed once).
+    pub(crate) fn expected_busy_secs(&mut self, slot: usize) -> f64 {
+        let memo = self.busy_memo.get(slot).copied().unwrap_or(f64::NAN);
+        if !memo.is_nan() {
+            return memo;
+        }
+        let busy = self.workload.interactive().expected_busy_secs_in_slot(
+            self.clock,
+            slot,
+            self.positioning_s,
+            self.secs_per_byte,
+        );
+        if let Some(entry) = self.busy_memo.get_mut(slot) {
+            *entry = busy;
+        }
+        busy
     }
 
     /// Emit the elapsed time since `start` as a phase sample and restart
@@ -569,7 +408,16 @@ impl Simulation {
 
     /// Run the remaining slots and produce the final report.
     pub fn run_to_end(mut self) -> RunReport {
-        while self.step().is_some() {}
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.run_to_end_with(&mut scratch)
+    }
+
+    /// Run the remaining slots through a caller-owned scratch and produce
+    /// the final report. Reusing one scratch across many simulations (e.g.
+    /// a benchmark worker running trials back to back) avoids re-growing
+    /// the per-slot buffers on every run.
+    pub fn run_to_end_with(mut self, scratch: &mut SlotScratch) -> RunReport {
+        while self.step_with(scratch).is_some() {}
         self.into_report()
     }
 

@@ -24,8 +24,18 @@ use rand::rngs::SmallRng;
 /// with information available strictly before slot `s` begins (except the
 /// oracle, which is exact by construction).
 pub trait Forecaster {
-    /// Forecast `horizon` slots starting at `from_slot`.
-    fn predict(&mut self, from_slot: SlotIdx, horizon: usize) -> Vec<f64>;
+    /// Forecast `horizon` slots starting at `from_slot` into `out`, which
+    /// is cleared first. This is the method implementors provide; callers in
+    /// a hot loop reuse one buffer across calls so steady-state forecasting
+    /// allocates nothing.
+    fn predict_into(&mut self, from_slot: SlotIdx, horizon: usize, out: &mut Vec<f64>);
+
+    /// Allocating convenience wrapper around [`Forecaster::predict_into`].
+    fn predict(&mut self, from_slot: SlotIdx, horizon: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(horizon);
+        self.predict_into(from_slot, horizon, &mut out);
+        out
+    }
 
     /// Feed the realised production of a completed slot. Stateless
     /// forecasters ignore it; learning ones (EWMA) update.
@@ -49,8 +59,9 @@ impl OracleForecaster {
 }
 
 impl Forecaster for OracleForecaster {
-    fn predict(&mut self, from_slot: SlotIdx, horizon: usize) -> Vec<f64> {
-        (from_slot..from_slot + horizon).map(|s| self.trace.get(s)).collect()
+    fn predict_into(&mut self, from_slot: SlotIdx, horizon: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((from_slot..from_slot + horizon).map(|s| self.trace.get(s)));
     }
 
     fn label(&self) -> String {
@@ -76,18 +87,15 @@ impl PersistenceForecaster {
 }
 
 impl Forecaster for PersistenceForecaster {
-    fn predict(&mut self, from_slot: SlotIdx, horizon: usize) -> Vec<f64> {
-        (from_slot..from_slot + horizon)
-            .map(
-                |s| {
-                    if s >= self.slots_per_day {
-                        self.trace.get(s - self.slots_per_day)
-                    } else {
-                        0.0
-                    }
-                },
-            )
-            .collect()
+    fn predict_into(&mut self, from_slot: SlotIdx, horizon: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((from_slot..from_slot + horizon).map(|s| {
+            if s >= self.slots_per_day {
+                self.trace.get(s - self.slots_per_day)
+            } else {
+                0.0
+            }
+        }));
     }
 
     fn label(&self) -> String {
@@ -128,10 +136,12 @@ impl EwmaForecaster {
 }
 
 impl Forecaster for EwmaForecaster {
-    fn predict(&mut self, from_slot: SlotIdx, horizon: usize) -> Vec<f64> {
-        (from_slot..from_slot + horizon)
-            .map(|s| self.state[s % self.slots_per_day].unwrap_or(0.0))
-            .collect()
+    fn predict_into(&mut self, from_slot: SlotIdx, horizon: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            (from_slot..from_slot + horizon)
+                .map(|s| self.state[s % self.slots_per_day].unwrap_or(0.0)),
+        );
     }
 
     fn observe_actual(&mut self, slot: SlotIdx, power_w: f64) {
@@ -161,17 +171,19 @@ impl NoisyOracle {
 }
 
 impl Forecaster for NoisyOracle {
-    fn predict(&mut self, from_slot: SlotIdx, horizon: usize) -> Vec<f64> {
-        (from_slot..from_slot + horizon)
-            .map(|s| {
-                let v = self.trace.get(s);
-                if v == 0.0 || self.cv == 0.0 {
-                    v
-                } else {
-                    v * lognormal_mean_cv(&mut self.rng, 1.0, self.cv)
-                }
-            })
-            .collect()
+    fn predict_into(&mut self, from_slot: SlotIdx, horizon: usize, out: &mut Vec<f64>) {
+        // Draw order must stay exactly one lognormal per non-zero slot in
+        // ascending slot order: the noise stream is part of the seeded
+        // byte-identity contract.
+        out.clear();
+        out.extend((from_slot..from_slot + horizon).map(|s| {
+            let v = self.trace.get(s);
+            if v == 0.0 || self.cv == 0.0 {
+                v
+            } else {
+                v * lognormal_mean_cv(&mut self.rng, 1.0, self.cv)
+            }
+        }));
     }
 
     fn label(&self) -> String {

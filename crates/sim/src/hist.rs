@@ -121,6 +121,15 @@ impl LogHistogram {
         self.max_seen
     }
 
+    /// Forget every observation while keeping the bucket allocation, so a
+    /// per-slot histogram can be reused without reallocating its counts.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.total = 0;
+        self.sum = 0.0;
+        self.max_seen = 0.0;
+    }
+
     /// Merge another histogram with identical geometry.
     pub fn merge(&mut self, other: &LogHistogram) {
         assert!(

@@ -419,9 +419,8 @@ impl Cluster {
 
     /// Serve one interactive request. Returns the client-visible outcome.
     pub fn serve_request(&mut self, req: &IoRequest) -> ServedRequest {
-        let obj = &self.directory[req.object.0 as usize];
-        let replicas = obj.replicas.clone();
-        let obj_size = obj.size_bytes;
+        let obj_idx = req.object.0 as usize;
+        let obj_size = self.directory[obj_idx].size_bytes;
         match req.kind {
             IoKind::Read => {
                 // RAM cache absorbs hot reads without touching a disk.
@@ -433,39 +432,43 @@ impl Cluster {
                         latency: CACHE_HIT_SERVICE,
                     };
                 }
-                // Least-backlogged replica among available disks.
-                let best_active = replicas
-                    .iter()
-                    .copied()
-                    .filter(|&d| self.disk_available(d))
-                    .min_by_key(|&d| self.queues[d].next_free());
-                let disk = match best_active {
-                    Some(d) => d,
-                    None => {
-                        // Orphaned (non-gear layouts, or failures): forced
-                        // spin-up of the least-backlogged replica that still
-                        // holds data.
-                        let intact = replicas
-                            .iter()
-                            .copied()
-                            .filter(|&d| !self.pending_rebuild[d])
-                            .min_by_key(|&d| self.queues[d].next_free());
-                        match intact {
-                            Some(d) => {
-                                self.ensure_disk_up(d, req.arrival, true);
-                                d
-                            }
-                            None => {
+                // Pick the replica under a shared borrow, mutate after: this
+                // is the per-request hot path and must not clone the replica
+                // list.
+                let (disk, forced, degraded) = {
+                    let replicas = &self.directory[obj_idx].replicas;
+                    // Least-backlogged replica among available disks.
+                    let best_active = replicas
+                        .iter()
+                        .copied()
+                        .filter(|&d| self.disk_available(d))
+                        .min_by_key(|&d| self.queues[d].next_free());
+                    match best_active {
+                        Some(d) => (d, false, false),
+                        None => {
+                            // Orphaned (non-gear layouts, or failures): forced
+                            // spin-up of the least-backlogged replica that
+                            // still holds data.
+                            let intact = replicas
+                                .iter()
+                                .copied()
+                                .filter(|&d| !self.pending_rebuild[d])
+                                .min_by_key(|&d| self.queues[d].next_free());
+                            match intact {
+                                Some(d) => (d, true, false),
                                 // Every replica awaiting rebuild: degraded
                                 // service from the primary's replacement.
-                                self.degraded_reads += 1;
-                                let d = replicas[0];
-                                self.ensure_disk_up(d, req.arrival, true);
-                                d
+                                None => (replicas[0], true, true),
                             }
                         }
                     }
                 };
+                if degraded {
+                    self.degraded_reads += 1;
+                }
+                if forced {
+                    self.ensure_disk_up(disk, req.arrival, true);
+                }
                 let ready = self.ensure_disk_up(disk, req.arrival, false);
                 let service = self.spec.disk.service_time(req.size_bytes, req.sequential);
                 let served = self.queues[disk].serve(req.arrival, ready, service, self.slot_width);
@@ -478,7 +481,9 @@ impl Cluster {
                 // the client's critical path; other active replicas absorb
                 // it too; powered-down replicas are off-loaded to the log.
                 let mut ack: Option<ServedRequest> = None;
-                for (r, &disk) in replicas.iter().enumerate() {
+                let n_replicas = self.directory[obj_idx].replicas.len();
+                for r in 0..n_replicas {
+                    let disk = self.directory[obj_idx].replicas[r];
                     if r == 0 || self.disk_available(disk) {
                         let ready = self.ensure_disk_up(
                             disk,
@@ -499,8 +504,7 @@ impl Cluster {
                         let log_disk = self
                             .spec
                             .topology
-                            .disks_in_gear(0)
-                            .into_iter()
+                            .disks_in_gear_range(0)
                             .min_by_key(|&d| self.queues[d].next_free())
                             .expect("gear 0 is never empty");
                         let service = self.spec.disk.service_time(req.size_bytes, true);
@@ -540,10 +544,10 @@ impl Cluster {
             }
             replayed += bytes;
             // Spread the replay across the gear's disks round-robin.
-            let disks = topo.disks_in_gear(gear);
+            let disks = topo.disks_in_gear_range(gear);
             let per = bytes / disks.len() as u64;
             let service_per = self.spec.disk.service_time(per.max(1), true);
-            for &d in &disks {
+            for d in disks {
                 let ready = self.ensure_disk_up(d, now, false);
                 self.queues[d].add_background(now, ready, service_per);
                 self.pending_reclaim_busy += service_per;

@@ -80,11 +80,18 @@ impl Topology {
         start..start + self.bays
     }
 
+    /// All disks in a gear group, as a contiguous index range — gear groups
+    /// are contiguous runs of servers and server bays are contiguous runs of
+    /// disks, so no allocation is needed to enumerate them.
+    pub fn disks_in_gear_range(&self, gear: usize) -> std::ops::Range<DiskIdx> {
+        debug_assert!(gear < self.gears);
+        let per_gear = self.servers_per_gear() * self.bays;
+        gear * per_gear..(gear + 1) * per_gear
+    }
+
     /// All disks in a gear group.
     pub fn disks_in_gear(&self, gear: usize) -> Vec<DiskIdx> {
-        debug_assert!(gear < self.gears);
-        let spg = self.servers_per_gear();
-        (gear * spg..(gear + 1) * spg).flat_map(|s| self.disks_of_server(s)).collect()
+        self.disks_in_gear_range(gear).collect()
     }
 }
 

@@ -159,12 +159,21 @@ impl InteractiveGenerator {
 
     /// Synthesise the requests of one slot, sorted by arrival.
     pub fn requests_in_slot(&self, clock: SlotClock, slot: usize) -> Vec<IoRequest> {
+        let mut out = Vec::new();
+        self.requests_in_slot_into(clock, slot, &mut out);
+        out
+    }
+
+    /// [`Self::requests_in_slot`] into a caller-owned buffer (cleared
+    /// first), so the per-slot hot loop reuses one allocation for the life
+    /// of a run.
+    pub fn requests_in_slot_into(&self, clock: SlotClock, slot: usize, out: &mut Vec<IoRequest>) {
         let a = clock.slot_start(slot);
         let b = clock.slot_end(slot);
         let mid = a + clock.width() / 2;
         let diurnal = self.spec.diurnal(mid);
         let mut rng = self.rngs.indexed_stream("interactive-slot", slot as u64);
-        let mut out = Vec::new();
+        out.clear();
         for s in &self.streams {
             let ov = s.overlap(a, b).as_secs_f64();
             if ov <= 0.0 {
@@ -189,7 +198,6 @@ impl InteractiveGenerator {
             }
         }
         out.sort_by_key(|r| r.arrival);
-        out
     }
 
     /// Expected disk busy-seconds the slot's requests will cost, assuming

@@ -89,6 +89,12 @@ impl Workload {
         self.interactive.requests_in_slot(clock, slot)
     }
 
+    /// [`Self::requests_in_slot`] into a caller-owned buffer (cleared
+    /// first) — the allocation-free form the simulation hot loop uses.
+    pub fn requests_in_slot_into(&self, clock: SlotClock, slot: usize, out: &mut Vec<IoRequest>) {
+        self.interactive.requests_in_slot_into(clock, slot, out);
+    }
+
     /// Batch jobs submitted within slot `slot`.
     pub fn batch_arrivals_in_slot(&self, clock: SlotClock, slot: usize) -> Vec<BatchJob> {
         let a = clock.slot_start(slot);

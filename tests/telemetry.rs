@@ -92,6 +92,55 @@ fn same_seed_traces_are_byte_identical() {
 }
 
 #[test]
+fn same_seed_traces_are_byte_identical_for_every_policy() {
+    use greenmatch::policy::PolicyKind;
+
+    let policies = [
+        PolicyKind::AllOn,
+        PolicyKind::PowerProportional,
+        PolicyKind::Edf,
+        PolicyKind::GreedyGreen,
+        PolicyKind::GreenMatch { delay_fraction: 1.0 },
+        PolicyKind::GreenMatch { delay_fraction: 0.3 },
+        PolicyKind::GreenMatchWindow { delay_fraction: 1.0, horizon: 12 },
+        PolicyKind::GreenMatchCarbon { delay_fraction: 1.0 },
+    ];
+    for policy in policies {
+        let cfg = ExperimentConfig::small_demo(7).with_slots(48).with_policy(policy);
+        let first = trace_bytes(&cfg);
+        let second = trace_bytes(&cfg);
+        assert!(!first.is_empty(), "{policy:?}: trace should contain records");
+        assert_eq!(first, second, "{policy:?}: same seed must reproduce the trace byte for byte");
+    }
+}
+
+#[test]
+fn shared_scratch_across_runs_does_not_leak_state() {
+    use greenmatch::SlotScratch;
+
+    // Two back-to-back runs through ONE scratch must produce the same
+    // trace as two fresh runs: the phase pipeline must fully re-clear its
+    // buffers, never read stale contents.
+    let cfg_a = ExperimentConfig::small_demo(7).with_slots(48);
+    let cfg_b = ExperimentConfig::small_demo(11).with_slots(48);
+    let fresh_a = trace_bytes(&cfg_a);
+    let fresh_b = trace_bytes(&cfg_b);
+
+    let mut scratch = SlotScratch::new();
+    let mut shared = Vec::new();
+    for cfg in [&cfg_a, &cfg_b] {
+        let buf = SharedBuf::default();
+        let mut sim = Simulation::new(cfg);
+        sim.add_observer(Box::new(JsonlTraceObserver::new(buf.clone())));
+        while sim.step_with(&mut scratch).is_some() {}
+        let _ = sim.into_report();
+        shared.push(buf.contents());
+    }
+    assert_eq!(shared[0], fresh_a, "shared scratch changed run A");
+    assert_eq!(shared[1], fresh_b, "shared scratch changed run B");
+}
+
+#[test]
 fn every_record_conserves_energy() {
     let cfg = ExperimentConfig::small_demo(99);
     let bytes = trace_bytes(&cfg);
