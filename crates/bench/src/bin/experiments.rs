@@ -13,7 +13,7 @@ use gm_bench::runner::ExpContext;
 use std::time::Instant;
 
 fn usage() -> ! {
-    eprintln!("usage: experiments <ids...|all|list> [--quick] [--out DIR] [--seed N]");
+    eprintln!("usage: experiments <ids...|all|list> [--quick] [--out DIR] [--seed N] [--jobs N]");
     eprintln!("experiments:");
     for e in registry() {
         eprintln!("  {:<16} {}", e.id, e.about);
@@ -38,6 +38,14 @@ fn main() {
             "--out" => out = it.next().unwrap_or_else(|| usage()),
             "--seed" => seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
             "--scale" => scale = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--jobs" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+                gm_bench::set_max_workers(n);
+            }
             "list" => {
                 for e in registry() {
                     println!("{:<16} {}", e.id, e.about);

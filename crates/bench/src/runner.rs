@@ -1,18 +1,26 @@
 //! Experiment execution: tagged parallel sweeps and result output.
 //!
-//! Sweeps run across a `std::thread::scope` with one worker per available
-//! core (which degrades gracefully to sequential on single-core machines);
-//! results are collected under a mutex and returned in input order so CSV
-//! output is deterministic regardless of completion order.
+//! Every sweep feeds the process-wide [`crate::pool::JobPool`] — one set
+//! of long-lived workers for the whole suite, one `SlotScratch` per worker
+//! — and materialises its worlds through the global
+//! [`greenmatch::WorldCache`], so runs differing only by policy or a
+//! scheduler knob share their workload, green trace and cluster layout.
+//! Results are collected in input order so CSV output is deterministic
+//! regardless of completion order, and each run's RNG streams are derived
+//! solely from its own config, so outputs are byte-identical to a
+//! sequential cold-built sweep.
 
+use crate::pool::{Job, JobPool};
 use greenmatch::config::ExperimentConfig;
 use greenmatch::observe::SlotObserver;
 use greenmatch::report::RunReport;
 use greenmatch::simulation::Simulation;
+use greenmatch::WorldCache;
 use std::fs;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Shared knobs for one experiment invocation.
 #[derive(Debug, Clone)]
@@ -63,9 +71,10 @@ pub fn run_tagged(configs: Vec<(String, ExperimentConfig)>) -> Vec<(String, RunR
 }
 
 /// Like [`run_tagged`], but attaches observers to every run: the factory
-/// is called once per run (with its index, tag and config) and returns the
-/// observers that run should carry — e.g. a `JsonlTraceObserver` writing a
-/// per-run trace file. Reports are unaffected by observers.
+/// is called once per run (with its index, tag and config, in input order,
+/// on the submitting thread) and returns the observers that run should
+/// carry — e.g. a `JsonlTraceObserver` writing a per-run trace file.
+/// Reports are unaffected by observers.
 pub fn run_tagged_with<F>(
     configs: Vec<(String, ExperimentConfig)>,
     observer_factory: F,
@@ -73,46 +82,41 @@ pub fn run_tagged_with<F>(
 where
     F: Fn(usize, &str, &ExperimentConfig) -> Vec<Box<dyn SlotObserver + Send>> + Sync,
 {
+    // Result slots indexed by submission order, filled as runs finish.
+    type ResultSlots = Vec<Option<(String, RunReport)>>;
+
     let n = configs.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<(String, RunReport)>>> =
-        Mutex::new((0..n).map(|_| None).collect());
+    let results: Arc<Mutex<ResultSlots>> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    // Completion counter shared by the batch: progress lines number runs
+    // in finish order and are written as one syscall each, so concurrent
+    // workers never shred each other's output.
+    let done = Arc::new(AtomicUsize::new(0));
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                // One scratch per worker, reused across every run it picks
-                // up: the per-slot buffers grow once and then the whole
-                // sweep's slot loops run allocation-free.
-                let mut scratch = greenmatch::SlotScratch::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let (tag, cfg) = &configs[i];
-                    let mut sim = Simulation::new(cfg);
-                    for obs in observer_factory(i, tag, cfg) {
-                        sim.add_observer(obs);
-                    }
-                    let report = sim.run_to_end_with(&mut scratch);
-                    eprintln!("  [{}/{}] {} → brown {:.1} kWh", i + 1, n, tag, report.brown_kwh);
-                    results.lock().unwrap()[i] = Some((tag.clone(), report));
-                }
-            });
-        }
-    });
+    let mut jobs: Vec<Job> = Vec::with_capacity(n);
+    for (i, (tag, cfg)) in configs.into_iter().enumerate() {
+        let observers = observer_factory(i, &tag, &cfg);
+        let results = Arc::clone(&results);
+        let done = Arc::clone(&done);
+        jobs.push(Box::new(move |scratch| {
+            let mut sim = Simulation::try_new_in(&cfg, WorldCache::global())
+                .unwrap_or_else(|e| panic!("{e}"));
+            for obs in observers {
+                sim.add_observer(obs);
+            }
+            let report = sim.run_to_end_with(scratch);
+            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+            let line = format!("  [{finished}/{n}] {tag} → brown {:.1} kWh\n", report.brown_kwh);
+            let _ = std::io::stderr().lock().write_all(line.as_bytes());
+            results.lock().expect("results lock")[i] = Some((tag, report));
+        }));
+    }
+    JobPool::global().run_batch(jobs);
 
-    results
-        .into_inner()
-        .expect("sweep workers must not panic")
-        .into_iter()
-        .map(|r| r.expect("all runs completed"))
-        .collect()
+    let mut slots = results.lock().expect("results lock");
+    slots.iter_mut().map(|r| r.take().expect("all runs completed")).collect()
 }
 
 /// Convenience: run the configs and also archive each config JSON.
@@ -198,5 +202,13 @@ mod tests {
     #[should_panic(expected = "scale must be in (0,1]")]
     fn bad_scale_panics() {
         let _ = ExpContext::new("/tmp/x", 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "experiment needs at least one slot")]
+    fn invalid_config_panic_reaches_the_caller() {
+        // The panic happens on a pool worker; run_batch must re-raise it
+        // here with the original message.
+        let _ = run_tagged(vec![("bad".to_string(), tiny_cfg(1).with_slots(0))]);
     }
 }

@@ -66,6 +66,7 @@ pub mod policy;
 pub mod report;
 pub mod scheduler;
 pub mod simulation;
+pub mod world;
 
 pub use config::{ConfigError, EnergyConfig, ExperimentConfig, SourceKind};
 pub use harness::run_experiment;
@@ -77,3 +78,4 @@ pub use phases::{SlotContext, SlotScratch};
 pub use policy::{Decision, PolicyKind, SchedContext, Scheduler};
 pub use report::RunReport;
 pub use simulation::{EnergyFlows, Simulation, SlotEvents, SlotOutcome};
+pub use world::{World, WorldCache};

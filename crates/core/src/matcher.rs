@@ -42,7 +42,7 @@ pub const DEFER_COST: i64 = 100;
 pub const INFEASIBLE_COST: i64 = 100_000;
 
 /// Input to one matching round.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatchInput<'a> {
     /// Pending deferrable jobs.
     pub jobs: &'a [JobView],
@@ -84,6 +84,7 @@ pub struct MatchPlan {
 
 impl MatchPlan {
     /// Bytes the plan wants executed in the current slot.
+    #[must_use]
     pub fn bytes_now(&self) -> u64 {
         self.per_slot_bytes.first().copied().unwrap_or(0)
     }
@@ -92,7 +93,7 @@ impl MatchPlan {
 /// Reusable state for repeated matching rounds: the flow network plus every
 /// work vector one round needs. A policy holds one scratch across slots so
 /// steady-state matching performs no heap allocation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MatcherScratch {
     flow: MinCostFlow,
     group_units: Vec<i64>,
@@ -104,6 +105,7 @@ pub struct MatcherScratch {
 impl MatcherScratch {
     /// Bytes planned per window offset (0 = run now) from the most recent
     /// [`solve_with`] call.
+    #[must_use]
     pub fn per_slot_bytes(&self) -> &[u64] {
         &self.per_slot_bytes
     }
@@ -129,6 +131,7 @@ pub struct MatchStats {
 
 /// Estimated non-batch energy floor (Wh) of window offset `k`: idle power
 /// at the interactive minimum gear level plus the interactive marginal.
+#[must_use]
 pub fn non_batch_floor_wh(input: &MatchInput<'_>, k: usize) -> f64 {
     let busy = input.interactive_busy_secs.get(k).copied().unwrap_or(0.0);
     let min_g = input.model.min_gears_for_interactive(busy, input.slot_secs);
@@ -140,6 +143,7 @@ pub fn non_batch_floor_wh(input: &MatchInput<'_>, k: usize) -> f64 {
 
 /// Solve one matching round, allocating a fresh plan. Allocation-free
 /// callers use [`solve_with`] and read the schedule out of the scratch.
+#[must_use]
 pub fn solve(input: &MatchInput<'_>) -> MatchPlan {
     let mut scratch = MatcherScratch::default();
     let stats = solve_with(input, &mut scratch);

@@ -12,7 +12,7 @@
 //! matcher never creates one).
 
 /// An edge in the flow network (residual edges are stored explicitly).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Edge {
     to: usize,
     rev: usize,
@@ -25,7 +25,7 @@ struct Edge {
 /// The instance is reusable: [`MinCostFlow::reset`] clears the network while
 /// keeping every allocation (adjacency lists, SPFA work vectors), so a hot
 /// loop that solves one instance per slot allocates nothing after warm-up.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MinCostFlow {
     graph: Vec<Vec<Edge>>,
     /// Live node count; `graph` may hold spare cleared rows beyond it.
@@ -54,6 +54,7 @@ pub struct FlowResult {
 
 impl MinCostFlow {
     /// An empty network with `n` nodes.
+    #[must_use]
     pub fn new(n: usize) -> Self {
         let mut g = MinCostFlow::default();
         g.reset(n);
@@ -74,17 +75,24 @@ impl MinCostFlow {
     }
 
     /// Number of nodes.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.nodes
     }
 
     /// Whether the network has no nodes.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.nodes == 0
     }
 
     /// Add a directed edge `from → to` with capacity `cap ≥ 0` and per-unit
     /// cost. Returns a handle to query the edge's flow after solving.
+    ///
+    /// # Panics
+    ///
+    /// If `cap` is negative, either node is out of range, or the edge is a
+    /// self-loop.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: i64) -> EdgeId {
         assert!(cap >= 0, "capacity must be non-negative");
         assert!(from < self.nodes && to < self.nodes, "node out of range");
@@ -98,6 +106,7 @@ impl MinCostFlow {
     }
 
     /// Flow currently on an edge (meaningful after `solve`).
+    #[must_use]
     pub fn flow_on(&self, id: EdgeId) -> i64 {
         let (from, idx) = self.handles[id.0];
         let e = self.graph[from][idx];
@@ -108,6 +117,10 @@ impl MinCostFlow {
     /// Push up to `max_flow` units from `s` to `t` at minimum total cost.
     /// Stops early when no augmenting path remains (the returned flow is
     /// then the max flow ≤ `max_flow`).
+    ///
+    /// # Panics
+    ///
+    /// If `s` or `t` is out of range.
     pub fn solve(&mut self, s: usize, t: usize, max_flow: i64) -> FlowResult {
         assert!(s < self.nodes && t < self.nodes);
         let n = self.nodes;
@@ -242,10 +255,9 @@ mod tests {
             g.add_edge(0, 1 + i, s, 0);
         }
         let mut handles = Vec::new();
-        #[allow(clippy::needless_range_loop)] // index pairs mirror the math
-        for i in 0..2 {
-            for j in 0..3 {
-                handles.push(g.add_edge(1 + i, 3 + j, i64::MAX / 4, cost[i][j]));
+        for (i, row) in cost.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                handles.push(g.add_edge(1 + i, 3 + j, i64::MAX / 4, c));
             }
         }
         for (j, &d) in demand.iter().enumerate() {

@@ -33,6 +33,7 @@ use crate::phases::{self, SlotContext, SlotScratch};
 use crate::policy::{Decision, PlanningModel};
 use crate::report::{BatchReport, LatencyReport, RunReport};
 use crate::scheduler::DEFAULT_HORIZON;
+use crate::world::{World, WorldCache};
 use gm_energy::battery::{Battery, BatterySpec};
 use gm_energy::forecast::Forecaster;
 use gm_energy::ledger::EnergyLedger;
@@ -43,6 +44,7 @@ use gm_workload::trace::Workload;
 use gm_workload::{BatchJob, JobId};
 use serde::Serialize;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Last slot whose *end* is at or before `deadline` — the latest slot in
@@ -143,9 +145,9 @@ pub struct Simulation {
     pub(crate) hours: f64,
 
     pub(crate) cluster: Cluster,
-    pub(crate) workload: Workload,
+    pub(crate) workload: Arc<Workload>,
     pub(crate) model: PlanningModel,
-    pub(crate) green_trace: TimeSeries,
+    pub(crate) green_trace: Arc<TimeSeries>,
     pub(crate) forecaster: Box<dyn Forecaster + Send>,
     pub(crate) battery_spec: BatterySpec,
     pub(crate) battery: Battery,
@@ -192,24 +194,49 @@ pub struct Simulation {
 
 impl Simulation {
     /// Build a simulation, reporting configuration problems (missing trace
-    /// files, zero-slot horizons) as errors.
+    /// files, zero-slot horizons) as errors. Cold path: materialises a
+    /// fresh [`World`]; sweeps share worlds via [`Simulation::try_new_in`].
     pub fn try_new(cfg: &ExperimentConfig) -> Result<Simulation, ConfigError> {
         if cfg.slots == 0 {
             return Err(ConfigError::Invalid {
                 message: "experiment needs at least one slot".to_string(),
             });
         }
+        let world = World::try_materialize(cfg)?;
+        Ok(Simulation::from_world(cfg, world))
+    }
+
+    /// Like [`Simulation::try_new`], but materialises the world through
+    /// `cache` so runs over the same scenario share their immutable inputs.
+    pub fn try_new_in(
+        cfg: &ExperimentConfig,
+        cache: &WorldCache,
+    ) -> Result<Simulation, ConfigError> {
+        if cfg.slots == 0 {
+            return Err(ConfigError::Invalid {
+                message: "experiment needs at least one slot".to_string(),
+            });
+        }
+        let world = World::try_materialize_in(cfg, cache)?;
+        Ok(Simulation::from_world(cfg, world))
+    }
+
+    /// Build the per-run mutable state over an already-materialised world.
+    ///
+    /// `world` must have been materialised for `cfg` (same seed, workload,
+    /// energy and cluster sections) — the cache key derivation in
+    /// [`crate::world`] guarantees this on the cached path.
+    pub fn from_world(cfg: &ExperimentConfig, world: World) -> Simulation {
         let clock = cfg.clock;
         let slots = cfg.slots;
         let width = clock.width();
         let rngs = gm_sim::RngFactory::new(cfg.seed);
+        let World { workload, green_trace, layout } = world;
 
-        let mut cluster = Cluster::new(cfg.cluster.clone());
+        let mut cluster = Cluster::from_layout(layout);
         cluster.set_slot_width(width);
-        let workload = Workload::generate(cfg.workload.clone(), cfg.seed);
         let model = PlanningModel::from_spec(&cfg.cluster);
 
-        let green_trace = cfg.energy.source.try_materialize(clock, slots, &rngs)?;
         let forecaster = cfg.energy.forecast.build(&green_trace, clock, &rngs);
         let battery_spec = cfg.energy.battery.unwrap_or_else(|| BatterySpec::lithium_ion(0.0));
         let battery = Battery::new(battery_spec);
@@ -224,7 +251,7 @@ impl Simulation {
         let failure_dice = FailureDice::new(cfg.seed);
         let n_disks = cfg.cluster.topology.n_disks();
 
-        Ok(Simulation {
+        Simulation {
             cfg: cfg.clone(),
             clock,
             slots,
@@ -259,7 +286,7 @@ impl Simulation {
             observers: Vec::new(),
             time_phases: false,
             scratch: SlotScratch::new(),
-        })
+        }
     }
 
     /// Build a simulation, panicking on configuration errors (the historic

@@ -1,0 +1,287 @@
+//! The shared immutable world of a simulation, and its memo cache.
+//!
+//! Materialising an [`ExperimentConfig`] splits into two halves:
+//!
+//! * the **world** — the generated workload population, the materialised
+//!   green production trace and the placed cluster layout. Expensive to
+//!   build, immutable once built, and a pure function of a *subset* of the
+//!   config (each component's inputs are listed on its key function below);
+//! * the **per-run state** — disks, queues, battery, ledger, policy,
+//!   forecaster, job tables. Cheap, mutable, and rebuilt for every run.
+//!
+//! A sweep whose points differ only by policy or a scheduler knob shares
+//! one [`World`]; points differing only in battery size share the same
+//! workload *and* trace while re-placing nothing. [`WorldCache`] performs
+//! that sharing: each component is memoised under a key derived from
+//! exactly the config fields that feed it, so a 60-run sweep materialises
+//! each distinct component once and clones `Arc`s thereafter.
+//!
+//! Determinism: every component is produced by a deterministic function of
+//! `(spec, seed)` with a self-contained [`gm_sim::RngFactory`] (named
+//! streams are fresh and identical on every call), so a cache hit is
+//! byte-for-byte indistinguishable from a cold rebuild — the telemetry
+//! tests pin this.
+
+use crate::config::{ConfigError, ExperimentConfig, SourceKind};
+use gm_sim::{RngFactory, TimeSeries};
+use gm_storage::ClusterLayout;
+use gm_workload::trace::Workload;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The immutable inputs of one simulation run, shareable across runs.
+///
+/// Cloning a `World` clones three `Arc`s. Simulations only ever borrow the
+/// contents immutably (the phase pipeline takes `&Workload`,
+/// `&TimeSeries`, `&ClusterLayout`); all mutable state lives in the
+/// [`crate::simulation::Simulation`] itself.
+#[derive(Clone)]
+pub struct World {
+    /// Generated workload population (interactive streams + batch jobs).
+    pub workload: Arc<Workload>,
+    /// Materialised green production trace (W per slot).
+    pub green_trace: Arc<TimeSeries>,
+    /// Placed cluster layout (spec + object directory).
+    pub layout: Arc<ClusterLayout>,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("batch_jobs", &self.workload.batch_jobs().len())
+            .field("trace_slots", &self.green_trace.len())
+            .field("objects", &self.layout.directory().len())
+            .finish()
+    }
+}
+
+impl World {
+    /// Cold-materialise every component, bypassing any cache.
+    ///
+    /// Component build order (layout, workload, trace) matches the historic
+    /// `Simulation::try_new`, so error reporting is unchanged: a missing
+    /// trace file still surfaces only after the cluster and workload build.
+    pub fn try_materialize(cfg: &ExperimentConfig) -> Result<World, ConfigError> {
+        let layout = Arc::new(ClusterLayout::new(cfg.cluster.clone()));
+        let workload = Arc::new(Workload::generate(cfg.workload.clone(), cfg.seed));
+        let rngs = RngFactory::new(cfg.seed);
+        let green_trace = Arc::new(cfg.energy.source.try_materialize(cfg.clock, cfg.slots, &rngs)?);
+        Ok(World { workload, green_trace, layout })
+    }
+
+    /// Materialise through `cache`: each component is built at most once
+    /// per distinct key and shared as an `Arc` thereafter.
+    pub fn try_materialize_in(
+        cfg: &ExperimentConfig,
+        cache: &WorldCache,
+    ) -> Result<World, ConfigError> {
+        cache.get_or_materialize(cfg)
+    }
+}
+
+/// One memoised component family: key → build-once cell.
+///
+/// The per-key `OnceLock` is what makes concurrent misses safe *and*
+/// single-build: the map lock is only held to look up the cell, never
+/// while materialising, and racing workers on the same key serialise on
+/// `OnceLock::get_or_init` so exactly one of them pays the build.
+struct Shard<T> {
+    map: Mutex<HashMap<String, Arc<OnceLock<Arc<T>>>>>,
+}
+
+impl<T> Default for Shard<T> {
+    fn default() -> Self {
+        Shard { map: Mutex::new(HashMap::new()) }
+    }
+}
+
+impl<T> Shard<T> {
+    fn get_or_build(&self, key: String, stats: &CacheStats, build: impl FnOnce() -> T) -> Arc<T> {
+        let cell = {
+            let mut map = self.map.lock().expect("world cache lock");
+            map.entry(key).or_insert_with(|| Arc::new(OnceLock::new())).clone()
+        };
+        let mut built = false;
+        let value = cell
+            .get_or_init(|| {
+                built = true;
+                Arc::new(build())
+            })
+            .clone();
+        if built {
+            stats.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            stats.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+}
+
+#[derive(Default)]
+struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Concurrent memo cache for [`World`] components.
+///
+/// Component keys are derived from exactly the config fields that feed the
+/// component (see the `*_key` functions), so sweeps share aggressively:
+/// sixty policy variants over one scenario hit one workload, one trace and
+/// one layout. Hit/miss counters cover all three component families.
+#[derive(Default)]
+pub struct WorldCache {
+    workloads: Shard<Workload>,
+    traces: Shard<TimeSeries>,
+    layouts: Shard<ClusterLayout>,
+    stats: CacheStats,
+}
+
+/// Key of the workload component: the master seed plus the workload
+/// section — `Workload::generate(spec, seed)` reads nothing else.
+fn workload_key(cfg: &ExperimentConfig) -> String {
+    let spec = serde_json::to_string(&cfg.workload).expect("workload spec serialises");
+    format!("{}|{spec}", cfg.seed)
+}
+
+/// Key of the green-trace component: seed, renewable source, clock and
+/// slot count. Battery, grid, forecaster and discharge strategy are
+/// deliberately excluded — they shape settlement, not production — so a
+/// battery or forecast sweep shares one trace.
+fn trace_key(cfg: &ExperimentConfig) -> String {
+    let source = serde_json::to_string(&cfg.energy.source).expect("source serialises");
+    let clock = serde_json::to_string(&cfg.clock).expect("clock serialises");
+    format!("{}|{}|{clock}|{source}", cfg.seed, cfg.slots)
+}
+
+/// Key of the cluster-layout component: the whole cluster section. The
+/// placement itself reads only topology/layout/objects, but the layout
+/// carries its spec (disk, server, cache models) into every run built from
+/// it, so any cluster-section change must miss.
+fn layout_key(cfg: &ExperimentConfig) -> String {
+    serde_json::to_string(&cfg.cluster).expect("cluster spec serialises")
+}
+
+impl WorldCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        WorldCache::default()
+    }
+
+    /// The process-wide cache the bench harness feeds every run through.
+    pub fn global() -> &'static WorldCache {
+        static GLOBAL: OnceLock<WorldCache> = OnceLock::new();
+        GLOBAL.get_or_init(WorldCache::new)
+    }
+
+    /// Materialise `cfg`'s world, reusing every component already built
+    /// under the same key.
+    ///
+    /// A [`SourceKind::TraceCsv`] source bypasses the trace shard (reading
+    /// a file is fallible and the file may change between runs); all
+    /// synthetic sources are infallible and cache cleanly.
+    pub fn get_or_materialize(&self, cfg: &ExperimentConfig) -> Result<World, ConfigError> {
+        let layout = self
+            .layouts
+            .get_or_build(layout_key(cfg), &self.stats, || ClusterLayout::new(cfg.cluster.clone()));
+        let workload = self.workloads.get_or_build(workload_key(cfg), &self.stats, || {
+            Workload::generate(cfg.workload.clone(), cfg.seed)
+        });
+        let rngs = RngFactory::new(cfg.seed);
+        let green_trace = if matches!(cfg.energy.source, SourceKind::TraceCsv { .. }) {
+            Arc::new(cfg.energy.source.try_materialize(cfg.clock, cfg.slots, &rngs)?)
+        } else {
+            self.traces.get_or_build(trace_key(cfg), &self.stats, || {
+                cfg.energy
+                    .source
+                    .try_materialize(cfg.clock, cfg.slots, &rngs)
+                    .expect("synthetic sources are infallible")
+            })
+        };
+        Ok(World { workload, green_trace, layout })
+    }
+
+    /// Component lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.stats.hits.load(Ordering::Relaxed)
+    }
+
+    /// Component lookups that had to materialise.
+    pub fn misses(&self) -> u64 {
+        self.stats.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for WorldCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorldCache")
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_and_cached_worlds_agree() {
+        let cfg = ExperimentConfig::small_demo(5);
+        let cold = World::try_materialize(&cfg).expect("materialises");
+        let cache = WorldCache::new();
+        let warm = World::try_materialize_in(&cfg, &cache).expect("materialises");
+        assert_eq!(cold.green_trace.values(), warm.green_trace.values());
+        assert_eq!(cold.workload.batch_jobs(), warm.workload.batch_jobs());
+        assert_eq!(cold.layout.directory().len(), warm.layout.directory().len());
+    }
+
+    #[test]
+    fn same_config_hits_all_three_shards() {
+        let cfg = ExperimentConfig::small_demo(5);
+        let cache = WorldCache::new();
+        let a = cache.get_or_materialize(&cfg).expect("first");
+        assert_eq!((cache.hits(), cache.misses()), (0, 3));
+        let b = cache.get_or_materialize(&cfg).expect("second");
+        assert_eq!((cache.hits(), cache.misses()), (3, 3));
+        assert!(Arc::ptr_eq(&a.workload, &b.workload));
+        assert!(Arc::ptr_eq(&a.green_trace, &b.green_trace));
+        assert!(Arc::ptr_eq(&a.layout, &b.layout));
+    }
+
+    #[test]
+    fn policy_change_shares_the_whole_world() {
+        use crate::policy::PolicyKind;
+        let cache = WorldCache::new();
+        let a = cache.get_or_materialize(&ExperimentConfig::small_demo(5)).expect("a");
+        let b = cache
+            .get_or_materialize(&ExperimentConfig::small_demo(5).with_policy(PolicyKind::AllOn))
+            .expect("b");
+        assert_eq!(cache.misses(), 3, "second config rebuilt nothing");
+        assert_eq!(cache.hits(), 3);
+        assert!(Arc::ptr_eq(&a.workload, &b.workload));
+        assert!(Arc::ptr_eq(&a.green_trace, &b.green_trace));
+        assert!(Arc::ptr_eq(&a.layout, &b.layout));
+    }
+
+    #[test]
+    fn battery_sweep_shares_trace_but_seed_change_misses() {
+        use gm_energy::battery::BatterySpec;
+        let cache = WorldCache::new();
+        let base = ExperimentConfig::small_demo(5);
+        cache.get_or_materialize(&base).expect("base");
+        let bigger = base.clone().with_battery(BatterySpec::lithium_ion(99_000.0));
+        let w = cache.get_or_materialize(&bigger).expect("bigger battery");
+        assert_eq!(cache.misses(), 3, "battery size feeds no world component");
+        let other_seed = base.with_seed(6);
+        let w2 = cache.get_or_materialize(&other_seed).expect("other seed");
+        assert_eq!(
+            cache.misses(),
+            5,
+            "seed feeds workload and trace (layout has its own placement seed)"
+        );
+        assert!(!Arc::ptr_eq(&w.workload, &w2.workload));
+        assert!(Arc::ptr_eq(&w.layout, &w2.layout), "layout key excludes the master seed");
+    }
+}

@@ -6,9 +6,18 @@
 //! `criterion_main!` macros — with a simple calibrated wall-clock loop
 //! (warm-up, then a fixed measurement window) and a one-line-per-benchmark
 //! report. No statistics, plots, or comparison baselines.
+//!
+//! Like real criterion, `--test` on the bench binary's command line (as in
+//! `cargo bench -- --test`) switches to smoke mode: every routine runs
+//! exactly once, untimed — a cheap compile-and-run gate for CI.
 
 use std::hint;
 use std::time::{Duration, Instant};
+
+/// Whether the process was started in `--test` smoke mode.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
 
 /// Opaque-to-the-optimiser identity function.
 pub fn black_box<T>(x: T) -> T {
@@ -44,8 +53,15 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Measure `routine`: warm up briefly, then time a fixed window.
+    /// Measure `routine`: warm up briefly, then time a fixed window. In
+    /// `--test` smoke mode the routine runs once, untimed.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if test_mode() {
+            black_box(routine());
+            self.measured = None;
+            self.iters_done = 0;
+            return;
+        }
         // Warm-up & calibration: find an iteration count that fills ~50 ms.
         let mut n = 1u64;
         let per_iter = loop {
@@ -89,6 +105,7 @@ fn run_one(name: &str, f: impl FnOnce(&mut Bencher)) {
             let per = total.as_secs_f64() / b.iters_done as f64;
             println!("bench {name:<40} {:>12}/iter ({} iters)", human_time(per), b.iters_done);
         }
+        _ if test_mode() => println!("bench {name:<40} ok (smoke)"),
         _ => println!("bench {name:<40} (no measurement)"),
     }
 }

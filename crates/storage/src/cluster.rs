@@ -33,6 +33,7 @@ use crate::server::{Server, ServerSpec};
 use crate::writelog::WriteLog;
 use gm_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Static cluster configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -123,13 +124,58 @@ impl SlotEnergy {
     }
 }
 
+/// The immutable part of a cluster: its spec plus the fully placed object
+/// directory.
+///
+/// Placing the directory (`objects` × `replication` layout decisions) is
+/// the expensive half of cluster construction and depends only on the
+/// [`ClusterSpec`], so sweeps build it once and share an
+/// `Arc<ClusterLayout>` across runs; every run's [`Cluster`] then carries
+/// only the cheap mutable state (disks, queues, write log, counters).
+/// Nothing in the simulation mutates the directory — failures track
+/// rebuild state per *disk*, not per object.
+#[derive(Debug, Clone)]
+pub struct ClusterLayout {
+    spec: ClusterSpec,
+    directory: Vec<DataObject>,
+}
+
+impl ClusterLayout {
+    /// Place every object of `spec` and freeze the result.
+    pub fn new(spec: ClusterSpec) -> Self {
+        assert!(spec.replication >= 1);
+        let topo = spec.topology;
+        let layout = spec.layout.build(spec.layout_seed);
+        let directory = (0..spec.objects)
+            .map(|i| {
+                let id = ObjectId(i as u64);
+                DataObject::new(
+                    id,
+                    spec.object_size_bytes,
+                    layout.place(&topo, id, spec.replication),
+                )
+            })
+            .collect();
+        ClusterLayout { spec, directory }
+    }
+
+    /// The spec the layout was placed for.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// The placed object directory.
+    pub fn directory(&self) -> &[DataObject] {
+        &self.directory
+    }
+}
+
 /// The live cluster.
 pub struct Cluster {
-    spec: ClusterSpec,
+    layout: Arc<ClusterLayout>,
     servers: Vec<Server>,
     disks: Vec<Disk>,
     queues: Vec<DiskQueue>,
-    directory: Vec<DataObject>,
     writelog: WriteLog,
     active_gears: usize,
     /// Slot width used for background-interference accounting.
@@ -161,27 +207,21 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Build a cluster and place all objects.
+    /// Build a cluster and place all objects (cold path: places a fresh
+    /// layout; sweeps should share one via [`Cluster::from_layout`]).
     pub fn new(spec: ClusterSpec) -> Self {
-        assert!(spec.replication >= 1);
+        Cluster::from_layout(Arc::new(ClusterLayout::new(spec)))
+    }
+
+    /// Build the mutable cluster state over a shared immutable layout.
+    pub fn from_layout(layout: Arc<ClusterLayout>) -> Self {
+        let spec = &layout.spec;
         let topo = spec.topology;
-        let layout = spec.layout.build(spec.layout_seed);
-        let directory = (0..spec.objects)
-            .map(|i| {
-                let id = ObjectId(i as u64);
-                DataObject::new(
-                    id,
-                    spec.object_size_bytes,
-                    layout.place(&topo, id, spec.replication),
-                )
-            })
-            .collect();
         let gears = topo.gears;
         Cluster {
             servers: (0..topo.servers).map(|_| Server::new(spec.server)).collect(),
             disks: (0..topo.n_disks()).map(|_| Disk::new(spec.disk)).collect(),
             queues: (0..topo.n_disks()).map(|_| DiskQueue::new()).collect(),
-            directory,
             writelog: WriteLog::new(gears),
             active_gears: gears,
             slot_width: SimDuration::from_hours(1),
@@ -197,13 +237,18 @@ impl Cluster {
             total_spinups: 0,
             total_forced_spinups: 0,
             cache: LruCache::new(spec.cache_bytes),
-            spec,
+            layout,
         }
     }
 
     /// The static spec.
     pub fn spec(&self) -> &ClusterSpec {
-        &self.spec
+        &self.layout.spec
+    }
+
+    /// The shared immutable layout.
+    pub fn layout(&self) -> &Arc<ClusterLayout> {
+        &self.layout
     }
 
     /// Set the slot width used for background-interference accounting
@@ -215,17 +260,17 @@ impl Cluster {
 
     /// The topology.
     pub fn topology(&self) -> &Topology {
-        &self.spec.topology
+        &self.layout.spec.topology
     }
 
     /// Current gear state.
     pub fn gear_state(&self) -> GearState {
-        GearState { active: self.active_gears, total: self.spec.topology.gears }
+        GearState { active: self.active_gears, total: self.layout.spec.topology.gears }
     }
 
     /// The object directory.
     pub fn directory(&self) -> &[DataObject] {
-        &self.directory
+        &self.layout.directory
     }
 
     /// The write log.
@@ -283,8 +328,8 @@ impl Cluster {
         if !self.disk_objects.is_empty() {
             return;
         }
-        self.disk_objects = vec![Vec::new(); self.spec.topology.n_disks()];
-        for obj in &self.directory {
+        self.disk_objects = vec![Vec::new(); self.layout.spec.topology.n_disks()];
+        for obj in &self.layout.directory {
             for &d in &obj.replicas {
                 self.disk_objects[d].push(obj.id.0 as u32);
             }
@@ -305,7 +350,7 @@ impl Cluster {
         // Exposure check before marking, so co-failed disks are visible.
         let mut lost = 0usize;
         for &oid in &self.disk_objects[disk] {
-            let obj = &self.directory[oid as usize];
+            let obj = &self.layout.directory[oid as usize];
             let intact = obj.replicas.iter().any(|&d| d != disk && !self.pending_rebuild[d]);
             if !intact {
                 lost += 1;
@@ -313,12 +358,12 @@ impl Cluster {
         }
         self.pending_rebuild[disk] = true;
         // The replacement drive spins up fresh (it must be written to).
-        let srv = self.spec.topology.server_of_disk(disk);
+        let srv = self.layout.spec.topology.server_of_disk(disk);
         if self.servers[srv].is_on() {
             self.disks[disk].spin_up(now);
         }
         let affected = self.disk_objects[disk].len();
-        let rebuild_bytes = affected as u64 * self.spec.object_size_bytes;
+        let rebuild_bytes = affected as u64 * self.layout.spec.object_size_bytes;
         self.total_lost_objects += lost as u64;
         self.total_rebuild_bytes += rebuild_bytes;
         FailureReport { disk, affected_objects: affected, lost_objects: lost, rebuild_bytes }
@@ -332,7 +377,7 @@ impl Cluster {
         debug_assert!(self.pending_rebuild[disk], "rebuild_step on a healthy disk");
         // Write onto the replacement drive.
         let ready = self.ensure_disk_up(disk, now, false);
-        let service = self.spec.disk.service_time(bytes, true);
+        let service = self.layout.spec.disk.service_time(bytes, true);
         self.queues[disk].add_background(now, ready, service)
     }
 
@@ -349,7 +394,7 @@ impl Cluster {
     /// Whether the server owning `disk` is on and the disk is spinning or
     /// in transition.
     fn disk_available(&self, disk: DiskIdx) -> bool {
-        let srv = self.spec.topology.server_of_disk(disk);
+        let srv = self.layout.spec.topology.server_of_disk(disk);
         !self.pending_rebuild[disk]
             && self.servers[srv].is_on()
             && self.disks[disk].ready_at().is_some()
@@ -358,14 +403,14 @@ impl Cluster {
     /// Ready instant of `disk`, spinning it (and booting its server) up on
     /// demand if necessary. `forced` marks availability-driven spin-ups.
     fn ensure_disk_up(&mut self, disk: DiskIdx, now: SimTime, forced: bool) -> SimTime {
-        let srv = self.spec.topology.server_of_disk(disk);
+        let srv = self.layout.spec.topology.server_of_disk(disk);
         let mut ready = now;
         if self.servers[srv].power_on() {
-            self.pending_surcharge_wh += self.spec.server.poweron_extra_wh();
-            ready = now + SimDuration::from_secs_f64(self.spec.server.poweron_latency_s);
+            self.pending_surcharge_wh += self.layout.spec.server.poweron_extra_wh();
+            ready = now + SimDuration::from_secs_f64(self.layout.spec.server.poweron_latency_s);
         }
         if self.disks[disk].spin_up(now) {
-            self.pending_surcharge_wh += self.spec.disk.spinup_extra_wh();
+            self.pending_surcharge_wh += self.layout.spec.disk.spinup_extra_wh();
             self.total_spinups += 1;
             if forced {
                 self.pending_forced_spinups += 1;
@@ -384,19 +429,19 @@ impl Cluster {
     /// drain before parking — the energy difference is the tail of one
     /// request).
     pub fn set_active_gears(&mut self, active: usize, now: SimTime) {
-        let active = active.clamp(1, self.spec.topology.gears);
-        let topo = self.spec.topology;
+        let active = active.clamp(1, self.layout.spec.topology.gears);
+        let topo = self.layout.spec.topology;
         for g in 0..topo.gears {
             let powered = g < active;
             let spg = topo.servers_per_gear();
             for srv in g * spg..(g + 1) * spg {
                 if powered {
                     if self.servers[srv].power_on() {
-                        self.pending_surcharge_wh += self.spec.server.poweron_extra_wh();
+                        self.pending_surcharge_wh += self.layout.spec.server.poweron_extra_wh();
                     }
                     for d in topo.disks_of_server(srv) {
                         if self.disks[d].spin_up(now) {
-                            self.pending_surcharge_wh += self.spec.disk.spinup_extra_wh();
+                            self.pending_surcharge_wh += self.layout.spec.disk.spinup_extra_wh();
                             self.total_spinups += 1;
                         }
                     }
@@ -420,7 +465,7 @@ impl Cluster {
     /// Serve one interactive request. Returns the client-visible outcome.
     pub fn serve_request(&mut self, req: &IoRequest) -> ServedRequest {
         let obj_idx = req.object.0 as usize;
-        let obj_size = self.directory[obj_idx].size_bytes;
+        let obj_size = self.layout.directory[obj_idx].size_bytes;
         match req.kind {
             IoKind::Read => {
                 // RAM cache absorbs hot reads without touching a disk.
@@ -436,7 +481,7 @@ impl Cluster {
                 // is the per-request hot path and must not clone the replica
                 // list.
                 let (disk, forced, degraded) = {
-                    let replicas = &self.directory[obj_idx].replicas;
+                    let replicas = &self.layout.directory[obj_idx].replicas;
                     // Least-backlogged replica among available disks.
                     let best_active = replicas
                         .iter()
@@ -470,7 +515,7 @@ impl Cluster {
                     self.ensure_disk_up(disk, req.arrival, true);
                 }
                 let ready = self.ensure_disk_up(disk, req.arrival, false);
-                let service = self.spec.disk.service_time(req.size_bytes, req.sequential);
+                let service = self.layout.spec.disk.service_time(req.size_bytes, req.sequential);
                 let served = self.queues[disk].serve(req.arrival, ready, service, self.slot_width);
                 self.cache.insert(req.object, obj_size);
                 served
@@ -481,33 +526,35 @@ impl Cluster {
                 // the client's critical path; other active replicas absorb
                 // it too; powered-down replicas are off-loaded to the log.
                 let mut ack: Option<ServedRequest> = None;
-                let n_replicas = self.directory[obj_idx].replicas.len();
+                let n_replicas = self.layout.directory[obj_idx].replicas.len();
                 for r in 0..n_replicas {
-                    let disk = self.directory[obj_idx].replicas[r];
+                    let disk = self.layout.directory[obj_idx].replicas[r];
                     if r == 0 || self.disk_available(disk) {
                         let ready = self.ensure_disk_up(
                             disk,
                             req.arrival,
                             r == 0 && !self.disk_available(disk),
                         );
-                        let service = self.spec.disk.service_time(req.size_bytes, req.sequential);
+                        let service =
+                            self.layout.spec.disk.service_time(req.size_bytes, req.sequential);
                         let served =
                             self.queues[disk].serve(req.arrival, ready, service, self.slot_width);
                         if r == 0 {
                             ack = Some(served);
                         }
                     } else {
-                        let gear = self.spec.topology.gear_of_disk(disk);
+                        let gear = self.layout.spec.topology.gear_of_disk(disk);
                         self.writelog.offload(gear, req.size_bytes);
                         // The log append itself: sequential write on the
                         // least-loaded gear-0 disk.
                         let log_disk = self
+                            .layout
                             .spec
                             .topology
                             .disks_in_gear_range(0)
                             .min_by_key(|&d| self.queues[d].next_free())
                             .expect("gear 0 is never empty");
-                        let service = self.spec.disk.service_time(req.size_bytes, true);
+                        let service = self.layout.spec.disk.service_time(req.size_bytes, true);
                         let ready = self.ensure_disk_up(log_disk, req.arrival, false);
                         self.queues[log_disk].serve(req.arrival, ready, service, self.slot_width);
                     }
@@ -526,7 +573,7 @@ impl Cluster {
         now: SimTime,
     ) -> ServedRequest {
         let ready = self.ensure_disk_up(disk, now, false);
-        let service = self.spec.disk.service_time(bytes, true);
+        let service = self.layout.spec.disk.service_time(bytes, true);
         self.queues[disk].add_background(now, ready, service)
     }
 
@@ -535,7 +582,7 @@ impl Cluster {
     /// disks; its busy time is tagged as reclaim overhead. Returns total
     /// bytes replayed.
     pub fn reclaim(&mut self, budget_bytes: u64, now: SimTime) -> u64 {
-        let topo = self.spec.topology;
+        let topo = self.layout.spec.topology;
         let mut replayed = 0;
         for gear in 1..self.active_gears {
             let bytes = self.writelog.reclaim(gear, budget_bytes);
@@ -546,7 +593,7 @@ impl Cluster {
             // Spread the replay across the gear's disks round-robin.
             let disks = topo.disks_in_gear_range(gear);
             let per = bytes / disks.len() as u64;
-            let service_per = self.spec.disk.service_time(per.max(1), true);
+            let service_per = self.layout.spec.disk.service_time(per.max(1), true);
             for d in disks {
                 let ready = self.ensure_disk_up(d, now, false);
                 self.queues[d].add_background(now, ready, service_per);
@@ -580,7 +627,7 @@ impl Cluster {
 
     /// Integrate one slot ending at `slot_end` of width `width`.
     pub fn end_slot(&mut self, slot_end: SimTime, width: SimDuration) -> SlotEnergy {
-        let topo = self.spec.topology;
+        let topo = self.layout.spec.topology;
         let mut out = SlotEnergy::default();
 
         // Settle spin-up transitions that completed within the slot.
@@ -611,7 +658,7 @@ impl Cluster {
         // Reclaim overhead: marginal (active − idle) power over the replay
         // busy time. The busy time itself is already inside `disks_wh`; the
         // overhead figure is attribution, not additional energy.
-        let marginal_w = self.spec.disk.active_w - self.spec.disk.idle_w;
+        let marginal_w = self.layout.spec.disk.active_w - self.layout.spec.disk.idle_w;
         out.reclaim_overhead_wh = self.pending_reclaim_busy.as_hours_f64() * marginal_w;
         self.pending_reclaim_busy = SimDuration::ZERO;
 
@@ -624,24 +671,28 @@ impl Cluster {
     /// Power draw (W) the cluster would average if every active component
     /// idled — the floor the gear controller plans against.
     pub fn idle_power_at_gears(&self, gears: usize) -> f64 {
-        let topo = self.spec.topology;
+        let topo = self.layout.spec.topology;
         let gears = gears.clamp(1, topo.gears);
         let on_servers = gears * topo.servers_per_gear();
         let off_servers = topo.servers - on_servers;
-        on_servers as f64 * (self.spec.server.idle_w + topo.bays as f64 * self.spec.disk.idle_w)
+        on_servers as f64
+            * (self.layout.spec.server.idle_w + topo.bays as f64 * self.layout.spec.disk.idle_w)
             + off_servers as f64
-                * (self.spec.server.off_w + topo.bays as f64 * self.spec.disk.standby_w)
+                * (self.layout.spec.server.off_w
+                    + topo.bays as f64 * self.layout.spec.disk.standby_w)
     }
 
     /// Peak power draw (W) with `gears` active and every disk/CPU saturated.
     pub fn peak_power_at_gears(&self, gears: usize) -> f64 {
-        let topo = self.spec.topology;
+        let topo = self.layout.spec.topology;
         let gears = gears.clamp(1, topo.gears);
         let on_servers = gears * topo.servers_per_gear();
         let off_servers = topo.servers - on_servers;
-        on_servers as f64 * (self.spec.server.peak_w + topo.bays as f64 * self.spec.disk.active_w)
+        on_servers as f64
+            * (self.layout.spec.server.peak_w + topo.bays as f64 * self.layout.spec.disk.active_w)
             + off_servers as f64
-                * (self.spec.server.off_w + topo.bays as f64 * self.spec.disk.standby_w)
+                * (self.layout.spec.server.off_w
+                    + topo.bays as f64 * self.layout.spec.disk.standby_w)
     }
 }
 

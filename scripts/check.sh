@@ -12,4 +12,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+echo "==> cargo bench --bench e2e -- --test (smoke)"
+cargo bench -p gm-bench --bench e2e -- --test
+
+echo "==> cargo bench --bench sweep -- --test (smoke)"
+cargo bench -p gm-bench --bench sweep -- --test
+
 echo "All checks passed."

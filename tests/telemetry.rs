@@ -114,6 +114,62 @@ fn same_seed_traces_are_byte_identical_for_every_policy() {
     }
 }
 
+/// Like [`trace_bytes`], but materialising the world through `cache`.
+fn trace_bytes_cached(cfg: &ExperimentConfig, cache: &greenmatch::WorldCache) -> Vec<u8> {
+    let buf = SharedBuf::default();
+    let mut sim = Simulation::try_new_in(cfg, cache).expect("config materialises");
+    sim.add_observer(Box::new(JsonlTraceObserver::new(buf.clone())));
+    sim.run_to_end();
+    buf.contents()
+}
+
+#[test]
+fn warm_world_traces_match_cold_for_every_policy() {
+    use greenmatch::policy::PolicyKind;
+    use greenmatch::WorldCache;
+
+    // A cache-hit (warm `Arc<World>`) run must emit a JSONL trace
+    // byte-identical to a cold-materialized run, for every policy: world
+    // sharing may not perturb RNG draw order or any per-run state.
+    let policies = [
+        PolicyKind::AllOn,
+        PolicyKind::PowerProportional,
+        PolicyKind::Edf,
+        PolicyKind::GreedyGreen,
+        PolicyKind::GreenMatch { delay_fraction: 1.0 },
+        PolicyKind::GreenMatch { delay_fraction: 0.3 },
+        PolicyKind::GreenMatchWindow { delay_fraction: 1.0, horizon: 12 },
+        PolicyKind::GreenMatchCarbon { delay_fraction: 1.0 },
+    ];
+    let cache = WorldCache::new();
+    for policy in policies {
+        let cfg = ExperimentConfig::small_demo(7).with_slots(48).with_policy(policy);
+        let cold = trace_bytes(&cfg);
+        let first = trace_bytes_cached(&cfg, &cache);
+        let warm = trace_bytes_cached(&cfg, &cache);
+        assert!(!cold.is_empty(), "{policy:?}: trace should contain records");
+        assert_eq!(first, cold, "{policy:?}: cache-miss run diverged from cold");
+        assert_eq!(warm, cold, "{policy:?}: cache-hit run diverged from cold");
+    }
+    assert!(cache.hits() > 0, "second runs must have hit the cache");
+}
+
+#[test]
+fn policy_variants_share_one_cached_world() {
+    use greenmatch::policy::PolicyKind;
+    use greenmatch::WorldCache;
+
+    let cache = WorldCache::new();
+    let a = ExperimentConfig::small_demo(7).with_slots(24);
+    let b = a.clone().with_policy(PolicyKind::AllOn);
+    let _ = Simulation::try_new_in(&a, &cache).expect("a materialises");
+    assert_eq!(cache.misses(), 3, "first config builds workload, trace and layout");
+    assert_eq!(cache.hits(), 0);
+    let _ = Simulation::try_new_in(&b, &cache).expect("b materialises");
+    assert_eq!(cache.misses(), 3, "policy change must rebuild nothing");
+    assert_eq!(cache.hits(), 3, "all three components served from the cache");
+}
+
 #[test]
 fn shared_scratch_across_runs_does_not_leak_state() {
     use greenmatch::SlotScratch;
