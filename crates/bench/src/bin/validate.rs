@@ -2,29 +2,61 @@
 //! PASS/FAIL per claim. Exit code 1 if anything fails.
 //!
 //! ```text
-//! validate            # full scale (~2 min on one core)
-//! validate --quick    # reduced workload
+//! validate                      # full scale (~2 min on one core)
+//! validate --quick              # reduced workload
+//! validate --results-dir DIR    # write run artifacts under DIR
 //! ```
 
 use gm_bench::runner::ExpContext;
 use gm_bench::shapes;
+use std::path::PathBuf;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut quick = false;
+    let mut results_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--results-dir" => match args.next() {
+                Some(dir) => results_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("usage: validate [--quick] [--results-dir DIR]");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: validate [--quick] [--results-dir DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
     let scale = if quick { 0.25 } else { 1.0 };
-    let ctx = ExpContext::new(std::env::temp_dir().join("gm-validate"), 42, scale);
+    let out_dir = results_dir.unwrap_or_else(|| std::env::temp_dir().join("gm-validate"));
+    let ctx = ExpContext::new(out_dir, 42, scale);
     eprintln!("running shape checks at scale {scale} ...");
     let checks = shapes::run_all(&ctx);
 
     let mut failed = 0;
+    let mut report = String::new();
     for c in &checks {
         let status = if c.pass { "PASS" } else { "FAIL" };
-        println!("[{status}] {:<36} {}", c.name, c.detail);
+        let line = format!("[{status}] {:<36} {}", c.name, c.detail);
+        println!("{line}");
+        report.push_str(&line);
+        report.push('\n');
         if !c.pass {
             failed += 1;
         }
     }
     println!("\n{}/{} shape checks passed", checks.len() - failed, checks.len());
+    report.push_str(&format!(
+        "\n{}/{} shape checks passed (seed 42, scale {scale})\n",
+        checks.len() - failed,
+        checks.len()
+    ));
+    ctx.write("shape_checks.txt", &report);
     if failed > 0 {
         std::process::exit(1);
     }

@@ -38,6 +38,8 @@ pub fn medium_cfg(ctx: &ExpContext, policy: PolicyKind) -> ExperimentConfig {
         seed: ctx.seed,
         slots: 7 * 24,
         clock: SlotClock::hourly(),
+        sites: Vec::new(),
+        wan_cost_per_unit: 0,
     }
 }
 

@@ -7,6 +7,7 @@
 pub mod ablations;
 pub mod base;
 pub mod figures;
+pub mod geo;
 pub mod tables;
 
 use crate::runner::ExpContext;
@@ -77,6 +78,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "table6",
             about: "Carbon-aware brown pricing vs plain GreenMatch",
             run: tables::table6,
+        },
+        Experiment {
+            id: "geo",
+            about: "One site vs three longitude-offset sites across WAN costs",
+            run: geo::geo,
         },
         Experiment {
             id: "ablate-matcher",

@@ -8,6 +8,7 @@
 //! CSV inspection.
 
 use crate::experiments::base::{medium_cfg, medium_cfg_no_battery};
+use crate::experiments::geo;
 use crate::runner::{run_tagged, ExpContext};
 use gm_energy::battery::BatterySpec;
 use gm_energy::solar::SolarProfile;
@@ -166,6 +167,20 @@ pub fn run_all(ctx: &ExpContext) -> Vec<ShapeCheck> {
         "random-layout-stalls-surface-in-tail",
         random.latency.max_s >= 5.0,
         format!("random layout max latency {:.1} s", random.latency.max_s),
+    ));
+
+    // 8. Geo-distribution: at zero WAN cost, three longitude-offset sites
+    //    strictly reduce brown energy vs one site of equal total capacity
+    //    (follow-the-sun matching reaches green hours the home site lacks).
+    let geo_results = run_tagged(vec![
+        ("geo1".to_string(), geo::one_site_cfg(ctx, gm)),
+        ("geo3".to_string(), geo::three_site_solar_cfg(ctx, gm, 0)),
+    ]);
+    let (g1, g3) = (brown(&geo_results, "geo1"), brown(&geo_results, "geo3"));
+    checks.push(check(
+        "geo-offset-sites-cut-brown",
+        g3 < g1,
+        format!("1 site {g1:.1} vs 3 offset sites {g3:.1} kWh"),
     ));
 
     checks

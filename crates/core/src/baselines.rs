@@ -30,6 +30,7 @@ impl Scheduler for AllOn {
             batch_bytes: edf_fill(ctx.jobs, capacity),
             reclaim_budget_bytes: u64::MAX,
             infeasible_bytes: 0,
+            remote_batch_bytes: Vec::new(),
         }
     }
 
@@ -59,6 +60,7 @@ impl PowerProportional {
             batch_bytes: edf_fill(ctx.jobs, capacity),
             reclaim_budget_bytes: u64::MAX,
             infeasible_bytes: 0,
+            remote_batch_bytes: Vec::new(),
         }
     }
 }
@@ -138,6 +140,7 @@ impl Scheduler for GreedyGreen {
             batch_bytes: edf_fill(ctx.jobs, budget),
             reclaim_budget_bytes: reclaim,
             infeasible_bytes: 0,
+            remote_batch_bytes: Vec::new(),
         }
     }
 
@@ -175,6 +178,7 @@ mod tests {
                 model: PlanningModel::from_spec(&ClusterSpec::small()),
                 writelog_pending_bytes: 0,
                 grid: gm_energy::grid::Grid::typical_eu(),
+                sites: &[],
             }
         }
     }

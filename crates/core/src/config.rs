@@ -252,6 +252,68 @@ pub struct EnergyConfig {
     pub discharge: DischargeStrategy,
 }
 
+/// One site of a (possibly geo-federated) experiment: a cluster, its
+/// renewable supply, the forecaster planning over that supply, and an
+/// optional battery.
+///
+/// A single-site experiment never needs to touch this type — the flat
+/// fields of [`ExperimentConfig`] *are* the one-site sugar, and
+/// [`ExperimentConfig::site_configs`] derives the equivalent one-element
+/// site list from them. Multi-site experiments install explicit sites via
+/// [`ExperimentConfig::with_sites`]; site 0 is always the **home** site,
+/// which hosts the interactive workload and the failure-injection dice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteConfig {
+    /// Label for reports and per-site breakdowns.
+    pub name: String,
+    /// The site's cluster.
+    pub cluster: ClusterSpec,
+    /// The site's renewable supply.
+    pub source: SourceKind,
+    /// Forecaster planning over this site's supply.
+    pub forecast: ForecastKind,
+    /// The site's battery, if any.
+    pub battery: Option<BatterySpec>,
+    /// Longitude offset in whole hours: the site's materialised production
+    /// trace is rotated so its diurnal peak arrives this many hours later
+    /// in simulation time (a site this many time zones west of the home
+    /// site). 0 for the home site.
+    #[serde(default)]
+    pub utc_offset_hours: i64,
+}
+
+impl SiteConfig {
+    /// Materialise this site's production trace: the source is materialised
+    /// with `rngs`, then rotated by [`SiteConfig::utc_offset_hours`] so an
+    /// offset site's solar noon lands later in simulation time.
+    pub fn try_materialize_trace(
+        &self,
+        clock: SlotClock,
+        slots: usize,
+        rngs: &RngFactory,
+    ) -> Result<TimeSeries, ConfigError> {
+        let base = self.source.try_materialize(clock, slots, rngs)?;
+        let shift = self.offset_slots(clock, slots);
+        if shift == 0 {
+            return Ok(base);
+        }
+        let rotated =
+            (0..slots).map(|s| base.get((s + slots - shift) % slots)).collect::<Vec<f64>>();
+        Ok(TimeSeries::from_values(clock, rotated))
+    }
+
+    /// The trace rotation in slots implied by the UTC offset (modulo the
+    /// horizon; 0 when the offset is smaller than one slot).
+    fn offset_slots(&self, clock: SlotClock, slots: usize) -> usize {
+        if slots == 0 || self.utc_offset_hours == 0 {
+            return 0;
+        }
+        let shift =
+            (self.utc_offset_hours as f64 * 3600.0 / clock.width().as_secs_f64()).round() as i64;
+        shift.rem_euclid(slots as i64) as usize
+    }
+}
+
 /// A complete, reproducible experiment description.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentConfig {
@@ -274,6 +336,17 @@ pub struct ExperimentConfig {
     pub slots: usize,
     /// Slot clock.
     pub clock: SlotClock,
+    /// Geo-federated sites. Empty (the default) means the flat fields above
+    /// describe the single site; when non-empty, `sites[0]` is the home
+    /// site and must mirror the flat `cluster`/`energy` fields (use
+    /// [`Self::with_sites`], which keeps them in sync).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub sites: Vec<SiteConfig>,
+    /// Per-unit WAN transfer cost the matcher charges for placing batch
+    /// work at a non-home site, on the [`crate::matcher::BROWN_COST`] scale
+    /// (one unit = [`crate::matcher::UNIT_BYTES`]). 0 = free transfers.
+    #[serde(default)]
+    pub wan_cost_per_unit: i64,
 }
 
 impl ExperimentConfig {
@@ -297,6 +370,8 @@ impl ExperimentConfig {
             seed,
             slots: 7 * 24,
             clock: SlotClock::hourly(),
+            sites: Vec::new(),
+            wan_cost_per_unit: 0,
         }
     }
 
@@ -321,6 +396,8 @@ impl ExperimentConfig {
             seed,
             slots: 7 * 24,
             clock: SlotClock::hourly(),
+            sites: Vec::new(),
+            wan_cost_per_unit: 0,
         }
     }
 
@@ -394,6 +471,90 @@ impl ExperimentConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    // --- the site layer ------------------------------------------------
+
+    /// Install an explicit (multi-)site list. `sites[0]` becomes the home
+    /// site and the flat `cluster`/`energy` fields are overwritten to
+    /// mirror it, so code reading the flat fields (planning model, cache
+    /// keys, report labels) stays consistent with the site list.
+    ///
+    /// # Panics
+    /// Panics on an empty site list.
+    pub fn with_sites(mut self, sites: Vec<SiteConfig>) -> Self {
+        assert!(!sites.is_empty(), "an experiment needs at least one site");
+        self.cluster = sites[0].cluster.clone();
+        self.energy.source = sites[0].source.clone();
+        self.energy.forecast = sites[0].forecast;
+        self.energy.battery = sites[0].battery;
+        self.sites = sites;
+        self
+    }
+
+    /// Charge the matcher the given per-unit WAN cost for cross-site
+    /// placement (see [`Self::wan_cost_per_unit`]).
+    pub fn with_wan_cost(mut self, wan_cost_per_unit: i64) -> Self {
+        self.wan_cost_per_unit = wan_cost_per_unit;
+        self
+    }
+
+    /// Number of sites (1 for the flat single-site form).
+    pub fn n_sites(&self) -> usize {
+        self.sites.len().max(1)
+    }
+
+    /// The effective site list: the explicit `sites`, or the one-site
+    /// equivalent of the flat fields when no explicit sites are configured.
+    pub fn site_configs(&self) -> Vec<SiteConfig> {
+        if self.sites.is_empty() {
+            vec![SiteConfig {
+                name: "site0".to_string(),
+                cluster: self.cluster.clone(),
+                source: self.energy.source.clone(),
+                forecast: self.energy.forecast,
+                battery: self.energy.battery,
+                utc_offset_hours: 0,
+            }]
+        } else {
+            self.sites.clone()
+        }
+    }
+
+    /// Per-site master seed. Site 0 uses the run seed unchanged (so the
+    /// single-site path draws exactly the historic streams and shares
+    /// cache keys with flat configs); further sites get seeds derived via
+    /// splitmix so their weather noise is independent.
+    pub fn site_seed(&self, site: usize) -> u64 {
+        if site == 0 {
+            return self.seed;
+        }
+        let mut s = self.seed ^ (site as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        gm_sim::rng::splitmix64(&mut s)
+    }
+
+    /// Check the home-site mirror invariant: with explicit sites, the flat
+    /// fields must equal `sites[0]` (guaranteed by [`Self::with_sites`];
+    /// hand-built or deserialised configs are validated here).
+    pub fn validate_sites(&self) -> Result<(), ConfigError> {
+        let Some(home) = self.sites.first() else { return Ok(()) };
+        if home.cluster != self.cluster
+            || home.source != self.energy.source
+            || home.forecast != self.energy.forecast
+            || home.battery != self.energy.battery
+        {
+            return Err(ConfigError::Invalid {
+                message: "sites[0] must mirror the flat cluster/energy fields \
+                          (build multi-site configs with with_sites)"
+                    .to_string(),
+            });
+        }
+        if home.utc_offset_hours != 0 {
+            return Err(ConfigError::Invalid {
+                message: "the home site must have utc_offset_hours = 0".to_string(),
+            });
+        }
+        Ok(())
     }
 }
 

@@ -68,14 +68,14 @@ pub mod scheduler;
 pub mod simulation;
 pub mod world;
 
-pub use config::{ConfigError, EnergyConfig, ExperimentConfig, SourceKind};
+pub use config::{ConfigError, EnergyConfig, ExperimentConfig, SiteConfig, SourceKind};
 pub use harness::run_experiment;
 pub use observe::{
     CsvSeriesObserver, JsonlTraceObserver, NullObserver, Phase, PhaseProfile, PhaseTimer,
     SlotObserver,
 };
 pub use phases::{SlotContext, SlotScratch};
-pub use policy::{Decision, PolicyKind, SchedContext, Scheduler};
-pub use report::RunReport;
-pub use simulation::{EnergyFlows, Simulation, SlotEvents, SlotOutcome};
-pub use world::{World, WorldCache};
+pub use policy::{Decision, PolicyKind, SchedContext, Scheduler, SiteView};
+pub use report::{RunReport, SiteReport};
+pub use simulation::{EnergyFlows, Simulation, SiteSlotEnergy, SlotEvents, SlotOutcome};
+pub use world::{SiteWorld, World, WorldCache};

@@ -29,7 +29,7 @@
 //! the slot-0 plan into a [`crate::policy::Decision`].
 
 use crate::mincostflow::{EdgeId, MinCostFlow};
-use crate::policy::{JobView, PlanningModel};
+use crate::policy::{JobView, PlanningModel, SiteView};
 use gm_sim::time::SlotIdx;
 
 /// Quantum of batch work in the flow network (8 GiB).
@@ -134,11 +134,18 @@ pub struct MatchStats {
 #[must_use]
 pub fn non_batch_floor_wh(input: &MatchInput<'_>, k: usize) -> f64 {
     let busy = input.interactive_busy_secs.get(k).copied().unwrap_or(0.0);
-    let min_g = input.model.min_gears_for_interactive(busy, input.slot_secs);
-    let hours = input.slot_secs / 3600.0;
+    floor_wh(&input.model, busy, input.slot_secs)
+}
+
+/// The non-batch floor arithmetic shared by the single- and multi-site
+/// solvers: idle power at the interactive minimum gear level plus the
+/// interactive marginal, for one slot.
+fn floor_wh(model: &PlanningModel, busy: f64, slot_secs: f64) -> f64 {
+    let min_g = model.min_gears_for_interactive(busy, slot_secs);
+    let hours = slot_secs / 3600.0;
     let interactive_marginal_wh =
-        busy / 3600.0 * (input.model.batch_wh_per_byte * input.model.disk_bw_bps * 3600.0);
-    input.model.idle_w(min_g) * hours + interactive_marginal_wh
+        busy / 3600.0 * (model.batch_wh_per_byte * model.disk_bw_bps * 3600.0);
+    model.idle_w(min_g) * hours + interactive_marginal_wh
 }
 
 /// Solve one matching round, allocating a fresh plan. Allocation-free
@@ -276,6 +283,252 @@ pub fn solve_with(input: &MatchInput<'_>, scratch: &mut MatcherScratch) -> Match
 
     MatchStats {
         bytes_now: per_slot_bytes.first().copied().unwrap_or(0),
+        deferred_bytes: deferred_units as u64 * UNIT_BYTES,
+        infeasible_bytes: infeasible_units as u64 * UNIT_BYTES,
+        green_bytes,
+        brown_bytes,
+        cost: result.cost,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-site matching
+// ---------------------------------------------------------------------------
+
+/// Input to one multi-site matching round: the single-site problem with the
+/// slot axis generalised to `site × slot`. Placing a unit on a non-home
+/// site additionally pays that site's WAN transfer cost per unit.
+#[derive(Debug, Clone)]
+pub struct MultiMatchInput<'a> {
+    /// Pending deferrable jobs.
+    pub jobs: &'a [JobView],
+    /// Slot being decided (offset 0 of the window).
+    pub current_slot: SlotIdx,
+    /// Window length in slots.
+    pub horizon: usize,
+    /// Per-site capacity views, home first (index 0). The home view's WAN
+    /// cost is zero by construction.
+    pub sites: &'a [SiteView<'a>],
+    /// Home-site expected interactive busy-seconds per slot (remote sites
+    /// serve no interactive traffic).
+    pub interactive_busy_secs: &'a [f64],
+    /// Slot width in seconds.
+    pub slot_secs: f64,
+    /// Per-offset brown cost override (see [`MatchInput`]); applies to
+    /// every site's brown arcs.
+    pub brown_cost_per_slot: Option<&'a [i64]>,
+}
+
+/// Reusable state for repeated multi-site matching rounds, mirroring
+/// [`MatcherScratch`] with the per-slot schedule generalised to a flat
+/// `site × slot` matrix.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MultiMatcherScratch {
+    flow: MinCostFlow,
+    group_units: Vec<i64>,
+    green_arcs: Vec<Option<EdgeId>>,
+    brown_arcs: Vec<Option<EdgeId>>,
+    per_site_slot_bytes: Vec<u64>,
+    n_sites: usize,
+    horizon: usize,
+}
+
+impl MultiMatcherScratch {
+    /// Bytes planned per `site × slot` (row-major: `site * horizon + slot`)
+    /// from the most recent [`solve_sites_with`] call.
+    #[must_use]
+    pub fn per_site_slot_bytes(&self) -> &[u64] {
+        &self.per_site_slot_bytes
+    }
+
+    /// Bytes planned at window offset `t` on `site` in the most recent
+    /// round (0 for out-of-range indices).
+    #[must_use]
+    pub fn site_slot_bytes(&self, site: usize, t: usize) -> u64 {
+        if site >= self.n_sites || t >= self.horizon {
+            return 0;
+        }
+        self.per_site_slot_bytes[site * self.horizon + t]
+    }
+
+    /// Bytes the plan wants executed in the current slot on `site`.
+    #[must_use]
+    pub fn bytes_now(&self, site: usize) -> u64 {
+        self.site_slot_bytes(site, 0)
+    }
+}
+
+/// Copy-out summary of one multi-site matching round; the per-site schedule
+/// stays in the [`MultiMatcherScratch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiMatchStats {
+    /// Bytes the plan wants executed in the current slot at the home site.
+    pub bytes_now_home: u64,
+    /// Bytes the plan wants executed in the current slot on non-home sites.
+    pub remote_bytes_now: u64,
+    /// Bytes the whole plan places on non-home sites (any offset); each
+    /// paid its site's WAN cost.
+    pub wan_bytes: u64,
+    /// Bytes pushed to the `beyond` node (deferred past the window).
+    pub deferred_bytes: u64,
+    /// Bytes that could only be placed via the overload escape.
+    pub infeasible_bytes: u64,
+    /// Bytes of the plan sitting on green-funded arcs (all sites).
+    pub green_bytes: u64,
+    /// Bytes of the plan sitting on brown-funded arcs (all sites).
+    pub brown_bytes: u64,
+    /// Total solver cost (diagnostic).
+    pub cost: i64,
+}
+
+/// Solve one multi-site matching round into reusable scratch state.
+///
+/// The network is [`solve_with`]'s with one slot node per `site × offset`
+/// pair: every deadline group may reach any site's eligible slots, paying
+/// the site's WAN cost per unit on the group→slot arc, and each site's
+/// slots carry their own green/brown capacity split (remote sites have no
+/// interactive floor). The per-site schedule is left in
+/// [`MultiMatcherScratch::per_site_slot_bytes`].
+pub fn solve_sites_with(
+    input: &MultiMatchInput<'_>,
+    scratch: &mut MultiMatcherScratch,
+) -> MultiMatchStats {
+    let h = input.horizon.max(1);
+    let n_sites = input.sites.len().max(1);
+    scratch.horizon = h;
+    scratch.n_sites = n_sites;
+
+    // Deadline groups, exactly as in the single-site round.
+    let group_units = &mut scratch.group_units;
+    group_units.clear();
+    group_units.resize(h + 1, 0);
+    for j in input.jobs {
+        if j.remaining_bytes == 0 {
+            continue;
+        }
+        let units = (j.remaining_bytes.div_ceil(UNIT_BYTES)) as i64;
+        let off = j.deadline_slot.saturating_sub(input.current_slot);
+        let g = off.min(h);
+        group_units[g] += units;
+    }
+    let total_units: i64 = group_units.iter().sum();
+
+    // Node numbering: slot node (s, t) = slot_base + s*h + t.
+    let source = 0usize;
+    let group_base = 1usize;
+    let slot_base = group_base + h + 1;
+    let beyond = slot_base + n_sites * h;
+    let sink = beyond + 1;
+    let g = &mut scratch.flow;
+    g.reset(sink + 1);
+
+    // Source → groups.
+    for (gi, &units) in group_units.iter().enumerate() {
+        if units > 0 {
+            g.add_edge(source, group_base + gi, units, 0);
+        }
+    }
+
+    // Groups → eligible slots on every site (+ escapes). Non-home sites
+    // charge their WAN transfer cost per unit on the way in.
+    for (gi, &units) in group_units.iter().enumerate() {
+        if units == 0 {
+            continue;
+        }
+        let last_slot = if gi == h { h - 1 } else { gi.min(h - 1) };
+        for (si, site) in input.sites.iter().enumerate() {
+            let wan = if si == 0 { 0 } else { site.wan_cost_per_unit };
+            for t in 0..=last_slot {
+                g.add_edge(group_base + gi, slot_base + si * h + t, units, wan);
+            }
+        }
+        let escape_cost = if gi == h { DEFER_COST } else { INFEASIBLE_COST };
+        g.add_edge(group_base + gi, beyond, units, escape_cost);
+    }
+
+    // Site-slots → sink (green + brown arcs per site).
+    let green_arcs = &mut scratch.green_arcs;
+    green_arcs.clear();
+    green_arcs.resize(n_sites * h, None);
+    let brown_arcs = &mut scratch.brown_arcs;
+    brown_arcs.clear();
+    brown_arcs.resize(n_sites * h, None);
+    for (si, site) in input.sites.iter().enumerate() {
+        for t in 0..h {
+            let busy = if si == 0 {
+                input.interactive_busy_secs.get(t).copied().unwrap_or(0.0)
+            } else {
+                0.0
+            };
+            let capacity_units =
+                (site.model.batch_capacity_bytes(site.model.gears, busy, input.slot_secs)
+                    / UNIT_BYTES) as i64;
+            if capacity_units == 0 {
+                continue;
+            }
+            let surplus_wh = (site.green_forecast_wh.get(t).copied().unwrap_or(0.0)
+                - floor_wh(&site.model, busy, input.slot_secs))
+            .max(0.0);
+            let green_units = ((site.model.bytes_fundable_by(surplus_wh) / UNIT_BYTES) as i64)
+                .min(capacity_units);
+            let node = slot_base + si * h + t;
+            if green_units > 0 {
+                green_arcs[si * h + t] = Some(g.add_edge(node, sink, green_units, t as i64));
+            }
+            let brown_units = capacity_units - green_units;
+            if brown_units > 0 {
+                let base =
+                    input.brown_cost_per_slot.and_then(|c| c.get(t).copied()).unwrap_or(BROWN_COST);
+                brown_arcs[si * h + t] =
+                    Some(g.add_edge(node, sink, brown_units, base + (h - t) as i64));
+            }
+        }
+    }
+    let beyond_arc = g.add_edge(beyond, sink, total_units.max(1), 0);
+
+    let result = g.solve(source, sink, total_units);
+    debug_assert_eq!(result.flow, total_units, "network must absorb all work");
+
+    // Extract the per-site schedule.
+    let per_site_slot_bytes = &mut scratch.per_site_slot_bytes;
+    per_site_slot_bytes.clear();
+    per_site_slot_bytes.resize(n_sites * h, 0);
+    let mut green_bytes = 0u64;
+    let mut brown_bytes = 0u64;
+    let mut wan_bytes = 0u64;
+    let mut remote_bytes_now = 0u64;
+    for si in 0..n_sites {
+        for t in 0..h {
+            let mut units = 0i64;
+            if let Some(e) = green_arcs[si * h + t] {
+                let f = g.flow_on(e);
+                units += f;
+                green_bytes += f as u64 * UNIT_BYTES;
+            }
+            if let Some(e) = brown_arcs[si * h + t] {
+                let f = g.flow_on(e);
+                units += f;
+                brown_bytes += f as u64 * UNIT_BYTES;
+            }
+            let bytes = units as u64 * UNIT_BYTES;
+            per_site_slot_bytes[si * h + t] = bytes;
+            if si > 0 {
+                wan_bytes += bytes;
+                if t == 0 {
+                    remote_bytes_now += bytes;
+                }
+            }
+        }
+    }
+    let beyond_units = g.flow_on(beyond_arc);
+    let far_units = group_units[h];
+    let deferred_units = beyond_units.min(far_units);
+    let infeasible_units = beyond_units - deferred_units;
+
+    MultiMatchStats {
+        bytes_now_home: per_site_slot_bytes.first().copied().unwrap_or(0),
+        remote_bytes_now,
+        wan_bytes,
         deferred_bytes: deferred_units as u64 * UNIT_BYTES,
         infeasible_bytes: infeasible_units as u64 * UNIT_BYTES,
         green_bytes,
@@ -460,6 +713,139 @@ mod tests {
             assert_eq!(stats.green_bytes, fresh.green_bytes);
             assert_eq!(stats.brown_bytes, fresh.brown_bytes);
             assert_eq!(stats.cost, fresh.cost);
+        }
+    }
+
+    fn site_views<'a>(
+        forecasts: &'a [Vec<f64>],
+        wan_cost_per_unit: i64,
+    ) -> Vec<crate::policy::SiteView<'a>> {
+        forecasts
+            .iter()
+            .enumerate()
+            .map(|(i, f)| crate::policy::SiteView {
+                site: i,
+                green_forecast_wh: f,
+                model: model(),
+                wan_cost_per_unit: if i == 0 { 0 } else { wan_cost_per_unit },
+                battery: crate::policy::BatteryView::default(),
+            })
+            .collect()
+    }
+
+    fn multi_input<'a>(
+        jobs: &'a [JobView],
+        sites: &'a [crate::policy::SiteView<'a>],
+        busy: &'a [f64],
+    ) -> MultiMatchInput<'a> {
+        MultiMatchInput {
+            jobs,
+            current_slot: 0,
+            horizon: busy.len(),
+            sites,
+            interactive_busy_secs: busy,
+            slot_secs: 3600.0,
+            brown_cost_per_slot: None,
+        }
+    }
+
+    #[test]
+    fn one_site_multi_solve_matches_single_solve() {
+        // The multi-site network with one site is the single-site network;
+        // the schedules must agree exactly.
+        let mut single = MatcherScratch::default();
+        let mut multi = MultiMatcherScratch::default();
+        let rounds: Vec<(Vec<JobView>, Vec<f64>)> = vec![
+            (vec![job(1, 64, 6)], forecast(8, &[3], 5_000.0)),
+            (vec![job(2, 64, 2), job(3, 16, 1_000)], forecast(4, &[], 0.0)),
+            (vec![job(4, 512, 1_000)], forecast(8, &[2, 5], 5_000.0)),
+        ];
+        for (jobs, green) in &rounds {
+            let busy = vec![0.0; green.len()];
+            let stats = solve_with(&input(jobs, green, &busy), &mut single);
+            let forecasts = vec![green.clone()];
+            let sites = site_views(&forecasts, 0);
+            let mstats = solve_sites_with(&multi_input(jobs, &sites, &busy), &mut multi);
+            assert_eq!(multi.per_site_slot_bytes(), single.per_slot_bytes());
+            assert_eq!(mstats.bytes_now_home, stats.bytes_now);
+            assert_eq!(mstats.remote_bytes_now, 0);
+            assert_eq!(mstats.wan_bytes, 0);
+            assert_eq!(mstats.deferred_bytes, stats.deferred_bytes);
+            assert_eq!(mstats.infeasible_bytes, stats.infeasible_bytes);
+            assert_eq!(mstats.green_bytes, stats.green_bytes);
+            assert_eq!(mstats.brown_bytes, stats.brown_bytes);
+            assert_eq!(mstats.cost, stats.cost);
+        }
+    }
+
+    #[test]
+    fn cheap_wan_ships_deadline_work_to_remote_green() {
+        // No green at home, surplus on the remote site, deadline inside the
+        // window: brown at home costs BROWN_COST per unit, remote green
+        // costs the WAN fee. Cheap WAN ⇒ ship; ruinous WAN ⇒ stay home.
+        let jobs = vec![job(1, 64, 2)];
+        let busy = vec![0.0; 8];
+        let forecasts = vec![forecast(8, &[], 0.0), forecast(8, &[1], 5_000.0)];
+
+        let cheap = site_views(&forecasts, 200);
+        let mut scratch = MultiMatcherScratch::default();
+        let shipped = solve_sites_with(&multi_input(&jobs, &cheap, &busy), &mut scratch);
+        assert!(shipped.wan_bytes >= 64 << 30, "cheap WAN ships to remote green");
+        assert_eq!(shipped.brown_bytes, 0);
+        assert!(scratch.site_slot_bytes(1, 1) >= 64 << 30);
+
+        let ruinous = site_views(&forecasts, 1_000_000);
+        let stayed = solve_sites_with(&multi_input(&jobs, &ruinous, &busy), &mut scratch);
+        assert_eq!(stayed.wan_bytes, 0, "ruinous WAN keeps work on home brown");
+        assert!(stayed.brown_bytes >= 64 << 30);
+    }
+
+    #[test]
+    fn multi_site_plans_conserve_bytes_and_respect_capacity() {
+        // Property test over pseudo-random rounds: every unit of work is
+        // accounted for (placed, deferred, or flagged infeasible), and no
+        // site-slot exceeds its physical capacity.
+        let mut seed = 0x00C0_FFEE_u64;
+        let mut rng = move || gm_sim::rng::splitmix64(&mut seed);
+        let mut scratch = MultiMatcherScratch::default();
+        for round in 0..40 {
+            let h = 2 + (rng() % 10) as usize;
+            let n_sites = 1 + (rng() % 3) as usize;
+            let wan = [0, 200, 2_000, 500_000][(rng() % 4) as usize];
+            let n_jobs = (rng() % 12) as usize;
+            let jobs: Vec<JobView> = (0..n_jobs)
+                .map(|i| {
+                    let gib = rng() % 1_500;
+                    let deadline = (rng() % (3 * h as u64)) as usize;
+                    job(i as u64, gib, deadline)
+                })
+                .collect();
+            let forecasts: Vec<Vec<f64>> =
+                (0..n_sites).map(|_| (0..h).map(|_| (rng() % 8_000) as f64).collect()).collect();
+            let busy: Vec<f64> = (0..h).map(|_| (rng() % 4_000) as f64).collect();
+            let sites = site_views(&forecasts, wan);
+            let inp = multi_input(&jobs, &sites, &busy);
+            let stats = solve_sites_with(&inp, &mut scratch);
+
+            let total: u64 =
+                jobs.iter().map(|j| j.remaining_bytes.div_ceil(UNIT_BYTES) * UNIT_BYTES).sum();
+            let placed: u64 = scratch.per_site_slot_bytes().iter().sum();
+            assert_eq!(
+                placed + stats.deferred_bytes + stats.infeasible_bytes,
+                total,
+                "round {round}: every unit placed, deferred, or infeasible"
+            );
+            assert_eq!(stats.green_bytes + stats.brown_bytes, placed, "round {round}");
+            for (si, site) in sites.iter().enumerate() {
+                for (t, &slot_busy) in busy.iter().enumerate().take(h) {
+                    let b = if si == 0 { slot_busy } else { 0.0 };
+                    let cap = site.model.batch_capacity_bytes(site.model.gears, b, 3600.0);
+                    assert!(
+                        scratch.site_slot_bytes(si, t) <= cap,
+                        "round {round}: site {si} slot {t} over capacity"
+                    );
+                }
+            }
         }
     }
 

@@ -8,7 +8,7 @@
 
 use super::{SlotContext, SlotScratch};
 use crate::policy::{JobView, TOTAL_RHO};
-use crate::simulation::{deadline_slot_for, Simulation};
+use crate::simulation::{deadline_slot_for, Simulation, SiteState};
 use gm_workload::{BatchJob, JobId};
 
 /// What the classify phase observed, for the slot outcome.
@@ -25,17 +25,19 @@ pub(crate) fn run(
     let s = ctx.slot;
     let now = ctx.now;
 
-    // Failure injection: draw per disk, spawn repair jobs.
-    let failures_before = sim.cluster.total_failures();
+    // Failure injection: draw per disk, spawn repair jobs. Failures are a
+    // home-site concern: the failure dice, repair-job table and rebuild
+    // routing all live there (remote clusters hold no primary data).
+    let SiteState { cluster, prev_spinups, .. } = &mut sim.sites[0];
+    let failures_before = cluster.total_failures();
     if let Some(fail_spec) = sim.cfg.failures {
-        for (d, prev) in sim.prev_spinups.iter_mut().enumerate() {
-            let spinups = sim.cluster.disk_spinups(d);
+        for (d, prev) in prev_spinups.iter_mut().enumerate() {
+            let spinups = cluster.disk_spinups(d);
             let cycles = spinups - *prev;
             *prev = spinups;
-            let p =
-                fail_spec.failure_probability(ctx.hours, sim.cluster.disk_in_standby(d), cycles);
+            let p = fail_spec.failure_probability(ctx.hours, cluster.disk_in_standby(d), cycles);
             if sim.failure_dice.draw(d, s) < p {
-                let report = sim.cluster.fail_disk(d, now);
+                let report = cluster.fail_disk(d, now);
                 if report.rebuild_bytes > 0 {
                     let id = JobId(sim.next_repair_id);
                     sim.next_repair_id += 1;
@@ -53,7 +55,7 @@ pub(crate) fn run(
             }
         }
     }
-    let disk_failures = sim.cluster.total_failures() - failures_before;
+    let disk_failures = cluster.total_failures() - failures_before;
 
     // Batch arrivals: the population is submission-ordered, so a cursor
     // replaces the historic whole-population filter per slot.

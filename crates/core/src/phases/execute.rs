@@ -3,12 +3,14 @@
 //! Serves the interactive requests (recording latency globally and into
 //! the scratch's per-slot histogram), spreads each decided batch job's
 //! bytes across the active disks (repair jobs write onto their specific
-//! replacement disk), and runs the write-log reclaim budget. Returns the
-//! batch bytes actually executed.
+//! replacement disk), and runs the write-log reclaim budget. For
+//! multi-site runs the decision's remote placements are then executed on
+//! their sites' clusters with the same spreading rule. Returns the batch
+//! bytes actually executed (all sites).
 
 use super::{SlotContext, SlotScratch};
 use crate::policy::Decision;
-use crate::simulation::Simulation;
+use crate::simulation::{Simulation, SiteState};
 
 pub(crate) fn run(
     sim: &mut Simulation,
@@ -18,13 +20,17 @@ pub(crate) fn run(
     gears: usize,
 ) -> u64 {
     let now = ctx.now;
+    let multi_site = sim.sites.len() > 1;
+    scratch.site_executed_bytes.clear();
 
     // Interactive service: record globally (for the final report) and per
-    // slot (for the outcome), in the same order as always.
+    // slot (for the outcome), in the same order as always. Interactive
+    // traffic exists only at the home site.
+    let SiteState { cluster, rr_cursor, .. } = &mut sim.sites[0];
     scratch.slot_hist.clear();
     sim.workload.requests_in_slot_into(ctx.clock, ctx.slot, &mut scratch.requests);
     for req in &scratch.requests {
-        let served = sim.cluster.serve_request(req);
+        let served = cluster.serve_request(req);
         let latency_s = served.latency.as_secs_f64();
         sim.hist.record(latency_s);
         scratch.slot_hist.record(latency_s);
@@ -34,7 +40,7 @@ pub(crate) fn run(
     let mut executed_batch_bytes = 0u64;
     scratch.active_disks.clear();
     for g in 0..gears {
-        scratch.active_disks.extend(sim.cluster.topology().disks_in_gear_range(g));
+        scratch.active_disks.extend(cluster.topology().disks_in_gear_range(g));
     }
     let active_disks = &scratch.active_disks;
     for (job_id, bytes) in &decision.batch_bytes {
@@ -46,7 +52,7 @@ pub(crate) fn run(
         }
         // Repair jobs write onto their specific replacement disk.
         if let Some(&disk) = sim.repair_jobs.get(job_id) {
-            let served = sim.cluster.rebuild_step(disk, bytes, now);
+            let served = cluster.rebuild_step(disk, bytes, now);
             job.perform(bytes, served.completion);
             executed_batch_bytes += bytes;
             continue;
@@ -62,19 +68,71 @@ pub(crate) fn run(
                 break;
             }
             let chunk = per.min(bytes - assigned);
-            let disk = active_disks[(sim.rr_cursor + k) % active_disks.len()];
-            let served = sim.cluster.add_sequential_work(disk, chunk, now);
+            let disk = active_disks[(*rr_cursor + k) % active_disks.len()];
+            let served = cluster.add_sequential_work(disk, chunk, now);
             last_completion = last_completion.max(served.completion);
             assigned += chunk;
         }
-        sim.rr_cursor = (sim.rr_cursor + spread) % active_disks.len().max(1);
+        *rr_cursor = (*rr_cursor + spread) % active_disks.len().max(1);
         job.perform(assigned, last_completion);
         executed_batch_bytes += assigned;
     }
 
     // Write-log reclaim.
     if decision.reclaim_budget_bytes > 0 {
-        sim.cluster.reclaim(decision.reclaim_budget_bytes, now);
+        cluster.reclaim(decision.reclaim_budget_bytes, now);
+    }
+
+    sim.sites[0].executed_batch_bytes += executed_batch_bytes;
+    if multi_site {
+        scratch.site_executed_bytes.resize(sim.sites.len(), 0);
+        scratch.site_executed_bytes[0] = executed_batch_bytes;
+
+        // Remote placements: same spreading rule on the remote cluster.
+        // Jobs are shared state, so bytes already run at home this slot
+        // reduce what a remote placement can still execute (the cap by
+        // `remaining_bytes` makes double assignment harmless).
+        for site_idx in 1..sim.sites.len() {
+            let site_gears = *sim.sites[site_idx].gears_series.last().expect("geared this slot");
+            scratch.active_disks.clear();
+            let SiteState { cluster, rr_cursor, .. } = &mut sim.sites[site_idx];
+            for g in 0..site_gears {
+                scratch.active_disks.extend(cluster.topology().disks_in_gear_range(g));
+            }
+            let active_disks = &scratch.active_disks;
+            let mut site_executed = 0u64;
+            for (s, job_id, bytes) in &decision.remote_batch_bytes {
+                if *s != site_idx {
+                    continue;
+                }
+                let Some(&idx) = sim.job_index.get(job_id) else { continue };
+                let job = &mut sim.jobs[idx];
+                let bytes = (*bytes).min(job.remaining_bytes);
+                if bytes == 0 {
+                    continue;
+                }
+                let spread = active_disks.len().clamp(1, 32);
+                let per = (bytes / spread as u64).max(1);
+                let mut assigned = 0u64;
+                let mut last_completion = now;
+                for k in 0..spread {
+                    if assigned >= bytes {
+                        break;
+                    }
+                    let chunk = per.min(bytes - assigned);
+                    let disk = active_disks[(*rr_cursor + k) % active_disks.len()];
+                    let served = cluster.add_sequential_work(disk, chunk, now);
+                    last_completion = last_completion.max(served.completion);
+                    assigned += chunk;
+                }
+                *rr_cursor = (*rr_cursor + spread) % active_disks.len().max(1);
+                job.perform(assigned, last_completion);
+                site_executed += assigned;
+            }
+            sim.sites[site_idx].executed_batch_bytes += site_executed;
+            scratch.site_executed_bytes[site_idx] = site_executed;
+            executed_batch_bytes += site_executed;
+        }
     }
 
     executed_batch_bytes

@@ -12,7 +12,9 @@ use crate::scheduler::DEFAULT_HORIZON;
 use crate::simulation::Simulation;
 
 pub(crate) fn run(sim: &mut Simulation, ctx: &SlotContext, scratch: &mut SlotScratch) {
-    sim.battery.apply_self_discharge(ctx.width);
+    for site in &mut sim.sites {
+        site.battery.apply_self_discharge(ctx.width);
+    }
 
     // The policy sees the forecaster's view of the whole window,
     // *including* the current slot. With the Oracle forecaster this
@@ -20,9 +22,24 @@ pub(crate) fn run(sim: &mut Simulation, ctx: &SlotContext, scratch: &mut SlotScr
     // exactly; with imperfect forecasters the policy may misjudge even the
     // present — which is what forecast-sensitivity experiments measure.
     // Energy settlement always uses the truth.
-    sim.forecaster.predict_into(ctx.slot, DEFAULT_HORIZON, &mut scratch.green_forecast_wh);
+    let home = &mut sim.sites[0];
+    home.forecaster.predict_into(ctx.slot, DEFAULT_HORIZON, &mut scratch.green_forecast_wh);
     for w in &mut scratch.green_forecast_wh {
         *w *= ctx.hours;
+    }
+
+    // Remote sites get the same treatment into their own buffers (entry i
+    // serves site i + 1). Single-site runs never touch these.
+    let n_remote = sim.sites.len() - 1;
+    scratch.remote_green_forecast_wh.truncate(n_remote);
+    while scratch.remote_green_forecast_wh.len() < n_remote {
+        scratch.remote_green_forecast_wh.push(Vec::new());
+    }
+    for (site, buf) in sim.sites[1..].iter_mut().zip(&mut scratch.remote_green_forecast_wh) {
+        site.forecaster.predict_into(ctx.slot, DEFAULT_HORIZON, buf);
+        for w in buf.iter_mut() {
+            *w *= ctx.hours;
+        }
     }
 
     scratch.interactive_busy_secs.clear();

@@ -95,6 +95,13 @@ pub struct SlotScratch {
     /// the simulation). Cleared and refilled by [`execute`], read when the
     /// [`crate::simulation::SlotOutcome`] is assembled.
     pub slot_hist: LogHistogram,
+    /// Forecast green energy per horizon slot for each *non-home* site
+    /// (Wh); entry `i` belongs to site `i + 1`. Written by [`forecast`],
+    /// read by [`plan`]. Always empty for single-site runs.
+    pub remote_green_forecast_wh: Vec<Vec<f64>>,
+    /// Batch bytes executed per site this slot (index = site). Written by
+    /// [`execute`] for multi-site runs only; empty otherwise.
+    pub site_executed_bytes: Vec<u64>,
 }
 
 impl Default for SlotScratch {
@@ -106,6 +113,8 @@ impl Default for SlotScratch {
             active_disks: Vec::new(),
             requests: Vec::new(),
             slot_hist: LogHistogram::for_latency_secs(),
+            remote_green_forecast_wh: Vec::new(),
+            site_executed_bytes: Vec::new(),
         }
     }
 }

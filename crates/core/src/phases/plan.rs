@@ -5,17 +5,46 @@
 //! the policy to decide the slot.
 
 use super::{SlotContext, SlotScratch};
-use crate::policy::{BatteryView, Decision, SchedContext};
-use crate::simulation::Simulation;
+use crate::policy::{BatteryView, Decision, SchedContext, SiteView};
+use crate::simulation::{Simulation, SiteState};
+
+fn battery_view(site: &SiteState, ctx: &SlotContext) -> BatteryView {
+    BatteryView {
+        stored_wh: site.battery.stored_wh(),
+        headroom_wh: site.battery.headroom_wh(),
+        efficiency: site.battery.spec().efficiency,
+        charge_capacity_wh: site.battery.charge_capacity_wh(ctx.width),
+        discharge_capacity_wh: site.battery.discharge_capacity_wh(ctx.width),
+    }
+}
 
 pub(crate) fn run(sim: &mut Simulation, ctx: &SlotContext, scratch: &SlotScratch) -> Decision {
-    let battery = BatteryView {
-        stored_wh: sim.battery.stored_wh(),
-        headroom_wh: sim.battery.headroom_wh(),
-        efficiency: sim.battery.spec().efficiency,
-        charge_capacity_wh: sim.battery.charge_capacity_wh(ctx.width),
-        discharge_capacity_wh: sim.battery.discharge_capacity_wh(ctx.width),
+    let home = &sim.sites[0];
+    let battery = battery_view(home, ctx);
+
+    // Per-site views, home first, only when there is more than one site
+    // (`Vec::new()` does not allocate, so the single-site plan path stays
+    // allocation-free).
+    let site_views: Vec<SiteView<'_>> = if sim.sites.len() > 1 {
+        sim.sites
+            .iter()
+            .enumerate()
+            .map(|(i, site)| SiteView {
+                site: i,
+                green_forecast_wh: if i == 0 {
+                    &scratch.green_forecast_wh
+                } else {
+                    &scratch.remote_green_forecast_wh[i - 1]
+                },
+                model: site.model,
+                wan_cost_per_unit: if i == 0 { 0 } else { sim.cfg.wan_cost_per_unit },
+                battery: battery_view(site, ctx),
+            })
+            .collect()
+    } else {
+        Vec::new()
     };
+
     let sched = SchedContext {
         slot: ctx.slot,
         now: ctx.now,
@@ -24,9 +53,10 @@ pub(crate) fn run(sim: &mut Simulation, ctx: &SlotContext, scratch: &SlotScratch
         interactive_busy_secs: &scratch.interactive_busy_secs,
         jobs: &scratch.job_views,
         battery,
-        model: sim.model,
-        writelog_pending_bytes: sim.cluster.write_log().pending_total(),
+        model: home.model,
+        writelog_pending_bytes: home.cluster.write_log().pending_total(),
         grid: sim.cfg.energy.grid,
+        sites: &site_views,
     };
     sim.policy.decide(&sched)
 }

@@ -1,38 +1,47 @@
 //! Phase 6 — Settle: energy accounting and job retirement.
 //!
-//! Integrates the cluster's energy over the slot, settles it against the
-//! true green production (green direct → battery → grid, with the
-//! configured discharge strategy), records the ledger slot, feeds the
-//! forecaster the actual, and retires completed jobs (repair completions
-//! restore redundancy instead of entering the batch statistics).
+//! For each site: integrates the cluster's energy over the slot, settles
+//! it against the true green production (green direct → battery → grid,
+//! with the configured discharge strategy), records the ledger slot, and
+//! feeds the forecaster the actual. Then retires completed jobs globally
+//! (repair completions restore redundancy at the home site instead of
+//! entering the batch statistics).
 
 use super::SlotContext;
 use crate::config::DischargeStrategy;
-use crate::simulation::{EnergyFlows, Simulation};
+use crate::simulation::{EnergyFlows, Simulation, SiteState};
 use gm_energy::ledger::SlotFlows;
 
 /// What settlement produced, for the slot outcome.
 pub(crate) struct Settled {
+    /// Aggregate flows across sites (for one site: that site's, exactly).
     pub energy: EnergyFlows,
+    /// Per-site flows, index = site. Empty for single-site runs.
+    pub site_energy: Vec<EnergyFlows>,
     pub jobs_completed: usize,
     pub deadline_misses: usize,
     pub repairs_completed: u64,
 }
 
-pub(crate) fn run(sim: &mut Simulation, ctx: &SlotContext) -> Settled {
+/// Settle one site's energy for the slot and record its ledger.
+fn settle_site(
+    site: &mut SiteState,
+    ctx: &SlotContext,
+    discharge: DischargeStrategy,
+) -> EnergyFlows {
     let s = ctx.slot;
-    let slot_energy = sim.cluster.end_slot(ctx.slot_end, ctx.width);
+    let slot_energy = site.cluster.end_slot(ctx.slot_end, ctx.width);
     let load_wh = slot_energy.total_wh();
-    let green_wh = sim.green_trace.get(s) * ctx.hours;
+    let green_wh = site.green_trace.get(s) * ctx.hours;
     let green_direct = green_wh.min(load_wh);
     let surplus = green_wh - green_direct;
-    let charge = sim.battery.charge(surplus, ctx.width);
+    let charge = site.battery.charge(surplus, ctx.width);
     let curtailed = surplus - charge.drawn_wh;
     let deficit = load_wh - green_direct;
     // Discharge timing per the configured strategy.
     let mid = ctx.now + ctx.width / 2;
     let hour = mid.hour_of_day();
-    let allowed = match sim.cfg.energy.discharge {
+    let allowed = match discharge {
         DischargeStrategy::Eager => deficit,
         DischargeStrategy::PeakOnly => {
             if (7.0..23.0).contains(&hour) {
@@ -45,15 +54,15 @@ pub(crate) fn run(sim: &mut Simulation, ctx: &SlotContext) -> Settled {
             if (17.0..23.0).contains(&hour) {
                 deficit // the peak may spend the reserve
             } else {
-                let reserve = sim.battery.spec().usable_wh() * frac.clamp(0.0, 1.0);
-                deficit.min((sim.battery.stored_wh() - reserve).max(0.0))
+                let reserve = site.battery.spec().usable_wh() * frac.clamp(0.0, 1.0);
+                deficit.min((site.battery.stored_wh() - reserve).max(0.0))
             }
         }
     };
-    let battery_out = sim.battery.discharge(allowed, ctx.width);
+    let battery_out = site.battery.discharge(allowed, ctx.width);
     let brown = deficit - battery_out;
 
-    sim.ledger.record_slot(
+    site.ledger.record_slot(
         s,
         SlotFlows {
             green_produced_wh: green_wh,
@@ -65,10 +74,54 @@ pub(crate) fn run(sim: &mut Simulation, ctx: &SlotContext) -> Settled {
             load_wh,
         },
     );
-    sim.ledger.add_spinup_overhead(slot_energy.spinup_overhead_wh);
-    sim.ledger.add_reclaim_overhead(slot_energy.reclaim_overhead_wh);
+    site.ledger.add_spinup_overhead(slot_energy.spinup_overhead_wh);
+    site.ledger.add_reclaim_overhead(slot_energy.reclaim_overhead_wh);
 
-    sim.forecaster.observe_actual(s, sim.green_trace.get(s));
+    site.forecaster.observe_actual(s, site.green_trace.get(s));
+
+    EnergyFlows {
+        green_produced_wh: green_wh,
+        green_direct_wh: green_direct,
+        battery_in_wh: charge.drawn_wh,
+        battery_out_wh: battery_out,
+        grid_wh: brown,
+        curtailed_wh: curtailed,
+        load_wh,
+    }
+}
+
+pub(crate) fn run(sim: &mut Simulation, ctx: &SlotContext) -> Settled {
+    let discharge = sim.cfg.energy.discharge;
+    let multi_site = sim.sites.len() > 1;
+
+    // Settle every site; aggregate flows sum exactly to the home site's
+    // for single-site runs (each sum starts at zero and adds one term).
+    let mut energy = EnergyFlows {
+        green_produced_wh: 0.0,
+        green_direct_wh: 0.0,
+        battery_in_wh: 0.0,
+        battery_out_wh: 0.0,
+        grid_wh: 0.0,
+        curtailed_wh: 0.0,
+        load_wh: 0.0,
+    };
+    let mut site_energy = Vec::new();
+    if multi_site {
+        site_energy.reserve(sim.sites.len());
+    }
+    for site in &mut sim.sites {
+        let flows = settle_site(site, ctx, discharge);
+        energy.green_produced_wh += flows.green_produced_wh;
+        energy.green_direct_wh += flows.green_direct_wh;
+        energy.battery_in_wh += flows.battery_in_wh;
+        energy.battery_out_wh += flows.battery_out_wh;
+        energy.grid_wh += flows.grid_wh;
+        energy.curtailed_wh += flows.curtailed_wh;
+        energy.load_wh += flows.load_wh;
+        if multi_site {
+            site_energy.push(flows);
+        }
+    }
 
     // Retire completed jobs (each counted exactly once: completed jobs
     // leave the active list and the index below). Repair completions
@@ -80,7 +133,7 @@ pub(crate) fn run(sim: &mut Simulation, ctx: &SlotContext) -> Settled {
         let j = &sim.jobs[idx];
         if let Some(met) = j.met_deadline() {
             if let Some(&disk) = sim.repair_jobs.get(&j.id) {
-                sim.cluster.mark_rebuilt(disk);
+                sim.sites[0].cluster.mark_rebuilt(disk);
                 sim.repairs_completed += 1;
                 slot_repairs += 1;
             } else {
@@ -99,15 +152,8 @@ pub(crate) fn run(sim: &mut Simulation, ctx: &SlotContext) -> Settled {
     sim.active_jobs.retain(|&idx| jobs[idx].is_pending());
 
     Settled {
-        energy: EnergyFlows {
-            green_produced_wh: green_wh,
-            green_direct_wh: green_direct,
-            battery_in_wh: charge.drawn_wh,
-            battery_out_wh: battery_out,
-            grid_wh: brown,
-            curtailed_wh: curtailed,
-            load_wh,
-        },
+        energy,
+        site_energy,
         jobs_completed,
         deadline_misses,
         repairs_completed: slot_repairs,

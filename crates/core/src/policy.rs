@@ -151,6 +151,28 @@ pub struct BatteryView {
     pub discharge_capacity_wh: f64,
 }
 
+/// One site as a policy sees it, for geo-federated placement.
+///
+/// `sites[0]` is always the home site (its forecast slice aliases
+/// [`SchedContext::green_forecast_wh`]); interactive load exists only at
+/// the home site, so remote sites plan batch work against their full
+/// capacity.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteView<'a> {
+    /// Site index (0 = home).
+    pub site: usize,
+    /// Forecast green energy per slot at this site (Wh), index 0 = the
+    /// slot being decided.
+    pub green_forecast_wh: &'a [f64],
+    /// The site's planning arithmetic.
+    pub model: PlanningModel,
+    /// Per-unit WAN cost of placing work here (0 for the home site), on
+    /// the [`crate::matcher::BROWN_COST`] scale.
+    pub wan_cost_per_unit: i64,
+    /// The site's battery state.
+    pub battery: BatteryView,
+}
+
 /// Everything a policy may consult when deciding a slot.
 ///
 /// The bulk fields are borrowed slices: the simulation owns the backing
@@ -180,6 +202,12 @@ pub struct SchedContext<'a> {
     pub writelog_pending_bytes: u64,
     /// Grid profile (carbon intensity / price), for carbon-aware policies.
     pub grid: Grid,
+    /// Per-site views for geo-federated placement. Empty for single-site
+    /// experiments (the flat fields above describe the only site); with
+    /// multiple sites, index 0 is the home site and the flat fields mirror
+    /// it. Policies that ignore this field simply never place work
+    /// remotely.
+    pub sites: &'a [SiteView<'a>],
 }
 
 impl SchedContext<'_> {
@@ -221,17 +249,33 @@ pub struct Decision {
     /// planning window's capacity this slot. Always 0 for policies without
     /// a feasibility-checking planner.
     pub infeasible_bytes: u64,
+    /// Batch work placed at non-home sites: `(site, job, bytes)` triples.
+    /// Always empty for single-site runs and for policies that ignore
+    /// [`SchedContext::sites`].
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub remote_batch_bytes: Vec<(usize, JobId, u64)>,
 }
 
 impl Decision {
     /// A do-nothing decision at the given gear level.
     pub fn idle(gears: usize) -> Self {
-        Decision { gears, batch_bytes: Vec::new(), reclaim_budget_bytes: 0, infeasible_bytes: 0 }
+        Decision {
+            gears,
+            batch_bytes: Vec::new(),
+            reclaim_budget_bytes: 0,
+            infeasible_bytes: 0,
+            remote_batch_bytes: Vec::new(),
+        }
     }
 
-    /// Total batch bytes requested.
+    /// Total batch bytes requested at the home site.
     pub fn total_batch_bytes(&self) -> u64 {
         self.batch_bytes.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Total batch bytes placed at non-home sites.
+    pub fn total_remote_bytes(&self) -> u64 {
+        self.remote_batch_bytes.iter().map(|(_, _, b)| b).sum()
     }
 }
 
@@ -420,8 +464,10 @@ mod tests {
             batch_bytes: vec![(JobId(1), 10), (JobId(2), 20)],
             reclaim_budget_bytes: 0,
             infeasible_bytes: 0,
+            remote_batch_bytes: vec![(1, JobId(3), 40)],
         };
         assert_eq!(d2.total_batch_bytes(), 30);
+        assert_eq!(d2.total_remote_bytes(), 40);
     }
 
     #[test]

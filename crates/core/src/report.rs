@@ -67,6 +67,39 @@ impl BatchReport {
     }
 }
 
+/// Per-site energy breakdown of a multi-site run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteReport {
+    /// Site index (0 = home).
+    pub site: usize,
+    /// Site name from the config.
+    pub name: String,
+    /// Renewable-source label.
+    pub source: String,
+    /// Battery label (chemistry + kWh), or "none".
+    pub battery: String,
+    /// Energy consumed by this site's cluster (kWh).
+    pub load_kwh: f64,
+    /// Grid energy consumed at this site (kWh).
+    pub brown_kwh: f64,
+    /// Renewable energy produced at this site (kWh).
+    pub green_produced_kwh: f64,
+    /// Renewable energy consumed directly at this site (kWh).
+    pub green_direct_kwh: f64,
+    /// Energy delivered by this site's battery (kWh).
+    pub battery_out_kwh: f64,
+    /// Renewable energy curtailed at this site (kWh).
+    pub curtailed_kwh: f64,
+    /// Fraction of this site's produced renewables that served its load.
+    pub green_utilization: f64,
+    /// Fraction of this site's load served by renewables.
+    pub green_coverage: f64,
+    /// Batch bytes executed on this site's cluster.
+    pub executed_batch_bytes: u64,
+    /// Disk spin-ups at this site.
+    pub spinups: u64,
+}
+
 /// The full outcome of one run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -151,6 +184,11 @@ pub struct RunReport {
     pub battery_out_series_wh: Vec<f64>,
     /// Per-slot curtailment (Wh).
     pub curtailed_series_wh: Vec<f64>,
+
+    /// Per-site breakdown; empty for single-site runs (where the totals
+    /// above *are* the one site's numbers).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub sites: Vec<SiteReport>,
 }
 
 impl RunReport {
@@ -252,6 +290,18 @@ impl fmt::Display for RunReport {
             "mechanics       : {} spin-ups ({} forced), carbon {:.1} kg, grid cost ${:.2}",
             self.spinups, self.forced_spinups, self.carbon_kg, self.cost_dollars
         )?;
+        for s in &self.sites {
+            writeln!(
+                f,
+                "site {} {:<9}: load {:>8.1} kWh, brown {:>8.1} kWh, green {:>8.1} kWh produced, coverage {:.1}%",
+                s.site,
+                s.name,
+                s.load_kwh,
+                s.brown_kwh,
+                s.green_produced_kwh,
+                s.green_coverage * 100.0
+            )?;
+        }
         if self.failures > 0 {
             writeln!(
                 f,
@@ -320,6 +370,7 @@ mod tests {
             brown_series_wh: vec![0.0; 24],
             battery_out_series_wh: vec![0.0; 24],
             curtailed_series_wh: vec![0.0; 24],
+            sites: Vec::new(),
         }
     }
 

@@ -21,7 +21,7 @@
 //! with `1.0` it is pure GreenMatch; intermediate values are the hybrid
 //! family the balance study sweeps.
 
-use crate::matcher::{self, MatchInput, MatcherScratch};
+use crate::matcher::{self, MatchInput, MatcherScratch, MultiMatchInput, MultiMatcherScratch};
 use crate::policy::{Decision, JobView, SchedContext, Scheduler};
 use gm_sim::rng::splitmix64;
 use gm_workload::JobId;
@@ -43,11 +43,13 @@ pub struct GreenMatchPolicy {
     // Per-slot work buffers, reused across decisions so the steady-state
     // decide path allocates only the Decision it returns.
     scratch: MatcherScratch,
+    multi_scratch: MultiMatcherScratch,
     critical: Vec<JobView>,
     asap: Vec<JobView>,
     deferrable: Vec<JobView>,
     order: Vec<(JobView, u64)>,
     brown_costs: Vec<i64>,
+    remote_now: Vec<u64>,
 }
 
 impl GreenMatchPolicy {
@@ -59,11 +61,13 @@ impl GreenMatchPolicy {
             horizon: DEFAULT_HORIZON,
             carbon_aware: false,
             scratch: MatcherScratch::default(),
+            multi_scratch: MultiMatcherScratch::default(),
             critical: Vec::new(),
             asap: Vec::new(),
             deferrable: Vec::new(),
             order: Vec::new(),
             brown_costs: Vec::new(),
+            remote_now: Vec::new(),
         }
     }
 
@@ -130,8 +134,27 @@ impl Scheduler for GreenMatchPolicy {
                 (matcher::BROWN_COST as f64 * rel).round() as i64
             }));
         }
+        //    Multi-site runs generalise the bins from `slot` to
+        //    `site × slot`: remote green capacity competes with home brown
+        //    at the configured WAN cost per unit, and the remote slot-0
+        //    placements come back via `remote_now`.
+        self.remote_now.clear();
         let (bytes_now_matched, infeasible_bytes) = if self.deferrable.is_empty() {
             (0, 0)
+        } else if ctx.sites.len() > 1 {
+            let input = MultiMatchInput {
+                jobs: &self.deferrable,
+                current_slot: ctx.slot,
+                horizon: self.horizon,
+                sites: ctx.sites,
+                interactive_busy_secs: ctx.interactive_busy_secs,
+                slot_secs,
+                brown_cost_per_slot: self.carbon_aware.then_some(&self.brown_costs[..]),
+            };
+            let stats = matcher::solve_sites_with(&input, &mut self.multi_scratch);
+            let (remote_now, multi_scratch) = (&mut self.remote_now, &self.multi_scratch);
+            remote_now.extend((1..ctx.sites.len()).map(|s| multi_scratch.bytes_now(s)));
+            (stats.bytes_now_home, stats.infeasible_bytes)
         } else {
             let input = MatchInput {
                 jobs: &self.deferrable,
@@ -193,6 +216,38 @@ impl Scheduler for GreenMatchPolicy {
             remaining -= take;
         }
 
+        // Remote placements: assign each remote site's slot-0 bytes to the
+        // deferrable jobs in the same EDF order, net of what the home list
+        // already took from each job.
+        let mut remote_batch_bytes = Vec::new();
+        if self.remote_now.iter().any(|&b| b > 0) {
+            let mut avail: Vec<(JobId, u64)> = self
+                .deferrable
+                .iter()
+                .map(|j| {
+                    let home_take: u64 =
+                        batch_bytes.iter().filter(|(id, _)| *id == j.id).map(|(_, b)| *b).sum();
+                    (j.id, j.remaining_bytes.saturating_sub(home_take))
+                })
+                .collect();
+            for (k, &want) in self.remote_now.iter().enumerate() {
+                let site = k + 1;
+                let mut want = want;
+                for (id, a) in avail.iter_mut() {
+                    if want == 0 {
+                        break;
+                    }
+                    let take = (*a).min(want);
+                    if take == 0 {
+                        continue;
+                    }
+                    remote_batch_bytes.push((site, *id, take));
+                    *a -= take;
+                    want -= take;
+                }
+            }
+        }
+
         // 5. Reclaim policy.
         let hours = ctx.slot_hours();
         let green_now = ctx.green_forecast_wh.first().copied().unwrap_or(0.0);
@@ -204,7 +259,7 @@ impl Scheduler for GreenMatchPolicy {
                 0
             };
 
-        Decision { gears, batch_bytes, reclaim_budget_bytes, infeasible_bytes }
+        Decision { gears, batch_bytes, reclaim_budget_bytes, infeasible_bytes, remote_batch_bytes }
     }
 
     fn label(&self) -> String {
@@ -248,6 +303,7 @@ mod tests {
                 model: PlanningModel::from_spec(&ClusterSpec::small()),
                 writelog_pending_bytes: self.writelog_pending_bytes,
                 grid: gm_energy::grid::Grid::typical_eu(),
+                sites: &[],
             }
         }
     }

@@ -31,7 +31,7 @@ use crate::config::{ConfigError, ExperimentConfig};
 use crate::observe::{Phase, SlotObserver};
 use crate::phases::{self, SlotContext, SlotScratch};
 use crate::policy::{Decision, PlanningModel};
-use crate::report::{BatchReport, LatencyReport, RunReport};
+use crate::report::{BatchReport, LatencyReport, RunReport, SiteReport};
 use crate::scheduler::DEFAULT_HORIZON;
 use crate::world::{World, WorldCache};
 use gm_energy::battery::{Battery, BatterySpec};
@@ -80,6 +80,22 @@ pub struct EnergyFlows {
     pub curtailed_wh: f64,
     /// Total cluster consumption.
     pub load_wh: f64,
+}
+
+/// One site's share of a slot, reported alongside the aggregate
+/// [`SlotOutcome`] fields for multi-site runs.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SiteSlotEnergy {
+    /// Site index (0 = home).
+    pub site: usize,
+    /// Gears powered at this site.
+    pub gears: usize,
+    /// Batch bytes executed at this site this slot.
+    pub executed_batch_bytes: u64,
+    /// The site's energy flows.
+    pub energy: EnergyFlows,
+    /// The site's battery state of charge after settlement (Wh).
+    pub battery_soc_wh: f64,
 }
 
 /// Job lifecycle events observed in one slot.
@@ -131,6 +147,34 @@ pub struct SlotOutcome {
     pub pending_jobs: usize,
     /// Write-log backlog after the slot (bytes).
     pub writelog_pending_bytes: u64,
+    /// Per-site breakdown of the aggregate fields above. Empty for
+    /// single-site runs (the aggregates *are* the one site).
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub site_energy: Vec<SiteSlotEnergy>,
+}
+
+/// The per-run mutable state of one site: its cluster, energy system and
+/// the bookkeeping that was per-run state back when there was exactly one
+/// site. `sites[0]` is the home site — it additionally hosts the
+/// interactive workload, the write log, failure injection and repair jobs,
+/// which stay on the [`Simulation`] itself.
+pub(crate) struct SiteState {
+    /// Site label for reports.
+    pub(crate) name: String,
+    /// The site's renewable-source label for reports.
+    pub(crate) source_label: String,
+    pub(crate) cluster: Cluster,
+    pub(crate) model: PlanningModel,
+    pub(crate) green_trace: Arc<TimeSeries>,
+    pub(crate) forecaster: Box<dyn Forecaster + Send>,
+    pub(crate) battery_spec: BatterySpec,
+    pub(crate) battery: Battery,
+    pub(crate) ledger: EnergyLedger,
+    pub(crate) gears_series: Vec<usize>,
+    pub(crate) rr_cursor: usize,
+    pub(crate) prev_spinups: Vec<u64>,
+    /// Total batch bytes executed at this site over the run.
+    pub(crate) executed_batch_bytes: u64,
 }
 
 /// A resumable slot-by-slot simulation of one experiment.
@@ -144,14 +188,10 @@ pub struct Simulation {
     pub(crate) slots: usize,
     pub(crate) hours: f64,
 
-    pub(crate) cluster: Cluster,
+    /// Per-site mutable state; index 0 is the home site. Phases that only
+    /// concern the home site split the borrow with `&mut sim.sites[0]`.
+    pub(crate) sites: Vec<SiteState>,
     pub(crate) workload: Arc<Workload>,
-    pub(crate) model: PlanningModel,
-    pub(crate) green_trace: Arc<TimeSeries>,
-    pub(crate) forecaster: Box<dyn Forecaster + Send>,
-    pub(crate) battery_spec: BatterySpec,
-    pub(crate) battery: Battery,
-    pub(crate) ledger: EnergyLedger,
     pub(crate) policy: Box<dyn crate::policy::Scheduler + Send>,
 
     pub(crate) hist: LogHistogram,
@@ -165,12 +205,10 @@ pub struct Simulation {
     /// have been admitted.
     pub(crate) arrivals_cursor: usize,
     pub(crate) batch_report: BatchReport,
-    pub(crate) gears_series: Vec<usize>,
 
     pub(crate) positioning_s: f64,
     pub(crate) secs_per_byte: f64,
     pub(crate) total_batch_bw: f64,
-    pub(crate) rr_cursor: usize,
     /// Memoised expected interactive busy-seconds per absolute slot (NaN =
     /// not yet computed). The expectation is pure per slot, and horizons
     /// overlap by `DEFAULT_HORIZON - 1` slots, so memoisation turns an
@@ -178,7 +216,6 @@ pub struct Simulation {
     pub(crate) busy_memo: Vec<f64>,
 
     pub(crate) failure_dice: FailureDice,
-    pub(crate) prev_spinups: Vec<u64>,
     pub(crate) repair_jobs: HashMap<JobId, usize>,
     pub(crate) next_repair_id: u64,
     pub(crate) repairs_completed: u64,
@@ -230,40 +267,54 @@ impl Simulation {
         let clock = cfg.clock;
         let slots = cfg.slots;
         let width = clock.width();
-        let rngs = gm_sim::RngFactory::new(cfg.seed);
-        let World { workload, green_trace, layout } = world;
+        let World { workload, sites: site_worlds } = world;
+        let site_cfgs = cfg.site_configs();
+        debug_assert_eq!(site_cfgs.len(), site_worlds.len(), "world built for another config");
 
-        let mut cluster = Cluster::from_layout(layout);
-        cluster.set_slot_width(width);
-        let model = PlanningModel::from_spec(&cfg.cluster);
+        let mut sites = Vec::with_capacity(site_cfgs.len());
+        for (i, (site_cfg, site_world)) in site_cfgs.iter().zip(site_worlds).enumerate() {
+            let rngs = gm_sim::RngFactory::new(cfg.site_seed(i));
+            let mut cluster = Cluster::from_layout(site_world.layout);
+            cluster.set_slot_width(width);
+            let model = PlanningModel::from_spec(&site_cfg.cluster);
+            let forecaster = site_cfg.forecast.build(&site_world.green_trace, clock, &rngs);
+            let battery_spec = site_cfg.battery.unwrap_or_else(|| BatterySpec::lithium_ion(0.0));
+            let n_disks = site_cfg.cluster.topology.n_disks();
+            sites.push(SiteState {
+                name: site_cfg.name.clone(),
+                source_label: site_cfg.source.label(),
+                cluster,
+                model,
+                green_trace: site_world.green_trace,
+                forecaster,
+                battery_spec,
+                battery: Battery::new(battery_spec),
+                ledger: EnergyLedger::new(clock, cfg.energy.grid),
+                gears_series: Vec::with_capacity(slots),
+                rr_cursor: 0,
+                prev_spinups: vec![0u64; n_disks],
+                executed_batch_bytes: 0,
+            });
+        }
 
-        let forecaster = cfg.energy.forecast.build(&green_trace, clock, &rngs);
-        let battery_spec = cfg.energy.battery.unwrap_or_else(|| BatterySpec::lithium_ion(0.0));
-        let battery = Battery::new(battery_spec);
-        let ledger = EnergyLedger::new(clock, cfg.energy.grid);
         let policy = cfg.policy.build();
+        let home_model = sites[0].model;
 
         let positioning_s =
             cfg.cluster.disk.avg_seek.as_secs_f64() + cfg.cluster.disk.avg_rotation.as_secs_f64();
         let secs_per_byte = 1.0 / cfg.cluster.disk.transfer_bps;
-        let total_batch_bw = model.gears as f64 * model.disks_per_gear as f64 * model.disk_bw_bps;
+        let total_batch_bw =
+            home_model.gears as f64 * home_model.disks_per_gear as f64 * home_model.disk_bw_bps;
 
         let failure_dice = FailureDice::new(cfg.seed);
-        let n_disks = cfg.cluster.topology.n_disks();
 
         Simulation {
             cfg: cfg.clone(),
             clock,
             slots,
             hours: clock.width_hours(),
-            cluster,
+            sites,
             workload,
-            model,
-            green_trace,
-            forecaster,
-            battery_spec,
-            battery,
-            ledger,
             policy,
             hist: LogHistogram::for_latency_secs(),
             jobs: Vec::new(),
@@ -271,14 +322,11 @@ impl Simulation {
             active_jobs: Vec::new(),
             arrivals_cursor: 0,
             batch_report: BatchReport::default(),
-            gears_series: Vec::with_capacity(slots),
             positioning_s,
             secs_per_byte,
             total_batch_bw,
-            rr_cursor: 0,
             busy_memo: vec![f64::NAN; slots + DEFAULT_HORIZON],
             failure_dice,
-            prev_spinups: vec![0u64; n_disks],
             repair_jobs: HashMap::new(),
             next_repair_id: 1u64 << 40, // well above workload job ids
             repairs_completed: 0,
@@ -322,9 +370,14 @@ impl Simulation {
         self.cursor >= self.slots
     }
 
-    /// Battery state of charge right now (Wh).
+    /// Battery state of charge right now, summed across sites (Wh).
     pub fn battery_soc_wh(&self) -> f64 {
-        self.battery.stored_wh()
+        self.sites.iter().map(|site| site.battery.stored_wh()).sum()
+    }
+
+    /// Number of sites in this simulation (1 for single-site configs).
+    pub fn n_sites(&self) -> usize {
+        self.sites.len()
     }
 
     /// Simulate one slot using the simulation's own scratch. Returns
@@ -372,17 +425,35 @@ impl Simulation {
 
         self.cursor += 1;
 
-        let usable = self.battery_spec.usable_wh();
+        let usable: f64 = self.sites.iter().map(|site| site.battery_spec.usable_wh()).sum();
+        let soc = self.battery_soc_wh();
+        let site_energy: Vec<SiteSlotEnergy> = if self.sites.len() > 1 {
+            settled
+                .site_energy
+                .iter()
+                .enumerate()
+                .map(|(i, &energy)| SiteSlotEnergy {
+                    site: i,
+                    gears: self.sites[i].gears_series.last().copied().unwrap_or(0),
+                    executed_batch_bytes: scratch.site_executed_bytes.get(i).copied().unwrap_or(0),
+                    energy,
+                    battery_soc_wh: self.sites[i].battery.stored_wh(),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let outcome = SlotOutcome {
             slot: s,
             gears,
-            requested_batch_bytes: decision.batch_bytes.iter().map(|(_, b)| b).sum(),
+            requested_batch_bytes: decision.batch_bytes.iter().map(|(_, b)| b).sum::<u64>()
+                + decision.total_remote_bytes(),
             executed_batch_bytes,
             deadline_infeasible_bytes: decision.infeasible_bytes,
             decision,
             energy: settled.energy,
-            battery_soc_wh: self.battery.stored_wh(),
-            battery_soc_frac: if usable > 0.0 { self.battery.stored_wh() / usable } else { 0.0 },
+            battery_soc_wh: soc,
+            battery_soc_frac: if usable > 0.0 { soc / usable } else { 0.0 },
             events: SlotEvents {
                 jobs_submitted: classified.jobs_submitted,
                 jobs_completed: settled.jobs_completed,
@@ -392,7 +463,8 @@ impl Simulation {
             },
             latency: LatencyReport::from_histogram(&scratch.slot_hist),
             pending_jobs: self.job_index.len(),
-            writelog_pending_bytes: self.cluster.write_log().pending_total(),
+            writelog_pending_bytes: self.sites[0].cluster.write_log().pending_total(),
+            site_energy,
         };
         for obs in &mut self.observers {
             obs.on_slot(&outcome);
@@ -464,66 +536,164 @@ impl Simulation {
             }
         }
 
-        self.ledger.set_battery_losses(
-            self.battery.efficiency_loss_wh(),
-            self.battery.self_discharge_loss_wh(),
-        );
-
-        let battery_label = if self.battery_spec.capacity_wh > 0.0 {
-            format!(
-                "LI-like:{:.1}kWh(σ={})",
-                self.battery_spec.capacity_wh / 1000.0,
-                self.battery_spec.efficiency
-            )
-        } else {
-            "none".to_string()
-        };
+        for site in &mut self.sites {
+            let efficiency_loss = site.battery.efficiency_loss_wh();
+            let self_discharge = site.battery.self_discharge_loss_wh();
+            site.ledger.set_battery_losses(efficiency_loss, self_discharge);
+        }
 
         for obs in &mut self.observers {
             obs.on_finish();
         }
 
-        let totals = self.ledger.totals();
+        // Aggregate energy accounting across sites. Exact for a single
+        // site: every accumulator starts at zero and adds one term, and the
+        // ratio formulas below replicate the ledger's own.
+        let mut load_wh = 0.0;
+        let mut brown_wh = 0.0;
+        let mut green_produced_wh = 0.0;
+        let mut green_direct_wh = 0.0;
+        let mut battery_out_wh = 0.0;
+        let mut curtailed_wh = 0.0;
+        let mut battery_eff_loss_wh = 0.0;
+        let mut battery_selfdisch_wh = 0.0;
+        let mut spinup_overhead_wh = 0.0;
+        let mut reclaim_overhead_wh = 0.0;
+        let mut carbon_g = 0.0;
+        let mut cost_dollars = 0.0;
+        let mut battery_cycles = 0.0;
+        let mut battery_wear_dollars = 0.0;
+        let mut spinups = 0u64;
+        let mut forced_spinups = 0u64;
+        for site in &self.sites {
+            let totals = site.ledger.totals();
+            load_wh += totals.load_wh;
+            brown_wh += totals.brown_wh;
+            green_produced_wh += totals.green_produced_wh;
+            green_direct_wh += totals.green_direct_wh;
+            battery_out_wh += totals.battery_out_wh;
+            curtailed_wh += totals.curtailed_wh;
+            battery_eff_loss_wh += site.ledger.battery_efficiency_loss_wh();
+            battery_selfdisch_wh += site.ledger.battery_self_discharge_wh();
+            spinup_overhead_wh += site.ledger.spinup_overhead_wh();
+            reclaim_overhead_wh += site.ledger.reclaim_overhead_wh();
+            carbon_g += site.ledger.carbon_g();
+            cost_dollars += site.ledger.cost_dollars();
+            battery_cycles += site.battery.equivalent_full_cycles();
+            battery_wear_dollars += site.battery.wear_cost_dollars();
+            spinups += site.cluster.total_spinups();
+            forced_spinups += site.cluster.total_forced_spinups();
+        }
+        let green_utilization = if green_produced_wh == 0.0 {
+            0.0
+        } else {
+            (green_direct_wh + battery_out_wh) / green_produced_wh
+        };
+        let green_coverage =
+            if load_wh == 0.0 { 0.0 } else { (green_direct_wh + battery_out_wh) / load_wh };
+
+        // Element-wise summed per-slot series (the home site's values,
+        // untouched, for a single site).
+        let mut load_series_wh = self.sites[0].ledger.load_series().values().to_vec();
+        let mut green_series_wh = self.sites[0].ledger.green_series().values().to_vec();
+        let mut brown_series_wh = self.sites[0].ledger.brown_series().values().to_vec();
+        let mut battery_out_series_wh = self.sites[0].ledger.battery_out_series().values().to_vec();
+        let mut curtailed_series_wh = self.sites[0].ledger.curtailed_series().values().to_vec();
+        for site in &self.sites[1..] {
+            add_series(&mut load_series_wh, site.ledger.load_series().values());
+            add_series(&mut green_series_wh, site.ledger.green_series().values());
+            add_series(&mut brown_series_wh, site.ledger.brown_series().values());
+            add_series(&mut battery_out_series_wh, site.ledger.battery_out_series().values());
+            add_series(&mut curtailed_series_wh, site.ledger.curtailed_series().values());
+        }
+
+        let sites = if self.sites.len() > 1 {
+            self.sites
+                .iter()
+                .enumerate()
+                .map(|(i, site)| {
+                    let totals = site.ledger.totals();
+                    SiteReport {
+                        site: i,
+                        name: site.name.clone(),
+                        source: site.source_label.clone(),
+                        battery: battery_label(&site.battery_spec),
+                        load_kwh: totals.load_wh / 1000.0,
+                        brown_kwh: site.ledger.brown_kwh(),
+                        green_produced_kwh: totals.green_produced_wh / 1000.0,
+                        green_direct_kwh: totals.green_direct_wh / 1000.0,
+                        battery_out_kwh: totals.battery_out_wh / 1000.0,
+                        curtailed_kwh: totals.curtailed_wh / 1000.0,
+                        green_utilization: site.ledger.green_utilization(),
+                        green_coverage: site.ledger.green_coverage(),
+                        executed_batch_bytes: site.executed_batch_bytes,
+                        spinups: site.cluster.total_spinups(),
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let home = &mut self.sites[0];
         RunReport {
             policy: self.policy.label(),
             source: self.cfg.energy.source.label(),
-            battery: battery_label,
+            battery: battery_label(&home.battery_spec),
             seed: self.cfg.seed,
             slots: self.slots,
-            load_kwh: totals.load_wh / 1000.0,
-            brown_kwh: self.ledger.brown_kwh(),
-            green_produced_kwh: totals.green_produced_wh / 1000.0,
-            green_direct_kwh: totals.green_direct_wh / 1000.0,
-            battery_out_kwh: totals.battery_out_wh / 1000.0,
-            curtailed_kwh: totals.curtailed_wh / 1000.0,
-            battery_eff_loss_kwh: self.ledger.battery_efficiency_loss_wh() / 1000.0,
-            battery_selfdisch_kwh: self.ledger.battery_self_discharge_wh() / 1000.0,
-            spinup_overhead_kwh: self.ledger.spinup_overhead_wh() / 1000.0,
-            reclaim_overhead_kwh: self.ledger.reclaim_overhead_wh() / 1000.0,
-            green_utilization: self.ledger.green_utilization(),
-            green_coverage: self.ledger.green_coverage(),
-            carbon_kg: self.ledger.carbon_g() / 1000.0,
-            cost_dollars: self.ledger.cost_dollars(),
-            battery_cycles: self.battery.equivalent_full_cycles(),
-            battery_wear_dollars: self.battery.wear_cost_dollars(),
+            load_kwh: load_wh / 1000.0,
+            brown_kwh: brown_wh / 1000.0,
+            green_produced_kwh: green_produced_wh / 1000.0,
+            green_direct_kwh: green_direct_wh / 1000.0,
+            battery_out_kwh: battery_out_wh / 1000.0,
+            curtailed_kwh: curtailed_wh / 1000.0,
+            battery_eff_loss_kwh: battery_eff_loss_wh / 1000.0,
+            battery_selfdisch_kwh: battery_selfdisch_wh / 1000.0,
+            spinup_overhead_kwh: spinup_overhead_wh / 1000.0,
+            reclaim_overhead_kwh: reclaim_overhead_wh / 1000.0,
+            green_utilization,
+            green_coverage,
+            carbon_kg: carbon_g / 1000.0,
+            cost_dollars,
+            battery_cycles,
+            battery_wear_dollars,
             latency: LatencyReport::from_histogram(&self.hist),
             batch: self.batch_report,
-            spinups: self.cluster.total_spinups(),
-            forced_spinups: self.cluster.total_forced_spinups(),
-            writelog_peak_bytes: self.cluster.write_log().peak_pending(),
-            failures: self.cluster.total_failures(),
-            lost_objects: self.cluster.total_lost_objects(),
-            degraded_reads: self.cluster.degraded_reads(),
-            rebuild_bytes: self.cluster.total_rebuild_bytes(),
+            spinups,
+            forced_spinups,
+            writelog_peak_bytes: home.cluster.write_log().peak_pending(),
+            failures: home.cluster.total_failures(),
+            lost_objects: home.cluster.total_lost_objects(),
+            degraded_reads: home.cluster.degraded_reads(),
+            rebuild_bytes: home.cluster.total_rebuild_bytes(),
             repairs_completed: self.repairs_completed,
-            cache_hit_ratio: self.cluster.cache().hit_ratio(),
-            gears_series: self.gears_series,
-            load_series_wh: self.ledger.load_series().values().to_vec(),
-            green_series_wh: self.ledger.green_series().values().to_vec(),
-            brown_series_wh: self.ledger.brown_series().values().to_vec(),
-            battery_out_series_wh: self.ledger.battery_out_series().values().to_vec(),
-            curtailed_series_wh: self.ledger.curtailed_series().values().to_vec(),
+            cache_hit_ratio: home.cluster.cache().hit_ratio(),
+            gears_series: std::mem::take(&mut home.gears_series),
+            load_series_wh,
+            green_series_wh,
+            brown_series_wh,
+            battery_out_series_wh,
+            curtailed_series_wh,
+            sites,
         }
+    }
+}
+
+/// Report label of a battery spec (the historic single-battery label).
+fn battery_label(spec: &BatterySpec) -> String {
+    if spec.capacity_wh > 0.0 {
+        format!("LI-like:{:.1}kWh(σ={})", spec.capacity_wh / 1000.0, spec.efficiency)
+    } else {
+        "none".to_string()
+    }
+}
+
+/// `a[i] += b[i]` for two equal-length per-slot series.
+fn add_series(a: &mut [f64], b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len(), "site series lengths diverged");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
     }
 }
 
@@ -632,5 +802,73 @@ mod tests {
         let o = sim.step().expect("first slot");
         assert_eq!(o.decision.gears, 3, "all-on always asks for every gear");
         assert_eq!(o.gears, 3);
+    }
+
+    #[test]
+    fn single_site_runs_have_no_site_breakdown() {
+        let mut sim = Simulation::new(&quick_cfg());
+        while let Some(o) = sim.step() {
+            assert!(o.site_energy.is_empty());
+        }
+        assert!(sim.into_report().sites.is_empty());
+    }
+
+    #[test]
+    fn multi_site_run_aggregates_per_site_flows() {
+        let base =
+            quick_cfg().with_policy(PolicyKind::GreenMatch { delay_fraction: 1.0 }).with_slots(48);
+        let mut sites = base.site_configs();
+        let mut east = sites[0].clone();
+        east.name = "east".into();
+        east.utc_offset_hours = 8;
+        sites.push(east);
+        let cfg = base.with_sites(sites).with_wan_cost(200);
+
+        let mut sim = Simulation::new(&cfg);
+        assert_eq!(sim.n_sites(), 2);
+        while let Some(o) = sim.step() {
+            assert_eq!(o.site_energy.len(), 2, "slot {}", o.slot);
+            let load: f64 = o.site_energy.iter().map(|s| s.energy.load_wh).sum();
+            assert!((load - o.energy.load_wh).abs() < 1e-9, "slot {}", o.slot);
+            let executed: u64 = o.site_energy.iter().map(|s| s.executed_batch_bytes).sum();
+            assert_eq!(executed, o.executed_batch_bytes, "slot {}", o.slot);
+        }
+        let report = sim.into_report();
+        assert_eq!(report.sites.len(), 2);
+        assert_eq!(report.sites[0].name, "site0");
+        assert_eq!(report.sites[1].name, "east");
+        for (total, per_site) in [
+            (report.load_kwh, report.sites.iter().map(|s| s.load_kwh).sum::<f64>()),
+            (report.brown_kwh, report.sites.iter().map(|s| s.brown_kwh).sum::<f64>()),
+            (
+                report.green_produced_kwh,
+                report.sites.iter().map(|s| s.green_produced_kwh).sum::<f64>(),
+            ),
+        ] {
+            assert!((total - per_site).abs() < 1e-9, "{total} vs {per_site}");
+        }
+        assert_eq!(report.spinups, report.sites.iter().map(|s| s.spinups).sum::<u64>());
+    }
+
+    #[test]
+    fn offset_site_shifts_green_production_in_time() {
+        // Site 1 is site 0's solar field pushed 8 hours east: its trace is
+        // the home trace rotated, so the two sites peak at different slots.
+        let base = quick_cfg().with_slots(48);
+        let mut sites = base.site_configs();
+        let mut east = sites[0].clone();
+        east.name = "east".into();
+        east.utc_offset_hours = 8;
+        sites.push(east);
+        let cfg = base.with_sites(sites);
+
+        let world = crate::world::World::try_materialize(&cfg).expect("materializes");
+        let home = world.sites[0].green_trace.as_ref();
+        let east = world.sites[1].green_trace.as_ref();
+        let n = cfg.slots;
+        let peak = |trace: &gm_sim::series::TimeSeries| {
+            (0..n).max_by(|&a, &b| trace.get(a).total_cmp(&trace.get(b))).unwrap()
+        };
+        assert_ne!(peak(home) % 24, peak(east) % 24, "offset shifts the solar peak");
     }
 }

@@ -22,7 +22,7 @@
 //! byte-for-byte indistinguishable from a cold rebuild — the telemetry
 //! tests pin this.
 
-use crate::config::{ConfigError, ExperimentConfig, SourceKind};
+use crate::config::{ConfigError, ExperimentConfig, SiteConfig, SourceKind};
 use gm_sim::{RngFactory, TimeSeries};
 use gm_storage::ClusterLayout;
 use gm_workload::trace::Workload;
@@ -30,44 +30,77 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+/// The immutable inputs of one *site*: its green production trace and its
+/// placed cluster layout. A single-site world has exactly one of these.
+#[derive(Clone)]
+pub struct SiteWorld {
+    /// Materialised green production trace (W per slot), already rotated
+    /// by the site's UTC offset.
+    pub green_trace: Arc<TimeSeries>,
+    /// Placed cluster layout (spec + object directory).
+    pub layout: Arc<ClusterLayout>,
+}
+
 /// The immutable inputs of one simulation run, shareable across runs.
 ///
-/// Cloning a `World` clones three `Arc`s. Simulations only ever borrow the
+/// Cloning a `World` clones `Arc`s only. Simulations only ever borrow the
 /// contents immutably (the phase pipeline takes `&Workload`,
 /// `&TimeSeries`, `&ClusterLayout`); all mutable state lives in the
 /// [`crate::simulation::Simulation`] itself.
+///
+/// The workload is global (interactive traffic and batch arrivals enter at
+/// the home site); traces and layouts are per-site, one [`SiteWorld`] per
+/// entry of [`ExperimentConfig::site_configs`]. `sites[0]` is the home
+/// site.
 #[derive(Clone)]
 pub struct World {
     /// Generated workload population (interactive streams + batch jobs).
     pub workload: Arc<Workload>,
-    /// Materialised green production trace (W per slot).
-    pub green_trace: Arc<TimeSeries>,
-    /// Placed cluster layout (spec + object directory).
-    pub layout: Arc<ClusterLayout>,
+    /// Per-site immutable components; index 0 is the home site.
+    pub sites: Vec<SiteWorld>,
 }
 
 impl std::fmt::Debug for World {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("World")
             .field("batch_jobs", &self.workload.batch_jobs().len())
-            .field("trace_slots", &self.green_trace.len())
-            .field("objects", &self.layout.directory().len())
+            .field("sites", &self.sites.len())
+            .field("trace_slots", &self.green_trace().len())
+            .field("objects", &self.layout().directory().len())
             .finish()
     }
 }
 
 impl World {
+    /// The home site's green production trace.
+    pub fn green_trace(&self) -> &Arc<TimeSeries> {
+        &self.sites[0].green_trace
+    }
+
+    /// The home site's cluster layout.
+    pub fn layout(&self) -> &Arc<ClusterLayout> {
+        &self.sites[0].layout
+    }
+
     /// Cold-materialise every component, bypassing any cache.
     ///
-    /// Component build order (layout, workload, trace) matches the historic
-    /// `Simulation::try_new`, so error reporting is unchanged: a missing
-    /// trace file still surfaces only after the cluster and workload build.
+    /// Component build order (layouts, workload, traces) matches the
+    /// historic `Simulation::try_new`, so error reporting is unchanged: a
+    /// missing trace file still surfaces only after the cluster and
+    /// workload build.
     pub fn try_materialize(cfg: &ExperimentConfig) -> Result<World, ConfigError> {
-        let layout = Arc::new(ClusterLayout::new(cfg.cluster.clone()));
+        cfg.validate_sites()?;
+        let site_cfgs = cfg.site_configs();
+        let layouts: Vec<Arc<ClusterLayout>> =
+            site_cfgs.iter().map(|s| Arc::new(ClusterLayout::new(s.cluster.clone()))).collect();
         let workload = Arc::new(Workload::generate(cfg.workload.clone(), cfg.seed));
-        let rngs = RngFactory::new(cfg.seed);
-        let green_trace = Arc::new(cfg.energy.source.try_materialize(cfg.clock, cfg.slots, &rngs)?);
-        Ok(World { workload, green_trace, layout })
+        let mut sites = Vec::with_capacity(site_cfgs.len());
+        for (i, (site, layout)) in site_cfgs.iter().zip(layouts).enumerate() {
+            let rngs = RngFactory::new(cfg.site_seed(i));
+            let green_trace = Arc::new(site.try_materialize_trace(cfg.clock, cfg.slots, &rngs)?);
+            sites.push(SiteWorld { green_trace, layout });
+        }
+        Ok(World { workload, sites })
     }
 
     /// Materialise through `cache`: each component is built at most once
@@ -145,22 +178,26 @@ fn workload_key(cfg: &ExperimentConfig) -> String {
     format!("{}|{spec}", cfg.seed)
 }
 
-/// Key of the green-trace component: seed, renewable source, clock and
-/// slot count. Battery, grid, forecaster and discharge strategy are
-/// deliberately excluded — they shape settlement, not production — so a
-/// battery or forecast sweep shares one trace.
-fn trace_key(cfg: &ExperimentConfig) -> String {
-    let source = serde_json::to_string(&cfg.energy.source).expect("source serialises");
+/// Key of one site's green-trace component: the site's seed, renewable
+/// source, UTC offset, plus clock and slot count. Battery, grid,
+/// forecaster and discharge strategy are deliberately excluded — they
+/// shape settlement, not production — so a battery or forecast sweep
+/// shares one trace. Sites with identical sources but different offsets
+/// miss each other (the rotation changes the materialised values).
+fn trace_key(cfg: &ExperimentConfig, site: &SiteConfig, site_seed: u64) -> String {
+    let source = serde_json::to_string(&site.source).expect("source serialises");
     let clock = serde_json::to_string(&cfg.clock).expect("clock serialises");
-    format!("{}|{}|{clock}|{source}", cfg.seed, cfg.slots)
+    format!("{site_seed}|{}|{clock}|{source}|{}", cfg.slots, site.utc_offset_hours)
 }
 
-/// Key of the cluster-layout component: the whole cluster section. The
-/// placement itself reads only topology/layout/objects, but the layout
+/// Key of one site's cluster-layout component: the whole cluster section.
+/// The placement itself reads only topology/layout/objects, but the layout
 /// carries its spec (disk, server, cache models) into every run built from
-/// it, so any cluster-section change must miss.
-fn layout_key(cfg: &ExperimentConfig) -> String {
-    serde_json::to_string(&cfg.cluster).expect("cluster spec serialises")
+/// it, so any cluster-section change must miss. Sites with identical
+/// cluster specs share one placed layout (placement is seeded by
+/// `layout_seed`, not the master seed).
+fn layout_key(site: &SiteConfig) -> String {
+    serde_json::to_string(&site.cluster).expect("cluster spec serialises")
 }
 
 impl WorldCache {
@@ -182,24 +219,34 @@ impl WorldCache {
     /// a file is fallible and the file may change between runs); all
     /// synthetic sources are infallible and cache cleanly.
     pub fn get_or_materialize(&self, cfg: &ExperimentConfig) -> Result<World, ConfigError> {
-        let layout = self
-            .layouts
-            .get_or_build(layout_key(cfg), &self.stats, || ClusterLayout::new(cfg.cluster.clone()));
+        cfg.validate_sites()?;
+        let site_cfgs = cfg.site_configs();
+        let layouts: Vec<Arc<ClusterLayout>> = site_cfgs
+            .iter()
+            .map(|site| {
+                self.layouts.get_or_build(layout_key(site), &self.stats, || {
+                    ClusterLayout::new(site.cluster.clone())
+                })
+            })
+            .collect();
         let workload = self.workloads.get_or_build(workload_key(cfg), &self.stats, || {
             Workload::generate(cfg.workload.clone(), cfg.seed)
         });
-        let rngs = RngFactory::new(cfg.seed);
-        let green_trace = if matches!(cfg.energy.source, SourceKind::TraceCsv { .. }) {
-            Arc::new(cfg.energy.source.try_materialize(cfg.clock, cfg.slots, &rngs)?)
-        } else {
-            self.traces.get_or_build(trace_key(cfg), &self.stats, || {
-                cfg.energy
-                    .source
-                    .try_materialize(cfg.clock, cfg.slots, &rngs)
-                    .expect("synthetic sources are infallible")
-            })
-        };
-        Ok(World { workload, green_trace, layout })
+        let mut sites = Vec::with_capacity(site_cfgs.len());
+        for (i, (site, layout)) in site_cfgs.iter().zip(layouts).enumerate() {
+            let site_seed = cfg.site_seed(i);
+            let rngs = RngFactory::new(site_seed);
+            let green_trace = if matches!(site.source, SourceKind::TraceCsv { .. }) {
+                Arc::new(site.try_materialize_trace(cfg.clock, cfg.slots, &rngs)?)
+            } else {
+                self.traces.get_or_build(trace_key(cfg, site, site_seed), &self.stats, || {
+                    site.try_materialize_trace(cfg.clock, cfg.slots, &rngs)
+                        .expect("synthetic sources are infallible")
+                })
+            };
+            sites.push(SiteWorld { green_trace, layout });
+        }
+        Ok(World { workload, sites })
     }
 
     /// Component lookups served from the cache so far.
@@ -232,9 +279,9 @@ mod tests {
         let cold = World::try_materialize(&cfg).expect("materialises");
         let cache = WorldCache::new();
         let warm = World::try_materialize_in(&cfg, &cache).expect("materialises");
-        assert_eq!(cold.green_trace.values(), warm.green_trace.values());
+        assert_eq!(cold.green_trace().values(), warm.green_trace().values());
         assert_eq!(cold.workload.batch_jobs(), warm.workload.batch_jobs());
-        assert_eq!(cold.layout.directory().len(), warm.layout.directory().len());
+        assert_eq!(cold.layout().directory().len(), warm.layout().directory().len());
     }
 
     #[test]
@@ -246,8 +293,8 @@ mod tests {
         let b = cache.get_or_materialize(&cfg).expect("second");
         assert_eq!((cache.hits(), cache.misses()), (3, 3));
         assert!(Arc::ptr_eq(&a.workload, &b.workload));
-        assert!(Arc::ptr_eq(&a.green_trace, &b.green_trace));
-        assert!(Arc::ptr_eq(&a.layout, &b.layout));
+        assert!(Arc::ptr_eq(a.green_trace(), b.green_trace()));
+        assert!(Arc::ptr_eq(a.layout(), b.layout()));
     }
 
     #[test]
@@ -261,8 +308,8 @@ mod tests {
         assert_eq!(cache.misses(), 3, "second config rebuilt nothing");
         assert_eq!(cache.hits(), 3);
         assert!(Arc::ptr_eq(&a.workload, &b.workload));
-        assert!(Arc::ptr_eq(&a.green_trace, &b.green_trace));
-        assert!(Arc::ptr_eq(&a.layout, &b.layout));
+        assert!(Arc::ptr_eq(a.green_trace(), b.green_trace()));
+        assert!(Arc::ptr_eq(a.layout(), b.layout()));
     }
 
     #[test]
@@ -282,6 +329,6 @@ mod tests {
             "seed feeds workload and trace (layout has its own placement seed)"
         );
         assert!(!Arc::ptr_eq(&w.workload, &w2.workload));
-        assert!(Arc::ptr_eq(&w.layout, &w2.layout), "layout key excludes the master seed");
+        assert!(Arc::ptr_eq(w.layout(), w2.layout()), "layout key excludes the master seed");
     }
 }

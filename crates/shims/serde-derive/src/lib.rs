@@ -4,7 +4,9 @@
 //! workspace builds with zero external dependencies. Supports the shapes
 //! this workspace actually uses:
 //!
-//! - structs with named fields (honouring `#[serde(default)]` per field)
+//! - structs with named fields (honouring `#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "path")]` per field; a skip-field that
+//!   is also deserialised must carry `default` so round-trips succeed)
 //! - tuple structs (newtype structs serialise transparently; wider tuples
 //!   as arrays)
 //! - enums with unit, newtype, tuple, and struct variants, encoded with
@@ -38,6 +40,16 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 struct Field {
     name: String,
     default: bool,
+    /// Predicate path from `skip_serializing_if = "path"`: the field is
+    /// omitted from the serialised object when `path(&value)` is true.
+    skip_if: Option<String>,
+}
+
+/// Field-level serde attributes the shim understands.
+#[derive(Default)]
+struct FieldAttrs {
+    default: bool,
+    skip_if: Option<String>,
 }
 
 enum VariantShape {
@@ -80,10 +92,10 @@ impl Cursor {
         t
     }
 
-    /// Skip attributes (`#[...]`), returning true if any was
-    /// `#[serde(default)]`.
-    fn skip_attrs(&mut self) -> bool {
-        let mut has_default = false;
+    /// Skip attributes (`#[...]`), collecting the serde field attributes
+    /// the shim understands (`default`, `skip_serializing_if = "path"`).
+    fn skip_attrs(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
         while let Some(TokenTree::Punct(p)) = self.peek() {
             if p.as_char() != '#' {
                 break;
@@ -96,17 +108,12 @@ impl Cursor {
             if let Some(TokenTree::Ident(id)) = inner.first() {
                 if id.to_string() == "serde" {
                     if let Some(TokenTree::Group(args)) = inner.get(1) {
-                        let text = args.stream().to_string();
-                        if text.contains("default") {
-                            has_default = true;
-                        } else {
-                            panic!("serde shim derive: unsupported serde attribute {text:?}");
-                        }
+                        parse_serde_args(args.stream(), &mut attrs);
                     }
                 }
             }
         }
-        has_default
+        attrs
     }
 
     /// Skip `pub`, `pub(crate)`, etc.
@@ -142,6 +149,40 @@ impl Cursor {
                 _ => {}
             }
             self.next();
+        }
+    }
+}
+
+/// Parse the argument list of one `#[serde(...)]` attribute into `attrs`,
+/// panicking on anything the shim does not implement.
+fn parse_serde_args(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                attrs.default = true;
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "skip_serializing_if" => {
+                let path = match (toks.get(i + 1), toks.get(i + 2)) {
+                    (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(l)))
+                        if p.as_char() == '=' =>
+                    {
+                        // Strip the quotes and any token-spacing from the
+                        // literal so `"Vec :: is_empty"` becomes a path.
+                        l.to_string().trim_matches('"').split_whitespace().collect::<String>()
+                    }
+                    _ => panic!(
+                        "serde shim derive: skip_serializing_if expects = \"path\", got {:?}",
+                        toks.get(i + 1)
+                    ),
+                };
+                attrs.skip_if = Some(path);
+                i += 3;
+            }
+            other => panic!("serde shim derive: unsupported serde attribute {other:?}"),
         }
     }
 }
@@ -182,7 +223,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut c = Cursor::new(stream);
     let mut fields = Vec::new();
     while c.peek().is_some() {
-        let default = c.skip_attrs();
+        let attrs = c.skip_attrs();
         if c.peek().is_none() {
             break;
         }
@@ -194,7 +235,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         }
         c.skip_type();
         c.next(); // consume the trailing comma, if any
-        fields.push(Field { name, default });
+        fields.push(Field { name, default: attrs.default, skip_if: attrs.skip_if });
     }
     fields
 }
@@ -258,17 +299,26 @@ fn generate(item: &Item, ser: bool) -> String {
             if ser {
                 let pushes: String = fields
                     .iter()
-                    .map(|f| {
-                        format!(
-                            "(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})),",
+                    .map(|f| match &f.skip_if {
+                        None => format!(
+                            "fields.push((\"{0}\".to_string(), \
+                             ::serde::Serialize::to_value(&self.{0})));\n",
                             f.name
-                        )
+                        ),
+                        Some(pred) => format!(
+                            "if !{pred}(&self.{0}) {{\n\
+                             fields.push((\"{0}\".to_string(), \
+                             ::serde::Serialize::to_value(&self.{0})));\n}}\n",
+                            f.name
+                        ),
                     })
                     .collect();
                 format!(
                     "impl ::serde::Serialize for {name} {{\n\
                      fn to_value(&self) -> ::serde::Value {{\n\
-                     ::serde::Value::Obj(vec![{pushes}])\n}}\n}}"
+                     let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                     {pushes}\
+                     ::serde::Value::Obj(fields)\n}}\n}}"
                 )
             } else {
                 let inits: String = fields

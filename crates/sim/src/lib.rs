@@ -44,4 +44,7 @@ pub use hist::LogHistogram;
 pub use rng::RngFactory;
 pub use series::TimeSeries;
 pub use stats::{Counter, StreamingStats};
-pub use time::{SimDuration, SimTime, SlotClock, SlotIdx};
+pub use time::{
+    SimDuration, SimTime, SlotClock, SlotIdx, MICROS_PER_DAY, MICROS_PER_HOUR, MICROS_PER_MIN,
+    MICROS_PER_SEC,
+};

@@ -26,6 +26,10 @@
 use gm_sim::rng::splitmix64;
 use serde::{Deserialize, Serialize};
 
+/// Hours in a mean (Julian) year — the AFR denominator. Shared by the
+/// failure model and its tests so the two can never drift apart.
+pub const HOURS_PER_YEAR: f64 = 8_766.0;
+
 /// Failure-process parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FailureSpec {
@@ -48,7 +52,6 @@ impl FailureSpec {
     /// Probability that a disk fails during `hours` of operation in the
     /// given state, with `spinups` start-stop cycles in the interval.
     pub fn failure_probability(&self, hours: f64, standby: bool, spinups: u64) -> f64 {
-        const HOURS_PER_YEAR: f64 = 8_766.0;
         let base = if standby { self.afr * self.standby_factor } else { self.afr };
         let effective_hours = hours + spinups as f64 * self.spinup_wear_hours;
         // Exponential survival over the interval.
@@ -107,7 +110,7 @@ mod tests {
     fn failure_probability_scales_with_time() {
         let f = FailureSpec::nearline();
         let week = f.failure_probability(168.0, false, 0);
-        let year = f.failure_probability(8_766.0, false, 0);
+        let year = f.failure_probability(HOURS_PER_YEAR, false, 0);
         assert!(week < year);
         // One year at 3 % AFR ≈ 2.96 % (exponential).
         assert!((year - 0.0296).abs() < 0.001, "{year}");

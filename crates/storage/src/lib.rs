@@ -45,9 +45,9 @@ pub mod writelog;
 pub use cache::LruCache;
 pub use cluster::{Cluster, ClusterLayout, ClusterSpec, GearState};
 pub use disk::{Disk, DiskPowerState, DiskSpec};
-pub use failure::{FailureDice, FailureReport, FailureSpec};
+pub use failure::{FailureDice, FailureReport, FailureSpec, HOURS_PER_YEAR};
 pub use layout::{
-    ChainedDeclustering, CopysetLayout, GearLayout, Layout, LayoutKind, RandomLayout,
+    ChainedDeclustering, CopysetLayout, GearLayout, Layout, LayoutKind, RandomLayout, Topology,
 };
 pub use object::{DataObject, ObjectId};
 pub use queue::{DiskQueue, ServedRequest};

@@ -114,6 +114,53 @@ fn same_seed_traces_are_byte_identical_for_every_policy() {
     }
 }
 
+#[test]
+fn one_site_config_traces_match_flat_config_for_every_policy() {
+    use greenmatch::policy::PolicyKind;
+
+    // Spelling the single site out explicitly via `sites` must be pure
+    // sugar over the flat fields: the degenerate one-site path produces a
+    // byte-identical trace, for every policy.
+    let policies = [
+        PolicyKind::AllOn,
+        PolicyKind::PowerProportional,
+        PolicyKind::Edf,
+        PolicyKind::GreedyGreen,
+        PolicyKind::GreenMatch { delay_fraction: 1.0 },
+        PolicyKind::GreenMatch { delay_fraction: 0.3 },
+        PolicyKind::GreenMatchWindow { delay_fraction: 1.0, horizon: 12 },
+        PolicyKind::GreenMatchCarbon { delay_fraction: 1.0 },
+    ];
+    for policy in policies {
+        let flat = ExperimentConfig::small_demo(7).with_slots(48).with_policy(policy);
+        let sited = flat.clone().with_sites(flat.site_configs());
+        let a = trace_bytes(&flat);
+        let b = trace_bytes(&sited);
+        assert!(!a.is_empty(), "{policy:?}: trace should contain records");
+        assert_eq!(a, b, "{policy:?}: explicit one-site config diverged from flat config");
+    }
+}
+
+#[test]
+fn multi_site_traces_are_deterministic() {
+    use greenmatch::policy::PolicyKind;
+
+    let base = ExperimentConfig::small_demo(7)
+        .with_slots(48)
+        .with_policy(PolicyKind::GreenMatch { delay_fraction: 1.0 });
+    let mut sites = base.site_configs();
+    let mut east = sites[0].clone();
+    east.name = "east".into();
+    east.utc_offset_hours = 8;
+    sites.push(east);
+    let cfg = base.with_sites(sites).with_wan_cost(200);
+
+    let first = trace_bytes(&cfg);
+    let second = trace_bytes(&cfg);
+    assert!(!first.is_empty(), "trace should contain records");
+    assert_eq!(first, second, "multi-site runs must be deterministic byte for byte");
+}
+
 /// Like [`trace_bytes`], but materialising the world through `cache`.
 fn trace_bytes_cached(cfg: &ExperimentConfig, cache: &greenmatch::WorldCache) -> Vec<u8> {
     let buf = SharedBuf::default();
