@@ -13,6 +13,12 @@
 //! `--csv FILE` writes the key per-slot series as CSV; `--profile` prints
 //! per-phase wall-clock after the run. None of these change the report.
 //!
+//! `--audit` runs the whole simulation under the conservation auditor
+//! (per-slot invariant checks plus the post-run deep audit), prints any
+//! violations, and exits 1 if the run was not clean; `--audit-out FILE`
+//! archives the audit report as JSON. Auditing never changes the report
+//! or the trace either.
+//!
 //! Config files use the same schema the experiment harness archives under
 //! `results/configs/` — copy one of those and edit it.
 
@@ -27,7 +33,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: run_once [--config FILE | --preset small|medium] [--policy NAME] \
          [--seed N] [--slots N] [--out FILE] [--trace FILE] [--csv FILE] [--profile] \
-         [--describe-workload]\n\
+         [--audit] [--audit-out FILE] [--describe-workload]\n\
          policies: all-on power-prop edf greedy-green greenmatch greenmatch30 greenmatch-carbon"
     );
     std::process::exit(2)
@@ -59,6 +65,8 @@ fn main() {
     let mut csv: Option<String> = None;
     let mut profile = false;
     let mut describe = false;
+    let mut audit = false;
+    let mut audit_out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -86,6 +94,11 @@ fn main() {
             "--trace" => trace = Some(args.next().unwrap_or_else(|| usage())),
             "--csv" => csv = Some(args.next().unwrap_or_else(|| usage())),
             "--profile" => profile = true,
+            "--audit" => audit = true,
+            "--audit-out" => {
+                audit = true;
+                audit_out = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "--describe-workload" => describe = true,
             _ => usage(),
         }
@@ -151,7 +164,14 @@ fn main() {
         sim.add_observer(Box::new(timer));
         handle
     });
-    let report = sim.run_to_end();
+    let (report, audit_report) = if audit {
+        // Step under the per-slot auditor, deep-audit, then report — the
+        // stepwise path yields the identical report to `run_to_end`.
+        let (sim, audit_report) = sim.run_audited();
+        (sim.into_report(), Some(audit_report))
+    } else {
+        (sim.run_to_end(), None)
+    };
     println!("{report}");
     if let Some(path) = &trace {
         eprintln!("per-slot trace written to {path}");
@@ -166,5 +186,19 @@ fn main() {
         let json = serde_json::to_string_pretty(&report).expect("report serialises");
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("full report written to {path}");
+    }
+    if let Some(audit_report) = audit_report {
+        if let Some(path) = audit_out {
+            let json = serde_json::to_string_pretty(&audit_report).expect("audit serialises");
+            std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("audit report written to {path}");
+        }
+        eprintln!("{}", audit_report.summary());
+        if !audit_report.is_clean() {
+            for v in audit_report.violations.iter().take(20) {
+                eprintln!("  {}", v.render());
+            }
+            std::process::exit(1);
+        }
     }
 }

@@ -1,0 +1,196 @@
+//! Random experiment configurations for the conservation-auditor fuzz
+//! harness.
+//!
+//! One generator, three consumers: the `fuzz` binary (large fixed-seed
+//! sweeps, CI smoke), the `audit_fuzz` integration test, and the `validate`
+//! shape checks. Each case is a short simulation (24–48 hourly slots) over
+//! an independently sampled point of the configuration space — site count
+//! and UTC offsets, battery chemistry and size, discharge strategy,
+//! forecaster, scheduling policy, renewable source, WAN pricing, and
+//! failure injection — run under the [`greenmatch::audit`] layer.
+//!
+//! Sampling uses the `proptest` shim's [`TestRng`] imperatively, so a case
+//! is reproducible from its `(seed, case)` pair alone: re-running
+//! `fuzz --seed S` replays the identical configuration sequence.
+
+use greenmatch::audit::AuditReport;
+use greenmatch::config::{DischargeStrategy, ExperimentConfig, ForecastKind, SourceKind};
+use greenmatch::policy::PolicyKind;
+use greenmatch::report::RunReport;
+use greenmatch::simulation::Simulation;
+use proptest::test_runner::TestRng;
+
+use gm_energy::battery::BatterySpec;
+use gm_energy::solar::SolarProfile;
+use gm_energy::wind::WindProfile;
+
+fn pick<T: Copy>(rng: &mut TestRng, options: &[T]) -> T {
+    options[(rng.next_u64() % options.len() as u64) as usize]
+}
+
+fn range_u64(rng: &mut TestRng, lo: u64, hi: u64) -> u64 {
+    lo + rng.next_u64() % (hi - lo + 1)
+}
+
+fn source(rng: &mut TestRng) -> SourceKind {
+    let solar_profile =
+        pick(rng, &[SolarProfile::SunnySummer, SolarProfile::CloudySummer, SolarProfile::Winter]);
+    let wind_profile = pick(
+        rng,
+        &[WindProfile::SteadyCoastal, WindProfile::GustyContinental, WindProfile::CalmWeek],
+    );
+    let area_m2 = 5.0 + rng.unit_f64() * 35.0;
+    let rated_w = 2_000.0 + rng.unit_f64() * 18_000.0;
+    match rng.next_u64() % 5 {
+        0 => SourceKind::None,
+        1 | 2 => SourceKind::Solar { area_m2, profile: solar_profile },
+        3 => SourceKind::Wind { rated_w, profile: wind_profile },
+        _ => SourceKind::Mixed { area_m2, solar_profile, rated_w, wind_profile },
+    }
+}
+
+fn battery(rng: &mut TestRng) -> Option<BatterySpec> {
+    let capacity_wh = 5_000.0 + rng.unit_f64() * 35_000.0;
+    match rng.next_u64() % 3 {
+        0 => None,
+        1 => Some(BatterySpec::lead_acid(capacity_wh)),
+        _ => Some(BatterySpec::lithium_ion(capacity_wh)),
+    }
+}
+
+/// Sample one experiment configuration.
+pub fn fuzz_config(rng: &mut TestRng) -> ExperimentConfig {
+    let seed = rng.next_u64();
+    let slots = range_u64(rng, 24, 48) as usize;
+    let mut cfg = ExperimentConfig::small_demo(seed)
+        .with_slots(slots)
+        .with_source(source(rng))
+        .with_battery(battery(rng))
+        .with_forecast(pick(
+            rng,
+            &[
+                ForecastKind::Oracle,
+                ForecastKind::Persistence,
+                ForecastKind::Ewma { alpha: 0.3 },
+                ForecastKind::Noisy { cv: 0.3 },
+            ],
+        ))
+        .with_policy(pick(
+            rng,
+            &[
+                PolicyKind::AllOn,
+                PolicyKind::PowerProportional,
+                PolicyKind::Edf,
+                PolicyKind::GreedyGreen,
+                PolicyKind::GreenMatch { delay_fraction: 1.0 },
+                PolicyKind::GreenMatch { delay_fraction: 0.3 },
+                PolicyKind::GreenMatchWindow { delay_fraction: 1.0, horizon: 6 },
+                PolicyKind::GreenMatchCarbon { delay_fraction: 1.0 },
+            ],
+        ));
+    cfg.energy.discharge = pick(
+        rng,
+        &[
+            DischargeStrategy::Eager,
+            DischargeStrategy::PeakOnly,
+            DischargeStrategy::Reserve(0.25),
+            DischargeStrategy::Reserve(0.75),
+        ],
+    );
+    if rng.next_u64().is_multiple_of(4) {
+        cfg = cfg.with_failures(gm_storage::FailureSpec {
+            afr: 5.0 + rng.unit_f64() * 25.0,
+            standby_factor: 0.5,
+            spinup_wear_hours: 10.0,
+        });
+    }
+
+    // Geo-federation: 1–3 sites with independent supplies, batteries, and
+    // longitudes; WAN pricing from free to prohibitive.
+    let n_sites = 1 + (rng.next_u64() % 3) as usize;
+    if n_sites > 1 {
+        let mut sites = cfg.site_configs();
+        let home = sites[0].clone();
+        for i in 1..n_sites {
+            let mut s = home.clone();
+            s.name = format!("site{i}");
+            s.source = source(rng);
+            s.battery = battery(rng);
+            s.forecast = cfg.energy.forecast;
+            s.utc_offset_hours = pick(rng, &[-8, -5, 5, 8]);
+            sites.push(s);
+        }
+        cfg = cfg.with_sites(sites).with_wan_cost(pick(rng, &[0, 200, 2_000, 100_000]));
+    }
+    cfg
+}
+
+/// Compact label of the sampled dimensions, for failure diagnostics.
+pub fn describe(cfg: &ExperimentConfig) -> String {
+    let chem = match &cfg.energy.battery {
+        None => "none".to_string(),
+        Some(b) => format!("{:.0}kWh", b.capacity_wh / 1000.0),
+    };
+    format!(
+        "seed={} slots={} sites={} policy={} battery={} discharge={:?} forecast={:?} wan={} failures={}",
+        cfg.seed,
+        cfg.slots,
+        cfg.n_sites(),
+        cfg.policy.label(),
+        chem,
+        cfg.energy.discharge,
+        cfg.energy.forecast,
+        cfg.wan_cost_per_unit,
+        cfg.failures.is_some(),
+    )
+}
+
+/// Run one configuration under the conservation auditor: per-slot
+/// observer checks plus the post-run deep audit, then the normal report.
+pub fn run_audited(cfg: &ExperimentConfig) -> (RunReport, AuditReport) {
+    let (sim, audit) = Simulation::new(cfg).run_audited();
+    (sim.into_report(), audit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic_per_case() {
+        let mut a = TestRng::for_case("fuzzgen", 7);
+        let mut b = TestRng::for_case("fuzzgen", 7);
+        let ca = fuzz_config(&mut a);
+        let cb = fuzz_config(&mut b);
+        assert_eq!(describe(&ca), describe(&cb));
+        assert_eq!(ca.seed, cb.seed);
+    }
+
+    #[test]
+    fn generator_covers_the_multi_site_space() {
+        let mut multi = 0;
+        let mut with_battery = 0;
+        let mut with_failures = 0;
+        for case in 0..64 {
+            let mut rng = TestRng::for_case("fuzzgen-cover", case);
+            let cfg = fuzz_config(&mut rng);
+            cfg.validate_sites().expect("generated configs are coherent");
+            multi += (cfg.n_sites() > 1) as u32;
+            with_battery += cfg.energy.battery.is_some() as u32;
+            with_failures += cfg.failures.is_some() as u32;
+        }
+        assert!(multi > 10, "multi-site configs must be common ({multi}/64)");
+        assert!(with_battery > 20, "battery configs must be common ({with_battery}/64)");
+        assert!(with_failures > 5, "failure configs must appear ({with_failures}/64)");
+    }
+
+    #[test]
+    fn sampled_cases_run_clean_under_the_auditor() {
+        for case in 0..6 {
+            let mut rng = TestRng::for_case("fuzzgen-smoke", case);
+            let cfg = fuzz_config(&mut rng);
+            let (_, audit) = run_audited(&cfg);
+            assert!(audit.is_clean(), "case {case} [{}]: {:?}", describe(&cfg), audit.violations);
+        }
+    }
+}

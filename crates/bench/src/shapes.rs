@@ -183,6 +183,33 @@ pub fn run_all(ctx: &ExpContext) -> Vec<ShapeCheck> {
         format!("1 site {g1:.1} vs 3 offset sites {g3:.1} kWh"),
     ));
 
+    // 9. Conservation audit: the headline configuration and a mini-fuzz
+    //    over random configurations run clean under the per-slot auditor
+    //    and the post-run deep audit.
+    let (_, audit) = crate::fuzzgen::run_audited(&medium_cfg(ctx, gm));
+    checks.push(check(
+        "conservation-audit-clean",
+        audit.is_clean(),
+        format!("{} over the headline config", audit.summary()),
+    ));
+    let mut fuzz_violations = 0usize;
+    let mut fuzz_slots = 0usize;
+    let fuzz_cases = 16u32;
+    for case in 0..fuzz_cases {
+        let mut rng = proptest::test_runner::TestRng::for_case("validate-fuzz", case);
+        let cfg = crate::fuzzgen::fuzz_config(&mut rng);
+        let (_, audit) = crate::fuzzgen::run_audited(&cfg);
+        fuzz_violations += audit.total_violations();
+        fuzz_slots += audit.slots_audited;
+    }
+    checks.push(check(
+        "conservation-fuzz-clean",
+        fuzz_violations == 0,
+        format!(
+            "{fuzz_violations} violations over {fuzz_cases} random configs ({fuzz_slots} slots)"
+        ),
+    ));
+
     checks
 }
 

@@ -25,6 +25,11 @@
 //!   CSV trace writers and a per-phase profiler.
 //! * [`harness`] — [`harness::run_experiment`], the one-shot wrapper that
 //!   runs a simulation to the end and returns a [`report::RunReport`].
+//! * [`audit`] — the conservation auditor: an always-compiled, opt-in
+//!   invariant checker ([`audit::ConservationAuditor`] per slot, plus the
+//!   deep [`simulation::Simulation::post_run_audit`]) that re-verifies the
+//!   energy, byte, and job accounting identities at run time and reports
+//!   breaks as structured [`audit::AuditViolation`]s.
 //!
 //! ```no_run
 //! use greenmatch::config::ExperimentConfig;
@@ -55,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod baselines;
 pub mod config;
 pub mod harness;
@@ -68,6 +74,7 @@ pub mod scheduler;
 pub mod simulation;
 pub mod world;
 
+pub use audit::{AuditReport, AuditViolation, ConservationAuditor};
 pub use config::{ConfigError, EnergyConfig, ExperimentConfig, SiteConfig, SourceKind};
 pub use harness::run_experiment;
 pub use observe::{

@@ -127,6 +127,11 @@ pub struct MatchStats {
     pub brown_bytes: u64,
     /// Total solver cost (diagnostic).
     pub cost: i64,
+    /// Unit-accounting residual: total units minus (placed + deferred +
+    /// infeasible). Zero whenever the network conserved flow; the
+    /// conservation auditor asserts it stays zero in release builds, where
+    /// the solver's `debug_assert` is compiled out.
+    pub unaccounted_units: i64,
 }
 
 /// Estimated non-batch energy floor (Wh) of window offset `k`: idle power
@@ -260,6 +265,7 @@ pub fn solve_with(input: &MatchInput<'_>, scratch: &mut MatcherScratch) -> Match
     per_slot_bytes.resize(h, 0);
     let mut green_bytes = 0u64;
     let mut brown_bytes = 0u64;
+    let mut placed_units = 0i64;
     for t in 0..h {
         let mut units = 0i64;
         if let Some(e) = green_arcs[t] {
@@ -272,6 +278,7 @@ pub fn solve_with(input: &MatchInput<'_>, scratch: &mut MatcherScratch) -> Match
             units += f;
             brown_bytes += f as u64 * UNIT_BYTES;
         }
+        placed_units += units;
         per_slot_bytes[t] = units as u64 * UNIT_BYTES;
     }
     let beyond_units = g.flow_on(beyond_arc);
@@ -288,6 +295,7 @@ pub fn solve_with(input: &MatchInput<'_>, scratch: &mut MatcherScratch) -> Match
         green_bytes,
         brown_bytes,
         cost: result.cost,
+        unaccounted_units: total_units - placed_units - beyond_units,
     }
 }
 
@@ -379,6 +387,10 @@ pub struct MultiMatchStats {
     pub brown_bytes: u64,
     /// Total solver cost (diagnostic).
     pub cost: i64,
+    /// Unit-accounting residual: total units minus (placed + deferred +
+    /// infeasible). Zero whenever the network conserved flow (see
+    /// [`MatchStats::unaccounted_units`]).
+    pub unaccounted_units: i64,
 }
 
 /// Solve one multi-site matching round into reusable scratch state.
@@ -497,6 +509,7 @@ pub fn solve_sites_with(
     let mut brown_bytes = 0u64;
     let mut wan_bytes = 0u64;
     let mut remote_bytes_now = 0u64;
+    let mut placed_units = 0i64;
     for si in 0..n_sites {
         for t in 0..h {
             let mut units = 0i64;
@@ -510,6 +523,7 @@ pub fn solve_sites_with(
                 units += f;
                 brown_bytes += f as u64 * UNIT_BYTES;
             }
+            placed_units += units;
             let bytes = units as u64 * UNIT_BYTES;
             per_site_slot_bytes[si * h + t] = bytes;
             if si > 0 {
@@ -534,6 +548,7 @@ pub fn solve_sites_with(
         green_bytes,
         brown_bytes,
         cost: result.cost,
+        unaccounted_units: total_units - placed_units - beyond_units,
     }
 }
 
@@ -836,6 +851,7 @@ mod tests {
                 "round {round}: every unit placed, deferred, or infeasible"
             );
             assert_eq!(stats.green_bytes + stats.brown_bytes, placed, "round {round}");
+            assert_eq!(stats.unaccounted_units, 0, "round {round}: flow conserved");
             for (si, site) in sites.iter().enumerate() {
                 for (t, &slot_busy) in busy.iter().enumerate().take(h) {
                     let b = if si == 0 { slot_busy } else { 0.0 };

@@ -38,9 +38,12 @@ fn settle_site(
     let charge = site.battery.charge(surplus, ctx.width);
     let curtailed = surplus - charge.drawn_wh;
     let deficit = load_wh - green_direct;
-    // Discharge timing per the configured strategy.
+    // Discharge timing per the configured strategy, evaluated in the
+    // *site-local* hour: a site's green trace is rotated by its UTC offset,
+    // so its peak/reserve windows must rotate with it (offset 0 — and thus
+    // every single-site run — is unchanged).
     let mid = ctx.now + ctx.width / 2;
-    let hour = mid.hour_of_day();
+    let hour = (mid.hour_of_day() - site.utc_offset_hours as f64).rem_euclid(24.0);
     let allowed = match discharge {
         DischargeStrategy::Eager => deficit,
         DischargeStrategy::PeakOnly => {
@@ -132,7 +135,10 @@ pub(crate) fn run(sim: &mut Simulation, ctx: &SlotContext) -> Settled {
     for &idx in &sim.active_jobs {
         let j = &sim.jobs[idx];
         if let Some(met) = j.met_deadline() {
-            if let Some(&disk) = sim.repair_jobs.get(&j.id) {
+            // `remove` (not `get`): a completed repair must leave the map,
+            // or it grows unboundedly and every retired id is consulted on
+            // each execute-phase lookup forever.
+            if let Some(disk) = sim.repair_jobs.remove(&j.id) {
                 sim.sites[0].cluster.mark_rebuilt(disk);
                 sim.repairs_completed += 1;
                 slot_repairs += 1;

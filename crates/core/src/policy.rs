@@ -286,6 +286,13 @@ pub trait Scheduler {
 
     /// Label for reports.
     fn label(&self) -> String;
+
+    /// Unit-accounting residual of the most recent matcher solve (total
+    /// units minus placed + deferred + infeasible). Policies without a
+    /// matcher report 0; the conservation auditor asserts it stays 0.
+    fn matcher_residual_units(&self) -> i64 {
+        0
+    }
 }
 
 /// Config-friendly identifier for the built-in policies.

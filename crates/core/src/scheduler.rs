@@ -50,6 +50,9 @@ pub struct GreenMatchPolicy {
     order: Vec<(JobView, u64)>,
     brown_costs: Vec<i64>,
     remote_now: Vec<u64>,
+    /// Unit-accounting residual of the most recent matcher solve (0 when
+    /// flow conservation held, and when no solve ran).
+    last_unaccounted_units: i64,
 }
 
 impl GreenMatchPolicy {
@@ -68,6 +71,7 @@ impl GreenMatchPolicy {
             order: Vec::new(),
             brown_costs: Vec::new(),
             remote_now: Vec::new(),
+            last_unaccounted_units: 0,
         }
     }
 
@@ -139,6 +143,7 @@ impl Scheduler for GreenMatchPolicy {
         //    at the configured WAN cost per unit, and the remote slot-0
         //    placements come back via `remote_now`.
         self.remote_now.clear();
+        self.last_unaccounted_units = 0;
         let (bytes_now_matched, infeasible_bytes) = if self.deferrable.is_empty() {
             (0, 0)
         } else if ctx.sites.len() > 1 {
@@ -154,6 +159,7 @@ impl Scheduler for GreenMatchPolicy {
             let stats = matcher::solve_sites_with(&input, &mut self.multi_scratch);
             let (remote_now, multi_scratch) = (&mut self.remote_now, &self.multi_scratch);
             remote_now.extend((1..ctx.sites.len()).map(|s| multi_scratch.bytes_now(s)));
+            self.last_unaccounted_units = stats.unaccounted_units;
             (stats.bytes_now_home, stats.infeasible_bytes)
         } else {
             let input = MatchInput {
@@ -167,6 +173,7 @@ impl Scheduler for GreenMatchPolicy {
                 brown_cost_per_slot: self.carbon_aware.then_some(&self.brown_costs[..]),
             };
             let stats = matcher::solve_with(&input, &mut self.scratch);
+            self.last_unaccounted_units = stats.unaccounted_units;
             (stats.bytes_now, stats.infeasible_bytes)
         };
 
@@ -268,6 +275,10 @@ impl Scheduler for GreenMatchPolicy {
         } else {
             format!("greenmatch({:.0}%)", self.delay_fraction * 100.0)
         }
+    }
+
+    fn matcher_residual_units(&self) -> i64 {
+        self.last_unaccounted_units
     }
 }
 

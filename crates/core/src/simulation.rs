@@ -147,6 +147,11 @@ pub struct SlotOutcome {
     pub pending_jobs: usize,
     /// Write-log backlog after the slot (bytes).
     pub writelog_pending_bytes: u64,
+    /// Matcher unit-accounting residual for the slot: total units minus
+    /// (placed + deferred + infeasible) in the last min-cost-flow solve.
+    /// Always 0 when flow conservation holds (and for policies without a
+    /// matcher); the conservation auditor asserts it.
+    pub matcher_residual_units: i64,
     /// Per-site breakdown of the aggregate fields above. Empty for
     /// single-site runs (the aggregates *are* the one site).
     #[serde(skip_serializing_if = "Vec::is_empty")]
@@ -169,6 +174,10 @@ pub(crate) struct SiteState {
     pub(crate) forecaster: Box<dyn Forecaster + Send>,
     pub(crate) battery_spec: BatterySpec,
     pub(crate) battery: Battery,
+    /// UTC offset (hours) of the site; its green trace is rotated by this,
+    /// so time-of-day logic (discharge windows) must use the site-local
+    /// hour `(sim_hour - offset).rem_euclid(24)`.
+    pub(crate) utc_offset_hours: i64,
     pub(crate) ledger: EnergyLedger,
     pub(crate) gears_series: Vec<usize>,
     pub(crate) rr_cursor: usize,
@@ -289,6 +298,7 @@ impl Simulation {
                 forecaster,
                 battery_spec,
                 battery: Battery::new(battery_spec),
+                utc_offset_hours: site_cfg.utc_offset_hours,
                 ledger: EnergyLedger::new(clock, cfg.energy.grid),
                 gears_series: Vec::with_capacity(slots),
                 rr_cursor: 0,
@@ -464,6 +474,7 @@ impl Simulation {
             latency: LatencyReport::from_histogram(&scratch.slot_hist),
             pending_jobs: self.job_index.len(),
             writelog_pending_bytes: self.sites[0].cluster.write_log().pending_total(),
+            matcher_residual_units: self.policy.matcher_residual_units(),
             site_energy,
         };
         for obs in &mut self.observers {
@@ -870,5 +881,70 @@ mod tests {
             (0..n).max_by(|&a, &b| trace.get(a).total_cmp(&trace.get(b))).unwrap()
         };
         assert_ne!(peak(home) % 24, peak(east) % 24, "offset shifts the solar peak");
+    }
+
+    #[test]
+    fn discharge_windows_follow_site_local_time() {
+        // Regression: PeakOnly/Reserve windows used to be evaluated with
+        // the *global* clock hour for every site, so an offset site
+        // discharged during the home site's evening instead of its own.
+        use crate::config::DischargeStrategy;
+        let base = quick_cfg().with_slots(72);
+        let mut sites = base.site_configs();
+        let mut east = sites[0].clone();
+        east.name = "east".into();
+        east.utc_offset_hours = 8;
+        sites.push(east);
+        let mut cfg = base.with_sites(sites).with_wan_cost(200);
+        cfg.energy.discharge = DischargeStrategy::PeakOnly;
+
+        let mut sim = Simulation::new(&cfg);
+        let mut east_out = 0.0;
+        while let Some(o) = sim.step() {
+            let hour = (o.slot % 24) as f64 + 0.5;
+            if !(7.0..23.0).contains(&hour) {
+                assert_eq!(
+                    o.site_energy[0].energy.battery_out_wh, 0.0,
+                    "home off-peak discharge at slot {}",
+                    o.slot
+                );
+            }
+            let local = (hour - 8.0).rem_euclid(24.0);
+            let out = o.site_energy[1].energy.battery_out_wh;
+            if !(7.0..23.0).contains(&local) {
+                assert_eq!(out, 0.0, "east discharge at slot {} (local hour {local})", o.slot);
+            }
+            east_out += out;
+        }
+        assert!(east_out > 0.0, "east site must discharge during its local peak");
+    }
+
+    #[test]
+    fn completed_repairs_leave_the_repair_table() {
+        // Regression: `repair_jobs` entries were never removed on repair
+        // completion, so the table grew without bound and every retired id
+        // stayed live for execute-phase lookups.
+        let mut cfg = quick_cfg().with_policy(PolicyKind::PowerProportional);
+        cfg.slots = 7 * 24;
+        cfg.failures = Some(gm_storage::FailureSpec {
+            afr: 20.0,
+            standby_factor: 0.5,
+            spinup_wear_hours: 10.0,
+        });
+        let mut sim = Simulation::new(&cfg);
+        while sim.step().is_some() {}
+
+        let pending_repairs =
+            sim.active_jobs.iter().filter(|&&idx| sim.jobs[idx].id.0 >= (1u64 << 40)).count();
+        assert_eq!(
+            sim.repair_jobs.len(),
+            pending_repairs,
+            "completed repairs must leave the repair table"
+        );
+        for id in sim.repair_jobs.keys() {
+            assert!(sim.job_index.contains_key(id), "stale repair entry {}", id.0);
+        }
+        let report = sim.into_report();
+        assert!(report.repairs_completed > 0, "storm must complete repairs");
     }
 }

@@ -153,7 +153,8 @@ impl BatterySpec {
 pub struct ChargeOutcome {
     /// Energy drawn from the source (Wh) — what the PV side loses.
     pub drawn_wh: f64,
-    /// Energy actually banked (Wh) = drawn × σ.
+    /// Energy actually banked (Wh) — drawn × σ, clamped to the remaining
+    /// headroom (any rounding sliver is booked as conversion loss).
     pub stored_wh: f64,
     /// Conversion loss (Wh) = drawn − banked.
     pub efficiency_loss_wh: f64,
@@ -255,8 +256,12 @@ impl Battery {
     pub fn charge(&mut self, offered_wh: f64, dt: SimDuration) -> ChargeOutcome {
         debug_assert!(offered_wh >= 0.0);
         let drawn = offered_wh.min(self.charge_capacity_wh(dt));
-        let stored = drawn * self.spec.efficiency;
-        self.stored_wh = (self.stored_wh + stored).min(self.spec.usable_wh());
+        // `charge_capacity_wh` already bounds `drawn` by headroom/σ, but the
+        // round trip drawn·σ can overshoot the headroom by an ulp; clamp the
+        // stored side and book the sliver as conversion loss so the
+        // conservation identity stays exact.
+        let stored = (drawn * self.spec.efficiency).min(self.headroom_wh());
+        self.stored_wh += stored;
         let loss = drawn - stored;
         self.total_efficiency_loss_wh += loss;
         self.total_drawn_wh += drawn;
@@ -470,6 +475,44 @@ mod tests {
         assert!(
             b.conservation_residual_wh().abs() < 1e-6,
             "residual {}",
+            b.conservation_residual_wh()
+        );
+    }
+
+    #[test]
+    fn charge_books_headroom_clamp_to_loss_exactly() {
+        // Regression: a full-window refill of a nearly empty battery is
+        // headroom-bound, and the drawn→stored round trip `fl(fl(h/σ)·σ)`
+        // overshoots the headroom `h` by an ulp on a sizeable fraction of
+        // residues. The old code clamped `stored_wh` silently while
+        // reporting the unclamped amount, so the per-call delta identity
+        // broke. With the fix it is *exact*:
+        // stored_after == stored_before + outcome.stored_wh.
+        let mut spec = BatterySpec::lithium_ion(10_000.0);
+        // Rate bound well above usable/σ so the headroom bound governs a
+        // from-empty refill in a single one-hour charge.
+        spec.charge_rate_per_hour = 2.0;
+        spec.discharge_to_charge_ratio = 1.0;
+        let mut b = Battery::new(spec);
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..4_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Drain to a small random residue, then refill the whole window.
+            let residue = (x >> 40) as f64 / 16_777_216.0 * 5.0;
+            b.discharge((b.stored_wh() - residue).max(0.0), HOUR);
+            let before = b.stored_wh();
+            let out = b.charge(1e9, HOUR);
+            assert_eq!(
+                before + out.stored_wh,
+                b.stored_wh(),
+                "charge delta identity must be exact (before {before}, stored {})",
+                out.stored_wh
+            );
+            assert!(b.stored_wh() <= b.spec().usable_wh(), "stored above usable window");
+        }
+        assert!(
+            b.conservation_residual_wh().abs() < 1e-6,
+            "residual {} after deep-cycle walk",
             b.conservation_residual_wh()
         );
     }

@@ -252,6 +252,33 @@ impl EnergyLedger {
         &self.battery_out
     }
 
+    /// Per-slot green-direct series (Wh/slot).
+    pub fn green_direct_series(&self) -> &TimeSeries {
+        &self.green_direct
+    }
+
+    /// Per-slot battery-drawn (source-side charge) series (Wh/slot).
+    pub fn battery_drawn_series(&self) -> &TimeSeries {
+        &self.battery_drawn
+    }
+
+    /// The recorded flows of slot `s`, reassembled from the per-slot
+    /// series (zeros for a slot that was never recorded). Lets an external
+    /// audit re-check the conservation identities per slot after the run,
+    /// including in release builds where `record_slot`'s `debug_assert`s
+    /// are compiled out.
+    pub fn slot_flows(&self, s: SlotIdx) -> SlotFlows {
+        SlotFlows {
+            green_produced_wh: self.green_produced.get(s),
+            green_direct_wh: self.green_direct.get(s),
+            battery_drawn_wh: self.battery_drawn.get(s),
+            battery_out_wh: self.battery_out.get(s),
+            brown_wh: self.brown.get(s),
+            curtailed_wh: self.curtailed.get(s),
+            load_wh: self.load.get(s),
+        }
+    }
+
     /// Number of recorded slots.
     pub fn len(&self) -> usize {
         self.load.len()

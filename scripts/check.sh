@@ -18,4 +18,12 @@ cargo bench -p gm-bench --bench e2e -- --test
 echo "==> cargo bench --bench sweep -- --test (smoke)"
 cargo bench -p gm-bench --bench sweep -- --test
 
+echo "==> audited e2e smoke (run_once --audit)"
+cargo run --release -q -p gm-bench --bin run_once -- \
+  --preset small --audit --audit-out target/audit-report.json
+
+echo "==> conservation fuzz smoke (fixed seed)"
+cargo run --release -q -p gm-bench --bin fuzz -- \
+  --cases 40 --seed 42 --out target/fuzz-violations.json
+
 echo "All checks passed."

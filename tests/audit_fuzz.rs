@@ -1,0 +1,44 @@
+//! Fuzz the conservation auditor across the full configuration space.
+//!
+//! Each case samples a random experiment (sites, chemistry, discharge
+//! strategy, forecaster, policy, WAN cost, failures — the shared
+//! `gm_bench::fuzzgen` generator, same one the `fuzz` binary and CI smoke
+//! use) and runs it end to end under the per-slot
+//! [`ConservationAuditor`](greenmatch::audit::ConservationAuditor) plus
+//! the post-run deep audit. Any [`AuditViolation`] fails the case with the
+//! offending configuration spelled out. Larger sweeps:
+//! `cargo run --release -p gm-bench --bin fuzz -- --cases 500`.
+
+use gm_bench::fuzzgen;
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn random_configs_run_clean_under_the_auditor(case in 0u32..10_000) {
+        let mut rng = TestRng::for_case("audit-fuzz", case);
+        let cfg = fuzzgen::fuzz_config(&mut rng);
+        let (report, audit) = fuzzgen::run_audited(&cfg);
+
+        prop_assert!(
+            audit.is_clean(),
+            "case {case} [{}]: {}\n{}",
+            fuzzgen::describe(&cfg),
+            audit.summary(),
+            audit
+                .violations
+                .iter()
+                .take(10)
+                .map(|v| v.render())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        prop_assert_eq!(audit.slots_audited, cfg.slots);
+
+        // The audited run still produces a sane report.
+        prop_assert!(report.load_kwh >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&report.batch.miss_rate()));
+    }
+}
