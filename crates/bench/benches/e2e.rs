@@ -4,12 +4,19 @@
 //!
 //! The `harness` bench covers a single day for quick signal; this one runs
 //! the whole horizon so steady-state effects (job backlog growth, matcher
-//! graph reuse, scratch-buffer warm-up) are part of the measurement.
+//! graph reuse, scratch-buffer warm-up) are part of the measurement. Runs
+//! go through the builder exactly as the sweep runner drives them: the
+//! shared world (and its memoised columnar slot batches) comes from the
+//! global [`WorldCache`], and one `SlotScratch` is reused across
+//! iterations, so the measurement isolates per-run simulation cost — what
+//! a sweep actually pays per point after the first.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use greenmatch::config::ExperimentConfig;
-use greenmatch::harness::run_experiment;
+use greenmatch::phases::SlotScratch;
 use greenmatch::policy::PolicyKind;
+use greenmatch::simulation::Simulation;
+use greenmatch::WorldCache;
 
 fn bench_e2e_week(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2e_week");
@@ -23,11 +30,17 @@ fn bench_e2e_week(c: &mut Criterion) {
         ("greenmatch30", PolicyKind::GreenMatch { delay_fraction: 0.3 }),
         ("greenmatch-carbon", PolicyKind::GreenMatchCarbon { delay_fraction: 1.0 }),
     ] {
+        let mut scratch = SlotScratch::new();
         group.bench_with_input(BenchmarkId::new("policy", name), &policy, |b, &policy| {
             b.iter(|| {
                 let mut cfg = ExperimentConfig::small_demo(42);
                 cfg.policy = policy;
-                black_box(run_experiment(&cfg).brown_kwh)
+                let sim = Simulation::builder(&cfg)
+                    .cache(WorldCache::global())
+                    .scratch(&mut scratch)
+                    .build()
+                    .expect("config materialises");
+                black_box(sim.run_to_end().brown_kwh)
             })
         });
     }

@@ -1,11 +1,13 @@
 //! Scaling of the min-cost-flow matcher with job count and horizon — the
-//! per-slot planning cost a deployment would pay.
+//! per-slot planning cost a deployment would pay. Uses a cold handle per
+//! configuration so the numbers reflect a from-scratch solve; see
+//! `matcher_kernel` for the warm-start comparison.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use gm_storage::ClusterSpec;
 use gm_workload::JobId;
-use greenmatch::matcher::{self, MatchInput};
-use greenmatch::policy::{JobView, PlanningModel};
+use greenmatch::matcher::{MatchInput, Matcher};
+use greenmatch::policy::{BatteryView, JobView, PlanningModel, SiteView};
 
 fn jobs(n: usize) -> Vec<JobView> {
     (0..n)
@@ -30,22 +32,24 @@ fn bench_matcher(c: &mut Criterion) {
             let js = jobs(n_jobs);
             let g = green(horizon);
             let busy = vec![500.0; horizon];
+            let mut matcher = Matcher::new();
+            matcher.set_warm_start(false);
             group.bench_with_input(
                 BenchmarkId::new(format!("jobs{n_jobs}"), horizon),
                 &horizon,
                 |b, _| {
                     b.iter(|| {
+                        let home = [SiteView::home(&g, model, BatteryView::default())];
                         let input = MatchInput {
                             jobs: &js,
                             current_slot: 0,
                             horizon,
-                            green_forecast_wh: &g,
+                            sites: &home,
                             interactive_busy_secs: &busy,
-                            model,
                             slot_secs: 3600.0,
                             brown_cost_per_slot: None,
                         };
-                        black_box(matcher::solve(&input).bytes_now())
+                        black_box(matcher.solve(&input).bytes_now)
                     })
                 },
             );

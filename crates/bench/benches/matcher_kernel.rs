@@ -1,0 +1,94 @@
+//! Warm-start vs cold per-slot solve on the incremental matcher kernel.
+//!
+//! Two drift regimes through a single [`Matcher`] handle, each compared
+//! against the same sequence with warm-start disabled (full rebuild every
+//! slot):
+//!
+//! * **rotate** — the diurnal forecast window slides one slot per solve,
+//!   re-pricing nearly every green bin. This is the warm path's worst
+//!   case: the re-price sweep touches the whole graph, so expect parity
+//!   with cold (the bench exists to catch it becoming *slower*).
+//! * **calm** — the forecast holds and only one busy bin wobbles, the
+//!   shape of intra-slot re-solves and forecast-error updates. Here the
+//!   drift sweep touches a handful of arcs and the warm tiers pay off.
+
+use std::cell::Cell;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gm_storage::ClusterSpec;
+use gm_workload::JobId;
+use greenmatch::matcher::{MatchInput, Matcher};
+use greenmatch::policy::{BatteryView, JobView, PlanningModel, SiteView};
+
+const HORIZON: usize = 24;
+
+fn jobs(n: usize) -> Vec<JobView> {
+    (0..n)
+        .map(|i| JobView {
+            id: JobId(i as u64),
+            remaining_bytes: ((i % 37 + 1) as u64) << 32,
+            deadline_slot: i % 30,
+            critical: false,
+        })
+        .collect()
+}
+
+/// Forecast as seen at `slot`: the diurnal curve rotated so index 0 is the
+/// slot being decided. Each slot therefore re-prices most green arcs.
+fn forecast_at(slot: usize) -> Vec<f64> {
+    (0..HORIZON).map(|t| if (8..18).contains(&((slot + t) % 24)) { 3_000.0 } else { 0.0 }).collect()
+}
+
+fn busy_at(slot: usize) -> Vec<f64> {
+    (0..HORIZON).map(|t| 400.0 + ((slot + t) % 7) as f64 * 50.0).collect()
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let model = PlanningModel::from_spec(&ClusterSpec::medium_dc());
+    let mut group = c.benchmark_group("matcher_kernel");
+    for n_jobs in [50usize, 500] {
+        let js = jobs(n_jobs);
+        let rotate: Vec<(usize, Vec<f64>, Vec<f64>)> =
+            (0..24).map(|s| (s, forecast_at(s), busy_at(s))).collect();
+        // Calm regime: the decision slot and forecast hold; one busy bin
+        // wobbles between two values, so consecutive solves drift in a
+        // single arc.
+        let calm: Vec<(usize, Vec<f64>, Vec<f64>)> = (0..2)
+            .map(|k| {
+                let mut busy = busy_at(0);
+                busy[HORIZON / 2] += k as f64 * 120.0;
+                (0, forecast_at(0), busy)
+            })
+            .collect();
+        for (regime, slots) in [("rotate", &rotate), ("calm", &calm)] {
+            for warm in [true, false] {
+                let label = format!("{regime}/{}", if warm { "warm" } else { "cold" });
+                let mut matcher = Matcher::new();
+                matcher.set_warm_start(warm);
+                let cursor = Cell::new(0usize);
+                group.bench_with_input(BenchmarkId::new(label, n_jobs), &n_jobs, |b, _| {
+                    b.iter(|| {
+                        let i = cursor.get();
+                        cursor.set((i + 1) % slots.len());
+                        let (slot, g, busy) = &slots[i];
+                        let home = [SiteView::home(g, model, BatteryView::default())];
+                        let input = MatchInput {
+                            jobs: &js,
+                            current_slot: *slot,
+                            horizon: HORIZON,
+                            sites: &home,
+                            interactive_busy_secs: busy,
+                            slot_secs: 3600.0,
+                            brown_cost_per_slot: None,
+                        };
+                        black_box(matcher.solve(&input).bytes_now)
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

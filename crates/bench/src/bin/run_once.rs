@@ -148,7 +148,7 @@ fn main() {
     }
 
     eprintln!("running {} slots with {} ...", cfg.slots, cfg.policy.label());
-    let mut sim = Simulation::new(&cfg);
+    let mut sim = Simulation::builder(&cfg).build().unwrap_or_else(|e| panic!("{e}"));
     if let Some(path) = &trace {
         let obs = JsonlTraceObserver::create(path)
             .unwrap_or_else(|e| panic!("cannot create trace file {path}: {e}"));

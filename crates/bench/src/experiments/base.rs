@@ -40,6 +40,7 @@ pub fn medium_cfg(ctx: &ExpContext, policy: PolicyKind) -> ExperimentConfig {
         clock: SlotClock::hourly(),
         sites: Vec::new(),
         wan_cost_per_unit: 0,
+        matcher_warm_start: true,
     }
 }
 

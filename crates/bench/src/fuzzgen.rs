@@ -97,6 +97,9 @@ pub fn fuzz_config(rng: &mut TestRng) -> ExperimentConfig {
             DischargeStrategy::Reserve(0.75),
         ],
     );
+    // Mostly warm-started matchers (the default), with occasional cold
+    // runs so the fuzzer also exercises the rebuild-every-slot path.
+    cfg.matcher_warm_start = !rng.next_u64().is_multiple_of(4);
     if rng.next_u64().is_multiple_of(4) {
         cfg = cfg.with_failures(gm_storage::FailureSpec {
             afr: 5.0 + rng.unit_f64() * 25.0,
@@ -148,7 +151,8 @@ pub fn describe(cfg: &ExperimentConfig) -> String {
 /// Run one configuration under the conservation auditor: per-slot
 /// observer checks plus the post-run deep audit, then the normal report.
 pub fn run_audited(cfg: &ExperimentConfig) -> (RunReport, AuditReport) {
-    let (sim, audit) = Simulation::new(cfg).run_audited();
+    let sim = Simulation::builder(cfg).build().unwrap_or_else(|e| panic!("{e}"));
+    let (sim, audit) = sim.run_audited();
     (sim.into_report(), audit)
 }
 

@@ -101,12 +101,12 @@ where
         let results = Arc::clone(&results);
         let done = Arc::clone(&done);
         jobs.push(Box::new(move |scratch| {
-            let mut sim = Simulation::try_new_in(&cfg, WorldCache::global())
-                .unwrap_or_else(|e| panic!("{e}"));
+            let mut builder =
+                Simulation::builder(&cfg).cache(WorldCache::global()).scratch(scratch);
             for obs in observers {
-                sim.add_observer(obs);
+                builder = builder.observer(obs);
             }
-            let report = sim.run_to_end_with(scratch);
+            let report = builder.build().unwrap_or_else(|e| panic!("{e}")).run_to_end();
             let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
             let line = format!("  [{finished}/{n}] {tag} → brown {:.1} kWh\n", report.brown_kwh);
             let _ = std::io::stderr().lock().write_all(line.as_bytes());

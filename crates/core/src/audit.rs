@@ -398,7 +398,7 @@ impl SlotObserver for ConservationAuditor {
     }
 }
 
-impl Simulation {
+impl Simulation<'_> {
     /// Deep end-of-run audit over internal state; see the module docs.
     ///
     /// Takes `&self`, so call it after the last [`Simulation::step`] and
@@ -687,7 +687,7 @@ impl Simulation {
     /// the simulation (still un-consumed, ready for
     /// [`Simulation::into_report`]). The convenience entry point behind
     /// `run_once --audit` and the fuzz harness.
-    pub fn run_audited(mut self) -> (Simulation, AuditReport) {
+    pub fn run_audited(mut self) -> (Self, AuditReport) {
         let (auditor, handle) = ConservationAuditor::new();
         self.add_observer(Box::new(auditor));
         while self.step().is_some() {}
@@ -705,7 +705,8 @@ mod tests {
     use crate::policy::PolicyKind;
 
     fn audit(cfg: &ExperimentConfig) -> AuditReport {
-        let (_, report) = Simulation::new(cfg).run_audited();
+        let (_, report) =
+            Simulation::builder(cfg).build().expect("config materialises").run_audited();
         report
     }
 
@@ -751,7 +752,8 @@ mod tests {
             standby_factor: 0.5,
             spinup_wear_hours: 10.0,
         });
-        let (sim, report) = Simulation::new(&cfg).run_audited();
+        let (sim, report) =
+            Simulation::builder(&cfg).build().expect("config materialises").run_audited();
         assert!(report.is_clean(), "{}", render_all(&report));
         let r = sim.into_report();
         assert!(r.repairs_completed > 0, "storm must complete repairs");
@@ -761,7 +763,9 @@ mod tests {
     fn doctored_outcome_is_flagged() {
         // Feed the auditor one good outcome and one with broken energy
         // accounting; only the doctored slot may produce violations.
-        let mut sim = Simulation::new(&ExperimentConfig::small_demo(11).with_slots(2));
+        let mut sim = Simulation::builder(&ExperimentConfig::small_demo(11).with_slots(2))
+            .build()
+            .expect("config materialises");
         let good = sim.step().expect("slot 0");
         let (mut auditor, handle) = ConservationAuditor::new();
         auditor.on_slot(&good);
@@ -782,7 +786,9 @@ mod tests {
 
     #[test]
     fn out_of_order_slots_are_flagged() {
-        let mut sim = Simulation::new(&ExperimentConfig::small_demo(11).with_slots(2));
+        let mut sim = Simulation::builder(&ExperimentConfig::small_demo(11).with_slots(2))
+            .build()
+            .expect("config materialises");
         let first = sim.step().expect("slot 0");
         let (mut auditor, handle) = ConservationAuditor::new();
         auditor.on_slot(&first);

@@ -106,9 +106,8 @@ impl Scheduler for GreedyGreen {
         let green_wh = ctx.green_forecast_wh.first().copied().unwrap_or(0.0);
         let min_g = ctx.min_gears_now();
 
-        // Deadline-forced work always runs.
-        let critical_bytes: u64 =
-            ctx.jobs.iter().filter(|j| j.critical).map(|j| j.remaining_bytes).sum();
+        // Deadline-forced work always runs (a contiguous column scan).
+        let critical_bytes: u64 = ctx.jobs.critical_bytes();
 
         // Surplus after the mandatory floor.
         let floor_wh = ctx.model.idle_w(min_g) * hours + ctx.model.batch_energy_wh(critical_bytes);
@@ -152,7 +151,7 @@ impl Scheduler for GreedyGreen {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{BatteryView, JobView, PlanningModel};
+    use crate::policy::{BatteryView, JobColumns, JobView, PlanningModel};
     use gm_sim::time::SimTime;
     use gm_sim::SlotClock;
     use gm_storage::ClusterSpec;
@@ -162,7 +161,7 @@ mod tests {
     struct OwnedCtx {
         green: Vec<f64>,
         busy: Vec<f64>,
-        jobs: Vec<JobView>,
+        jobs: JobColumns,
     }
 
     impl OwnedCtx {
@@ -184,7 +183,7 @@ mod tests {
     }
 
     fn ctx(green_wh: f64, jobs: Vec<JobView>) -> OwnedCtx {
-        OwnedCtx { green: vec![green_wh; 24], busy: vec![1_000.0; 24], jobs }
+        OwnedCtx { green: vec![green_wh; 24], busy: vec![1_000.0; 24], jobs: jobs.into() }
     }
 
     fn job(id: u64, gib: u64, deadline: usize, critical: bool) -> JobView {

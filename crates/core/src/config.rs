@@ -347,6 +347,22 @@ pub struct ExperimentConfig {
     /// (one unit = [`crate::matcher::UNIT_BYTES`]). 0 = free transfers.
     #[serde(default)]
     pub wan_cost_per_unit: i64,
+    /// Let the matcher warm-start its min-cost-flow network between slots
+    /// (re-pricing only the arcs whose bins changed) instead of rebuilding
+    /// it from scratch every solve. The two paths produce byte-identical
+    /// schedules — this knob exists for A/B timing and fuzzing, not for
+    /// accuracy trade-offs. Defaults to `true`; omitted from archived JSON
+    /// unless disabled.
+    #[serde(default = "default_warm_start", skip_serializing_if = "is_warm_default")]
+    pub matcher_warm_start: bool,
+}
+
+fn default_warm_start() -> bool {
+    true
+}
+
+fn is_warm_default(on: &bool) -> bool {
+    *on
 }
 
 impl ExperimentConfig {
@@ -372,6 +388,7 @@ impl ExperimentConfig {
             clock: SlotClock::hourly(),
             sites: Vec::new(),
             wan_cost_per_unit: 0,
+            matcher_warm_start: true,
         }
     }
 
@@ -398,6 +415,7 @@ impl ExperimentConfig {
             clock: SlotClock::hourly(),
             sites: Vec::new(),
             wan_cost_per_unit: 0,
+            matcher_warm_start: true,
         }
     }
 
@@ -420,6 +438,7 @@ impl ExperimentConfig {
     // ```
 
     /// Use the given scheduling policy.
+    #[must_use]
     pub fn with_policy(mut self, policy: PolicyKind) -> Self {
         self.policy = policy;
         self
@@ -427,49 +446,67 @@ impl ExperimentConfig {
 
     /// Use any renewable source (see also [`Self::with_solar`] /
     /// [`Self::with_wind`] shorthands).
+    #[must_use]
     pub fn with_source(mut self, source: SourceKind) -> Self {
         self.energy.source = source;
         self
     }
 
     /// Power the site from a PV farm of the given area.
-    pub fn with_solar(self, area_m2: f64, profile: SolarProfile) -> Self {
-        self.with_source(SourceKind::Solar { area_m2, profile })
+    #[must_use]
+    pub fn with_solar(mut self, area_m2: f64, profile: SolarProfile) -> Self {
+        self.energy.source = SourceKind::Solar { area_m2, profile };
+        self
     }
 
     /// Power the site from a wind turbine of the given nameplate power.
-    pub fn with_wind(self, rated_w: f64, profile: WindProfile) -> Self {
-        self.with_source(SourceKind::Wind { rated_w, profile })
+    #[must_use]
+    pub fn with_wind(mut self, rated_w: f64, profile: WindProfile) -> Self {
+        self.energy.source = SourceKind::Wind { rated_w, profile };
+        self
     }
 
     /// Install the given battery (`None` removes it; a bare `BatterySpec`
     /// works too, via `Into<Option<_>>`).
+    #[must_use]
     pub fn with_battery(mut self, battery: impl Into<Option<BatterySpec>>) -> Self {
         self.energy.battery = battery.into();
         self
     }
 
     /// Plan with the given production forecaster.
+    #[must_use]
     pub fn with_forecast(mut self, forecast: ForecastKind) -> Self {
         self.energy.forecast = forecast;
         self
     }
 
     /// Enable (or with `None`, disable) disk-failure injection.
+    #[must_use]
     pub fn with_failures(mut self, failures: impl Into<Option<gm_storage::FailureSpec>>) -> Self {
         self.failures = failures.into();
         self
     }
 
     /// Simulate the given number of slots.
+    #[must_use]
     pub fn with_slots(mut self, slots: usize) -> Self {
         self.slots = slots;
         self
     }
 
     /// Use the given master seed.
+    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enable or disable the matcher's warm-start path (see
+    /// [`Self::matcher_warm_start`]).
+    #[must_use]
+    pub fn with_matcher_warm_start(mut self, on: bool) -> Self {
+        self.matcher_warm_start = on;
         self
     }
 
@@ -482,6 +519,7 @@ impl ExperimentConfig {
     ///
     /// # Panics
     /// Panics on an empty site list.
+    #[must_use]
     pub fn with_sites(mut self, sites: Vec<SiteConfig>) -> Self {
         assert!(!sites.is_empty(), "an experiment needs at least one site");
         self.cluster = sites[0].cluster.clone();
@@ -494,6 +532,7 @@ impl ExperimentConfig {
 
     /// Charge the matcher the given per-unit WAN cost for cross-site
     /// placement (see [`Self::wan_cost_per_unit`]).
+    #[must_use]
     pub fn with_wan_cost(mut self, wan_cost_per_unit: i64) -> Self {
         self.wan_cost_per_unit = wan_cost_per_unit;
         self
@@ -630,6 +669,33 @@ mod tests {
         assert_eq!(small.workload.interactive.objects, small.cluster.objects);
         let medium = ExperimentConfig::medium(1);
         assert_eq!(medium.workload.interactive.objects, medium.cluster.objects);
+    }
+
+    #[test]
+    fn warm_start_knob_defaults_on_and_roundtrips() {
+        let cfg = ExperimentConfig::small_demo(3);
+        assert!(cfg.matcher_warm_start);
+        let json = serde_json::to_string(&cfg).expect("serialises");
+        assert!(!json.contains("matcher_warm_start"), "default stays out of archived JSON");
+        let back: ExperimentConfig = serde_json::from_str(&json).expect("parses");
+        assert!(back.matcher_warm_start, "omitted field deserialises to on");
+        let cold = cfg.with_matcher_warm_start(false);
+        let json = serde_json::to_string(&cold).expect("serialises");
+        let back: ExperimentConfig = serde_json::from_str(&json).expect("parses");
+        assert!(!back.matcher_warm_start);
+    }
+
+    #[test]
+    fn source_shorthands_mirror_with_source() {
+        let a = ExperimentConfig::small_demo(1).with_solar(80.0, SolarProfile::SunnySummer);
+        let b = ExperimentConfig::small_demo(1)
+            .with_source(SourceKind::Solar { area_m2: 80.0, profile: SolarProfile::SunnySummer });
+        assert_eq!(a.energy.source, b.energy.source);
+        let w = ExperimentConfig::small_demo(1).with_wind(9_000.0, WindProfile::SteadyCoastal);
+        assert_eq!(
+            w.energy.source,
+            SourceKind::Wind { rated_w: 9_000.0, profile: WindProfile::SteadyCoastal }
+        );
     }
 
     #[test]

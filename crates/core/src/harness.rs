@@ -20,10 +20,12 @@ pub(crate) use crate::simulation::deadline_slot_for;
 
 /// Run one experiment to completion.
 ///
-/// Equivalent to `Simulation::new(cfg).run_to_end()` — the step-wise API
-/// produces a field-for-field identical report.
+/// Equivalent to `Simulation::builder(cfg).build()?.run_to_end()` — the
+/// step-wise API produces a field-for-field identical report. Panics on
+/// configuration errors (missing trace files, zero-slot horizons); build
+/// through [`Simulation::builder`] directly to handle them instead.
 pub fn run_experiment(cfg: &ExperimentConfig) -> RunReport {
-    Simulation::new(cfg).run_to_end()
+    Simulation::builder(cfg).build().unwrap_or_else(|e| panic!("{e}")).run_to_end()
 }
 
 #[cfg(test)]

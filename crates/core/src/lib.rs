@@ -49,7 +49,7 @@
 //! use greenmatch::simulation::Simulation;
 //!
 //! let cfg = ExperimentConfig::small_demo(42);
-//! let mut sim = Simulation::new(&cfg);
+//! let mut sim = Simulation::builder(&cfg).build().expect("config materialises");
 //! while let Some(slot) = sim.step() {
 //!     println!("slot {}: {} gears, {:.1} Wh grid", slot.slot, slot.gears, slot.energy.grid_wh);
 //! }

@@ -4,7 +4,7 @@
 //! by solving a small transportation problem with [`crate::mincostflow`]:
 //!
 //! ```text
-//!  source ──(group bytes)──► deadline-group d ──► slot t (t ≤ d) ──► sink
+//!  source ──(group bytes)──► deadline-group d ──► site×slot (s,t) ──► sink
 //!                                   │                  green arc: cap = surplus-funded units, cost = t
 //!                                   │                  brown arc: cap = rest of capacity,     cost = BROWN + t
 //!                                   └──(far deadlines)──► beyond ──► sink   (cost = DEFER)
@@ -12,7 +12,7 @@
 //!
 //! * Jobs are aggregated into **deadline groups** (work is divisible and
 //!   jobs within a group are interchangeable), keeping the graph at
-//!   ~`2H` nodes regardless of job count.
+//!   ~`2H` nodes per site regardless of job count.
 //! * Work is quantised into [`UNIT_BYTES`] units.
 //! * A slot's **green capacity** is the work fundable by its predicted
 //!   green surplus (forecast minus the non-batch floor: minimum-gear idle
@@ -23,6 +23,24 @@
 //! * Groups whose deadline is inside the window may overflow to `beyond`
 //!   only at [`INFEASIBLE_COST`], so the solver stays feasible under
 //!   overload and the overflow is a congestion signal.
+//! * Single-site matching is the one-site case of the same network —
+//!   there is exactly one solver code path to audit.
+//!
+//! # The `Matcher` handle and warm starts
+//!
+//! [`Matcher`] is the sole entry point. It owns the flow network, every
+//! work vector, and the warm-start state, so one handle held across slots
+//! performs no steady-state allocation. The network's *topology* depends
+//! only on `(horizon, n_sites)`: every arc the problem could need exists
+//! (zero-capacity arcs are invisible to the solver), and consecutive
+//! rounds with the same shape only **re-price** the arcs whose bin
+//! (deadline-group units, forecast green cap, busy-seconds-derived
+//! capacity, WAN toll, brown price) actually changed — flows are rewound
+//! to zero and the identical deterministic solver reruns, so the warm
+//! path is byte-for-byte equal to a cold build. When *nothing* changed,
+//! the previous round's schedule and stats replay without solving at all.
+//! A shape change (horizon or site count) triggers the cold rebuild
+//! fallback.
 //!
 //! Gear-up fixed costs are deliberately *not* in the flow network (they are
 //! concave); the executing policy re-checks gear economics when it turns
@@ -42,7 +60,12 @@ pub const DEFER_COST: i64 = 100;
 pub const INFEASIBLE_COST: i64 = 100_000;
 
 /// Input to one matching round.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `sites[0]` is the home site (zero WAN cost by construction); a
+/// single-site round passes a one-element slice. Remote sites serve no
+/// interactive traffic, so `interactive_busy_secs` applies to the home
+/// site only.
+#[derive(Debug, Clone)]
 pub struct MatchInput<'a> {
     /// Pending deferrable jobs.
     pub jobs: &'a [JobView],
@@ -50,80 +73,43 @@ pub struct MatchInput<'a> {
     pub current_slot: SlotIdx,
     /// Window length in slots.
     pub horizon: usize,
-    /// Forecast green energy per slot (Wh), index 0 = current slot.
-    pub green_forecast_wh: &'a [f64],
-    /// Expected interactive busy-seconds per slot, same indexing.
+    /// Per-site capacity views, home first (index 0). The home view's WAN
+    /// cost is zero by construction.
+    pub sites: &'a [SiteView<'a>],
+    /// Home-site expected interactive busy-seconds per slot, index 0 = the
+    /// slot being decided.
     pub interactive_busy_secs: &'a [f64],
-    /// Planning arithmetic.
-    pub model: PlanningModel,
     /// Slot width in seconds.
     pub slot_secs: f64,
-    /// Per-offset brown cost override (e.g. scaled by the grid's carbon
-    /// intensity for carbon-aware scheduling). `None` ⇒ uniform
-    /// [`BROWN_COST`]. Values should be on the same scale as `BROWN_COST`.
+    /// Per-offset brown cost override (e.g. scaled by the grid's forecast
+    /// carbon intensity for carbon-aware scheduling). `None` ⇒ uniform
+    /// [`BROWN_COST`]. Values should be on the same scale as `BROWN_COST`;
+    /// the override applies to every site's brown arcs.
     pub brown_cost_per_slot: Option<&'a [i64]>,
 }
 
-/// Output of one matching round.
-#[derive(Debug, Clone, PartialEq)]
-pub struct MatchPlan {
-    /// Bytes planned per window offset (0 = run now).
-    pub per_slot_bytes: Vec<u64>,
+/// Copy-out summary of one matching round; the per-site schedule stays in
+/// the [`Matcher`] (see [`Matcher::per_site_slot_bytes`]).
+///
+/// For single-site rounds the remote fields are zero and `bytes_now` is
+/// the whole slot-0 plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Bytes the plan wants executed in the current slot at the home site.
+    pub bytes_now: u64,
+    /// Bytes the plan wants executed in the current slot on non-home sites.
+    pub remote_bytes_now: u64,
+    /// Bytes the whole plan places on non-home sites (any offset); each
+    /// paid its site's WAN cost.
+    pub wan_bytes: u64,
     /// Bytes pushed to the `beyond` node (deferred past the window).
     pub deferred_bytes: u64,
     /// Bytes that could only be placed via the overload escape (deadline
     /// pressure exceeds window capacity).
     pub infeasible_bytes: u64,
-    /// Bytes of the plan sitting on green-funded arcs.
+    /// Bytes of the plan sitting on green-funded arcs (all sites).
     pub green_bytes: u64,
-    /// Bytes of the plan sitting on brown-funded arcs.
-    pub brown_bytes: u64,
-    /// Total solver cost (diagnostic).
-    pub cost: i64,
-}
-
-impl MatchPlan {
-    /// Bytes the plan wants executed in the current slot.
-    #[must_use]
-    pub fn bytes_now(&self) -> u64 {
-        self.per_slot_bytes.first().copied().unwrap_or(0)
-    }
-}
-
-/// Reusable state for repeated matching rounds: the flow network plus every
-/// work vector one round needs. A policy holds one scratch across slots so
-/// steady-state matching performs no heap allocation.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct MatcherScratch {
-    flow: MinCostFlow,
-    group_units: Vec<i64>,
-    green_arcs: Vec<Option<EdgeId>>,
-    brown_arcs: Vec<Option<EdgeId>>,
-    per_slot_bytes: Vec<u64>,
-}
-
-impl MatcherScratch {
-    /// Bytes planned per window offset (0 = run now) from the most recent
-    /// [`solve_with`] call.
-    #[must_use]
-    pub fn per_slot_bytes(&self) -> &[u64] {
-        &self.per_slot_bytes
-    }
-}
-
-/// Copy-out summary of one matching round; the per-slot schedule stays in
-/// the [`MatcherScratch`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct MatchStats {
-    /// Bytes the plan wants executed in the current slot.
-    pub bytes_now: u64,
-    /// Bytes pushed to the `beyond` node (deferred past the window).
-    pub deferred_bytes: u64,
-    /// Bytes that could only be placed via the overload escape.
-    pub infeasible_bytes: u64,
-    /// Bytes of the plan sitting on green-funded arcs.
-    pub green_bytes: u64,
-    /// Bytes of the plan sitting on brown-funded arcs.
+    /// Bytes of the plan sitting on brown-funded arcs (all sites).
     pub brown_bytes: u64,
     /// Total solver cost (diagnostic).
     pub cost: i64,
@@ -134,219 +120,138 @@ pub struct MatchStats {
     pub unaccounted_units: i64,
 }
 
-/// Estimated non-batch energy floor (Wh) of window offset `k`: idle power
-/// at the interactive minimum gear level plus the interactive marginal.
-#[must_use]
-pub fn non_batch_floor_wh(input: &MatchInput<'_>, k: usize) -> f64 {
-    let busy = input.interactive_busy_secs.get(k).copied().unwrap_or(0.0);
-    floor_wh(&input.model, busy, input.slot_secs)
+/// How the matcher's solve rounds were served, for diagnostics and the
+/// kernel bench: cold rebuilds, warm re-priced solves, and memo replays.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveCounts {
+    /// Rounds that rebuilt the network from scratch (first round, shape
+    /// change, or warm start disabled).
+    pub cold: u64,
+    /// Rounds that rewound flows, re-priced changed arcs and re-solved.
+    pub warm: u64,
+    /// Rounds whose inputs were bit-identical to the previous round: the
+    /// cached schedule and stats replayed without solving.
+    pub memo: u64,
 }
 
-/// The non-batch floor arithmetic shared by the single- and multi-site
-/// solvers: idle power at the interactive minimum gear level plus the
-/// interactive marginal, for one slot.
-fn floor_wh(model: &PlanningModel, busy: f64, slot_secs: f64) -> f64 {
-    let min_g = model.min_gears_for_interactive(busy, slot_secs);
+/// Estimated non-batch energy floor (Wh) of one slot: idle power at the
+/// interactive minimum gear level plus the interactive marginal.
+#[must_use]
+pub fn non_batch_floor_wh(model: &PlanningModel, busy_secs: f64, slot_secs: f64) -> f64 {
+    let min_g = model.min_gears_for_interactive(busy_secs, slot_secs);
     let hours = slot_secs / 3600.0;
     let interactive_marginal_wh =
-        busy / 3600.0 * (model.batch_wh_per_byte * model.disk_bw_bps * 3600.0);
+        busy_secs / 3600.0 * (model.batch_wh_per_byte * model.disk_bw_bps * 3600.0);
     model.idle_w(min_g) * hours + interactive_marginal_wh
 }
 
-/// Solve one matching round, allocating a fresh plan. Allocation-free
-/// callers use [`solve_with`] and read the schedule out of the scratch.
-#[must_use]
-pub fn solve(input: &MatchInput<'_>) -> MatchPlan {
-    let mut scratch = MatcherScratch::default();
-    let stats = solve_with(input, &mut scratch);
-    MatchPlan {
-        per_slot_bytes: scratch.per_slot_bytes,
-        deferred_bytes: stats.deferred_bytes,
-        infeasible_bytes: stats.infeasible_bytes,
-        green_bytes: stats.green_bytes,
-        brown_bytes: stats.brown_bytes,
-        cost: stats.cost,
+/// Eligible window of deadline group `gi` (inclusive last slot offset).
+fn last_slot(gi: usize, h: usize) -> usize {
+    if gi == h {
+        h - 1
+    } else {
+        gi.min(h - 1)
     }
 }
 
-/// Solve one matching round into reusable scratch state. The per-slot
-/// schedule is left in [`MatcherScratch::per_slot_bytes`].
-pub fn solve_with(input: &MatchInput<'_>, scratch: &mut MatcherScratch) -> MatchStats {
-    let h = input.horizon.max(1);
-    // Aggregate jobs into deadline groups, clamped into the window; the
-    // "far" group collects deadlines beyond it.
-    // Group index: 0..h for in-window deadline offsets, h = far.
-    let group_units = &mut scratch.group_units;
-    group_units.clear();
-    group_units.resize(h + 1, 0);
-    for j in input.jobs {
-        if j.remaining_bytes == 0 {
-            continue;
-        }
-        let units = (j.remaining_bytes.div_ceil(UNIT_BYTES)) as i64;
-        let off = j.deadline_slot.saturating_sub(input.current_slot);
-        let g = off.min(h); // ≥ h ⇒ far
-        group_units[g] += units;
-    }
-    let total_units: i64 = group_units.iter().sum();
-
-    // Node numbering.
-    let source = 0usize;
-    let group_base = 1usize; // h+1 group nodes
-    let slot_base = group_base + h + 1; // h slot nodes
-    let beyond = slot_base + h;
-    let sink = beyond + 1;
-    let g = &mut scratch.flow;
-    g.reset(sink + 1);
-
-    // Source → groups.
-    for (gi, &units) in group_units.iter().enumerate() {
-        if units > 0 {
-            g.add_edge(source, group_base + gi, units, 0);
-        }
-    }
-
-    // Groups → eligible slots (+ escapes).
-    for (gi, &units) in group_units.iter().enumerate() {
-        if units == 0 {
-            continue;
-        }
-        let last_slot = if gi == h { h - 1 } else { gi.min(h - 1) };
-        for t in 0..=last_slot {
-            g.add_edge(group_base + gi, slot_base + t, units, 0);
-        }
-        let escape_cost = if gi == h { DEFER_COST } else { INFEASIBLE_COST };
-        g.add_edge(group_base + gi, beyond, units, escape_cost);
-    }
-
-    // Slots → sink (green + brown arcs), remember handles for extraction.
-    let green_arcs = &mut scratch.green_arcs;
-    green_arcs.clear();
-    green_arcs.resize(h, None);
-    let brown_arcs = &mut scratch.brown_arcs;
-    brown_arcs.clear();
-    brown_arcs.resize(h, None);
-    for t in 0..h {
-        let busy = input.interactive_busy_secs.get(t).copied().unwrap_or(0.0);
-        let capacity_units =
-            (input.model.batch_capacity_bytes(input.model.gears, busy, input.slot_secs)
-                / UNIT_BYTES) as i64;
-        if capacity_units == 0 {
-            continue;
-        }
-        let surplus_wh = (input.green_forecast_wh.get(t).copied().unwrap_or(0.0)
-            - non_batch_floor_wh(input, t))
-        .max(0.0);
-        let green_units =
-            ((input.model.bytes_fundable_by(surplus_wh) / UNIT_BYTES) as i64).min(capacity_units);
-        if green_units > 0 {
-            green_arcs[t] = Some(g.add_edge(slot_base + t, sink, green_units, t as i64));
-        }
-        let brown_units = capacity_units - green_units;
-        if brown_units > 0 {
-            // Brown capacity procrastinates: prefer the *latest* feasible
-            // slot, so re-planning with fresh forecasts can still rescue the
-            // work into a green window. A per-slot override (carbon-aware
-            // mode) can additionally steer brown work toward clean hours.
-            let base =
-                input.brown_cost_per_slot.and_then(|c| c.get(t).copied()).unwrap_or(BROWN_COST);
-            brown_arcs[t] =
-                Some(g.add_edge(slot_base + t, sink, brown_units, base + (h - t) as i64));
-        }
-    }
-    let beyond_arc = g.add_edge(beyond, sink, total_units.max(1), 0);
-
-    let result = g.solve(source, sink, total_units);
-    debug_assert_eq!(result.flow, total_units, "network must absorb all work");
-
-    // Extract per-slot plan.
-    let per_slot_bytes = &mut scratch.per_slot_bytes;
-    per_slot_bytes.clear();
-    per_slot_bytes.resize(h, 0);
-    let mut green_bytes = 0u64;
-    let mut brown_bytes = 0u64;
-    let mut placed_units = 0i64;
-    for t in 0..h {
-        let mut units = 0i64;
-        if let Some(e) = green_arcs[t] {
-            let f = g.flow_on(e);
-            units += f;
-            green_bytes += f as u64 * UNIT_BYTES;
-        }
-        if let Some(e) = brown_arcs[t] {
-            let f = g.flow_on(e);
-            units += f;
-            brown_bytes += f as u64 * UNIT_BYTES;
-        }
-        placed_units += units;
-        per_slot_bytes[t] = units as u64 * UNIT_BYTES;
-    }
-    let beyond_units = g.flow_on(beyond_arc);
-    // Split the escape flow into benign deferral vs deadline overflow by
-    // re-deriving how much far-group work there was.
-    let far_units = group_units[h];
-    let deferred_units = beyond_units.min(far_units);
-    let infeasible_units = beyond_units - deferred_units;
-
-    MatchStats {
-        bytes_now: per_slot_bytes.first().copied().unwrap_or(0),
-        deferred_bytes: deferred_units as u64 * UNIT_BYTES,
-        infeasible_bytes: infeasible_units as u64 * UNIT_BYTES,
-        green_bytes,
-        brown_bytes,
-        cost: result.cost,
-        unaccounted_units: total_units - placed_units - beyond_units,
+/// Escape-arc cost of deadline group `gi`: far groups defer benignly,
+/// in-window groups escape only as an overload signal.
+fn escape_cost(gi: usize, h: usize) -> i64 {
+    if gi == h {
+        DEFER_COST
+    } else {
+        INFEASIBLE_COST
     }
 }
 
-// ---------------------------------------------------------------------------
-// Multi-site matching
-// ---------------------------------------------------------------------------
-
-/// Input to one multi-site matching round: the single-site problem with the
-/// slot axis generalised to `site × slot`. Placing a unit on a non-home
-/// site additionally pays that site's WAN transfer cost per unit.
-#[derive(Debug, Clone)]
-pub struct MultiMatchInput<'a> {
-    /// Pending deferrable jobs.
-    pub jobs: &'a [JobView],
-    /// Slot being decided (offset 0 of the window).
-    pub current_slot: SlotIdx,
-    /// Window length in slots.
-    pub horizon: usize,
-    /// Per-site capacity views, home first (index 0). The home view's WAN
-    /// cost is zero by construction.
-    pub sites: &'a [SiteView<'a>],
-    /// Home-site expected interactive busy-seconds per slot (remote sites
-    /// serve no interactive traffic).
-    pub interactive_busy_secs: &'a [f64],
-    /// Slot width in seconds.
-    pub slot_secs: f64,
-    /// Per-offset brown cost override (see [`MatchInput`]); applies to
-    /// every site's brown arcs.
-    pub brown_cost_per_slot: Option<&'a [i64]>,
-}
-
-/// Reusable state for repeated multi-site matching rounds, mirroring
-/// [`MatcherScratch`] with the per-slot schedule generalised to a flat
-/// `site × slot` matrix.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct MultiMatcherScratch {
+/// The stateful matcher: flow network, work vectors and warm-start state
+/// for repeated matching rounds.
+///
+/// One handle is held across slots (by [`crate::scheduler::GreenMatchPolicy`],
+/// and transitively by every simulation and `JobPool` worker); see the
+/// module docs for the warm-start contract. [`Matcher::solve`] is the only
+/// solve entry point.
+#[derive(Debug, Clone, Default)]
+pub struct Matcher {
     flow: MinCostFlow,
-    group_units: Vec<i64>,
-    green_arcs: Vec<Option<EdgeId>>,
-    brown_arcs: Vec<Option<EdgeId>>,
-    per_site_slot_bytes: Vec<u64>,
-    n_sites: usize,
+    /// Warm-start enabled? Cold rebuilds every round when false.
+    warm_start: bool,
+    /// Retained network shape; `horizon == 0` ⇒ nothing retained.
     horizon: usize,
+    n_sites: usize,
+    // Per-round work vectors (bins), shared by build and diff passes.
+    group_units: Vec<i64>,
+    green_caps: Vec<i64>,
+    brown_caps: Vec<i64>,
+    brown_arc_costs: Vec<i64>,
+    wan: Vec<i64>,
+    // Bins the retained network is currently priced with — the warm
+    // path's drift detector. Comparing these (sequential integer
+    // vectors) is far cheaper than interrogating every arc through its
+    // handle, and lets re-pricing touch only the drifted arcs.
+    prev_group_units: Vec<i64>,
+    prev_green_caps: Vec<i64>,
+    prev_brown_caps: Vec<i64>,
+    prev_brown_arc_costs: Vec<i64>,
+    prev_wan: Vec<i64>,
+    prev_beyond_cap: i64,
+    // Arc handles of the retained dense topology, in build order.
+    supply_arcs: Vec<EdgeId>,
+    group_slot_arcs: Vec<EdgeId>,
+    escape_arcs: Vec<EdgeId>,
+    green_arcs: Vec<EdgeId>,
+    brown_arcs: Vec<EdgeId>,
+    beyond_arc: Option<EdgeId>,
+    // Most recent schedule + stats (the memo replay payload).
+    per_site_slot_bytes: Vec<u64>,
+    last_stats: MatchStats,
+    stats_valid: bool,
+    counts: SolveCounts,
 }
 
-impl MultiMatcherScratch {
+impl Matcher {
+    /// A fresh matcher with warm starts enabled.
+    #[must_use]
+    pub fn new() -> Self {
+        Matcher { warm_start: true, ..Matcher::default() }
+    }
+
+    /// Enable or disable warm starts. Disabling forces a cold rebuild
+    /// every round — the reference path the equivalence tests compare
+    /// against. Takes effect on the next [`Matcher::solve`].
+    pub fn set_warm_start(&mut self, on: bool) {
+        self.warm_start = on;
+        if !on {
+            // Drop the retained shape so a later re-enable starts cold.
+            self.horizon = 0;
+            self.stats_valid = false;
+        }
+    }
+
+    /// Whether warm starts are enabled.
+    #[must_use]
+    pub fn warm_start(&self) -> bool {
+        self.warm_start
+    }
+
+    /// How the rounds so far were served (cold / warm / memo).
+    #[must_use]
+    pub fn solve_counts(&self) -> SolveCounts {
+        self.counts
+    }
+
     /// Bytes planned per `site × slot` (row-major: `site * horizon + slot`)
-    /// from the most recent [`solve_sites_with`] call.
+    /// from the most recent [`Matcher::solve`] call.
     #[must_use]
     pub fn per_site_slot_bytes(&self) -> &[u64] {
         &self.per_site_slot_bytes
+    }
+
+    /// The home site's planned bytes per window offset (0 = run now) from
+    /// the most recent round — the whole schedule of a single-site round.
+    #[must_use]
+    pub fn per_slot_bytes(&self) -> &[u64] {
+        &self.per_site_slot_bytes[..self.horizon.min(self.per_site_slot_bytes.len())]
     }
 
     /// Bytes planned at window offset `t` on `site` in the most recent
@@ -364,197 +269,300 @@ impl MultiMatcherScratch {
     pub fn bytes_now(&self, site: usize) -> u64 {
         self.site_slot_bytes(site, 0)
     }
-}
 
-/// Copy-out summary of one multi-site matching round; the per-site schedule
-/// stays in the [`MultiMatcherScratch`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct MultiMatchStats {
-    /// Bytes the plan wants executed in the current slot at the home site.
-    pub bytes_now_home: u64,
-    /// Bytes the plan wants executed in the current slot on non-home sites.
-    pub remote_bytes_now: u64,
-    /// Bytes the whole plan places on non-home sites (any offset); each
-    /// paid its site's WAN cost.
-    pub wan_bytes: u64,
-    /// Bytes pushed to the `beyond` node (deferred past the window).
-    pub deferred_bytes: u64,
-    /// Bytes that could only be placed via the overload escape.
-    pub infeasible_bytes: u64,
-    /// Bytes of the plan sitting on green-funded arcs (all sites).
-    pub green_bytes: u64,
-    /// Bytes of the plan sitting on brown-funded arcs (all sites).
-    pub brown_bytes: u64,
-    /// Total solver cost (diagnostic).
-    pub cost: i64,
-    /// Unit-accounting residual: total units minus (placed + deferred +
-    /// infeasible). Zero whenever the network conserved flow (see
-    /// [`MatchStats::unaccounted_units`]).
-    pub unaccounted_units: i64,
-}
+    /// Solve one matching round.
+    ///
+    /// The per-site schedule is retained on the handle (see
+    /// [`Matcher::per_site_slot_bytes`]); the returned [`MatchStats`] is
+    /// the copy-out summary. Warm-started, re-priced and memo-replayed
+    /// rounds are byte-for-byte identical to a cold solve of the same
+    /// input.
+    ///
+    /// # Panics
+    ///
+    /// If `input.sites` is empty (the home site is mandatory).
+    pub fn solve(&mut self, input: &MatchInput<'_>) -> MatchStats {
+        assert!(!input.sites.is_empty(), "MatchInput requires at least the home site");
+        let h = input.horizon.max(1);
+        let n_sites = input.sites.len();
 
-/// Solve one multi-site matching round into reusable scratch state.
-///
-/// The network is [`solve_with`]'s with one slot node per `site × offset`
-/// pair: every deadline group may reach any site's eligible slots, paying
-/// the site's WAN cost per unit on the group→slot arc, and each site's
-/// slots carry their own green/brown capacity split (remote sites have no
-/// interactive floor). The per-site schedule is left in
-/// [`MultiMatcherScratch::per_site_slot_bytes`].
-pub fn solve_sites_with(
-    input: &MultiMatchInput<'_>,
-    scratch: &mut MultiMatcherScratch,
-) -> MultiMatchStats {
-    let h = input.horizon.max(1);
-    let n_sites = input.sites.len().max(1);
-    scratch.horizon = h;
-    scratch.n_sites = n_sites;
-
-    // Deadline groups, exactly as in the single-site round.
-    let group_units = &mut scratch.group_units;
-    group_units.clear();
-    group_units.resize(h + 1, 0);
-    for j in input.jobs {
-        if j.remaining_bytes == 0 {
-            continue;
-        }
-        let units = (j.remaining_bytes.div_ceil(UNIT_BYTES)) as i64;
-        let off = j.deadline_slot.saturating_sub(input.current_slot);
-        let g = off.min(h);
-        group_units[g] += units;
-    }
-    let total_units: i64 = group_units.iter().sum();
-
-    // Node numbering: slot node (s, t) = slot_base + s*h + t.
-    let source = 0usize;
-    let group_base = 1usize;
-    let slot_base = group_base + h + 1;
-    let beyond = slot_base + n_sites * h;
-    let sink = beyond + 1;
-    let g = &mut scratch.flow;
-    g.reset(sink + 1);
-
-    // Source → groups.
-    for (gi, &units) in group_units.iter().enumerate() {
-        if units > 0 {
-            g.add_edge(source, group_base + gi, units, 0);
-        }
-    }
-
-    // Groups → eligible slots on every site (+ escapes). Non-home sites
-    // charge their WAN transfer cost per unit on the way in.
-    for (gi, &units) in group_units.iter().enumerate() {
-        if units == 0 {
-            continue;
-        }
-        let last_slot = if gi == h { h - 1 } else { gi.min(h - 1) };
-        for (si, site) in input.sites.iter().enumerate() {
-            let wan = if si == 0 { 0 } else { site.wan_cost_per_unit };
-            for t in 0..=last_slot {
-                g.add_edge(group_base + gi, slot_base + si * h + t, units, wan);
-            }
-        }
-        let escape_cost = if gi == h { DEFER_COST } else { INFEASIBLE_COST };
-        g.add_edge(group_base + gi, beyond, units, escape_cost);
-    }
-
-    // Site-slots → sink (green + brown arcs per site).
-    let green_arcs = &mut scratch.green_arcs;
-    green_arcs.clear();
-    green_arcs.resize(n_sites * h, None);
-    let brown_arcs = &mut scratch.brown_arcs;
-    brown_arcs.clear();
-    brown_arcs.resize(n_sites * h, None);
-    for (si, site) in input.sites.iter().enumerate() {
-        for t in 0..h {
-            let busy = if si == 0 {
-                input.interactive_busy_secs.get(t).copied().unwrap_or(0.0)
-            } else {
-                0.0
-            };
-            let capacity_units =
-                (site.model.batch_capacity_bytes(site.model.gears, busy, input.slot_secs)
-                    / UNIT_BYTES) as i64;
-            if capacity_units == 0 {
+        // Deadline groups, clamped into the window; group h collects the
+        // far deadlines.
+        let group_units = &mut self.group_units;
+        group_units.clear();
+        group_units.resize(h + 1, 0);
+        for j in input.jobs {
+            if j.remaining_bytes == 0 {
                 continue;
             }
-            let surplus_wh = (site.green_forecast_wh.get(t).copied().unwrap_or(0.0)
-                - floor_wh(&site.model, busy, input.slot_secs))
-            .max(0.0);
-            let green_units = ((site.model.bytes_fundable_by(surplus_wh) / UNIT_BYTES) as i64)
-                .min(capacity_units);
-            let node = slot_base + si * h + t;
-            if green_units > 0 {
-                green_arcs[si * h + t] = Some(g.add_edge(node, sink, green_units, t as i64));
-            }
-            let brown_units = capacity_units - green_units;
-            if brown_units > 0 {
-                let base =
-                    input.brown_cost_per_slot.and_then(|c| c.get(t).copied()).unwrap_or(BROWN_COST);
-                brown_arcs[si * h + t] =
-                    Some(g.add_edge(node, sink, brown_units, base + (h - t) as i64));
+            let units = (j.remaining_bytes.div_ceil(UNIT_BYTES)) as i64;
+            let off = j.deadline_slot.saturating_sub(input.current_slot);
+            let g = off.min(h); // ≥ h ⇒ far
+            group_units[g] += units;
+        }
+        let total_units: i64 = group_units.iter().sum();
+
+        // Per-site×slot bins: green capacity funded by forecast surplus,
+        // brown capacity as the physical remainder, brown price per offset.
+        self.green_caps.clear();
+        self.brown_caps.clear();
+        self.wan.clear();
+        for (si, site) in input.sites.iter().enumerate() {
+            self.wan.push(if si == 0 { 0 } else { site.wan_cost_per_unit });
+            for t in 0..h {
+                let busy = if si == 0 {
+                    input.interactive_busy_secs.get(t).copied().unwrap_or(0.0)
+                } else {
+                    0.0
+                };
+                let capacity_units =
+                    (site.model.batch_capacity_bytes(site.model.gears, busy, input.slot_secs)
+                        / UNIT_BYTES) as i64;
+                let surplus_wh = (site.green_forecast_wh.get(t).copied().unwrap_or(0.0)
+                    - non_batch_floor_wh(&site.model, busy, input.slot_secs))
+                .max(0.0);
+                let green_units = ((site.model.bytes_fundable_by(surplus_wh) / UNIT_BYTES) as i64)
+                    .min(capacity_units);
+                self.green_caps.push(green_units);
+                self.brown_caps.push(capacity_units - green_units);
             }
         }
-    }
-    let beyond_arc = g.add_edge(beyond, sink, total_units.max(1), 0);
-
-    let result = g.solve(source, sink, total_units);
-    debug_assert_eq!(result.flow, total_units, "network must absorb all work");
-
-    // Extract the per-site schedule.
-    let per_site_slot_bytes = &mut scratch.per_site_slot_bytes;
-    per_site_slot_bytes.clear();
-    per_site_slot_bytes.resize(n_sites * h, 0);
-    let mut green_bytes = 0u64;
-    let mut brown_bytes = 0u64;
-    let mut wan_bytes = 0u64;
-    let mut remote_bytes_now = 0u64;
-    let mut placed_units = 0i64;
-    for si in 0..n_sites {
+        self.brown_arc_costs.clear();
         for t in 0..h {
-            let mut units = 0i64;
-            if let Some(e) = green_arcs[si * h + t] {
-                let f = g.flow_on(e);
-                units += f;
-                green_bytes += f as u64 * UNIT_BYTES;
+            let base =
+                input.brown_cost_per_slot.and_then(|c| c.get(t).copied()).unwrap_or(BROWN_COST);
+            self.brown_arc_costs.push(base + (h - t) as i64);
+        }
+
+        // Dispatch: cold rebuild on shape change (or warm start off), memo
+        // replay when nothing changed, warm re-price otherwise.
+        if !self.warm_start || self.horizon != h || self.n_sites != n_sites {
+            self.rebuild(h, n_sites, total_units);
+            self.counts.cold += 1;
+        } else if !self.reprice(total_units) {
+            if self.stats_valid {
+                self.counts.memo += 1;
+                return self.last_stats;
             }
-            if let Some(e) = brown_arcs[si * h + t] {
-                let f = g.flow_on(e);
-                units += f;
-                brown_bytes += f as u64 * UNIT_BYTES;
+            // No cached stats to replay (defensive; cannot happen on the
+            // normal path): rewind and re-solve the unchanged network.
+            self.flow.rewind();
+            self.counts.warm += 1;
+        } else {
+            self.counts.warm += 1;
+        }
+        self.run_solve(total_units);
+        self.last_stats
+    }
+
+    /// Cold path: rebuild the dense network for shape `(h, n_sites)` from
+    /// the current bins, retaining every arc handle for later re-pricing.
+    fn rebuild(&mut self, h: usize, n_sites: usize, total_units: i64) {
+        self.horizon = h;
+        self.n_sites = n_sites;
+        self.stats_valid = false;
+        // Node numbering: slot node (s, t) = slot_base + s*h + t.
+        let source = 0usize;
+        let group_base = 1usize;
+        let slot_base = group_base + h + 1;
+        let beyond = slot_base + n_sites * h;
+        let sink = beyond + 1;
+        let g = &mut self.flow;
+        g.reset(sink + 1);
+
+        // Source → groups.
+        self.supply_arcs.clear();
+        for (gi, &units) in self.group_units.iter().enumerate() {
+            self.supply_arcs.push(g.add_edge(source, group_base + gi, units, 0));
+        }
+
+        // Groups → eligible slots on every site (+ escapes). Non-home
+        // sites charge their WAN transfer cost per unit on the way in.
+        self.group_slot_arcs.clear();
+        self.escape_arcs.clear();
+        for (gi, &units) in self.group_units.iter().enumerate() {
+            let last = last_slot(gi, h);
+            for si in 0..n_sites {
+                for t in 0..=last {
+                    self.group_slot_arcs.push(g.add_edge(
+                        group_base + gi,
+                        slot_base + si * h + t,
+                        units,
+                        self.wan[si],
+                    ));
+                }
             }
-            placed_units += units;
-            let bytes = units as u64 * UNIT_BYTES;
-            per_site_slot_bytes[si * h + t] = bytes;
-            if si > 0 {
-                wan_bytes += bytes;
-                if t == 0 {
-                    remote_bytes_now += bytes;
+            self.escape_arcs.push(g.add_edge(group_base + gi, beyond, units, escape_cost(gi, h)));
+        }
+
+        // Site-slots → sink (green + brown arcs per site).
+        self.green_arcs.clear();
+        self.brown_arcs.clear();
+        for si in 0..n_sites {
+            for t in 0..h {
+                let node = slot_base + si * h + t;
+                self.green_arcs.push(g.add_edge(node, sink, self.green_caps[si * h + t], t as i64));
+                self.brown_arcs.push(g.add_edge(
+                    node,
+                    sink,
+                    self.brown_caps[si * h + t],
+                    self.brown_arc_costs[t],
+                ));
+            }
+        }
+        self.beyond_arc = Some(g.add_edge(beyond, sink, total_units.max(1), 0));
+        self.save_bins(total_units.max(1));
+    }
+
+    /// Record the bins the network is now priced with (the warm path's
+    /// drift baseline). Must be called whenever arc parameters are
+    /// (re)written from the current bins.
+    fn save_bins(&mut self, beyond_cap: i64) {
+        self.prev_group_units.clone_from(&self.group_units);
+        self.prev_green_caps.clone_from(&self.green_caps);
+        self.prev_brown_caps.clone_from(&self.brown_caps);
+        self.prev_brown_arc_costs.clone_from(&self.brown_arc_costs);
+        self.prev_wan.clone_from(&self.wan);
+        self.prev_beyond_cap = beyond_cap;
+    }
+
+    /// Warm path: diff the current bins against the bins the retained
+    /// network is priced with; if anything differs, rewind all flows and
+    /// re-price exactly the drifted arcs. Returns whether anything changed
+    /// (false ⇒ the round is bit-identical to the previous one).
+    ///
+    /// The diff runs over plain integer vectors — sequential compares the
+    /// optimiser turns into wide memcmp — rather than interrogating every
+    /// arc through its handle (two dependent loads per arc). The
+    /// invariant that makes this sound: every path that writes arc
+    /// parameters ([`Self::rebuild`], this method) records the bins it
+    /// wrote via [`Self::save_bins`], and `solve`'s flow mutations are
+    /// undone by `rewind`, so `prev_*` always describes the network's
+    /// configured parameters exactly.
+    fn reprice(&mut self, total_units: i64) -> bool {
+        let (h, n_sites) = (self.horizon, self.n_sites);
+        let beyond_cap = total_units.max(1);
+        let changed = self.group_units != self.prev_group_units
+            || self.green_caps != self.prev_green_caps
+            || self.brown_caps != self.prev_brown_caps
+            || self.brown_arc_costs != self.prev_brown_arc_costs
+            || self.wan != self.prev_wan
+            || beyond_cap != self.prev_beyond_cap;
+        if !changed {
+            return false;
+        }
+        // Re-price: zero all flows, then update only the drifted arcs.
+        self.flow.rewind();
+        for (gi, &units) in self.group_units.iter().enumerate() {
+            if units != self.prev_group_units[gi] {
+                self.flow.set_edge(self.supply_arcs[gi], units, 0);
+                self.flow.set_edge(self.escape_arcs[gi], units, escape_cost(gi, h));
+            }
+        }
+        let mut k = 0usize;
+        for (gi, &units) in self.group_units.iter().enumerate() {
+            let gu_drift = units != self.prev_group_units[gi];
+            let last = last_slot(gi, h);
+            for si in 0..n_sites {
+                if gu_drift || self.wan[si] != self.prev_wan[si] {
+                    for _t in 0..=last {
+                        self.flow.set_edge(self.group_slot_arcs[k], units, self.wan[si]);
+                        k += 1;
+                    }
+                } else {
+                    k += last + 1;
                 }
             }
         }
+        for si in 0..n_sites {
+            for t in 0..h {
+                let b = si * h + t;
+                if self.green_caps[b] != self.prev_green_caps[b] {
+                    self.flow.set_edge(self.green_arcs[b], self.green_caps[b], t as i64);
+                }
+                if self.brown_caps[b] != self.prev_brown_caps[b]
+                    || self.brown_arc_costs[t] != self.prev_brown_arc_costs[t]
+                {
+                    self.flow.set_edge(
+                        self.brown_arcs[b],
+                        self.brown_caps[b],
+                        self.brown_arc_costs[t],
+                    );
+                }
+            }
+        }
+        if beyond_cap != self.prev_beyond_cap {
+            let beyond = self.beyond_arc.expect("retained topology has a beyond arc");
+            self.flow.set_edge(beyond, beyond_cap, 0);
+        }
+        self.save_bins(beyond_cap);
+        true
     }
-    let beyond_units = g.flow_on(beyond_arc);
-    let far_units = group_units[h];
-    let deferred_units = beyond_units.min(far_units);
-    let infeasible_units = beyond_units - deferred_units;
 
-    MultiMatchStats {
-        bytes_now_home: per_site_slot_bytes.first().copied().unwrap_or(0),
-        remote_bytes_now,
-        wan_bytes,
-        deferred_bytes: deferred_units as u64 * UNIT_BYTES,
-        infeasible_bytes: infeasible_units as u64 * UNIT_BYTES,
-        green_bytes,
-        brown_bytes,
-        cost: result.cost,
-        unaccounted_units: total_units - placed_units - beyond_units,
+    /// Run the deterministic solver on the prepared network and extract the
+    /// schedule and stats.
+    fn run_solve(&mut self, total_units: i64) {
+        let (h, n_sites) = (self.horizon, self.n_sites);
+        let source = 0usize;
+        let slot_base = 1 + h + 1;
+        let sink = slot_base + n_sites * h + 1;
+        let result = self.flow.solve(source, sink, total_units);
+        debug_assert_eq!(result.flow, total_units, "network must absorb all work");
+
+        let per_site_slot_bytes = &mut self.per_site_slot_bytes;
+        per_site_slot_bytes.clear();
+        per_site_slot_bytes.resize(n_sites * h, 0);
+        let mut green_bytes = 0u64;
+        let mut brown_bytes = 0u64;
+        let mut wan_bytes = 0u64;
+        let mut remote_bytes_now = 0u64;
+        let mut placed_units = 0i64;
+        for si in 0..n_sites {
+            for t in 0..h {
+                let b = si * h + t;
+                let fg = self.flow.flow_on(self.green_arcs[b]);
+                let fb = self.flow.flow_on(self.brown_arcs[b]);
+                green_bytes += fg as u64 * UNIT_BYTES;
+                brown_bytes += fb as u64 * UNIT_BYTES;
+                let units = fg + fb;
+                placed_units += units;
+                let bytes = units as u64 * UNIT_BYTES;
+                per_site_slot_bytes[b] = bytes;
+                if si > 0 {
+                    wan_bytes += bytes;
+                    if t == 0 {
+                        remote_bytes_now += bytes;
+                    }
+                }
+            }
+        }
+        let beyond = self.beyond_arc.expect("solved topology has a beyond arc");
+        let beyond_units = self.flow.flow_on(beyond);
+        // Split the escape flow into benign deferral vs deadline overflow
+        // by re-deriving how much far-group work there was.
+        let far_units = self.group_units[h];
+        let deferred_units = beyond_units.min(far_units);
+        let infeasible_units = beyond_units - deferred_units;
+
+        self.last_stats = MatchStats {
+            bytes_now: per_site_slot_bytes.first().copied().unwrap_or(0),
+            remote_bytes_now,
+            wan_bytes,
+            deferred_bytes: deferred_units as u64 * UNIT_BYTES,
+            infeasible_bytes: infeasible_units as u64 * UNIT_BYTES,
+            green_bytes,
+            brown_bytes,
+            cost: result.cost,
+            unaccounted_units: total_units - placed_units - beyond_units,
+        };
+        self.stats_valid = true;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::{BatteryView, SiteView};
     use gm_storage::ClusterSpec;
     use gm_workload::JobId;
 
@@ -575,17 +583,44 @@ mod tests {
         v
     }
 
-    fn input<'a>(jobs: &'a [JobView], green: &'a [f64], busy: &'a [f64]) -> MatchInput<'a> {
+    fn site_views<'a>(forecasts: &'a [Vec<f64>], wan_cost_per_unit: i64) -> Vec<SiteView<'a>> {
+        forecasts
+            .iter()
+            .enumerate()
+            .map(|(i, f)| SiteView {
+                site: i,
+                green_forecast_wh: f,
+                model: model(),
+                wan_cost_per_unit: if i == 0 { 0 } else { wan_cost_per_unit },
+                battery: BatteryView::default(),
+            })
+            .collect()
+    }
+
+    fn input<'a>(
+        jobs: &'a [JobView],
+        sites: &'a [SiteView<'a>],
+        busy: &'a [f64],
+    ) -> MatchInput<'a> {
         MatchInput {
             jobs,
             current_slot: 0,
-            horizon: green.len(),
-            green_forecast_wh: green,
+            horizon: busy.len(),
+            sites,
             interactive_busy_secs: busy,
-            model: model(),
             slot_secs: 3600.0,
             brown_cost_per_slot: None,
         }
+    }
+
+    /// One-shot single-site solve on a fresh handle; returns the stats and
+    /// the home schedule.
+    fn solve_single(jobs: &[JobView], green: &[f64], busy: &[f64]) -> (MatchStats, Vec<u64>) {
+        let forecasts = vec![green.to_vec()];
+        let sites = site_views(&forecasts, 0);
+        let mut m = Matcher::new();
+        let stats = m.solve(&input(jobs, &sites, busy));
+        (stats, m.per_slot_bytes().to_vec())
     }
 
     #[test]
@@ -594,12 +629,12 @@ mod tests {
         let jobs = vec![job(1, 64, 6)];
         let green = forecast(8, &[3], 5_000.0);
         let busy = vec![0.0; 8];
-        let plan = solve(&input(&jobs, &green, &busy));
-        assert_eq!(plan.bytes_now(), 0, "nothing runs in the brown present");
-        assert!(plan.per_slot_bytes[3] >= 64 << 30, "work lands in the green slot");
-        assert_eq!(plan.brown_bytes, 0);
-        assert!(plan.green_bytes >= 64 << 30);
-        assert_eq!(plan.infeasible_bytes, 0);
+        let (stats, plan) = solve_single(&jobs, &green, &busy);
+        assert_eq!(stats.bytes_now, 0, "nothing runs in the brown present");
+        assert!(plan[3] >= 64 << 30, "work lands in the green slot");
+        assert_eq!(stats.brown_bytes, 0);
+        assert!(stats.green_bytes >= 64 << 30);
+        assert_eq!(stats.infeasible_bytes, 0);
     }
 
     #[test]
@@ -607,11 +642,11 @@ mod tests {
         let jobs = vec![job(1, 64, 2)];
         let green = forecast(8, &[], 0.0);
         let busy = vec![0.0; 8];
-        let plan = solve(&input(&jobs, &green, &busy));
-        let placed: u64 = plan.per_slot_bytes[..3].iter().sum();
+        let (stats, plan) = solve_single(&jobs, &green, &busy);
+        let placed: u64 = plan[..3].iter().sum();
         assert!(placed >= 64 << 30, "deadline work placed despite brown cost");
-        assert!(plan.brown_bytes >= 64 << 30);
-        assert_eq!(plan.deferred_bytes, 0);
+        assert!(stats.brown_bytes >= 64 << 30);
+        assert_eq!(stats.deferred_bytes, 0);
     }
 
     #[test]
@@ -619,10 +654,10 @@ mod tests {
         let jobs = vec![job(1, 64, 1_000)];
         let green = forecast(8, &[], 0.0);
         let busy = vec![0.0; 8];
-        let plan = solve(&input(&jobs, &green, &busy));
-        assert_eq!(plan.bytes_now(), 0);
-        assert!(plan.deferred_bytes >= 64 << 30, "no green, far deadline ⇒ wait");
-        assert_eq!(plan.infeasible_bytes, 0);
+        let (stats, _) = solve_single(&jobs, &green, &busy);
+        assert_eq!(stats.bytes_now, 0);
+        assert!(stats.deferred_bytes >= 64 << 30, "no green, far deadline ⇒ wait");
+        assert_eq!(stats.infeasible_bytes, 0);
     }
 
     #[test]
@@ -630,8 +665,8 @@ mod tests {
         let jobs = vec![job(1, 64, 1_000)];
         let green = forecast(8, &[2], 5_000.0);
         let busy = vec![0.0; 8];
-        let plan = solve(&input(&jobs, &green, &busy));
-        assert!(plan.per_slot_bytes[2] > 0, "green capacity is cheaper than deferring");
+        let (_, plan) = solve_single(&jobs, &green, &busy);
+        assert!(plan[2] > 0, "green capacity is cheaper than deferring");
     }
 
     #[test]
@@ -639,9 +674,9 @@ mod tests {
         let jobs = vec![job(1, 16, 1_000)];
         let green = forecast(8, &[2, 5], 5_000.0);
         let busy = vec![0.0; 8];
-        let plan = solve(&input(&jobs, &green, &busy));
-        assert!(plan.per_slot_bytes[2] >= plan.per_slot_bytes[5]);
-        assert!(plan.per_slot_bytes[2] >= 16 << 30);
+        let (_, plan) = solve_single(&jobs, &green, &busy);
+        assert!(plan[2] >= plan[5]);
+        assert!(plan[2] >= 16 << 30);
     }
 
     #[test]
@@ -652,19 +687,19 @@ mod tests {
         let jobs = vec![job(1, too_much_gib, 0)];
         let green = forecast(1, &[], 0.0);
         let busy = vec![0.0; 1];
-        let plan = solve(&input(&jobs, &green, &busy));
-        assert!(plan.infeasible_bytes > 0, "overflow must be flagged");
-        assert!(plan.per_slot_bytes[0] > 0, "window still packed full");
+        let (stats, plan) = solve_single(&jobs, &green, &busy);
+        assert!(stats.infeasible_bytes > 0, "overflow must be flagged");
+        assert!(plan[0] > 0, "window still packed full");
     }
 
     #[test]
     fn no_jobs_is_an_empty_plan() {
         let green = forecast(4, &[1], 1_000.0);
         let busy = vec![0.0; 4];
-        let plan = solve(&input(&[], &green, &busy));
-        assert_eq!(plan.bytes_now(), 0);
-        assert_eq!(plan.green_bytes + plan.brown_bytes + plan.deferred_bytes, 0);
-        assert_eq!(plan.cost, 0);
+        let (stats, _) = solve_single(&[], &green, &busy);
+        assert_eq!(stats.bytes_now, 0);
+        assert_eq!(stats.green_bytes + stats.brown_bytes + stats.deferred_bytes, 0);
+        assert_eq!(stats.cost, 0);
     }
 
     #[test]
@@ -674,15 +709,15 @@ mod tests {
         // 2-gear floor once interactive load forces a second gear.
         let green = forecast(4, &[1], 400.0);
         let idle_busy = vec![0.0; 4];
-        let plan_idle = solve(&input(&jobs, &green, &idle_busy));
+        let (_, plan_idle) = solve_single(&jobs, &green, &idle_busy);
         // Same green, but heavy interactive load in slot 1.
         let loaded_busy = vec![0.0, 12_000.0, 0.0, 0.0];
-        let plan_loaded = solve(&input(&jobs, &green, &loaded_busy));
+        let (_, plan_loaded) = solve_single(&jobs, &green, &loaded_busy);
         assert!(
-            plan_loaded.per_slot_bytes[1] < plan_idle.per_slot_bytes[1],
+            plan_loaded[1] < plan_idle[1],
             "interactive floor eats green surplus: {} vs {}",
-            plan_loaded.per_slot_bytes[1],
-            plan_idle.per_slot_bytes[1]
+            plan_loaded[1],
+            plan_idle[1]
         );
     }
 
@@ -694,103 +729,74 @@ mod tests {
         let jobs = vec![job(1, 16, 2)];
         let green = forecast(4, &[], 0.0);
         let busy = vec![0.0; 4];
-        let uniform = solve(&input(&jobs, &green, &busy));
-        assert_eq!(uniform.bytes_now(), 0, "uniform pricing procrastinates");
-        assert!(uniform.per_slot_bytes[2] >= 16 << 30);
+        let (uniform, plan) = solve_single(&jobs, &green, &busy);
+        assert_eq!(uniform.bytes_now, 0, "uniform pricing procrastinates");
+        assert!(plan[2] >= 16 << 30);
 
         let costs = vec![100i64, 5_000, 5_000, 5_000];
-        let mut inp = input(&jobs, &green, &busy);
+        let forecasts = vec![green.clone()];
+        let sites = site_views(&forecasts, 0);
+        let mut inp = input(&jobs, &sites, &busy);
         inp.brown_cost_per_slot = Some(&costs);
-        let steered = solve(&inp);
-        assert!(steered.bytes_now() >= 16 << 30, "cheap-now pricing runs now");
+        let mut m = Matcher::new();
+        let steered = m.solve(&inp);
+        assert!(steered.bytes_now >= 16 << 30, "cheap-now pricing runs now");
     }
 
     #[test]
-    fn scratch_reuse_matches_fresh_solve() {
-        // One scratch across rounds of different shape and horizon must
-        // reproduce exactly what fresh per-round allocation produces.
-        let mut scratch = MatcherScratch::default();
+    fn handle_reuse_matches_fresh_solve() {
+        // One handle across rounds of different shape and horizon must
+        // reproduce exactly what a fresh handle produces (shape changes
+        // exercise the cold fallback; repeats exercise warm and memo).
+        let mut reused = Matcher::new();
         let rounds: Vec<(Vec<JobView>, Vec<f64>)> = vec![
             (vec![job(1, 64, 6)], forecast(8, &[3], 5_000.0)),
             (vec![job(2, 64, 2), job(3, 16, 1_000)], forecast(4, &[], 0.0)),
             (vec![], forecast(6, &[1], 1_000.0)),
             (vec![job(4, 512, 1_000)], forecast(8, &[2, 5], 5_000.0)),
+            (vec![job(4, 512, 1_000)], forecast(8, &[2, 5], 5_000.0)),
+            (vec![job(4, 256, 900)], forecast(8, &[2], 5_000.0)),
         ];
         for (jobs, green) in &rounds {
             let busy = vec![0.0; green.len()];
-            let inp = input(jobs, green, &busy);
-            let fresh = solve(&inp);
-            let stats = solve_with(&inp, &mut scratch);
-            assert_eq!(scratch.per_slot_bytes(), &fresh.per_slot_bytes[..]);
-            assert_eq!(stats.bytes_now, fresh.bytes_now());
-            assert_eq!(stats.deferred_bytes, fresh.deferred_bytes);
-            assert_eq!(stats.infeasible_bytes, fresh.infeasible_bytes);
-            assert_eq!(stats.green_bytes, fresh.green_bytes);
-            assert_eq!(stats.brown_bytes, fresh.brown_bytes);
-            assert_eq!(stats.cost, fresh.cost);
+            let forecasts = vec![green.clone()];
+            let sites = site_views(&forecasts, 0);
+            let inp = input(jobs, &sites, &busy);
+            let mut fresh = Matcher::new();
+            let want = fresh.solve(&inp);
+            let got = reused.solve(&inp);
+            assert_eq!(got, want);
+            assert_eq!(reused.per_slot_bytes(), fresh.per_slot_bytes());
         }
-    }
-
-    fn site_views<'a>(
-        forecasts: &'a [Vec<f64>],
-        wan_cost_per_unit: i64,
-    ) -> Vec<crate::policy::SiteView<'a>> {
-        forecasts
-            .iter()
-            .enumerate()
-            .map(|(i, f)| crate::policy::SiteView {
-                site: i,
-                green_forecast_wh: f,
-                model: model(),
-                wan_cost_per_unit: if i == 0 { 0 } else { wan_cost_per_unit },
-                battery: crate::policy::BatteryView::default(),
-            })
-            .collect()
-    }
-
-    fn multi_input<'a>(
-        jobs: &'a [JobView],
-        sites: &'a [crate::policy::SiteView<'a>],
-        busy: &'a [f64],
-    ) -> MultiMatchInput<'a> {
-        MultiMatchInput {
-            jobs,
-            current_slot: 0,
-            horizon: busy.len(),
-            sites,
-            interactive_busy_secs: busy,
-            slot_secs: 3600.0,
-            brown_cost_per_slot: None,
-        }
+        let c = reused.solve_counts();
+        assert!(c.cold >= 3, "shape changes fall back cold: {c:?}");
+        assert!(c.memo >= 1, "the repeated round replays from memo: {c:?}");
+        assert!(c.warm >= 1, "the same-shape perturbed round re-prices: {c:?}");
     }
 
     #[test]
-    fn one_site_multi_solve_matches_single_solve() {
-        // The multi-site network with one site is the single-site network;
-        // the schedules must agree exactly.
-        let mut single = MatcherScratch::default();
-        let mut multi = MultiMatcherScratch::default();
+    fn warm_start_off_matches_on() {
+        let mut warm = Matcher::new();
+        let mut cold = Matcher::new();
+        cold.set_warm_start(false);
+        assert!(warm.warm_start() && !cold.warm_start());
         let rounds: Vec<(Vec<JobView>, Vec<f64>)> = vec![
             (vec![job(1, 64, 6)], forecast(8, &[3], 5_000.0)),
-            (vec![job(2, 64, 2), job(3, 16, 1_000)], forecast(4, &[], 0.0)),
-            (vec![job(4, 512, 1_000)], forecast(8, &[2, 5], 5_000.0)),
+            (vec![job(1, 64, 5)], forecast(8, &[3], 4_000.0)),
+            (vec![job(1, 48, 4)], forecast(8, &[2], 4_000.0)),
+            (vec![job(1, 48, 4)], forecast(8, &[2], 4_000.0)),
         ];
         for (jobs, green) in &rounds {
             let busy = vec![0.0; green.len()];
-            let stats = solve_with(&input(jobs, green, &busy), &mut single);
             let forecasts = vec![green.clone()];
             let sites = site_views(&forecasts, 0);
-            let mstats = solve_sites_with(&multi_input(jobs, &sites, &busy), &mut multi);
-            assert_eq!(multi.per_site_slot_bytes(), single.per_slot_bytes());
-            assert_eq!(mstats.bytes_now_home, stats.bytes_now);
-            assert_eq!(mstats.remote_bytes_now, 0);
-            assert_eq!(mstats.wan_bytes, 0);
-            assert_eq!(mstats.deferred_bytes, stats.deferred_bytes);
-            assert_eq!(mstats.infeasible_bytes, stats.infeasible_bytes);
-            assert_eq!(mstats.green_bytes, stats.green_bytes);
-            assert_eq!(mstats.brown_bytes, stats.brown_bytes);
-            assert_eq!(mstats.cost, stats.cost);
+            let inp = input(jobs, &sites, &busy);
+            assert_eq!(warm.solve(&inp), cold.solve(&inp));
+            assert_eq!(warm.per_slot_bytes(), cold.per_slot_bytes());
         }
+        assert_eq!(cold.solve_counts().warm, 0);
+        assert_eq!(cold.solve_counts().memo, 0);
+        assert!(warm.solve_counts().warm + warm.solve_counts().memo >= 2);
     }
 
     #[test]
@@ -803,14 +809,14 @@ mod tests {
         let forecasts = vec![forecast(8, &[], 0.0), forecast(8, &[1], 5_000.0)];
 
         let cheap = site_views(&forecasts, 200);
-        let mut scratch = MultiMatcherScratch::default();
-        let shipped = solve_sites_with(&multi_input(&jobs, &cheap, &busy), &mut scratch);
+        let mut m = Matcher::new();
+        let shipped = m.solve(&input(&jobs, &cheap, &busy));
         assert!(shipped.wan_bytes >= 64 << 30, "cheap WAN ships to remote green");
         assert_eq!(shipped.brown_bytes, 0);
-        assert!(scratch.site_slot_bytes(1, 1) >= 64 << 30);
+        assert!(m.site_slot_bytes(1, 1) >= 64 << 30);
 
         let ruinous = site_views(&forecasts, 1_000_000);
-        let stayed = solve_sites_with(&multi_input(&jobs, &ruinous, &busy), &mut scratch);
+        let stayed = m.solve(&input(&jobs, &ruinous, &busy));
         assert_eq!(stayed.wan_bytes, 0, "ruinous WAN keeps work on home brown");
         assert!(stayed.brown_bytes >= 64 << 30);
     }
@@ -818,11 +824,12 @@ mod tests {
     #[test]
     fn multi_site_plans_conserve_bytes_and_respect_capacity() {
         // Property test over pseudo-random rounds: every unit of work is
-        // accounted for (placed, deferred, or flagged infeasible), and no
-        // site-slot exceeds its physical capacity.
+        // accounted for (placed, deferred, or flagged infeasible), no
+        // site-slot exceeds its physical capacity, and the reused warm
+        // handle agrees with a cold solve of every round.
         let mut seed = 0x00C0_FFEE_u64;
         let mut rng = move || gm_sim::rng::splitmix64(&mut seed);
-        let mut scratch = MultiMatcherScratch::default();
+        let mut m = Matcher::new();
         for round in 0..40 {
             let h = 2 + (rng() % 10) as usize;
             let n_sites = 1 + (rng() % 3) as usize;
@@ -839,12 +846,16 @@ mod tests {
                 (0..n_sites).map(|_| (0..h).map(|_| (rng() % 8_000) as f64).collect()).collect();
             let busy: Vec<f64> = (0..h).map(|_| (rng() % 4_000) as f64).collect();
             let sites = site_views(&forecasts, wan);
-            let inp = multi_input(&jobs, &sites, &busy);
-            let stats = solve_sites_with(&inp, &mut scratch);
+            let inp = input(&jobs, &sites, &busy);
+            let stats = m.solve(&inp);
+            let mut fresh = Matcher::new();
+            fresh.set_warm_start(false);
+            assert_eq!(fresh.solve(&inp), stats, "round {round}: warm == cold");
+            assert_eq!(fresh.per_site_slot_bytes(), m.per_site_slot_bytes(), "round {round}");
 
             let total: u64 =
                 jobs.iter().map(|j| j.remaining_bytes.div_ceil(UNIT_BYTES) * UNIT_BYTES).sum();
-            let placed: u64 = scratch.per_site_slot_bytes().iter().sum();
+            let placed: u64 = m.per_site_slot_bytes().iter().sum();
             assert_eq!(
                 placed + stats.deferred_bytes + stats.infeasible_bytes,
                 total,
@@ -857,7 +868,7 @@ mod tests {
                     let b = if si == 0 { slot_busy } else { 0.0 };
                     let cap = site.model.batch_capacity_bytes(site.model.gears, b, 3600.0);
                     assert!(
-                        scratch.site_slot_bytes(si, t) <= cap,
+                        m.site_slot_bytes(si, t) <= cap,
                         "round {round}: site {si} slot {t} over capacity"
                     );
                 }
@@ -867,13 +878,10 @@ mod tests {
 
     #[test]
     fn non_batch_floor_includes_idle_and_marginal() {
-        let jobs: Vec<JobView> = vec![];
-        let green = vec![0.0; 2];
-        let busy = vec![0.0, 7_200.0];
-        let inp = input(&jobs, &green, &busy);
-        let floor0 = non_batch_floor_wh(&inp, 0);
-        let floor1 = non_batch_floor_wh(&inp, 1);
-        // Offset 0: one idle gear = 284 Wh.
+        let m = model();
+        let floor0 = non_batch_floor_wh(&m, 0.0, 3600.0);
+        let floor1 = non_batch_floor_wh(&m, 7_200.0, 3600.0);
+        // Idle slot: one idle gear = 284 Wh.
         assert!((floor0 - 284.0).abs() < 1e-6, "{floor0}");
         assert!(floor1 > floor0, "busy slot has a higher floor");
     }

@@ -82,14 +82,15 @@ pub(crate) fn run(
         jobs_submitted += 1;
     }
 
-    // Job views over the active (pending) jobs, in submission order.
+    // Columnar job table over the active (pending) jobs, in submission
+    // order — one row pushed per job, landing in four parallel columns.
     let pending_count = sim.active_jobs.len();
     let share_bps = sim.total_batch_bw * TOTAL_RHO / pending_count.max(1) as f64;
-    scratch.job_views.clear();
+    scratch.jobs.clear();
     for &idx in &sim.active_jobs {
         let j = &sim.jobs[idx];
         debug_assert!(j.is_pending(), "active list holds only pending jobs");
-        scratch.job_views.push(JobView {
+        scratch.jobs.push(JobView {
             id: j.id,
             remaining_bytes: j.remaining_bytes,
             deadline_slot: deadline_slot_for(ctx.clock, j.deadline),

@@ -25,16 +25,22 @@ pub(crate) fn run(
 
     // Interactive service: record globally (for the final report) and per
     // slot (for the outcome), in the same order as always. Interactive
-    // traffic exists only at the home site.
+    // traffic exists only at the home site. The slot's requests come as a
+    // memoised columnar batch — rows materialised on the fly from the
+    // columns — so shared-world runs skip re-synthesis entirely.
     let SiteState { cluster, rr_cursor, .. } = &mut sim.sites[0];
     scratch.slot_hist.clear();
-    sim.workload.requests_in_slot_into(ctx.clock, ctx.slot, &mut scratch.requests);
-    for req in &scratch.requests {
-        let served = cluster.serve_request(req);
-        let latency_s = served.latency.as_secs_f64();
-        sim.hist.record(latency_s);
-        scratch.slot_hist.record(latency_s);
+    let batch = sim.workload.slot_batch(ctx.clock, ctx.slot);
+    for i in 0..batch.len() {
+        let served = cluster.serve_request(&batch.request(i));
+        scratch.slot_hist.record(served.latency.as_secs_f64());
     }
+    // The global histogram is bucket-merged from the slot histogram rather
+    // than recorded per request: identical bucket counts and max (so the
+    // trace and report quantiles are unchanged), one record per request
+    // instead of two. Only the report's mean can drift in its last ulps
+    // (per-slot partial sums reassociate the float addition).
+    sim.hist.merge(&scratch.slot_hist);
 
     // Batch execution: spread each job's bytes across the active disks.
     let mut executed_batch_bytes = 0u64;

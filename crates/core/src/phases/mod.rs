@@ -45,9 +45,8 @@ pub(crate) mod settle;
 
 use gm_sim::time::SimTime;
 use gm_sim::{LogHistogram, SimDuration, SlotClock};
-use gm_storage::IoRequest;
 
-use crate::policy::JobView;
+use crate::policy::JobColumns;
 
 /// Immutable facts about the slot being simulated, shared by every phase.
 #[derive(Debug, Clone, Copy)]
@@ -70,7 +69,7 @@ pub struct SlotContext {
 ///
 /// One instance serves arbitrarily many slots — and arbitrarily many
 /// simulations run back to back (see
-/// [`crate::simulation::Simulation::run_to_end_with`]): every phase clears
+/// [`crate::simulation::SimulationBuilder::scratch`]): every phase clears
 /// the buffers it fills before refilling them, so capacity is retained and
 /// the steady-state slot loop allocates nothing. Contents are only
 /// meaningful between the phase that writes a buffer and the end of the
@@ -83,14 +82,12 @@ pub struct SlotScratch {
     /// Expected interactive disk busy-seconds per horizon slot. Written by
     /// [`forecast`], read by [`plan`].
     pub interactive_busy_secs: Vec<f64>,
-    /// Policy-visible views of the pending jobs. Written by [`classify`],
-    /// read by [`plan`].
-    pub job_views: Vec<JobView>,
+    /// Columnar table of the pending jobs as policies see them. Written by
+    /// [`classify`], read by [`plan`].
+    pub jobs: JobColumns,
     /// Disk indices of the gears powered this slot. Written and read by
     /// [`execute`].
     pub active_disks: Vec<usize>,
-    /// The slot's interactive requests. Written and read by [`execute`].
-    pub requests: Vec<IoRequest>,
     /// Latency histogram of this slot alone (the global histogram lives on
     /// the simulation). Cleared and refilled by [`execute`], read when the
     /// [`crate::simulation::SlotOutcome`] is assembled.
@@ -109,9 +106,8 @@ impl Default for SlotScratch {
         SlotScratch {
             green_forecast_wh: Vec::new(),
             interactive_busy_secs: Vec::new(),
-            job_views: Vec::new(),
+            jobs: JobColumns::new(),
             active_disks: Vec::new(),
-            requests: Vec::new(),
             slot_hist: LogHistogram::for_latency_secs(),
             remote_green_forecast_wh: Vec::new(),
             site_executed_bytes: Vec::new(),

@@ -51,7 +51,7 @@ pub(crate) fn run(sim: &mut Simulation, ctx: &SlotContext, scratch: &SlotScratch
         clock: ctx.clock,
         green_forecast_wh: &scratch.green_forecast_wh,
         interactive_busy_secs: &scratch.interactive_busy_secs,
-        jobs: &scratch.job_views,
+        jobs: &scratch.jobs,
         battery,
         model: home.model,
         writelog_pending_bytes: home.cluster.write_log().pending_total(),

@@ -136,6 +136,120 @@ pub struct JobView {
     pub critical: bool,
 }
 
+/// Columnar (struct-of-arrays) table of the pending batch jobs.
+///
+/// The classify phase historically assembled a `Vec<JobView>` per slot;
+/// the policy layer now works over parallel columns instead, so bulk
+/// scans — total pending bytes, critical bytes, deadline keys for EDF
+/// ordering — run over contiguous memory. Index `i` across all columns is
+/// the `i`-th pending job in submission order, exactly the order the
+/// historic view vector used. [`JobColumns::view`] materialises a single
+/// [`JobView`] for code that wants the row form.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobColumns {
+    ids: Vec<JobId>,
+    remaining_bytes: Vec<u64>,
+    deadline_slots: Vec<SlotIdx>,
+    critical: Vec<bool>,
+}
+
+impl JobColumns {
+    /// An empty table.
+    pub fn new() -> Self {
+        JobColumns::default()
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the table holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Clear all columns (capacity retained).
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.remaining_bytes.clear();
+        self.deadline_slots.clear();
+        self.critical.clear();
+    }
+
+    /// Append one job to the columns.
+    pub fn push(&mut self, view: JobView) {
+        self.ids.push(view.id);
+        self.remaining_bytes.push(view.remaining_bytes);
+        self.deadline_slots.push(view.deadline_slot);
+        self.critical.push(view.critical);
+    }
+
+    /// Materialise job `i` as a row.
+    ///
+    /// # Panics
+    /// If `i` is out of range.
+    pub fn view(&self, i: usize) -> JobView {
+        JobView {
+            id: self.ids[i],
+            remaining_bytes: self.remaining_bytes[i],
+            deadline_slot: self.deadline_slots[i],
+            critical: self.critical[i],
+        }
+    }
+
+    /// Iterate the table as materialised [`JobView`] rows.
+    pub fn iter(&self) -> impl Iterator<Item = JobView> + '_ {
+        (0..self.len()).map(|i| self.view(i))
+    }
+
+    /// Job-id column.
+    pub fn ids(&self) -> &[JobId] {
+        &self.ids
+    }
+
+    /// Remaining-bytes column.
+    pub fn remaining_bytes(&self) -> &[u64] {
+        &self.remaining_bytes
+    }
+
+    /// Deadline-slot column.
+    pub fn deadline_slots(&self) -> &[SlotIdx] {
+        &self.deadline_slots
+    }
+
+    /// Criticality column.
+    pub fn critical(&self) -> &[bool] {
+        &self.critical
+    }
+
+    /// Total pending bytes — one contiguous column scan.
+    pub fn total_remaining_bytes(&self) -> u64 {
+        self.remaining_bytes.iter().sum()
+    }
+
+    /// Total bytes of deadline-critical jobs — a two-column scan.
+    pub fn critical_bytes(&self) -> u64 {
+        self.remaining_bytes.iter().zip(&self.critical).filter(|(_, c)| **c).map(|(b, _)| b).sum()
+    }
+}
+
+impl FromIterator<JobView> for JobColumns {
+    fn from_iter<I: IntoIterator<Item = JobView>>(iter: I) -> Self {
+        let mut cols = JobColumns::new();
+        for v in iter {
+            cols.push(v);
+        }
+        cols
+    }
+}
+
+impl From<Vec<JobView>> for JobColumns {
+    fn from(views: Vec<JobView>) -> Self {
+        views.into_iter().collect()
+    }
+}
+
 /// Battery state as policies see it.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct BatteryView {
@@ -173,6 +287,15 @@ pub struct SiteView<'a> {
     pub battery: BatteryView,
 }
 
+impl<'a> SiteView<'a> {
+    /// The home-site view (site 0, zero WAN cost) — how a single-site
+    /// context is presented to the unified multi-site matcher.
+    #[must_use]
+    pub fn home(green_forecast_wh: &'a [f64], model: PlanningModel, battery: BatteryView) -> Self {
+        SiteView { site: 0, green_forecast_wh, model, wan_cost_per_unit: 0, battery }
+    }
+}
+
 /// Everything a policy may consult when deciding a slot.
 ///
 /// The bulk fields are borrowed slices: the simulation owns the backing
@@ -192,8 +315,8 @@ pub struct SchedContext<'a> {
     pub green_forecast_wh: &'a [f64],
     /// Expected interactive disk busy-seconds per slot, same indexing.
     pub interactive_busy_secs: &'a [f64],
-    /// Pending batch jobs (EDF order).
-    pub jobs: &'a [JobView],
+    /// Pending batch jobs, in submission order, as a columnar table.
+    pub jobs: &'a JobColumns,
     /// Battery state.
     pub battery: BatteryView,
     /// Planning arithmetic.
@@ -221,9 +344,9 @@ impl SchedContext<'_> {
         self.clock.width().as_hours_f64()
     }
 
-    /// Total pending batch bytes.
+    /// Total pending batch bytes (a contiguous column scan).
     pub fn pending_batch_bytes(&self) -> u64 {
-        self.jobs.iter().map(|j| j.remaining_bytes).sum()
+        self.jobs.total_remaining_bytes()
     }
 
     /// Minimum gears needed for this slot's interactive load.
@@ -293,6 +416,12 @@ pub trait Scheduler {
     fn matcher_residual_units(&self) -> i64 {
         0
     }
+
+    /// Enable or disable the matcher's warm-start fast path. A no-op for
+    /// policies without a matcher; the simulation threads
+    /// [`crate::config::ExperimentConfig::matcher_warm_start`] through here
+    /// so equivalence tests can force the cold reference path.
+    fn set_warm_start(&mut self, _on: bool) {}
 }
 
 /// Config-friendly identifier for the built-in policies.
@@ -369,18 +498,22 @@ impl PolicyKind {
 }
 
 /// Fill `capacity_bytes` with jobs in EDF order; shared by several policies.
-pub fn edf_fill(jobs: &[JobView], capacity_bytes: u64) -> Vec<(JobId, u64)> {
-    let mut remaining = capacity_bytes;
-    let mut sorted: Vec<&JobView> = jobs.iter().filter(|j| j.remaining_bytes > 0).collect();
+///
+/// Sorts an index over the deadline/id columns (the job rows themselves
+/// never move), then drains remaining-bytes in that order.
+pub fn edf_fill(jobs: &JobColumns, capacity_bytes: u64) -> Vec<(JobId, u64)> {
+    let (ids, bytes, deadlines) = (jobs.ids(), jobs.remaining_bytes(), jobs.deadline_slots());
+    let mut sorted: Vec<usize> = (0..jobs.len()).filter(|&i| bytes[i] > 0).collect();
     // Unstable sort is fine: (deadline, id) keys are unique per job.
-    sorted.sort_unstable_by_key(|j| (j.deadline_slot, j.id));
+    sorted.sort_unstable_by_key(|&i| (deadlines[i], ids[i]));
+    let mut remaining = capacity_bytes;
     let mut out = Vec::new();
-    for j in sorted {
+    for i in sorted {
         if remaining == 0 {
             break;
         }
-        let take = j.remaining_bytes.min(remaining);
-        out.push((j.id, take));
+        let take = bytes[i].min(remaining);
+        out.push((ids[i], take));
         remaining -= take;
     }
     out
@@ -450,16 +583,39 @@ mod tests {
 
     #[test]
     fn edf_fill_orders_and_caps() {
-        let jobs = vec![
+        let jobs: JobColumns = vec![
             JobView { id: JobId(1), remaining_bytes: 100, deadline_slot: 9, critical: false },
             JobView { id: JobId(2), remaining_bytes: 100, deadline_slot: 3, critical: false },
             JobView { id: JobId(3), remaining_bytes: 100, deadline_slot: 6, critical: false },
-        ];
+        ]
+        .into();
         let fill = edf_fill(&jobs, 150);
         assert_eq!(fill, vec![(JobId(2), 100), (JobId(3), 50)]);
         let all = edf_fill(&jobs, 10_000);
         assert_eq!(all.len(), 3);
         assert_eq!(edf_fill(&jobs, 0), vec![]);
+    }
+
+    #[test]
+    fn job_columns_roundtrip_and_scans() {
+        let views = vec![
+            JobView { id: JobId(4), remaining_bytes: 10, deadline_slot: 2, critical: true },
+            JobView { id: JobId(5), remaining_bytes: 0, deadline_slot: 7, critical: false },
+            JobView { id: JobId(6), remaining_bytes: 30, deadline_slot: 1, critical: true },
+        ];
+        let mut cols: JobColumns = views.clone().into();
+        assert_eq!(cols.len(), 3);
+        assert!(!cols.is_empty());
+        assert_eq!(cols.iter().collect::<Vec<_>>(), views, "columns mirror the rows in order");
+        assert_eq!(cols.view(1), views[1]);
+        assert_eq!(cols.total_remaining_bytes(), 40);
+        assert_eq!(cols.critical_bytes(), 40, "job 5 is non-critical and empty");
+        assert_eq!(cols.ids(), &[JobId(4), JobId(5), JobId(6)]);
+        assert_eq!(cols.deadline_slots(), &[2, 7, 1]);
+        assert_eq!(cols.critical(), &[true, false, true]);
+        cols.clear();
+        assert!(cols.is_empty());
+        assert_eq!(JobColumns::new().total_remaining_bytes(), 0);
     }
 
     #[test]

@@ -21,8 +21,8 @@
 //! with `1.0` it is pure GreenMatch; intermediate values are the hybrid
 //! family the balance study sweeps.
 
-use crate::matcher::{self, MatchInput, MatcherScratch, MultiMatchInput, MultiMatcherScratch};
-use crate::policy::{Decision, JobView, SchedContext, Scheduler};
+use crate::matcher::{self, MatchInput, Matcher};
+use crate::policy::{Decision, JobView, SchedContext, Scheduler, SiteView};
 use gm_sim::rng::splitmix64;
 use gm_workload::JobId;
 
@@ -40,10 +40,11 @@ pub struct GreenMatchPolicy {
     /// intensity instead of uniformly, steering unavoidable brown work into
     /// the cleanest hours of the window.
     carbon_aware: bool,
+    /// The stateful matcher handle: flow network, work vectors and
+    /// warm-start state, retained across slots.
+    matcher: Matcher,
     // Per-slot work buffers, reused across decisions so the steady-state
     // decide path allocates only the Decision it returns.
-    scratch: MatcherScratch,
-    multi_scratch: MultiMatcherScratch,
     critical: Vec<JobView>,
     asap: Vec<JobView>,
     deferrable: Vec<JobView>,
@@ -63,8 +64,7 @@ impl GreenMatchPolicy {
             delay_fraction,
             horizon: DEFAULT_HORIZON,
             carbon_aware: false,
-            scratch: MatcherScratch::default(),
-            multi_scratch: MultiMatcherScratch::default(),
+            matcher: Matcher::new(),
             critical: Vec::new(),
             asap: Vec::new(),
             deferrable: Vec::new(),
@@ -97,6 +97,11 @@ impl GreenMatchPolicy {
     pub fn is_deferrable(&self, id: JobId) -> bool {
         is_deferrable_at(self.delay_fraction, id)
     }
+
+    /// The policy's matcher handle (diagnostics: warm/cold solve counts).
+    pub fn matcher(&self) -> &Matcher {
+        &self.matcher
+    }
 }
 
 /// Stable per-job classification at a given deferrable fraction.
@@ -118,11 +123,11 @@ impl Scheduler for GreenMatchPolicy {
         self.deferrable.clear();
         for j in ctx.jobs.iter().filter(|j| j.remaining_bytes > 0) {
             if j.critical {
-                self.critical.push(*j);
+                self.critical.push(j);
             } else if is_deferrable_at(delay_fraction, j.id) {
-                self.deferrable.push(*j);
+                self.deferrable.push(j);
             } else {
-                self.asap.push(*j);
+                self.asap.push(j);
             }
         }
 
@@ -138,41 +143,30 @@ impl Scheduler for GreenMatchPolicy {
                 (matcher::BROWN_COST as f64 * rel).round() as i64
             }));
         }
-        //    Multi-site runs generalise the bins from `slot` to
-        //    `site × slot`: remote green capacity competes with home brown
-        //    at the configured WAN cost per unit, and the remote slot-0
-        //    placements come back via `remote_now`.
+        //    One solver code path: a single-site context is presented to
+        //    the matcher as the 1-site case of the multi-site network
+        //    (remote green capacity competes with home brown at the
+        //    configured WAN cost per unit; the remote slot-0 placements
+        //    come back via `remote_now`).
         self.remote_now.clear();
         self.last_unaccounted_units = 0;
+        let home = [SiteView::home(ctx.green_forecast_wh, ctx.model, ctx.battery)];
+        let sites: &[SiteView<'_>] = if ctx.sites.len() > 1 { ctx.sites } else { &home };
         let (bytes_now_matched, infeasible_bytes) = if self.deferrable.is_empty() {
             (0, 0)
-        } else if ctx.sites.len() > 1 {
-            let input = MultiMatchInput {
-                jobs: &self.deferrable,
-                current_slot: ctx.slot,
-                horizon: self.horizon,
-                sites: ctx.sites,
-                interactive_busy_secs: ctx.interactive_busy_secs,
-                slot_secs,
-                brown_cost_per_slot: self.carbon_aware.then_some(&self.brown_costs[..]),
-            };
-            let stats = matcher::solve_sites_with(&input, &mut self.multi_scratch);
-            let (remote_now, multi_scratch) = (&mut self.remote_now, &self.multi_scratch);
-            remote_now.extend((1..ctx.sites.len()).map(|s| multi_scratch.bytes_now(s)));
-            self.last_unaccounted_units = stats.unaccounted_units;
-            (stats.bytes_now_home, stats.infeasible_bytes)
         } else {
             let input = MatchInput {
                 jobs: &self.deferrable,
                 current_slot: ctx.slot,
                 horizon: self.horizon,
-                green_forecast_wh: ctx.green_forecast_wh,
+                sites,
                 interactive_busy_secs: ctx.interactive_busy_secs,
-                model: ctx.model,
                 slot_secs,
                 brown_cost_per_slot: self.carbon_aware.then_some(&self.brown_costs[..]),
             };
-            let stats = matcher::solve_with(&input, &mut self.scratch);
+            let stats = self.matcher.solve(&input);
+            let (remote_now, matcher) = (&mut self.remote_now, &self.matcher);
+            remote_now.extend((1..sites.len()).map(|s| matcher.bytes_now(s)));
             self.last_unaccounted_units = stats.unaccounted_units;
             (stats.bytes_now, stats.infeasible_bytes)
         };
@@ -280,6 +274,10 @@ impl Scheduler for GreenMatchPolicy {
     fn matcher_residual_units(&self) -> i64 {
         self.last_unaccounted_units
     }
+
+    fn set_warm_start(&mut self, on: bool) {
+        self.matcher.set_warm_start(on);
+    }
 }
 
 #[cfg(test)]
@@ -295,7 +293,7 @@ mod tests {
     struct OwnedCtx {
         green: Vec<f64>,
         busy: Vec<f64>,
-        jobs: Vec<JobView>,
+        jobs: crate::policy::JobColumns,
         slot: usize,
         now: SimTime,
         writelog_pending_bytes: u64,
@@ -324,7 +322,7 @@ mod tests {
         OwnedCtx {
             busy: vec![500.0; h],
             green,
-            jobs,
+            jobs: jobs.into(),
             slot: 0,
             now: SimTime::ZERO,
             writelog_pending_bytes: 0,

@@ -186,12 +186,129 @@ pub(crate) struct SiteState {
     pub(crate) executed_batch_bytes: u64,
 }
 
+/// The scratch a simulation steps through: its own, or one borrowed from
+/// the caller (a sweep worker reusing buffers across back-to-back runs).
+enum Scratch<'s> {
+    Owned(Box<SlotScratch>),
+    Borrowed(&'s mut SlotScratch),
+}
+
+impl Scratch<'_> {
+    fn get(&mut self) -> &mut SlotScratch {
+        match self {
+            Scratch::Owned(s) => s,
+            Scratch::Borrowed(s) => s,
+        }
+    }
+}
+
+/// Builder for a [`Simulation`] — the one construction path.
+///
+/// ```no_run
+/// use greenmatch::config::ExperimentConfig;
+/// use greenmatch::phases::SlotScratch;
+/// use greenmatch::simulation::Simulation;
+/// use greenmatch::world::WorldCache;
+///
+/// let cfg = ExperimentConfig::small_demo(42);
+///
+/// // Cold one-off run:
+/// let report = Simulation::builder(&cfg).build()?.run_to_end();
+///
+/// // Sweep worker: share immutable inputs and reuse slot buffers.
+/// let cache = WorldCache::new();
+/// let mut scratch = SlotScratch::new();
+/// let report = Simulation::builder(&cfg)
+///     .cache(&cache)
+///     .scratch(&mut scratch)
+///     .build()?
+///     .run_to_end();
+/// # Ok::<(), greenmatch::config::ConfigError>(())
+/// ```
+#[must_use = "call .build() to construct the simulation"]
+pub struct SimulationBuilder<'c, 's> {
+    cfg: &'c ExperimentConfig,
+    world: Option<World>,
+    cache: Option<&'c WorldCache>,
+    scratch: Option<&'s mut SlotScratch>,
+    observers: Vec<Box<dyn SlotObserver + Send>>,
+}
+
+impl<'c, 's> SimulationBuilder<'c, 's> {
+    /// Run over an already-materialised [`World`] instead of materialising
+    /// one at build time. The world must have been materialised for the
+    /// builder's config (same seed, workload, energy and cluster sections).
+    pub fn world(mut self, world: World) -> Self {
+        self.world = Some(world);
+        self
+    }
+
+    /// Materialise the world through `cache`, so runs over the same
+    /// scenario share their immutable inputs. Ignored when an explicit
+    /// [`Self::world`] is supplied.
+    pub fn cache(mut self, cache: &'c WorldCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Step through a caller-owned scratch instead of an internal one.
+    /// Reusing one scratch across many simulations (e.g. a benchmark
+    /// worker running trials back to back) avoids re-growing the per-slot
+    /// buffers on every run.
+    pub fn scratch<'n>(self, scratch: &'n mut SlotScratch) -> SimulationBuilder<'c, 'n> {
+        SimulationBuilder {
+            cfg: self.cfg,
+            world: self.world,
+            cache: self.cache,
+            scratch: Some(scratch),
+            observers: self.observers,
+        }
+    }
+
+    /// Attach an observer (repeatable).
+    pub fn observer(mut self, observer: Box<dyn SlotObserver + Send>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Build the simulation, reporting configuration problems (missing
+    /// trace files, zero-slot horizons) as errors.
+    pub fn build(self) -> Result<Simulation<'s>, ConfigError> {
+        if self.cfg.slots == 0 {
+            return Err(ConfigError::Invalid {
+                message: "experiment needs at least one slot".to_string(),
+            });
+        }
+        let world = match self.world {
+            Some(world) => world,
+            None => match self.cache {
+                Some(cache) => World::try_materialize_in(self.cfg, cache)?,
+                None => World::try_materialize(self.cfg)?,
+            },
+        };
+        let scratch = match self.scratch {
+            Some(s) => Scratch::Borrowed(s),
+            None => Scratch::Owned(Box::new(SlotScratch::new())),
+        };
+        let mut sim = Simulation::assemble(self.cfg, world, scratch);
+        for obs in self.observers {
+            sim.add_observer(obs);
+        }
+        Ok(sim)
+    }
+}
+
 /// A resumable slot-by-slot simulation of one experiment.
+///
+/// Constructed exclusively through [`Simulation::builder`]. The lifetime
+/// parameter is that of a caller-owned scratch installed via
+/// [`SimulationBuilder::scratch`]; a simulation stepping through its own
+/// scratch is `Simulation<'static>`.
 ///
 /// Fields are `pub(crate)` so the phase modules in [`crate::phases`] can
 /// operate on their slice of the state; outside the crate the simulation
 /// is driven exclusively through its public methods.
-pub struct Simulation {
+pub struct Simulation<'s> {
     pub(crate) cfg: ExperimentConfig,
     pub(crate) clock: SlotClock,
     pub(crate) slots: usize,
@@ -232,39 +349,18 @@ pub struct Simulation {
     pub(crate) cursor: usize,
     pub(crate) observers: Vec<Box<dyn SlotObserver + Send>>,
     pub(crate) time_phases: bool,
-    /// The scratch used by the allocating convenience APIs ([`Self::step`],
-    /// [`Self::run_to_end`]); taken and restored around each step so
-    /// external scratches (via [`Self::step_with`]) stay possible.
-    pub(crate) scratch: SlotScratch,
+    /// The scratch [`Self::step`] exchanges bulk data through — the
+    /// simulation's own, or one borrowed from the caller at build time;
+    /// taken and restored around each step to split the borrow.
+    scratch: Scratch<'s>,
 }
 
-impl Simulation {
-    /// Build a simulation, reporting configuration problems (missing trace
-    /// files, zero-slot horizons) as errors. Cold path: materialises a
-    /// fresh [`World`]; sweeps share worlds via [`Simulation::try_new_in`].
-    pub fn try_new(cfg: &ExperimentConfig) -> Result<Simulation, ConfigError> {
-        if cfg.slots == 0 {
-            return Err(ConfigError::Invalid {
-                message: "experiment needs at least one slot".to_string(),
-            });
-        }
-        let world = World::try_materialize(cfg)?;
-        Ok(Simulation::from_world(cfg, world))
-    }
-
-    /// Like [`Simulation::try_new`], but materialises the world through
-    /// `cache` so runs over the same scenario share their immutable inputs.
-    pub fn try_new_in(
-        cfg: &ExperimentConfig,
-        cache: &WorldCache,
-    ) -> Result<Simulation, ConfigError> {
-        if cfg.slots == 0 {
-            return Err(ConfigError::Invalid {
-                message: "experiment needs at least one slot".to_string(),
-            });
-        }
-        let world = World::try_materialize_in(cfg, cache)?;
-        Ok(Simulation::from_world(cfg, world))
+impl<'s> Simulation<'s> {
+    /// Start building a simulation over the given configuration. See
+    /// [`SimulationBuilder`] for the knobs (shared world cache,
+    /// caller-owned scratch, observers).
+    pub fn builder(cfg: &ExperimentConfig) -> SimulationBuilder<'_, 's> {
+        SimulationBuilder { cfg, world: None, cache: None, scratch: None, observers: Vec::new() }
     }
 
     /// Build the per-run mutable state over an already-materialised world.
@@ -272,7 +368,7 @@ impl Simulation {
     /// `world` must have been materialised for `cfg` (same seed, workload,
     /// energy and cluster sections) — the cache key derivation in
     /// [`crate::world`] guarantees this on the cached path.
-    pub fn from_world(cfg: &ExperimentConfig, world: World) -> Simulation {
+    fn assemble(cfg: &ExperimentConfig, world: World, scratch: Scratch<'s>) -> Simulation<'s> {
         let clock = cfg.clock;
         let slots = cfg.slots;
         let width = clock.width();
@@ -307,7 +403,8 @@ impl Simulation {
             });
         }
 
-        let policy = cfg.policy.build();
+        let mut policy = cfg.policy.build();
+        policy.set_warm_start(cfg.matcher_warm_start);
         let home_model = sites[0].model;
 
         let positioning_s =
@@ -343,14 +440,8 @@ impl Simulation {
             cursor: 0,
             observers: Vec::new(),
             time_phases: false,
-            scratch: SlotScratch::new(),
+            scratch,
         }
-    }
-
-    /// Build a simulation, panicking on configuration errors (the historic
-    /// behaviour; message-compatible with the old panicking path).
-    pub fn new(cfg: &ExperimentConfig) -> Simulation {
-        Simulation::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Attach an observer (builder style).
@@ -390,22 +481,23 @@ impl Simulation {
         self.sites.len()
     }
 
-    /// Simulate one slot using the simulation's own scratch. Returns
-    /// `None` once the horizon is exhausted.
+    /// Simulate one slot through the phase pipeline
+    /// (`Forecast → Classify → Plan → Gear → Execute → Settle`, see
+    /// [`crate::phases`]), exchanging bulk data through the simulation's
+    /// scratch (its own, or the caller's — see
+    /// [`SimulationBuilder::scratch`]). Returns `None` once the horizon is
+    /// exhausted.
     pub fn step(&mut self) -> Option<SlotOutcome> {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let out = self.step_with(&mut scratch);
+        let mut scratch =
+            std::mem::replace(&mut self.scratch, Scratch::Owned(Box::new(SlotScratch::new())));
+        let out = self.step_inner(scratch.get());
         self.scratch = scratch;
         out
     }
 
-    /// Simulate one slot through the phase pipeline
-    /// (`Forecast → Classify → Plan → Gear → Execute → Settle`, see
-    /// [`crate::phases`]), exchanging bulk data through the caller-owned
-    /// `scratch`. Passing the same scratch to every step (and across
-    /// back-to-back simulations) keeps the steady-state loop free of heap
-    /// allocation. Returns `None` once the horizon is exhausted.
-    pub fn step_with(&mut self, scratch: &mut SlotScratch) -> Option<SlotOutcome> {
+    /// One slot over an explicit scratch borrow (the borrow-split form
+    /// [`Self::step`] delegates to).
+    fn step_inner(&mut self, scratch: &mut SlotScratch) -> Option<SlotOutcome> {
         if self.cursor >= self.slots {
             return None;
         }
@@ -518,16 +610,10 @@ impl Simulation {
 
     /// Run the remaining slots and produce the final report.
     pub fn run_to_end(mut self) -> RunReport {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        self.run_to_end_with(&mut scratch)
-    }
-
-    /// Run the remaining slots through a caller-owned scratch and produce
-    /// the final report. Reusing one scratch across many simulations (e.g.
-    /// a benchmark worker running trials back to back) avoids re-growing
-    /// the per-slot buffers on every run.
-    pub fn run_to_end_with(mut self, scratch: &mut SlotScratch) -> RunReport {
-        while self.step_with(scratch).is_some() {}
+        let mut scratch =
+            std::mem::replace(&mut self.scratch, Scratch::Owned(Box::new(SlotScratch::new())));
+        while self.step_inner(scratch.get()).is_some() {}
+        self.scratch = scratch;
         self.into_report()
     }
 
@@ -719,9 +805,13 @@ mod tests {
         ExperimentConfig::small_demo(11).with_slots(24)
     }
 
+    fn sim(cfg: &ExperimentConfig) -> Simulation<'static> {
+        Simulation::builder(cfg).build().expect("config materialises")
+    }
+
     #[test]
     fn step_returns_one_outcome_per_slot_then_none() {
-        let mut sim = Simulation::new(&quick_cfg());
+        let mut sim = sim(&quick_cfg());
         for s in 0..24 {
             assert_eq!(sim.current_slot(), s);
             let o = sim.step().expect("slot available");
@@ -735,7 +825,7 @@ mod tests {
 
     #[test]
     fn outcomes_satisfy_energy_identities() {
-        let mut sim = Simulation::new(&quick_cfg());
+        let mut sim = sim(&quick_cfg());
         while let Some(o) = sim.step() {
             let e = &o.energy;
             assert!(
@@ -759,7 +849,7 @@ mod tests {
     fn stepwise_report_equals_run_experiment() {
         let cfg = quick_cfg();
         let via_wrapper = crate::harness::run_experiment(&cfg);
-        let mut sim = Simulation::new(&cfg);
+        let mut sim = sim(&cfg);
         while sim.step().is_some() {}
         let via_steps = sim.into_report();
         assert_eq!(
@@ -774,7 +864,7 @@ mod tests {
         let cfg = quick_cfg();
         let bare = crate::harness::run_experiment(&cfg);
         let (timer, profile) = PhaseTimer::new();
-        let observed = Simulation::new(&cfg)
+        let observed = sim(&cfg)
             .with_observer(Box::new(NullObserver))
             .with_observer(Box::new(timer))
             .run_to_end();
@@ -788,12 +878,12 @@ mod tests {
     }
 
     #[test]
-    fn try_new_reports_missing_trace_instead_of_panicking() {
+    fn build_reports_missing_trace_instead_of_panicking() {
         let cfg = quick_cfg().with_source(SourceKind::TraceCsv {
             label: "x".into(),
             path: "/nonexistent/definitely-missing.csv".into(),
         });
-        let err = Simulation::try_new(&cfg).err().expect("missing trace is an error");
+        let err = Simulation::builder(&cfg).build().err().expect("missing trace is an error");
         let msg = err.to_string();
         assert!(
             msg.starts_with("trace x: cannot read /nonexistent/definitely-missing.csv"),
@@ -802,14 +892,14 @@ mod tests {
     }
 
     #[test]
-    fn try_new_rejects_zero_slots() {
+    fn build_rejects_zero_slots() {
         let cfg = quick_cfg().with_slots(0);
-        assert!(matches!(Simulation::try_new(&cfg), Err(ConfigError::Invalid { .. })));
+        assert!(matches!(Simulation::builder(&cfg).build(), Err(ConfigError::Invalid { .. })));
     }
 
     #[test]
     fn policy_decisions_are_observable() {
-        let mut sim = Simulation::new(&quick_cfg().with_policy(PolicyKind::AllOn));
+        let mut sim = sim(&quick_cfg().with_policy(PolicyKind::AllOn));
         let o = sim.step().expect("first slot");
         assert_eq!(o.decision.gears, 3, "all-on always asks for every gear");
         assert_eq!(o.gears, 3);
@@ -817,7 +907,7 @@ mod tests {
 
     #[test]
     fn single_site_runs_have_no_site_breakdown() {
-        let mut sim = Simulation::new(&quick_cfg());
+        let mut sim = sim(&quick_cfg());
         while let Some(o) = sim.step() {
             assert!(o.site_energy.is_empty());
         }
@@ -835,7 +925,7 @@ mod tests {
         sites.push(east);
         let cfg = base.with_sites(sites).with_wan_cost(200);
 
-        let mut sim = Simulation::new(&cfg);
+        let mut sim = sim(&cfg);
         assert_eq!(sim.n_sites(), 2);
         while let Some(o) = sim.step() {
             assert_eq!(o.site_energy.len(), 2, "slot {}", o.slot);
@@ -898,7 +988,7 @@ mod tests {
         let mut cfg = base.with_sites(sites).with_wan_cost(200);
         cfg.energy.discharge = DischargeStrategy::PeakOnly;
 
-        let mut sim = Simulation::new(&cfg);
+        let mut sim = sim(&cfg);
         let mut east_out = 0.0;
         while let Some(o) = sim.step() {
             let hour = (o.slot % 24) as f64 + 0.5;
@@ -931,7 +1021,7 @@ mod tests {
             standby_factor: 0.5,
             spinup_wear_hours: 10.0,
         });
-        let mut sim = Simulation::new(&cfg);
+        let mut sim = sim(&cfg);
         while sim.step().is_some() {}
 
         let pending_repairs =

@@ -3,9 +3,9 @@
 
 use gm_storage::ClusterSpec;
 use gm_workload::JobId;
-use greenmatch::matcher::{self, MatchInput, UNIT_BYTES};
+use greenmatch::matcher::{MatchInput, Matcher, UNIT_BYTES};
 use greenmatch::mincostflow::MinCostFlow;
-use greenmatch::policy::{edf_fill, JobView, PlanningModel};
+use greenmatch::policy::{edf_fill, BatteryView, JobView, PlanningModel, SiteView};
 use proptest::prelude::*;
 
 /// Brute-force minimum cost for a 2-supplier × 2-consumer transportation
@@ -97,37 +97,38 @@ proptest! {
             .collect();
         let h = green_slots.len();
         let busy_vec = vec![busy; h];
+        let home = [SiteView::home(&green_slots, model, BatteryView::default())];
         let input = MatchInput {
             jobs: &views,
             current_slot: 0,
             horizon: h,
-            green_forecast_wh: &green_slots,
+            sites: &home,
             interactive_busy_secs: &busy_vec,
-            model,
             slot_secs: 3600.0,
             brown_cost_per_slot: None,
         };
-        let plan = matcher::solve(&input);
+        let mut matcher = Matcher::new();
+        let stats = matcher.solve(&input);
 
         // Unit-rounded totals must balance exactly.
         let requested_units: u64 =
             views.iter().map(|j| j.remaining_bytes.div_ceil(UNIT_BYTES)).sum();
-        let placed: u64 = plan.per_slot_bytes.iter().sum::<u64>()
-            + plan.deferred_bytes
-            + plan.infeasible_bytes;
+        let placed: u64 = matcher.per_slot_bytes().iter().sum::<u64>()
+            + stats.deferred_bytes
+            + stats.infeasible_bytes;
         prop_assert_eq!(placed, requested_units * UNIT_BYTES, "all work accounted");
         prop_assert_eq!(
-            plan.green_bytes + plan.brown_bytes,
-            plan.per_slot_bytes.iter().sum::<u64>(),
+            stats.green_bytes + stats.brown_bytes,
+            matcher.per_slot_bytes().iter().sum::<u64>(),
             "in-window split is exact"
         );
 
         // Per-slot capacity respected.
-        for (t, &bytes) in plan.per_slot_bytes.iter().enumerate() {
+        for (t, &bytes) in matcher.per_slot_bytes().iter().enumerate() {
             let cap = model.batch_capacity_bytes(model.gears, busy, 3600.0);
             prop_assert!(bytes <= cap + UNIT_BYTES, "slot {t}: {bytes} > cap {cap}");
         }
-        prop_assert!(plan.cost >= 0);
+        prop_assert!(stats.cost >= 0);
     }
 
     #[test]
@@ -145,19 +146,78 @@ proptest! {
         let busy = vec![0.0; 6];
         let run = |green: f64| {
             let g = vec![green; 6];
+            let home = [SiteView::home(&g, model, BatteryView::default())];
             let input = MatchInput {
                 jobs: &views,
                 current_slot: 0,
                 horizon: 6,
-                green_forecast_wh: &g,
+                sites: &home,
                 interactive_busy_secs: &busy,
-                model,
                 slot_secs: 3600.0,
                 brown_cost_per_slot: None,
             };
-            matcher::solve(&input).green_bytes
+            Matcher::new().solve(&input).green_bytes
         };
         prop_assert!(run(wh + 500.0) >= run(wh), "more green never reduces green placement");
+    }
+
+    /// Satellite: perturb the per-slot bins (forecast green, busy-seconds,
+    /// carbon prices) between rounds and assert the warm-started handle's
+    /// re-priced solve is indistinguishable from a cold solve of the same
+    /// input — stats AND the full per-site schedule.
+    #[test]
+    fn warm_repriced_solve_matches_cold_solve(
+        jobs in proptest::collection::vec((1u64..64, 0usize..20), 1..12),
+        rounds in proptest::collection::vec(
+            (
+                proptest::collection::vec(0.0f64..4_000.0, 8..9),
+                proptest::collection::vec(0.0f64..6_000.0, 8..9),
+                0i64..400,
+                0u8..2,
+            ),
+            1..8,
+        ),
+    ) {
+        let model = PlanningModel::from_spec(&ClusterSpec::small());
+        let mut views: Vec<JobView> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, (gib, dl))| JobView {
+                id: JobId(i as u64),
+                remaining_bytes: gib << 30,
+                deadline_slot: *dl,
+                critical: false,
+            })
+            .collect();
+        let mut warm = Matcher::new();
+        for (round, (green, busy, carbon_base, shrink)) in rounds.iter().enumerate() {
+            if *shrink == 1 && views.len() > 1 {
+                views.pop(); // group supplies drift between slots too
+            }
+            let carbon: Vec<i64> = (0..8).map(|t| carbon_base + t as i64 * 3).collect();
+            let home = [SiteView::home(green, model, BatteryView::default())];
+            let input = MatchInput {
+                jobs: &views,
+                current_slot: round,
+                horizon: 8,
+                sites: &home,
+                interactive_busy_secs: busy,
+                slot_secs: 3600.0,
+                brown_cost_per_slot: Some(&carbon),
+            };
+            let warm_stats = warm.solve(&input);
+            let mut cold = Matcher::new();
+            cold.set_warm_start(false);
+            let cold_stats = cold.solve(&input);
+            prop_assert_eq!(warm_stats, cold_stats, "round {}: stats diverge", round);
+            prop_assert_eq!(
+                warm.per_site_slot_bytes(),
+                cold.per_site_slot_bytes(),
+                "round {}: schedules diverge",
+                round
+            );
+        }
+        prop_assert_eq!(warm.solve_counts().cold, 1, "warm handle must rebuild only once");
     }
 
     #[test]
@@ -175,7 +235,7 @@ proptest! {
                 critical: false,
             })
             .collect();
-        let fill = edf_fill(&views, capacity);
+        let fill = edf_fill(&views.clone().into(), capacity);
         let total: u64 = fill.iter().map(|(_, b)| b).sum();
         prop_assert!(total <= capacity);
         for (id, bytes) in &fill {

@@ -40,6 +40,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 struct Field {
     name: String,
     default: bool,
+    /// Fallback path from `default = "path"`: the field takes `path()`
+    /// when absent (instead of `Default::default()`).
+    default_fn: Option<String>,
     /// Predicate path from `skip_serializing_if = "path"`: the field is
     /// omitted from the serialised object when `path(&value)` is true.
     skip_if: Option<String>,
@@ -49,6 +52,7 @@ struct Field {
 #[derive(Default)]
 struct FieldAttrs {
     default: bool,
+    default_fn: Option<String>,
     skip_if: Option<String>,
 }
 
@@ -162,8 +166,22 @@ fn parse_serde_args(stream: TokenStream, attrs: &mut FieldAttrs) {
         match &toks[i] {
             TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
             TokenTree::Ident(id) if id.to_string() == "default" => {
-                attrs.default = true;
-                i += 1;
+                // Bare `default` (fall back to `Default::default()`) or
+                // `default = "path"` (fall back to `path()`).
+                match (toks.get(i + 1), toks.get(i + 2)) {
+                    (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(l)))
+                        if p.as_char() == '=' =>
+                    {
+                        attrs.default_fn = Some(
+                            l.to_string().trim_matches('"').split_whitespace().collect::<String>(),
+                        );
+                        i += 3;
+                    }
+                    _ => {
+                        attrs.default = true;
+                        i += 1;
+                    }
+                }
             }
             TokenTree::Ident(id) if id.to_string() == "skip_serializing_if" => {
                 let path = match (toks.get(i + 1), toks.get(i + 2)) {
@@ -235,9 +253,26 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         }
         c.skip_type();
         c.next(); // consume the trailing comma, if any
-        fields.push(Field { name, default: attrs.default, skip_if: attrs.skip_if });
+        fields.push(Field {
+            name,
+            default: attrs.default,
+            default_fn: attrs.default_fn,
+            skip_if: attrs.skip_if,
+        });
     }
     fields
+}
+
+/// Deserialisation initialiser for one named field, honouring the three
+/// absence behaviours: required, `default`, and `default = "path"`.
+fn field_init(f: &Field, src: &str) -> String {
+    match (&f.default_fn, f.default) {
+        (Some(path), _) => {
+            format!("{0}: ::serde::de_field_or({src}, \"{0}\", {path})?,", f.name)
+        }
+        (None, true) => format!("{0}: ::serde::de_field_default({src}, \"{0}\")?,", f.name),
+        (None, false) => format!("{0}: ::serde::de_field({src}, \"{0}\")?,", f.name),
+    }
 }
 
 fn count_tuple_fields(stream: TokenStream) -> usize {
@@ -321,13 +356,7 @@ fn generate(item: &Item, ser: bool) -> String {
                      ::serde::Value::Obj(fields)\n}}\n}}"
                 )
             } else {
-                let inits: String = fields
-                    .iter()
-                    .map(|f| {
-                        let helper = if f.default { "de_field_default" } else { "de_field" };
-                        format!("{0}: ::serde::{helper}(v, \"{0}\")?,", f.name)
-                    })
-                    .collect();
+                let inits: String = fields.iter().map(|f| field_init(f, "v")).collect();
                 format!(
                     "impl ::serde::Deserialize for {name} {{\n\
                      fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
@@ -482,13 +511,7 @@ fn generate_enum_de(name: &str, variants: &[Variant]) -> String {
                 ));
             }
             VariantShape::Struct(fields) => {
-                let inits: String = fields
-                    .iter()
-                    .map(|f| {
-                        let helper = if f.default { "de_field_default" } else { "de_field" };
-                        format!("{0}: ::serde::{helper}(inner, \"{0}\")?,", f.name)
-                    })
-                    .collect();
+                let inits: String = fields.iter().map(|f| field_init(f, "inner")).collect();
                 tag_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn} {{ {inits} }}),\n"));
             }
         }

@@ -428,6 +428,19 @@ pub fn de_field_default<T: Deserialize + Default>(v: &Value, name: &str) -> Resu
     }
 }
 
+/// Like [`de_field`] but calls the given fallback when the field is absent
+/// (the `#[serde(default = "path")]` behaviour).
+pub fn de_field_or<T: Deserialize>(
+    v: &Value,
+    name: &str,
+    fallback: impl FnOnce() -> T,
+) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(field) => T::from_value(field).map_err(|e| DeError(format!("field {name}: {e}"))),
+        None => Ok(fallback()),
+    }
+}
+
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
 

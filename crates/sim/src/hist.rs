@@ -24,6 +24,20 @@ pub struct LogHistogram {
     total: u64,
     sum: f64,
     max_seen: f64,
+    /// Single-entry memo of the last value → bucket mapping, keyed by the
+    /// value's bit pattern. Latency streams are full of exact repeats
+    /// (every RAM-cache hit is the same constant), and the memo turns
+    /// those `record` calls from an `ln()` into a bit compare. Pure
+    /// acceleration state: excluded from serialization, and the `(0, 0)`
+    /// default is self-consistent (`0.0` maps to bucket 0).
+    #[serde(default, skip_serializing_if = "always_skip")]
+    memo_bits: u64,
+    #[serde(default, skip_serializing_if = "always_skip")]
+    memo_bucket: usize,
+}
+
+fn always_skip<T>(_: &T) -> bool {
+    true
 }
 
 impl LogHistogram {
@@ -42,6 +56,8 @@ impl LogHistogram {
             total: 0,
             sum: 0.0,
             max_seen: 0.0,
+            memo_bits: 0,
+            memo_bucket: 0,
         }
     }
 
@@ -70,7 +86,15 @@ impl LogHistogram {
     /// Record one observation (non-negative; zeros count in bucket 0).
     pub fn record(&mut self, v: f64) {
         debug_assert!(v >= 0.0 && v.is_finite(), "bad histogram value {v}");
-        let b = self.bucket_of(v);
+        let bits = v.to_bits();
+        let b = if bits == self.memo_bits {
+            self.memo_bucket
+        } else {
+            let b = self.bucket_of(v);
+            self.memo_bits = bits;
+            self.memo_bucket = b;
+            b
+        };
         if b >= self.counts.len() {
             self.counts.resize(b + 1, 0);
         }
@@ -152,6 +176,34 @@ impl LogHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn memoised_repeats_match_cold_bucketing() {
+        // Alternating repeats exercise both memo hits and memo refreshes;
+        // a histogram fed value-by-value through a fresh instance (never a
+        // memo hit past the first) must agree on every statistic.
+        let values = [2e-4, 2e-4, 2e-4, 0.013, 2e-4, 0.0, 0.013, 0.013, 5.0, 2e-4];
+        let mut memoed = LogHistogram::for_latency_secs();
+        for v in values {
+            memoed.record(v);
+        }
+        // Reference: same multiset in reverse order — different memo
+        // hit/miss pattern, and bucket counts are order-independent, so
+        // any memo inconsistency shows up as a statistic mismatch.
+        let mut shuffled = values;
+        shuffled.reverse();
+        let mut cold = LogHistogram::for_latency_secs();
+        for v in shuffled {
+            cold.record(v);
+        }
+        assert_eq!(memoed.count(), cold.count());
+        // Mean sums in recording order; reversal reassociates the float
+        // sum, so compare with tolerance (the memo never touches `sum`).
+        assert!((memoed.mean() - cold.mean()).abs() < 1e-15);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(memoed.quantile(q), cold.quantile(q), "q={q}");
+        }
+    }
 
     #[test]
     fn empty_is_zero() {

@@ -14,29 +14,73 @@
 use crate::object::ObjectId;
 use gm_sim::time::SimDuration;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
 
 /// Service time of a cache hit (network/CPU bound, not media bound).
 pub const CACHE_HIT_SERVICE: SimDuration = SimDuration(200); // 200 µs
 
+/// Sentinel "no node" link.
+const NIL: u32 = u32::MAX;
+
+/// One entry in the intrusive recency list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    key: u64,
+    bytes: u64,
+    prev: u32,
+    next: u32,
+}
+
 /// An LRU cache over whole objects.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Recency is an intrusive doubly-linked list threaded through a node
+/// arena: a probe hit is one array load plus four link writes, where the
+/// historic tick/`BTreeMap` design paid two tree mutations per touch.
+/// Object ids are dense small integers (directory indices), so the
+/// object → node lookup is a direct-indexed slot table rather than a hash
+/// map — this sits on the cluster's per-request hot path, and hashing was
+/// the single largest cost in it; the hit/miss/eviction sequence is
+/// identical.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LruCache {
     capacity_bytes: u64,
     used_bytes: u64,
-    /// Object → (bytes, recency tick).
-    entries: HashMap<u64, (u64, u64)>,
-    /// Recency tick → object (inverse index for eviction).
-    recency: BTreeMap<u64, u64>,
-    tick: u64,
+    /// Object id → node index, direct-indexed (`NIL` = not cached). Grows
+    /// to the largest object id ever inserted — bounded by the directory.
+    slots: Vec<u32>,
+    /// Objects currently cached (`slots` entries that are not `NIL`).
+    live: usize,
+    /// Node arena; `free` lists recycled slots.
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    /// Most-recently-used node (`NIL` when empty).
+    head: u32,
+    /// Least-recently-used node — the eviction end (`NIL` when empty).
+    tail: u32,
     hits: u64,
     misses: u64,
+}
+
+impl Default for LruCache {
+    fn default() -> Self {
+        LruCache::new(0)
+    }
 }
 
 impl LruCache {
     /// A cache of the given capacity; zero capacity disables it.
     pub fn new(capacity_bytes: u64) -> Self {
-        LruCache { capacity_bytes, ..Default::default() }
+        LruCache {
+            capacity_bytes,
+            used_bytes: 0,
+            slots: Vec::new(),
+            live: 0,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Whether the cache is enabled.
@@ -51,12 +95,12 @@ impl LruCache {
 
     /// Objects currently cached.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// Whether the cache holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
     /// Hit count.
@@ -79,13 +123,63 @@ impl LruCache {
         }
     }
 
-    fn touch(&mut self, id: u64) {
-        if let Some(&(bytes, old_tick)) = self.entries.get(&id) {
-            self.recency.remove(&old_tick);
-            self.tick += 1;
-            self.entries.insert(id, (bytes, self.tick));
-            self.recency.insert(self.tick, id);
+    /// Detach node `n` from the recency list (links only; `index`, byte
+    /// accounting, and the free list are the caller's business).
+    fn unlink(&mut self, n: u32) {
+        let (prev, next) = {
+            let node = &self.nodes[n as usize];
+            (node.prev, node.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev as usize].next = next;
         }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next as usize].prev = prev;
+        }
+    }
+
+    /// Link node `n` at the MRU end.
+    fn push_front(&mut self, n: u32) {
+        self.nodes[n as usize].prev = NIL;
+        self.nodes[n as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = n;
+        }
+        self.head = n;
+        if self.tail == NIL {
+            self.tail = n;
+        }
+    }
+
+    fn touch(&mut self, n: u32) {
+        if self.head == n {
+            return;
+        }
+        self.unlink(n);
+        self.push_front(n);
+    }
+
+    /// Node index for `object`, `NIL` if not cached.
+    #[inline]
+    fn lookup(&self, id: u64) -> u32 {
+        self.slots.get(id as usize).copied().unwrap_or(NIL)
+    }
+
+    /// Remove the LRU node, returning its freed byte count.
+    fn pop_tail(&mut self) -> u64 {
+        let victim = self.tail;
+        debug_assert!(victim != NIL, "pop_tail on empty list");
+        self.unlink(victim);
+        let node = &self.nodes[victim as usize];
+        let bytes = node.bytes;
+        self.slots[node.key as usize] = NIL;
+        self.live -= 1;
+        self.free.push(victim);
+        bytes
     }
 
     /// Probe for a read of `object`. Counts a hit or a miss.
@@ -93,8 +187,9 @@ impl LruCache {
         if !self.is_enabled() {
             return false;
         }
-        if self.entries.contains_key(&object.0) {
-            self.touch(object.0);
+        let n = self.lookup(object.0);
+        if n != NIL {
+            self.touch(n);
             self.hits += 1;
             true
         } else {
@@ -109,27 +204,44 @@ impl LruCache {
         if !self.is_enabled() || bytes > self.capacity_bytes {
             return;
         }
-        if self.entries.contains_key(&object.0) {
-            self.touch(object.0);
+        let existing = self.lookup(object.0);
+        if existing != NIL {
+            self.touch(existing);
             return;
         }
         while self.used_bytes + bytes > self.capacity_bytes {
-            let (&tick, &victim) = self.recency.iter().next().expect("non-empty when over budget");
-            self.recency.remove(&tick);
-            let (vbytes, _) = self.entries.remove(&victim).expect("index consistent");
-            self.used_bytes -= vbytes;
+            let freed = self.pop_tail();
+            self.used_bytes -= freed;
         }
-        self.tick += 1;
-        self.entries.insert(object.0, (bytes, self.tick));
-        self.recency.insert(self.tick, object.0);
+        let n = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = Node { key: object.0, bytes, prev: NIL, next: NIL };
+                slot
+            }
+            None => {
+                self.nodes.push(Node { key: object.0, bytes, prev: NIL, next: NIL });
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        let idx = object.0 as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, NIL);
+        }
+        self.slots[idx] = n;
+        self.live += 1;
+        self.push_front(n);
         self.used_bytes += bytes;
     }
 
     /// Invalidate a (possibly cached) object — called on writes.
     pub fn invalidate(&mut self, object: ObjectId) {
-        if let Some((bytes, tick)) = self.entries.remove(&object.0) {
-            self.recency.remove(&tick);
-            self.used_bytes -= bytes;
+        let n = self.lookup(object.0);
+        if n != NIL {
+            self.slots[object.0 as usize] = NIL;
+            self.live -= 1;
+            self.unlink(n);
+            self.used_bytes -= self.nodes[n as usize].bytes;
+            self.free.push(n);
         }
     }
 }

@@ -88,8 +88,15 @@ impl DiskQueue {
         service: SimDuration,
         slot_width: SimDuration,
     ) -> ServedRequest {
-        let rho = (self.bg_in_slot.as_secs_f64() / slot_width.as_secs_f64()).min(MAX_BG_RHO);
-        let effective = SimDuration::from_secs_f64(service.as_secs_f64() / (1.0 - rho));
+        // Fast path: no background work this slot means ρ_bg = 0 and the
+        // inflation is exactly the identity (`from_secs_f64` round-trips
+        // whole microseconds), so skip the float conversions.
+        let effective = if self.bg_in_slot == SimDuration::ZERO {
+            service
+        } else {
+            let rho = (self.bg_in_slot.as_secs_f64() / slot_width.as_secs_f64()).min(MAX_BG_RHO);
+            SimDuration::from_secs_f64(service.as_secs_f64() / (1.0 - rho))
+        };
         let start = arrival.max(self.next_free).max(ready_at);
         let completion = start + effective;
         self.next_free = completion;

@@ -26,12 +26,14 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod columns;
 pub mod interactive;
 pub mod job;
 pub mod stats;
 pub mod trace;
 
 pub use batch::BatchGenerator;
+pub use columns::RequestBatch;
 pub use interactive::{InteractiveSpec, InteractiveStream};
 pub use job::{BatchJob, BatchKind, JobId, JobState};
 pub use stats::{characterize, WorkloadStats};

@@ -10,12 +10,15 @@
 //! (one row per job), the substitution point for a user's real trace.
 
 use crate::batch::{BatchGenerator, BatchSpec};
+use crate::columns::RequestBatch;
 use crate::interactive::{InteractiveGenerator, InteractiveSpec};
 use crate::job::{BatchJob, BatchKind, JobId, JobState};
 use gm_sim::time::SimTime;
 use gm_sim::{RngFactory, SlotClock};
 use gm_storage::IoRequest;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Full workload parameterisation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -58,7 +61,17 @@ pub struct Workload {
     spec: WorkloadSpec,
     interactive: InteractiveGenerator,
     batch_jobs: Vec<BatchJob>,
+    /// Memoised columnar slot batches, keyed by `(slot width, slot)` —
+    /// the two inputs of request synthesis beyond the workload itself.
+    /// Shared-world sweeps therefore synthesise each slot's requests once
+    /// across all runs. The per-key `OnceLock` keeps concurrent misses
+    /// single-build without holding the map lock while synthesising.
+    slot_batches: Mutex<HashMap<(u64, usize), SlotBatchCell>>,
 }
+
+/// One memo slot: `Arc` so the map lock can be dropped while a miss
+/// synthesises into the `OnceLock`.
+type SlotBatchCell = Arc<OnceLock<Arc<RequestBatch>>>;
 
 impl Workload {
     /// Build from a spec and master seed.
@@ -66,7 +79,7 @@ impl Workload {
         let rngs = RngFactory::new(seed);
         let interactive = InteractiveGenerator::new(spec.interactive.clone(), &rngs);
         let batch_jobs = BatchGenerator::new(spec.batch.clone()).generate(&rngs);
-        Workload { spec, interactive, batch_jobs }
+        Workload { spec, interactive, batch_jobs, slot_batches: Mutex::new(HashMap::new()) }
     }
 
     /// The spec.
@@ -90,9 +103,31 @@ impl Workload {
     }
 
     /// [`Self::requests_in_slot`] into a caller-owned buffer (cleared
-    /// first) — the allocation-free form the simulation hot loop uses.
+    /// first) — the allocation-free form for callers that need an
+    /// array-of-structs view.
     pub fn requests_in_slot_into(&self, clock: SlotClock, slot: usize, out: &mut Vec<IoRequest>) {
         self.interactive.requests_in_slot_into(clock, slot, out);
+    }
+
+    /// The slot's requests as a memoised columnar [`RequestBatch`] — the
+    /// form the simulation hot loop uses.
+    ///
+    /// The batch holds the identical requests in the identical order as
+    /// [`Self::requests_in_slot`]; it is synthesised at most once per
+    /// `(clock width, slot)` for the life of this workload and shared as
+    /// an `Arc` thereafter, so runs over a cached shared world skip
+    /// re-synthesis entirely.
+    pub fn slot_batch(&self, clock: SlotClock, slot: usize) -> Arc<RequestBatch> {
+        let key = (clock.width().0, slot);
+        let cell = {
+            let mut map = self.slot_batches.lock().expect("slot batch lock");
+            map.entry(key).or_insert_with(|| Arc::new(OnceLock::new())).clone()
+        };
+        cell.get_or_init(|| {
+            let requests = self.interactive.requests_in_slot(clock, slot);
+            Arc::new(RequestBatch::from_requests(&requests))
+        })
+        .clone()
     }
 
     /// Batch jobs submitted within slot `slot`.
@@ -230,6 +265,20 @@ mod tests {
         let c = SlotClock::hourly();
         let total: usize = (0..168).map(|s| w.batch_arrivals_in_slot(c, s).len()).sum();
         assert_eq!(total, 400, "every job arrives in exactly one slot");
+    }
+
+    #[test]
+    fn slot_batch_matches_row_synthesis_and_memoises() {
+        let w = small();
+        let c = SlotClock::hourly();
+        let rows = w.requests_in_slot(c, 40);
+        let batch = w.slot_batch(c, 40);
+        assert_eq!(batch.iter().collect::<Vec<_>>(), rows, "columns mirror the row form");
+        let again = w.slot_batch(c, 40);
+        assert!(Arc::ptr_eq(&batch, &again), "second lookup is a memo hit");
+        // A different clock width is a different synthesis — distinct entry.
+        let wide = SlotClock::new(gm_sim::SimDuration::from_hours(2));
+        assert!(!Arc::ptr_eq(&batch, &w.slot_batch(wide, 40)));
     }
 
     #[test]

@@ -27,7 +27,10 @@ fn main() {
         .with_policy(PolicyKind::GreenMatch { delay_fraction: 1.0 });
 
     let (timer, profile) = PhaseTimer::new();
-    let mut sim = Simulation::new(&cfg).with_observer(Box::new(timer));
+    let mut sim = Simulation::builder(&cfg)
+        .observer(Box::new(timer))
+        .build()
+        .expect("small demo config materialises");
 
     println!("slot-by-slot, first 48 h (gears ▏ green production ▏ batch executed):\n");
     println!("{:>4} {:>5} {:>12} {:>14}  green", "slot", "gears", "green Wh", "batch GiB");

@@ -25,6 +25,9 @@ cargo bench -p gm-bench --bench e2e | tee /tmp/gm_bench_e2e.txt
 echo "==> cargo bench --bench sweep"
 cargo bench -p gm-bench --bench sweep | tee /tmp/gm_bench_sweep.txt
 
+echo "==> cargo bench --bench matcher_kernel"
+cargo bench -p gm-bench --bench matcher_kernel | tee /tmp/gm_bench_matcher_kernel.txt
+
 SUITE_SECONDS=null
 if [[ "$SKIP_SUITE" -eq 0 ]]; then
     echo "==> timing full experiment suite (experiments all)"
@@ -58,6 +61,9 @@ bench_json() {
     echo '  ],'
     echo '  "sweep": ['
     bench_json /tmp/gm_bench_sweep.txt
+    echo '  ],'
+    echo '  "matcher_kernel": ['
+    bench_json /tmp/gm_bench_matcher_kernel.txt
     echo '  ]'
     echo '}'
 } > BENCH_sweep.json

@@ -47,9 +47,11 @@ impl Write for SharedBuf {
 /// return the raw trace bytes.
 fn trace_bytes(cfg: &ExperimentConfig) -> Vec<u8> {
     let buf = SharedBuf::default();
-    let mut sim = Simulation::new(cfg);
-    sim.add_observer(Box::new(JsonlTraceObserver::new(buf.clone())));
-    sim.run_to_end();
+    Simulation::builder(cfg)
+        .observer(Box::new(JsonlTraceObserver::new(buf.clone())))
+        .build()
+        .expect("config materialises")
+        .run_to_end();
     buf.contents()
 }
 
@@ -142,6 +144,56 @@ fn one_site_config_traces_match_flat_config_for_every_policy() {
 }
 
 #[test]
+fn warm_start_traces_match_cold_for_every_policy() {
+    use greenmatch::policy::PolicyKind;
+
+    // The incremental matcher's warm-start path (retained flow network,
+    // re-priced arcs) must be *byte-identical* to rebuilding the network
+    // from scratch every slot, for every policy — warm-starting is a pure
+    // performance knob, never a schedule change.
+    let policies = [
+        PolicyKind::AllOn,
+        PolicyKind::PowerProportional,
+        PolicyKind::Edf,
+        PolicyKind::GreedyGreen,
+        PolicyKind::GreenMatch { delay_fraction: 1.0 },
+        PolicyKind::GreenMatch { delay_fraction: 0.3 },
+        PolicyKind::GreenMatchWindow { delay_fraction: 1.0, horizon: 12 },
+        PolicyKind::GreenMatchCarbon { delay_fraction: 1.0 },
+    ];
+    for policy in policies {
+        let warm = ExperimentConfig::small_demo(7).with_slots(48).with_policy(policy);
+        let cold = warm.clone().with_matcher_warm_start(false);
+        let a = trace_bytes(&warm);
+        let b = trace_bytes(&cold);
+        assert!(!a.is_empty(), "{policy:?}: trace should contain records");
+        assert_eq!(a, b, "{policy:?}: warm-started matcher diverged from cold rebuilds");
+    }
+}
+
+#[test]
+fn warm_start_traces_match_cold_multi_site() {
+    use greenmatch::policy::PolicyKind;
+
+    // Same byte-identity contract on the multi-site path, where the
+    // retained network spans site×slot bins and WAN-priced arcs.
+    let base = ExperimentConfig::small_demo(7)
+        .with_slots(48)
+        .with_policy(PolicyKind::GreenMatch { delay_fraction: 1.0 });
+    let mut sites = base.site_configs();
+    let mut east = sites[0].clone();
+    east.name = "east".into();
+    east.utc_offset_hours = 8;
+    sites.push(east);
+    let warm = base.with_sites(sites).with_wan_cost(200);
+    let cold = warm.clone().with_matcher_warm_start(false);
+    let a = trace_bytes(&warm);
+    let b = trace_bytes(&cold);
+    assert!(!a.is_empty(), "trace should contain records");
+    assert_eq!(a, b, "multi-site warm-started matcher diverged from cold rebuilds");
+}
+
+#[test]
 fn multi_site_traces_are_deterministic() {
     use greenmatch::policy::PolicyKind;
 
@@ -164,9 +216,12 @@ fn multi_site_traces_are_deterministic() {
 /// Like [`trace_bytes`], but materialising the world through `cache`.
 fn trace_bytes_cached(cfg: &ExperimentConfig, cache: &greenmatch::WorldCache) -> Vec<u8> {
     let buf = SharedBuf::default();
-    let mut sim = Simulation::try_new_in(cfg, cache).expect("config materialises");
-    sim.add_observer(Box::new(JsonlTraceObserver::new(buf.clone())));
-    sim.run_to_end();
+    Simulation::builder(cfg)
+        .cache(cache)
+        .observer(Box::new(JsonlTraceObserver::new(buf.clone())))
+        .build()
+        .expect("config materialises")
+        .run_to_end();
     buf.contents()
 }
 
@@ -209,10 +264,10 @@ fn policy_variants_share_one_cached_world() {
     let cache = WorldCache::new();
     let a = ExperimentConfig::small_demo(7).with_slots(24);
     let b = a.clone().with_policy(PolicyKind::AllOn);
-    let _ = Simulation::try_new_in(&a, &cache).expect("a materialises");
+    let _ = Simulation::builder(&a).cache(&cache).build().expect("a materialises");
     assert_eq!(cache.misses(), 3, "first config builds workload, trace and layout");
     assert_eq!(cache.hits(), 0);
-    let _ = Simulation::try_new_in(&b, &cache).expect("b materialises");
+    let _ = Simulation::builder(&b).cache(&cache).build().expect("b materialises");
     assert_eq!(cache.misses(), 3, "policy change must rebuild nothing");
     assert_eq!(cache.hits(), 3, "all three components served from the cache");
 }
@@ -233,9 +288,12 @@ fn shared_scratch_across_runs_does_not_leak_state() {
     let mut shared = Vec::new();
     for cfg in [&cfg_a, &cfg_b] {
         let buf = SharedBuf::default();
-        let mut sim = Simulation::new(cfg);
-        sim.add_observer(Box::new(JsonlTraceObserver::new(buf.clone())));
-        while sim.step_with(&mut scratch).is_some() {}
+        let mut sim = Simulation::builder(cfg)
+            .scratch(&mut scratch)
+            .observer(Box::new(JsonlTraceObserver::new(buf.clone())))
+            .build()
+            .expect("config materialises");
+        while sim.step().is_some() {}
         let _ = sim.into_report();
         shared.push(buf.contents());
     }
@@ -295,9 +353,11 @@ fn null_observer_does_not_change_the_report() {
     let cfg = ExperimentConfig::small_demo(3).with_slots(72);
     let plain = run_experiment(&cfg);
 
-    let mut sim = Simulation::new(&cfg);
-    sim.add_observer(Box::new(NullObserver));
-    let observed = sim.run_to_end();
+    let observed = Simulation::builder(&cfg)
+        .observer(Box::new(NullObserver))
+        .build()
+        .expect("config materialises")
+        .run_to_end();
 
     assert_eq!(
         serde_json::to_string(&plain).unwrap(),
