@@ -1,0 +1,74 @@
+//! Forked-sweep cost: what a shared checkpoint saves over re-simulating
+//! the prefix per branch.
+//!
+//! A what-if family asks "given this run up to slot k, how do v variants
+//! finish?". Without forking each variant must re-simulate the k-slot
+//! prefix before it can diverge (`branch/cold`: one single-variant family
+//! per branch, so every branch pays its own prefix); with forking the
+//! prefix runs once and every branch resumes from the snapshot
+//! (`branch/forked`). Both go through the real pool + global world cache
+//! path and produce identical reports — `tests/snapshot.rs` and the
+//! runner tests pin that — so the gap is pure wall-clock: k + v·(n−k)
+//! simulated slots instead of v·n.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gm_bench::{run_branched, BranchSweep};
+use greenmatch::config::ExperimentConfig;
+use greenmatch::policy::PolicyKind;
+
+const VARIANTS: [PolicyKind; 4] = [
+    PolicyKind::GreenMatch { delay_fraction: 1.0 },
+    PolicyKind::AllOn,
+    PolicyKind::PowerProportional,
+    PolicyKind::GreedyGreen,
+];
+
+fn family(fork_slot: usize) -> BranchSweep {
+    let base = ExperimentConfig::small_demo(42)
+        .with_policy(PolicyKind::GreenMatch { delay_fraction: 1.0 });
+    BranchSweep {
+        base: base.clone(),
+        fork_slot,
+        variants: VARIANTS
+            .iter()
+            .map(|&p| (format!("{p:?}"), base.clone().with_policy(p)))
+            .collect(),
+    }
+}
+
+fn bench_branch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch");
+    group.sample_size(10);
+    // Fork late (¾ of the week): the regime what-if analyses live in,
+    // where almost all of the work is the shared prefix.
+    let fork_slot = 3 * ExperimentConfig::small_demo(42).slots / 4;
+
+    group.bench_function("forked", |b| {
+        b.iter(|| {
+            let results = run_branched(vec![family(black_box(fork_slot))]);
+            black_box(results.len())
+        })
+    });
+
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            // The same four branches, each as its own family: every one
+            // re-simulates the shared prefix before diverging.
+            let sweeps = family(fork_slot)
+                .variants
+                .into_iter()
+                .map(|variant| BranchSweep {
+                    base: family(fork_slot).base,
+                    fork_slot,
+                    variants: vec![variant],
+                })
+                .collect();
+            let results = run_branched(black_box(sweeps));
+            black_box(results.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_branch);
+criterion_main!(benches);

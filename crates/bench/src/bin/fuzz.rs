@@ -10,6 +10,9 @@
 //! fuzz                          # 500 cases, seed 42
 //! fuzz --cases 40 --seed 7      # CI smoke shape
 //! fuzz --out violations.json    # archive violations as JSON
+//! fuzz --split                  # also checkpoint/restore each case at a
+//!                               # random slot and require the resumed
+//!                               # trace to be byte-identical
 //! ```
 //!
 //! Cases are deterministic in `(seed, case index)`: a failure report names
@@ -21,7 +24,7 @@ use proptest::test_runner::TestRng;
 use serde::Serialize;
 
 fn usage() -> ! {
-    eprintln!("usage: fuzz [--cases N] [--seed N] [--out FILE]");
+    eprintln!("usage: fuzz [--cases N] [--seed N] [--out FILE] [--split]");
     std::process::exit(2)
 }
 
@@ -39,6 +42,7 @@ fn main() {
     let mut cases: u32 = 500;
     let mut seed: u64 = 42;
     let mut out: Option<String> = None;
+    let mut split = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -47,6 +51,7 @@ fn main() {
             }
             "--seed" => seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            "--split" => split = true,
             _ => usage(),
         }
     }
@@ -58,7 +63,27 @@ fn main() {
         let mut rng = TestRng::for_case(&scope, case);
         let cfg = fuzzgen::fuzz_config(&mut rng);
         let label = fuzzgen::describe(&cfg);
-        let (_, audit) = fuzzgen::run_audited(&cfg);
+        let audit = if split {
+            // Interrupt the case at a random slot, restore from the
+            // serialized checkpoint, and require the stitched trace to
+            // match the cold trace byte for byte on top of a clean audit.
+            let fork = (rng.next_u64() % (cfg.slots as u64 + 1)) as usize;
+            let run = fuzzgen::run_split(&cfg, fork);
+            if run.stitched_trace != run.cold_trace {
+                eprintln!("case {case} FAILED [{label}]: resumed trace diverged at fork {fork}");
+                failed.push(FailedCase {
+                    case,
+                    config: format!("{label} fork={fork}"),
+                    slots_audited: run.resumed_audit.slots_audited,
+                    violations: Vec::new(),
+                    suppressed: 0,
+                });
+                continue;
+            }
+            run.resumed_audit
+        } else {
+            fuzzgen::run_audited(&cfg).1
+        };
         slots_total += audit.slots_audited;
         if !audit.is_clean() {
             eprintln!("case {case} FAILED [{label}]: {}", audit.summary());

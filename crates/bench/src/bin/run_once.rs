@@ -19,6 +19,16 @@
 //! archives the audit report as JSON. Auditing never changes the report
 //! or the trace either.
 //!
+//! `--checkpoint-every N` saves a resumable snapshot (atomic write) to
+//! the `--checkpoint-file` every N slots; `--halt-after N` stops the run
+//! right after saving a checkpoint at slot N, simulating a crash
+//! deterministically. `--resume FILE` continues from such a snapshot —
+//! without `--config`/`--preset` the snapshot's own config is used, and
+//! `--trace`/`--csv` files are appended to (not truncated), so the
+//! stitched output is byte-identical to an uninterrupted run. Combining
+//! `--resume` with `--policy` branches the checkpoint into a what-if
+//! continuation under the new policy.
+//!
 //! Config files use the same schema the experiment harness archives under
 //! `results/configs/` — copy one of those and edit it.
 
@@ -33,7 +43,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: run_once [--config FILE | --preset small|medium] [--policy NAME] \
          [--seed N] [--slots N] [--out FILE] [--trace FILE] [--csv FILE] [--profile] \
-         [--audit] [--audit-out FILE] [--describe-workload]\n\
+         [--audit] [--audit-out FILE] [--describe-workload] \
+         [--checkpoint-every N] [--checkpoint-file FILE] [--halt-after N] [--resume FILE]\n\
          policies: all-on power-prop edf greedy-green greenmatch greenmatch30 greenmatch-carbon"
     );
     std::process::exit(2)
@@ -67,6 +78,10 @@ fn main() {
     let mut describe = false;
     let mut audit = false;
     let mut audit_out: Option<String> = None;
+    let mut checkpoint_every: Option<usize> = None;
+    let mut checkpoint_file = "checkpoint.json".to_string();
+    let mut halt_after: Option<usize> = None;
+    let mut resume: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -100,7 +115,29 @@ fn main() {
                 audit_out = Some(args.next().unwrap_or_else(|| usage()));
             }
             "--describe-workload" => describe = true,
+            "--checkpoint-every" => {
+                checkpoint_every = args.next().and_then(|s| s.parse().ok()).or_else(|| usage())
+            }
+            "--checkpoint-file" => checkpoint_file = args.next().unwrap_or_else(|| usage()),
+            "--halt-after" => {
+                halt_after = args.next().and_then(|s| s.parse().ok()).or_else(|| usage())
+            }
+            "--resume" => resume = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
+        }
+    }
+
+    // A resumed run defaults to the checkpoint's own config; explicit
+    // --config/--preset (plus the overrides below) branch it instead.
+    let snapshot = resume.as_ref().map(|path| {
+        greenmatch::Snapshot::load(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2)
+        })
+    });
+    if cfg.is_none() {
+        if let Some(snap) = &snapshot {
+            cfg = Some(snap.cfg.clone());
         }
     }
 
@@ -148,30 +185,75 @@ fn main() {
     }
 
     eprintln!("running {} slots with {} ...", cfg.slots, cfg.policy.label());
-    let mut sim = Simulation::builder(&cfg).build().unwrap_or_else(|e| panic!("{e}"));
+    // Observers must ride the builder (not `add_observer` after build) so
+    // a resumed run delivers `on_resume` to them — that is what lets the
+    // appended trace/CSV continue the original file without re-emitting
+    // headers or restarting slot numbering.
+    let mut builder = Simulation::builder(&cfg);
+    if let Some(snap) = &snapshot {
+        builder = builder.resume_from(snap);
+    }
+    let resuming = snapshot.is_some();
     if let Some(path) = &trace {
-        let obs = JsonlTraceObserver::create(path)
-            .unwrap_or_else(|e| panic!("cannot create trace file {path}: {e}"));
-        sim.add_observer(Box::new(obs));
+        let obs = if resuming {
+            JsonlTraceObserver::append(path)
+        } else {
+            JsonlTraceObserver::create(path)
+        }
+        .unwrap_or_else(|e| panic!("cannot open trace file {path}: {e}"));
+        builder = builder.observer(Box::new(obs));
     }
     if let Some(path) = &csv {
-        let obs = CsvSeriesObserver::create(path)
-            .unwrap_or_else(|e| panic!("cannot create csv file {path}: {e}"));
-        sim.add_observer(Box::new(obs));
+        let obs = if resuming {
+            CsvSeriesObserver::append(path)
+        } else {
+            CsvSeriesObserver::create(path)
+        }
+        .unwrap_or_else(|e| panic!("cannot open csv file {path}: {e}"));
+        builder = builder.observer(Box::new(obs));
     }
-    let profile_handle = profile.then(|| {
+    let mut profile_handle = None;
+    if profile {
         let (timer, handle) = PhaseTimer::new();
-        sim.add_observer(Box::new(timer));
-        handle
-    });
-    let (report, audit_report) = if audit {
+        builder = builder.observer(Box::new(timer));
+        profile_handle = Some(handle);
+    }
+    let mut audit_handle = None;
+    if audit {
         // Step under the per-slot auditor, deep-audit, then report — the
         // stepwise path yields the identical report to `run_to_end`.
-        let (sim, audit_report) = sim.run_audited();
-        (sim.into_report(), Some(audit_report))
-    } else {
-        (sim.run_to_end(), None)
-    };
+        let (auditor, handle) = greenmatch::ConservationAuditor::new();
+        builder = builder.observer(Box::new(auditor));
+        audit_handle = Some(handle);
+    }
+
+    let mut sim = builder.build().unwrap_or_else(|e| panic!("{e}"));
+    if let Some(snap) = &snapshot {
+        eprintln!("resumed at slot {} of {}", snap.cursor, cfg.slots);
+    }
+
+    let ck_path = std::path::PathBuf::from(&checkpoint_file);
+    while sim.step().is_some() {
+        let slot = sim.current_slot();
+        let due = checkpoint_every.is_some_and(|n| n > 0 && slot.is_multiple_of(n))
+            || halt_after == Some(slot);
+        if due {
+            sim.snapshot()
+                .save(&ck_path)
+                .unwrap_or_else(|e| panic!("cannot write checkpoint {}: {e}", ck_path.display()));
+        }
+        if halt_after == Some(slot) {
+            eprintln!("halted at slot {slot}; checkpoint written to {}", ck_path.display());
+            return;
+        }
+    }
+    let audit_report = audit_handle.map(|handle| {
+        let mut report =
+            std::mem::take(&mut *handle.lock().expect("auditor handle is never poisoned"));
+        report.merge(sim.post_run_audit());
+        report
+    });
+    let report = sim.into_report();
     println!("{report}");
     if let Some(path) = &trace {
         eprintln!("per-slot trace written to {path}");

@@ -9,6 +9,7 @@ pub mod base;
 pub mod figures;
 pub mod geo;
 pub mod tables;
+pub mod whatif;
 
 use crate::runner::ExpContext;
 
@@ -113,6 +114,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "ablate-discharge",
             about: "Battery discharge-timing ablation",
             run: ablations::discharge,
+        },
+        Experiment {
+            id: "whatif",
+            about: "Mid-week policy/battery what-ifs forked from one checkpoint",
+            run: whatif::whatif,
         },
     ]
 }

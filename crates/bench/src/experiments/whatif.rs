@@ -1,0 +1,63 @@
+//! Mid-run what-if analysis on the forked sweep engine.
+//!
+//! Questions of the form "we ran GreenMatch for half the week — what if
+//! we switched policy (or resized the battery) *now*?" cannot be asked
+//! with whole-run sweeps: every config change replays from slot 0 and the
+//! comparison conflates the prefix. The snapshot/branch engine asks them
+//! directly: simulate the shared prefix once, checkpoint at the fork
+//! slot, and resume every variant from identical mid-run state, so the
+//! branches differ *only* in what happens after the fork.
+
+use super::base::medium_cfg;
+use crate::runner::{run_branched, BranchSweep, ExpContext};
+use crate::table::{f3, Table};
+use greenmatch::policy::PolicyKind;
+
+/// Mid-week fork of the GreenMatch baseline into policy and battery
+/// what-ifs. All branches share the first half-week byte-for-byte, so
+/// the brown-energy column reads as "cost of the remaining half under
+/// each alternative, given the same inherited state".
+pub fn whatif(ctx: &ExpContext) -> String {
+    let base = medium_cfg(ctx, PolicyKind::GreenMatch { delay_fraction: 1.0 });
+    let fork_slot = base.slots / 2;
+
+    let mut variants: Vec<(String, _)> = vec![
+        ("keep-greenmatch".to_string(), base.clone()),
+        ("switch-all-on".to_string(), base.clone().with_policy(PolicyKind::AllOn)),
+        ("switch-power-prop".to_string(), base.clone().with_policy(PolicyKind::PowerProportional)),
+        ("switch-greedy-green".to_string(), base.clone().with_policy(PolicyKind::GreedyGreen)),
+        (
+            "switch-greenmatch30".to_string(),
+            base.clone().with_policy(PolicyKind::GreenMatch { delay_fraction: 0.3 }),
+        ),
+        ("drop-battery".to_string(), base.clone().with_battery(None)),
+    ];
+    if ctx.is_quick() {
+        variants.truncate(3);
+    }
+
+    for (tag, cfg) in &variants {
+        ctx.archive_config(&format!("whatif-{tag}"), cfg);
+    }
+    let results = run_branched(vec![BranchSweep { base: base.clone(), fork_slot, variants }]);
+
+    let mut t =
+        Table::new(vec!["branch", "brown_kwh", "green_direct_kwh", "curtailed_kwh", "miss_rate"]);
+    for (tag, r) in &results {
+        t.row(vec![
+            tag.clone(),
+            f3(r.brown_kwh),
+            f3(r.green_direct_kwh),
+            f3(r.curtailed_kwh),
+            f3(r.batch.miss_rate()),
+        ]);
+    }
+    ctx.write("whatif_fork.csv", &t.to_csv());
+
+    let keep = results[0].1.brown_kwh;
+    let worst = results.iter().map(|(_, r)| r.brown_kwh).fold(f64::NEG_INFINITY, f64::max);
+    format!(
+        "whatif: forked at slot {fork_slot}; staying on GreenMatch ends the week at \
+         {keep:.1} kWh brown vs {worst:.1} kWh for the worst branch"
+    )
+}

@@ -156,6 +156,93 @@ pub fn run_audited(cfg: &ExperimentConfig) -> (RunReport, AuditReport) {
     (sim.into_report(), audit)
 }
 
+/// In-memory `io::Write` sink that outlives the observer holding it.
+#[derive(Clone, Default)]
+struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> Vec<u8> {
+        self.0.lock().expect("buffer lock").clone()
+    }
+}
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("buffer lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Outcome of a split replay of one configuration: run it cold, then run
+/// it again interrupted at `fork_slot` (snapshot → JSON round-trip →
+/// restore) with the tail under the conservation auditor.
+pub struct SplitRun {
+    /// Full JSONL trace of the uninterrupted run.
+    pub cold_trace: Vec<u8>,
+    /// Prefix trace + resumed trace, stitched at the fork.
+    pub stitched_trace: Vec<u8>,
+    /// Report of the uninterrupted run.
+    pub cold_report: RunReport,
+    /// Report of the checkpoint/restore run.
+    pub resumed_report: RunReport,
+    /// Audit of the resumed half (per-slot + post-run deep audit).
+    pub resumed_audit: AuditReport,
+}
+
+/// Replay `cfg` split at `fork_slot`: simulate a prefix, checkpoint it
+/// through the serialized form, restore, and finish under the auditor.
+/// The snapshot contract says the interruption must be invisible —
+/// `stitched_trace == cold_trace` byte for byte and the reports equal —
+/// which the fuzz harness asserts across the whole configuration space.
+pub fn run_split(cfg: &ExperimentConfig, fork_slot: usize) -> SplitRun {
+    use greenmatch::observe::JsonlTraceObserver;
+    use greenmatch::Snapshot;
+
+    assert!(fork_slot <= cfg.slots, "fork slot beyond the horizon");
+
+    let cold_buf = SharedBuf::default();
+    let cold_report = Simulation::builder(cfg)
+        .observer(Box::new(JsonlTraceObserver::new(cold_buf.clone())))
+        .build()
+        .unwrap_or_else(|e| panic!("{e}"))
+        .run_to_end();
+
+    let prefix_buf = SharedBuf::default();
+    let mut sim = Simulation::builder(cfg)
+        .observer(Box::new(JsonlTraceObserver::new(prefix_buf.clone())))
+        .build()
+        .unwrap_or_else(|e| panic!("{e}"));
+    for _ in 0..fork_slot {
+        sim.step().expect("fork slot within the horizon");
+    }
+    let snap = Snapshot::from_json(&sim.snapshot().to_json())
+        .unwrap_or_else(|e| panic!("snapshot round-trip: {e}"));
+    drop(sim);
+
+    let tail_buf = SharedBuf::default();
+    let sim = Simulation::builder(cfg)
+        .resume_from(&snap)
+        .observer(Box::new(JsonlTraceObserver::new(tail_buf.clone())))
+        .build()
+        .unwrap_or_else(|e| panic!("{e}"));
+    let (sim, resumed_audit) = sim.run_audited();
+    let resumed_report = sim.into_report();
+
+    let mut stitched = prefix_buf.contents();
+    stitched.extend_from_slice(&tail_buf.contents());
+    SplitRun {
+        cold_trace: cold_buf.contents(),
+        stitched_trace: stitched,
+        cold_report,
+        resumed_report,
+        resumed_audit,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +273,16 @@ mod tests {
         assert!(multi > 10, "multi-site configs must be common ({multi}/64)");
         assert!(with_battery > 20, "battery configs must be common ({with_battery}/64)");
         assert!(with_failures > 5, "failure configs must appear ({with_failures}/64)");
+    }
+
+    #[test]
+    fn split_replay_is_invisible_on_a_sampled_case() {
+        let mut rng = TestRng::for_case("fuzzgen-split", 1);
+        let cfg = fuzz_config(&mut rng);
+        let fork = cfg.slots / 2;
+        let split = run_split(&cfg, fork);
+        assert!(split.resumed_audit.is_clean(), "[{}]: {:?}", describe(&cfg), split.resumed_audit);
+        assert_eq!(split.stitched_trace, split.cold_trace, "[{}]", describe(&cfg));
     }
 
     #[test]

@@ -119,6 +119,105 @@ where
     slots.iter_mut().map(|r| r.take().expect("all runs completed")).collect()
 }
 
+/// One scenario family of a forked sweep: a shared prefix simulated once
+/// under `base`, snapshotted at `fork_slot`, then branched into every
+/// variant. Variants may change anything that does not alter the world
+/// keys — policy, battery, discharge timing, WAN pricing — and resume
+/// mid-run from the shared checkpoint instead of re-simulating the
+/// prefix.
+#[derive(Debug, Clone)]
+pub struct BranchSweep {
+    /// Config the shared prefix runs under.
+    pub base: ExperimentConfig,
+    /// Slot at which the branches diverge (`0 ≤ fork_slot ≤ base.slots`).
+    pub fork_slot: usize,
+    /// `(tag, variant config)` pairs, each resumed from the fork.
+    pub variants: Vec<(String, ExperimentConfig)>,
+}
+
+/// Run forked sweeps: per family, simulate the shared prefix once,
+/// checkpoint at the fork slot, then resume every variant from that
+/// checkpoint — prefixes and branches each run in parallel across the
+/// pool. Returns `(tag, report)` pairs in input order (families
+/// flattened). A same-config variant is byte-identical to a cold
+/// uninterrupted run (`tests/snapshot.rs` pins this), so forking is a
+/// pure wall-clock optimisation: a family of `v` variants forked at slot
+/// `k` of `n` simulates `k + v·(n−k)` slots instead of `v·n`.
+pub fn run_branched(sweeps: Vec<BranchSweep>) -> Vec<(String, RunReport)> {
+    use greenmatch::Snapshot;
+
+    type SnapSlots = Vec<Option<Arc<Snapshot>>>;
+
+    let n_families = sweeps.len();
+    if n_families == 0 {
+        return Vec::new();
+    }
+    for (f, sweep) in sweeps.iter().enumerate() {
+        assert!(
+            sweep.fork_slot <= sweep.base.slots,
+            "family {f}: fork slot {} beyond the {}-slot horizon",
+            sweep.fork_slot,
+            sweep.base.slots
+        );
+    }
+
+    // Phase 1: every family's shared prefix, in parallel.
+    let snaps: Arc<Mutex<SnapSlots>> =
+        Arc::new(Mutex::new((0..n_families).map(|_| None).collect()));
+    let mut prefix_jobs: Vec<Job> = Vec::with_capacity(n_families);
+    for (f, sweep) in sweeps.iter().enumerate() {
+        let cfg = sweep.base.clone();
+        let fork_slot = sweep.fork_slot;
+        let snaps = Arc::clone(&snaps);
+        prefix_jobs.push(Box::new(move |scratch| {
+            let mut sim = Simulation::builder(&cfg)
+                .cache(WorldCache::global())
+                .scratch(scratch)
+                .build()
+                .unwrap_or_else(|e| panic!("{e}"));
+            for _ in 0..fork_slot {
+                sim.step().expect("fork slot within the horizon");
+            }
+            snaps.lock().expect("snapshot lock")[f] = Some(Arc::new(sim.snapshot()));
+        }));
+    }
+    JobPool::global().run_batch(prefix_jobs);
+    let snaps: Vec<Arc<Snapshot>> = snaps
+        .lock()
+        .expect("snapshot lock")
+        .iter_mut()
+        .map(|s| s.take().expect("all prefixes completed"))
+        .collect();
+
+    // Phase 2: every branch of every family, in parallel.
+    type ResultSlots = Vec<Option<(String, RunReport)>>;
+    let n: usize = sweeps.iter().map(|s| s.variants.len()).sum();
+    let results: Arc<Mutex<ResultSlots>> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    let mut jobs: Vec<Job> = Vec::with_capacity(n);
+    let mut i = 0usize;
+    for (f, sweep) in sweeps.into_iter().enumerate() {
+        for (tag, cfg) in sweep.variants {
+            let snap = Arc::clone(&snaps[f]);
+            let results = Arc::clone(&results);
+            jobs.push(Box::new(move |scratch| {
+                let report = Simulation::builder(&cfg)
+                    .cache(WorldCache::global())
+                    .scratch(scratch)
+                    .resume_from(&snap)
+                    .build()
+                    .unwrap_or_else(|e| panic!("{tag}: {e}"))
+                    .run_to_end();
+                results.lock().expect("results lock")[i] = Some((tag, report));
+            }));
+            i += 1;
+        }
+    }
+    JobPool::global().run_batch(jobs);
+
+    let mut slots = results.lock().expect("results lock");
+    slots.iter_mut().map(|r| r.take().expect("all branches completed")).collect()
+}
+
 /// Convenience: run the configs and also archive each config JSON.
 pub fn run_and_archive(
     ctx: &ExpContext,
@@ -184,6 +283,66 @@ mod tests {
         assert_eq!(SLOTS_SEEN.load(Ordering::Relaxed), 24, "12 slots × 2 runs");
         assert_eq!(plain[0].1.brown_kwh, observed[0].1.brown_kwh);
         assert_eq!(plain[1].1.gears_series, observed[1].1.gears_series);
+    }
+
+    #[test]
+    fn branched_same_config_variant_matches_a_cold_run() {
+        // A branch whose variant config equals the base must report
+        // exactly what an uninterrupted cold run reports: forking is a
+        // wall-clock optimisation, never a result change.
+        let base = ExperimentConfig::small_demo(7).with_slots(24);
+        let cold = run_tagged(vec![("cold".to_string(), base.clone())]);
+        let forked = run_branched(vec![BranchSweep {
+            base: base.clone(),
+            fork_slot: 9,
+            variants: vec![("same".to_string(), base)],
+        }]);
+        assert_eq!(forked.len(), 1);
+        assert_eq!(forked[0].0, "same");
+        assert_eq!(
+            serde_json::to_string(&forked[0].1).unwrap(),
+            serde_json::to_string(&cold[0].1).unwrap(),
+            "forked run diverged from the cold run"
+        );
+    }
+
+    #[test]
+    fn branched_sweep_preserves_order_across_families() {
+        use greenmatch::policy::PolicyKind;
+
+        let mk = |seed| ExperimentConfig::small_demo(seed).with_slots(12);
+        let out = run_branched(vec![
+            BranchSweep {
+                base: mk(1),
+                fork_slot: 4,
+                variants: vec![
+                    ("a".to_string(), mk(1)),
+                    ("b".to_string(), mk(1).with_policy(PolicyKind::AllOn)),
+                ],
+            },
+            BranchSweep { base: mk(2), fork_slot: 0, variants: vec![("c".to_string(), mk(2))] },
+        ]);
+        let tags: Vec<&str> = out.iter().map(|(t, _)| t.as_str()).collect();
+        assert_eq!(tags, vec!["a", "b", "c"]);
+        assert_eq!(out[2].1.seed, 2);
+        // A zero-slot fork is a plain cold run.
+        let cold = run_tagged(vec![("c".to_string(), mk(2))]);
+        assert_eq!(
+            serde_json::to_string(&out[2].1).unwrap(),
+            serde_json::to_string(&cold[0].1).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_branched_sweep_is_fine() {
+        assert!(run_branched(vec![]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the 12-slot horizon")]
+    fn branched_sweep_rejects_fork_past_the_horizon() {
+        let _ =
+            run_branched(vec![BranchSweep { base: tiny_cfg(1), fork_slot: 13, variants: vec![] }]);
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub mod policy;
 pub mod report;
 pub mod scheduler;
 pub mod simulation;
+pub mod snapshot;
 pub mod world;
 
 pub use audit::{AuditReport, AuditViolation, ConservationAuditor};
@@ -85,4 +86,5 @@ pub use phases::{SlotContext, SlotScratch};
 pub use policy::{Decision, PolicyKind, SchedContext, Scheduler, SiteView};
 pub use report::{RunReport, SiteReport};
 pub use simulation::{EnergyFlows, Simulation, SiteSlotEnergy, SlotEvents, SlotOutcome};
+pub use snapshot::{SiteSnapshot, Snapshot, SNAPSHOT_VERSION};
 pub use world::{SiteWorld, World, WorldCache};

@@ -68,6 +68,18 @@ pub trait SlotObserver {
     /// Called once when the simulation finishes (or is dropped into a
     /// report); flush buffers here.
     fn on_finish(&mut self) {}
+
+    /// Called once, before any [`SlotObserver::on_slot`], when the
+    /// simulation resumes from a snapshot: `slot` is the first slot this
+    /// run will simulate (always > 0). Never called for slot-0 starts.
+    ///
+    /// Observers that emit a per-run preamble (e.g. a CSV header) should
+    /// suppress it here — the run that wrote slots `0..slot` already
+    /// emitted one, so a resumed run's output appends cleanly onto the
+    /// original file.
+    fn on_resume(&mut self, slot: usize) {
+        let _ = slot;
+    }
 }
 
 /// The do-nothing observer.
@@ -157,6 +169,16 @@ impl JsonlTraceObserver<File> {
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
         Ok(JsonlTraceObserver::new(File::create(path)?))
     }
+
+    /// Trace onto the end of an existing file (created if absent) — the
+    /// resume path: records from a resumed run continue the original
+    /// file's line sequence. JSONL has no preamble, so appending is
+    /// trivially well-formed.
+    pub fn append(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlTraceObserver::new(
+            std::fs::OpenOptions::new().create(true).append(true).open(path)?,
+        ))
+    }
 }
 
 impl<W: Write> JsonlTraceObserver<W> {
@@ -179,8 +201,14 @@ impl<W: Write> SlotObserver for JsonlTraceObserver<W> {
 }
 
 /// Writes the key per-slot series as CSV (header + one row per slot).
+///
+/// The header is written lazily, just before the first row — not in the
+/// constructor — so a resumed run (which receives
+/// [`SlotObserver::on_resume`] first) can suppress it and append its rows
+/// onto the file the original run started.
 pub struct CsvSeriesObserver<W: Write> {
     out: BufWriter<W>,
+    wrote_header: bool,
 }
 
 impl CsvSeriesObserver<File> {
@@ -188,25 +216,41 @@ impl CsvSeriesObserver<File> {
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
         Ok(CsvSeriesObserver::new(File::create(path)?))
     }
+
+    /// Write CSV onto the end of an existing file (created if absent) —
+    /// the resume path; pairs with the header suppression in
+    /// [`SlotObserver::on_resume`].
+    pub fn append(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(CsvSeriesObserver::new(
+            std::fs::OpenOptions::new().create(true).append(true).open(path)?,
+        ))
+    }
 }
 
 impl<W: Write> CsvSeriesObserver<W> {
     /// Write CSV into the given writer.
     pub fn new(writer: W) -> Self {
-        let mut out = BufWriter::new(writer);
-        writeln!(
-            out,
-            "slot,gears,executed_batch_bytes,green_produced_wh,green_direct_wh,\
-             battery_in_wh,battery_out_wh,grid_wh,curtailed_wh,load_wh,\
-             battery_soc_wh,latency_p99_s"
-        )
-        .expect("write csv header");
-        CsvSeriesObserver { out }
+        CsvSeriesObserver { out: BufWriter::new(writer), wrote_header: false }
     }
 }
 
 impl<W: Write> SlotObserver for CsvSeriesObserver<W> {
+    fn on_resume(&mut self, _slot: usize) {
+        // The run that simulated slots 0.. already wrote the header.
+        self.wrote_header = true;
+    }
+
     fn on_slot(&mut self, o: &SlotOutcome) {
+        if !self.wrote_header {
+            writeln!(
+                self.out,
+                "slot,gears,executed_batch_bytes,green_produced_wh,green_direct_wh,\
+                 battery_in_wh,battery_out_wh,grid_wh,curtailed_wh,load_wh,\
+                 battery_soc_wh,latency_p99_s"
+            )
+            .expect("write csv header");
+            self.wrote_header = true;
+        }
         writeln!(
             self.out,
             "{},{},{},{},{},{},{},{},{},{},{},{}",

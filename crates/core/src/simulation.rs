@@ -33,7 +33,8 @@ use crate::phases::{self, SlotContext, SlotScratch};
 use crate::policy::{Decision, PlanningModel};
 use crate::report::{BatchReport, LatencyReport, RunReport, SiteReport};
 use crate::scheduler::DEFAULT_HORIZON;
-use crate::world::{World, WorldCache};
+use crate::snapshot::{SiteSnapshot, Snapshot, SNAPSHOT_VERSION};
+use crate::world::{self, World, WorldCache};
 use gm_energy::battery::{Battery, BatterySpec};
 use gm_energy::forecast::Forecaster;
 use gm_energy::ledger::EnergyLedger;
@@ -232,6 +233,7 @@ pub struct SimulationBuilder<'c, 's> {
     cache: Option<&'c WorldCache>,
     scratch: Option<&'s mut SlotScratch>,
     observers: Vec<Box<dyn SlotObserver + Send>>,
+    resume: Option<&'c Snapshot>,
 }
 
 impl<'c, 's> SimulationBuilder<'c, 's> {
@@ -262,6 +264,7 @@ impl<'c, 's> SimulationBuilder<'c, 's> {
             cache: self.cache,
             scratch: Some(scratch),
             observers: self.observers,
+            resume: self.resume,
         }
     }
 
@@ -271,8 +274,24 @@ impl<'c, 's> SimulationBuilder<'c, 's> {
         self
     }
 
+    /// Resume from a mid-run [`Snapshot`] instead of starting at slot 0.
+    ///
+    /// The builder's config governs the new run: passing the snapshot's
+    /// own config resumes it exactly (byte-identical to never having
+    /// stopped); passing a variant (different policy, battery, discharge
+    /// strategy, WAN price…) *branches* the checkpoint into a what-if
+    /// continuation. Either way the config must produce the same world as
+    /// the checkpointed run — same seed, workload, clock, slots, sources
+    /// and cluster shape — which `build` validates via the snapshot's
+    /// world keys. The world is re-materialised (or cache-hit) from the
+    /// config; snapshots never embed it.
+    pub fn resume_from(mut self, snapshot: &'c Snapshot) -> Self {
+        self.resume = Some(snapshot);
+        self
+    }
+
     /// Build the simulation, reporting configuration problems (missing
-    /// trace files, zero-slot horizons) as errors.
+    /// trace files, zero-slot horizons, incompatible snapshots) as errors.
     pub fn build(self) -> Result<Simulation<'s>, ConfigError> {
         if self.cfg.slots == 0 {
             return Err(ConfigError::Invalid {
@@ -291,8 +310,17 @@ impl<'c, 's> SimulationBuilder<'c, 's> {
             None => Scratch::Owned(Box::new(SlotScratch::new())),
         };
         let mut sim = Simulation::assemble(self.cfg, world, scratch);
+        if let Some(snap) = self.resume {
+            sim.restore_overlay(snap)?;
+        }
+        let resumed_at = sim.cursor;
         for obs in self.observers {
             sim.add_observer(obs);
+        }
+        if resumed_at > 0 {
+            for obs in &mut sim.observers {
+                obs.on_resume(resumed_at);
+            }
         }
         Ok(sim)
     }
@@ -360,7 +388,14 @@ impl<'s> Simulation<'s> {
     /// [`SimulationBuilder`] for the knobs (shared world cache,
     /// caller-owned scratch, observers).
     pub fn builder(cfg: &ExperimentConfig) -> SimulationBuilder<'_, 's> {
-        SimulationBuilder { cfg, world: None, cache: None, scratch: None, observers: Vec::new() }
+        SimulationBuilder {
+            cfg,
+            world: None,
+            cache: None,
+            scratch: None,
+            observers: Vec::new(),
+            resume: None,
+        }
     }
 
     /// Build the per-run mutable state over an already-materialised world.
@@ -479,6 +514,135 @@ impl<'s> Simulation<'s> {
     /// Number of sites in this simulation (1 for single-site configs).
     pub fn n_sites(&self) -> usize {
         self.sites.len()
+    }
+
+    /// Capture the full mid-run state as a serializable [`Snapshot`].
+    ///
+    /// Call at a slot boundary (between [`Self::step`] calls). The
+    /// snapshot holds everything accumulated since slot 0; the world and
+    /// the policy/matcher are *not* captured — the world is referenced by
+    /// its cache keys and re-materialised on resume, and the policy is
+    /// rebuilt cold from config (byte-exact: the matcher's warm-start
+    /// network provably reproduces cold solves). Restore with
+    /// [`SimulationBuilder::resume_from`].
+    pub fn snapshot(&self) -> Snapshot {
+        let mut repair_jobs: Vec<(u64, usize)> =
+            self.repair_jobs.iter().map(|(id, &disk)| (id.0, disk)).collect();
+        repair_jobs.sort_unstable();
+        Snapshot {
+            version: SNAPSHOT_VERSION,
+            cfg: self.cfg.clone(),
+            world_keys: world::world_keys(&self.cfg),
+            cursor: self.cursor,
+            sites: self
+                .sites
+                .iter()
+                .map(|site| SiteSnapshot {
+                    cluster: site.cluster.snapshot(),
+                    battery: site.battery.export_state(),
+                    ledger: site.ledger.clone(),
+                    forecaster: site.forecaster.export_state(),
+                    gears_series: site.gears_series.clone(),
+                    rr_cursor: site.rr_cursor,
+                    prev_spinups: site.prev_spinups.clone(),
+                    executed_batch_bytes: site.executed_batch_bytes,
+                })
+                .collect(),
+            jobs: self.jobs.clone(),
+            active_jobs: self.active_jobs.clone(),
+            arrivals_cursor: self.arrivals_cursor,
+            batch_report: self.batch_report.clone(),
+            hist: self.hist.clone(),
+            repair_jobs,
+            next_repair_id: self.next_repair_id,
+            repairs_completed: self.repairs_completed,
+        }
+    }
+
+    /// Overlay a snapshot's history onto this freshly assembled
+    /// simulation (the restore half of [`SimulationBuilder::resume_from`]).
+    ///
+    /// Config-derived state (policy, specs, planning constants, grid) was
+    /// already built from the *resume* config by `assemble`; this replaces
+    /// only the history-derived state. Rejects snapshots whose world keys,
+    /// site count or cluster shapes do not match this simulation.
+    fn restore_overlay(&mut self, snap: &Snapshot) -> Result<(), ConfigError> {
+        let invalid = |message: String| ConfigError::Invalid { message };
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(invalid(format!(
+                "snapshot version {} not supported (this build reads version {})",
+                snap.version, SNAPSHOT_VERSION
+            )));
+        }
+        let our_keys = world::world_keys(&self.cfg);
+        if our_keys != snap.world_keys {
+            return Err(invalid(
+                "snapshot was taken over a different world (seed, workload, clock, slots, \
+                 source or cluster section differs); only policy/battery/discharge/WAN \
+                 variations can branch a checkpoint"
+                    .to_string(),
+            ));
+        }
+        if snap.cursor > self.slots {
+            return Err(invalid(format!(
+                "snapshot cursor {} beyond the {}-slot horizon",
+                snap.cursor, self.slots
+            )));
+        }
+        if snap.sites.len() != self.sites.len() {
+            return Err(invalid(format!(
+                "snapshot has {} sites, config has {}",
+                snap.sites.len(),
+                self.sites.len()
+            )));
+        }
+        for (i, (site, ss)) in self.sites.iter_mut().zip(&snap.sites).enumerate() {
+            site.cluster
+                .restore_state(&ss.cluster)
+                .map_err(|e| invalid(format!("site {i}: {e}")))?;
+            if ss.gears_series.len() != snap.cursor {
+                return Err(invalid(format!(
+                    "site {i}: gear history has {} entries for cursor {}",
+                    ss.gears_series.len(),
+                    snap.cursor
+                )));
+            }
+            if ss.prev_spinups.len() != site.prev_spinups.len() {
+                return Err(invalid(format!(
+                    "site {i}: spin-up table has {} disks, cluster has {}",
+                    ss.prev_spinups.len(),
+                    site.prev_spinups.len()
+                )));
+            }
+            site.battery = Battery::restore(site.battery_spec, ss.battery);
+            site.ledger = ss.ledger.clone();
+            site.forecaster.import_state(&ss.forecaster);
+            site.gears_series = ss.gears_series.clone();
+            site.rr_cursor = ss.rr_cursor;
+            site.prev_spinups = ss.prev_spinups.clone();
+            site.executed_batch_bytes = ss.executed_batch_bytes;
+        }
+        if snap.arrivals_cursor > self.workload.batch_jobs().len() {
+            return Err(invalid(format!(
+                "snapshot admitted {} batch jobs, workload only has {}",
+                snap.arrivals_cursor,
+                self.workload.batch_jobs().len()
+            )));
+        }
+        if snap.active_jobs.iter().any(|&idx| idx >= snap.jobs.len()) {
+            return Err(invalid("snapshot pending-job index out of range".to_string()));
+        }
+        self.jobs = snap.jobs.clone();
+        self.active_jobs = snap.active_jobs.clone();
+        self.job_index = snap.active_jobs.iter().map(|&idx| (snap.jobs[idx].id, idx)).collect();
+        self.arrivals_cursor = snap.arrivals_cursor;
+        self.batch_report = snap.batch_report.clone();
+        self.hist = snap.hist.clone();
+        self.repair_jobs = snap.repair_jobs.iter().map(|&(id, disk)| (JobId(id), disk)).collect();
+        self.next_repair_id = snap.next_repair_id;
+        self.repairs_completed = snap.repairs_completed;
+        self.cursor = snap.cursor;
+        Ok(())
     }
 
     /// Simulate one slot through the phase pipeline

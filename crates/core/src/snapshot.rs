@@ -1,0 +1,145 @@
+//! Serializable mid-run simulation state.
+//!
+//! A [`Snapshot`] captures everything a [`crate::simulation::Simulation`]
+//! has *accumulated* since slot 0 — and nothing that is a pure function of
+//! its config. The split (see DESIGN.md §1.6):
+//!
+//! * **Serialized**: per-site cluster state (disks, queues, write log,
+//!   cache arena, failure tables), battery state, energy ledger, learned
+//!   forecaster state (EWMA table / noise-RNG words), gear history, the
+//!   job pool and its pending order, arrival cursor, batch accounting,
+//!   the latency histogram, repair tables, and the slot cursor.
+//! * **Rebuilt on restore**: the world (workload, traces, layouts — the
+//!   snapshot stores their cache *keys*, never the components), the
+//!   policy and its matcher network (rebuilt cold; the PR 6 warm==cold
+//!   equivalence makes this byte-exact), the failure dice (pure function
+//!   of the seed), planning constants, and acceleration memos (busy-time
+//!   memo, disk→object reverse index, histogram bucket memo).
+//!
+//! Restoring goes through the normal assembly path — build a fresh
+//! simulation from the *resume* config, then overlay this state — so a
+//! same-config resume is byte-identical to an uninterrupted run, and a
+//! variant config (different policy / battery / WAN price) branches the
+//! checkpoint into a "what-if" continuation.
+
+use crate::config::ExperimentConfig;
+use crate::report::BatchReport;
+use gm_energy::battery::BatteryState;
+use gm_energy::forecast::ForecasterState;
+use gm_energy::ledger::EnergyLedger;
+use gm_sim::LogHistogram;
+use gm_storage::ClusterSnapshot;
+use gm_workload::BatchJob;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Format version; bumped whenever the snapshot shape changes
+/// incompatibly. Restore refuses snapshots from any other version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// One site's share of a [`Snapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteSnapshot {
+    /// Full mutable cluster state (disks, queues, write log, cache,
+    /// failure tables, lifetime counters).
+    pub cluster: ClusterSnapshot,
+    /// Battery charge and cumulative loss counters (spec excluded — it is
+    /// config-derived and may contain non-finite sentinel values).
+    pub battery: BatteryState,
+    /// Per-slot energy accounting from slot 0 to the cursor.
+    pub ledger: EnergyLedger,
+    /// What the forecaster has learned (EWMA table, noise-RNG position).
+    pub forecaster: ForecasterState,
+    /// Gears powered per simulated slot.
+    pub gears_series: Vec<usize>,
+    /// Round-robin cursor of the batch-spread executor.
+    pub rr_cursor: usize,
+    /// Per-disk spin-up counts at the last failure check.
+    pub prev_spinups: Vec<u64>,
+    /// Total batch bytes executed at this site so far.
+    pub executed_batch_bytes: u64,
+}
+
+/// The full mid-run state of a simulation, serializable as JSON.
+///
+/// Produced by [`crate::simulation::Simulation::snapshot`]; consumed by
+/// [`crate::simulation::SimulationBuilder::resume_from`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Format version ([`SNAPSHOT_VERSION`] at write time).
+    pub version: u32,
+    /// The config the checkpointed run was executing. A resume may supply
+    /// a *variant* config (branching); the world keys below pin the parts
+    /// that must not change.
+    pub cfg: ExperimentConfig,
+    /// Cache keys of the world components the run was built over (see
+    /// [`crate::world::world_keys`]). The world itself is never embedded;
+    /// restore re-materialises (or cache-hits) it from the resume config
+    /// and refuses configs whose keys diverge — those would replay a
+    /// different workload/trace/layout under state that never saw it.
+    pub world_keys: Vec<String>,
+    /// Index of the next slot to simulate.
+    pub cursor: usize,
+    /// Per-site state; index 0 is the home site.
+    pub sites: Vec<SiteSnapshot>,
+    /// Every batch job admitted so far (including repair jobs), with
+    /// progress.
+    pub jobs: Vec<BatchJob>,
+    /// Indices into `jobs` of still-pending jobs, in submission order.
+    pub active_jobs: Vec<usize>,
+    /// Admission cursor into the workload's batch population.
+    pub arrivals_cursor: usize,
+    /// Batch completion accounting so far.
+    pub batch_report: BatchReport,
+    /// Interactive latency distribution so far.
+    pub hist: LogHistogram,
+    /// Repair-job table as sorted `(job id, disk)` pairs.
+    pub repair_jobs: Vec<(u64, usize)>,
+    /// Next repair-job id to allocate.
+    pub next_repair_id: u64,
+    /// Disk repairs completed so far.
+    pub repairs_completed: u64,
+}
+
+impl Snapshot {
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialises")
+    }
+
+    /// Deserialize from a JSON string.
+    pub fn from_json(json: &str) -> Result<Snapshot, String> {
+        let snap: Snapshot =
+            serde_json::from_str(json).map_err(|e| format!("malformed snapshot: {e}"))?;
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(format!(
+                "snapshot version {} not supported (this build reads version {})",
+                snap.version, SNAPSHOT_VERSION
+            ));
+        }
+        Ok(snap)
+    }
+
+    /// Write the snapshot to `path` atomically (write a sibling temp file,
+    /// then rename), so a crash mid-write never leaves a truncated
+    /// checkpoint where a good one stood.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.to_json().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Read a snapshot previously written by [`Snapshot::save`].
+    pub fn load(path: &Path) -> Result<Snapshot, String> {
+        let mut json = String::new();
+        std::fs::File::open(path)
+            .and_then(|mut f| f.read_to_string(&mut json))
+            .map_err(|e| format!("cannot read snapshot {}: {e}", path.display()))?;
+        Snapshot::from_json(&json)
+    }
+}

@@ -171,6 +171,21 @@ pub struct WorldCache {
     stats: CacheStats,
 }
 
+/// Every world-component key of `cfg`, in a fixed order: the workload key
+/// first, then each site's trace key and layout key. Snapshots store these
+/// strings instead of the materialised components — a checkpoint
+/// *references* its world; resuming re-materialises (or cache-hits) the
+/// same components from the resume config and can compare key sets to tell
+/// an exact resume from a cross-world branch.
+pub fn world_keys(cfg: &ExperimentConfig) -> Vec<String> {
+    let mut keys = vec![format!("workload/{}", workload_key(cfg))];
+    for (i, site) in cfg.site_configs().iter().enumerate() {
+        keys.push(format!("trace/{}", trace_key(cfg, site, cfg.site_seed(i))));
+        keys.push(format!("layout/{}", layout_key(site)));
+    }
+    keys
+}
+
 /// Key of the workload component: the master seed plus the workload
 /// section — `Workload::generate(spec, seed)` reads nothing else.
 fn workload_key(cfg: &ExperimentConfig) -> String {

@@ -160,6 +160,27 @@ pub struct ChargeOutcome {
     pub efficiency_loss_wh: f64,
 }
 
+/// The mutable state of a [`Battery`], detached from its spec, for
+/// checkpointing.
+///
+/// Snapshots never serialize the spec: the ideal preset carries
+/// `f64::INFINITY` rate limits, which JSON cannot round-trip, and the spec
+/// is config-derived anyway. Restoring overlays this state onto a battery
+/// rebuilt from the resume config via [`Battery::restore`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BatteryState {
+    /// Usable energy stored (Wh).
+    pub stored_wh: f64,
+    /// Cumulative conversion loss (Wh).
+    pub efficiency_loss_wh: f64,
+    /// Cumulative self-discharge loss (Wh).
+    pub self_discharge_wh: f64,
+    /// Cumulative energy delivered to the load (Wh).
+    pub discharged_wh: f64,
+    /// Cumulative energy drawn from sources (Wh).
+    pub drawn_wh: f64,
+}
+
 /// A stateful ESD.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Battery {
@@ -194,6 +215,34 @@ impl Battery {
     /// The spec this battery was built from.
     pub fn spec(&self) -> &BatterySpec {
         &self.spec
+    }
+
+    /// Export the mutable state for checkpointing (spec excluded).
+    pub fn export_state(&self) -> BatteryState {
+        BatteryState {
+            stored_wh: self.stored_wh,
+            efficiency_loss_wh: self.total_efficiency_loss_wh,
+            self_discharge_wh: self.total_self_discharge_wh,
+            discharged_wh: self.total_discharged_wh,
+            drawn_wh: self.total_drawn_wh,
+        }
+    }
+
+    /// A battery with the given spec and a previously exported state.
+    ///
+    /// Same-spec restores are exact. A cross-spec branch (resuming under a
+    /// different battery config) clamps the stored charge into the new
+    /// usable window; the overflow is booked as self-discharge so the
+    /// conservation identity still holds.
+    pub fn restore(spec: BatterySpec, state: BatteryState) -> Self {
+        let mut b = Battery::new(spec);
+        let stored = state.stored_wh.min(b.spec.usable_wh());
+        b.stored_wh = stored;
+        b.total_efficiency_loss_wh = state.efficiency_loss_wh;
+        b.total_self_discharge_wh = state.self_discharge_wh + (state.stored_wh - stored);
+        b.total_discharged_wh = state.discharged_wh;
+        b.total_drawn_wh = state.drawn_wh;
+        b
     }
 
     /// Usable energy currently stored (Wh), in `[0, η·C]`.
@@ -515,6 +564,27 @@ mod tests {
             "residual {} after deep-cycle walk",
             b.conservation_residual_wh()
         );
+    }
+
+    #[test]
+    fn state_roundtrip_is_exact() {
+        let mut b = Battery::new(BatterySpec::lithium_ion(10_000.0));
+        b.charge(3_000.0, HOUR);
+        b.discharge(700.0, HOUR);
+        b.apply_self_discharge(SimDuration::from_days(2));
+        let restored = Battery::restore(*b.spec(), b.export_state());
+        assert_eq!(b, restored);
+        assert!(restored.conservation_residual_wh().abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_spec_restore_clamps_and_conserves() {
+        let mut b = Battery::new(BatterySpec::ideal(10_000.0));
+        b.charge(9_000.0, HOUR);
+        // Branch into a battery with a smaller usable window.
+        let small = Battery::restore(BatterySpec::lithium_ion(1_000.0), b.export_state());
+        assert!((small.stored_wh() - small.spec().usable_wh()).abs() < 1e-9);
+        assert!(small.conservation_residual_wh().abs() < 1e-9);
     }
 
     #[test]

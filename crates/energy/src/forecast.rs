@@ -17,6 +17,25 @@ use gm_sim::dist::lognormal_mean_cv;
 use gm_sim::time::SlotIdx;
 use gm_sim::{RngFactory, TimeSeries};
 use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+/// The portable mutable state of a [`Forecaster`], for checkpointing.
+///
+/// Forecasters are trait objects built from config (they embed the trace),
+/// so a snapshot cannot serialize them whole. Instead each implementation
+/// exports only what it has *learned* since construction; restoring means
+/// rebuilding the forecaster from the resume config and importing this
+/// state on top. Stateless forecasters (oracle, persistence) export
+/// [`ForecasterState::Stateless`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ForecasterState {
+    /// Nothing to carry: the forecaster reads only the immutable trace.
+    Stateless,
+    /// EWMA per slot-of-day position (`None` = no observation yet).
+    Ewma(Vec<Option<f64>>),
+    /// Raw RNG words of the noise stream, mid-sequence.
+    Rng([u64; 4]),
+}
 
 /// Predicts average green power (W) for future slots.
 ///
@@ -40,6 +59,19 @@ pub trait Forecaster {
     /// Feed the realised production of a completed slot. Stateless
     /// forecasters ignore it; learning ones (EWMA) update.
     fn observe_actual(&mut self, _slot: SlotIdx, _power_w: f64) {}
+
+    /// Export the mutable state accumulated since construction, for
+    /// checkpointing. Default: [`ForecasterState::Stateless`].
+    fn export_state(&self) -> ForecasterState {
+        ForecasterState::Stateless
+    }
+
+    /// Overlay state captured by [`Forecaster::export_state`] onto a
+    /// freshly-built forecaster. Implementations must accept
+    /// [`ForecasterState::Stateless`] as a no-op (cross-variant branches
+    /// may resume a learning forecaster from a stateless checkpoint) and
+    /// ignore shapes they did not produce.
+    fn import_state(&mut self, _state: &ForecasterState) {}
 
     /// Label for reports.
     fn label(&self) -> String;
@@ -148,6 +180,21 @@ impl Forecaster for EwmaForecaster {
         self.observe(slot, power_w);
     }
 
+    fn export_state(&self) -> ForecasterState {
+        ForecasterState::Ewma(self.state.clone())
+    }
+
+    fn import_state(&mut self, state: &ForecasterState) {
+        if let ForecasterState::Ewma(s) = state {
+            assert_eq!(
+                s.len(),
+                self.slots_per_day,
+                "EWMA state length must match the clock's slots-per-day"
+            );
+            self.state = s.clone();
+        }
+    }
+
     fn label(&self) -> String {
         format!("ewma({})", self.alpha)
     }
@@ -184,6 +231,16 @@ impl Forecaster for NoisyOracle {
                 v * lognormal_mean_cv(&mut self.rng, 1.0, self.cv)
             }
         }));
+    }
+
+    fn export_state(&self) -> ForecasterState {
+        ForecasterState::Rng(self.rng.state())
+    }
+
+    fn import_state(&mut self, state: &ForecasterState) {
+        if let ForecasterState::Rng(words) = state {
+            self.rng = SmallRng::from_state(*words);
+        }
     }
 
     fn label(&self) -> String {
@@ -271,6 +328,33 @@ mod tests {
         // Night (zero) slots stay exactly zero.
         let mut dark = NoisyOracle::new(trace(&[0.0; 5]), 0.3, &RngFactory::new(4));
         assert_eq!(dark.predict(0, 5), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn ewma_state_roundtrip() {
+        let mut f = EwmaForecaster::new(0.5, 24);
+        for h in 0..24 {
+            f.observe(h, h as f64 * 10.0);
+        }
+        let state = f.export_state();
+        let mut g = EwmaForecaster::new(0.5, 24);
+        g.import_state(&state);
+        assert_eq!(f.predict(24, 24), g.predict(24, 24));
+        // Stateless import is a no-op, not a reset.
+        g.import_state(&ForecasterState::Stateless);
+        assert_eq!(f.predict(24, 24), g.predict(24, 24));
+    }
+
+    #[test]
+    fn noisy_oracle_state_resumes_the_stream() {
+        let t = trace(&vec![100.0; 64]);
+        let rngs = RngFactory::new(9);
+        let mut a = NoisyOracle::new(t.clone(), 0.3, &rngs);
+        let _ = a.predict(0, 16);
+        let state = a.export_state();
+        let mut b = NoisyOracle::new(t, 0.3, &RngFactory::new(9));
+        b.import_state(&state);
+        assert_eq!(a.predict(16, 16), b.predict(16, 16));
     }
 
     #[test]

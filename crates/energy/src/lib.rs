@@ -34,9 +34,10 @@ pub mod supply;
 pub mod traces;
 pub mod wind;
 
-pub use battery::{Battery, BatteryChemistry, BatterySpec};
+pub use battery::{Battery, BatteryChemistry, BatterySpec, BatteryState};
 pub use forecast::{
-    EwmaForecaster, Forecaster, NoisyOracle, OracleForecaster, PersistenceForecaster,
+    EwmaForecaster, Forecaster, ForecasterState, NoisyOracle, OracleForecaster,
+    PersistenceForecaster,
 };
 pub use grid::Grid;
 pub use ledger::{EnergyLedger, SlotFlows};

@@ -150,6 +150,26 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state words, for checkpointing. Feeding
+        /// them back through [`SmallRng::from_state`] reproduces the
+        /// stream exactly from the captured position.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild an RNG from state words captured by [`SmallRng::state`].
+        /// An all-zero state is a fixed point of xoshiro256++ and is
+        /// remapped the same way seeding does.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            let mut s = s;
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u32(&mut self) -> u32 {
             // rand_xoshiro truncates (the ++ scrambler mixes low bits well).
@@ -303,6 +323,18 @@ mod tests {
             assert!((3..17).contains(&v));
             let f = rng.gen_range(-2.0f64..3.0);
             assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_stream() {
+        let mut a = SmallRng::seed_from_u64(11);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = SmallRng::from_state(a.state());
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
 

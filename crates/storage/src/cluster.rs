@@ -170,6 +170,50 @@ impl ClusterLayout {
     }
 }
 
+/// The full mutable state of a [`Cluster`], for checkpointing.
+///
+/// The immutable half (the [`ClusterLayout`]: spec + placed directory) is
+/// deliberately absent — it is a pure function of config and is rebuilt or
+/// cache-shared on restore. The lazily-built disk→objects reverse index is
+/// also excluded (rebuilt on first use; its contents are layout-derived).
+/// All fields mirror [`Cluster`]'s mutable fields exactly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSnapshot {
+    /// Per-server power state.
+    pub servers: Vec<Server>,
+    /// Per-disk power/transition state and lifetime counters.
+    pub disks: Vec<Disk>,
+    /// Per-disk FCFS timelines.
+    pub queues: Vec<DiskQueue>,
+    /// Off-loaded write log.
+    pub writelog: WriteLog,
+    /// Gears `0..active` powered.
+    pub active_gears: usize,
+    /// Per-disk awaiting-rebuild flags.
+    pub pending_rebuild: Vec<bool>,
+    /// Lifetime failure counters.
+    pub total_failures: u64,
+    /// Objects that went through an exposure window with no intact replica.
+    pub total_lost_objects: u64,
+    /// Total rebuild work generated (bytes).
+    pub total_rebuild_bytes: u64,
+    /// Reads served with every replica awaiting rebuild.
+    pub degraded_reads: u64,
+    /// Surcharge energy accrued since the last `end_slot` (zero at slot
+    /// boundaries, carried for robustness).
+    pub pending_surcharge_wh: f64,
+    /// Reclaim busy time accrued since the last `end_slot`.
+    pub pending_reclaim_busy: SimDuration,
+    /// On-demand spin-ups since the last `end_slot`.
+    pub pending_forced_spinups: u64,
+    /// Lifetime spin-up count.
+    pub total_spinups: u64,
+    /// Lifetime forced spin-up count.
+    pub total_forced_spinups: u64,
+    /// RAM read-cache arena (recency order, hit/miss counters).
+    pub cache: LruCache,
+}
+
 /// The live cluster.
 pub struct Cluster {
     layout: Arc<ClusterLayout>,
@@ -239,6 +283,78 @@ impl Cluster {
             cache: LruCache::new(spec.cache_bytes),
             layout,
         }
+    }
+
+    /// Capture the full mutable state for checkpointing. The layout is not
+    /// captured (see [`ClusterSnapshot`]); restoring pairs this state with
+    /// a layout rebuilt from the resume config.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        ClusterSnapshot {
+            servers: self.servers.clone(),
+            disks: self.disks.clone(),
+            queues: self.queues.clone(),
+            writelog: self.writelog.clone(),
+            active_gears: self.active_gears,
+            pending_rebuild: self.pending_rebuild.clone(),
+            total_failures: self.total_failures,
+            total_lost_objects: self.total_lost_objects,
+            total_rebuild_bytes: self.total_rebuild_bytes,
+            degraded_reads: self.degraded_reads,
+            pending_surcharge_wh: self.pending_surcharge_wh,
+            pending_reclaim_busy: self.pending_reclaim_busy,
+            pending_forced_spinups: self.pending_forced_spinups,
+            total_spinups: self.total_spinups,
+            total_forced_spinups: self.total_forced_spinups,
+            cache: self.cache.clone(),
+        }
+    }
+
+    /// Overlay a previously captured state onto this (freshly assembled)
+    /// cluster, keeping its layout and slot width. Fails if the snapshot's
+    /// per-server/per-disk vectors do not match this cluster's topology —
+    /// a snapshot cannot be resumed under a different cluster shape.
+    pub fn restore_state(&mut self, snap: &ClusterSnapshot) -> Result<(), String> {
+        let topo = self.layout.spec.topology;
+        if snap.servers.len() != topo.servers
+            || snap.disks.len() != topo.n_disks()
+            || snap.queues.len() != topo.n_disks()
+            || snap.pending_rebuild.len() != topo.n_disks()
+        {
+            return Err(format!(
+                "cluster snapshot shape ({} servers, {} disks) does not match topology \
+                 ({} servers, {} disks)",
+                snap.servers.len(),
+                snap.disks.len(),
+                topo.servers,
+                topo.n_disks()
+            ));
+        }
+        if snap.active_gears == 0 || snap.active_gears > topo.gears {
+            return Err(format!(
+                "cluster snapshot active_gears {} out of range 1..={}",
+                snap.active_gears, topo.gears
+            ));
+        }
+        self.servers = snap.servers.clone();
+        self.disks = snap.disks.clone();
+        self.queues = snap.queues.clone();
+        self.writelog = snap.writelog.clone();
+        self.active_gears = snap.active_gears;
+        self.pending_rebuild = snap.pending_rebuild.clone();
+        // The reverse index is lazily derived from the layout; drop any
+        // stale copy so the first post-restore failure rebuilds it.
+        self.disk_objects = Vec::new();
+        self.total_failures = snap.total_failures;
+        self.total_lost_objects = snap.total_lost_objects;
+        self.total_rebuild_bytes = snap.total_rebuild_bytes;
+        self.degraded_reads = snap.degraded_reads;
+        self.pending_surcharge_wh = snap.pending_surcharge_wh;
+        self.pending_reclaim_busy = snap.pending_reclaim_busy;
+        self.pending_forced_spinups = snap.pending_forced_spinups;
+        self.total_spinups = snap.total_spinups;
+        self.total_forced_spinups = snap.total_forced_spinups;
+        self.cache = snap.cache.clone();
+        Ok(())
     }
 
     /// The static spec.
@@ -918,6 +1034,58 @@ mod tests {
         // Both reads hit media; service time identical at equal queue state.
         assert_eq!(r1.latency, r2.latency);
         assert_eq!(c.cache().hits() + c.cache().misses(), 0, "disabled cache never probed");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_behaviour() {
+        // Drive a cluster through gear changes, a failure, cached reads and
+        // writes; snapshot; restore onto a fresh cluster over the same
+        // layout; both must then serve identical traffic identically.
+        let mut spec = ClusterSpec::small();
+        spec.cache_bytes = 10 * spec.object_size_bytes;
+        let layout = Arc::new(ClusterLayout::new(spec));
+        let mut a = Cluster::from_layout(layout.clone());
+        a.set_active_gears(1, SimTime::ZERO);
+        for i in 0..50 {
+            a.serve_request(&IoRequest::read(SimTime::from_secs(i), ObjectId(i), 1 << 20));
+            a.serve_request(&IoRequest::write(SimTime::from_secs(i), ObjectId(i + 50), 1 << 20));
+        }
+        a.fail_disk(2, SimTime::from_secs(60));
+        a.end_slot(SimTime::from_hours(1), HOUR);
+
+        let snap = a.snapshot();
+        let json = serde_json::to_string(&snap).expect("snapshot serialises");
+        let snap2: ClusterSnapshot = serde_json::from_str(&json).expect("snapshot deserialises");
+        let mut b = Cluster::from_layout(layout);
+        b.restore_state(&snap2).expect("same topology restores");
+
+        assert_eq!(b.gear_state(), a.gear_state());
+        assert_eq!(b.total_failures(), a.total_failures());
+        assert!(b.is_rebuilding(2));
+        for i in 0..100 {
+            let req = IoRequest::read(
+                SimTime::from_hours(1) + SimDuration::from_secs(i),
+                ObjectId(i),
+                1 << 20,
+            );
+            let ra = a.serve_request(&req);
+            let rb = b.serve_request(&req);
+            assert_eq!(ra, rb, "request {i} diverged after restore");
+        }
+        let ea = a.end_slot(SimTime::from_hours(2), HOUR);
+        let eb = b.end_slot(SimTime::from_hours(2), HOUR);
+        assert_eq!(ea.total_wh().to_bits(), eb.total_wh().to_bits());
+        assert_eq!(a.cache().hits(), b.cache().hits());
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatched_topology() {
+        let a = small_cluster();
+        let snap = a.snapshot();
+        let mut spec = ClusterSpec::small();
+        spec.topology = Topology::new(3, 2, 3);
+        let mut b = Cluster::new(spec);
+        assert!(b.restore_state(&snap).is_err());
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod server;
 pub mod writelog;
 
 pub use cache::LruCache;
-pub use cluster::{Cluster, ClusterLayout, ClusterSpec, GearState};
+pub use cluster::{Cluster, ClusterLayout, ClusterSnapshot, ClusterSpec, GearState};
 pub use disk::{Disk, DiskPowerState, DiskSpec};
 pub use failure::{FailureDice, FailureReport, FailureSpec, HOURS_PER_YEAR};
 pub use layout::{

@@ -28,6 +28,9 @@ cargo bench -p gm-bench --bench sweep | tee /tmp/gm_bench_sweep.txt
 echo "==> cargo bench --bench matcher_kernel"
 cargo bench -p gm-bench --bench matcher_kernel | tee /tmp/gm_bench_matcher_kernel.txt
 
+echo "==> cargo bench --bench branch"
+cargo bench -p gm-bench --bench branch | tee /tmp/gm_bench_branch.txt
+
 SUITE_SECONDS=null
 if [[ "$SKIP_SUITE" -eq 0 ]]; then
     echo "==> timing full experiment suite (experiments all)"
@@ -64,6 +67,9 @@ bench_json() {
     echo '  ],'
     echo '  "matcher_kernel": ['
     bench_json /tmp/gm_bench_matcher_kernel.txt
+    echo '  ],'
+    echo '  "branch": ['
+    bench_json /tmp/gm_bench_branch.txt
     echo '  ]'
     echo '}'
 } > BENCH_sweep.json

@@ -15,6 +15,9 @@ cargo test --workspace -q
 echo "==> warm-start byte-identity gate (warm vs cold traces)"
 cargo test -q --test telemetry warm_start
 
+echo "==> snapshot/resume byte-identity gate (branch vs cold)"
+cargo test -q --test snapshot
+
 echo "==> cargo bench --bench e2e -- --test (smoke)"
 cargo bench -p gm-bench --bench e2e -- --test
 
@@ -28,5 +31,23 @@ cargo run --release -q -p gm-bench --bin run_once -- \
 echo "==> conservation fuzz smoke (fixed seed)"
 cargo run --release -q -p gm-bench --bin fuzz -- \
   --cases 40 --seed 42 --out target/fuzz-violations.json
+
+echo "==> checkpoint/restore fuzz smoke (random-slot split, fixed seed)"
+cargo run --release -q -p gm-bench --bin fuzz -- \
+  --cases 20 --seed 42 --split
+
+echo "==> halt/resume smoke (run_once checkpoint → resume, stitched output)"
+cargo build --release -q -p gm-bench --bin run_once
+RSMOKE=$(mktemp -d)
+./target/release/run_once --preset small --slots 48 \
+  --trace "$RSMOKE/cold.jsonl" --out "$RSMOKE/cold.json" >/dev/null 2>&1
+./target/release/run_once --preset small --slots 48 --halt-after 20 \
+  --checkpoint-file "$RSMOKE/ck.json" --trace "$RSMOKE/stitched.jsonl" >/dev/null 2>&1
+./target/release/run_once --resume "$RSMOKE/ck.json" \
+  --trace "$RSMOKE/stitched.jsonl" --out "$RSMOKE/resumed.json" --audit >/dev/null 2>&1
+cmp "$RSMOKE/cold.jsonl" "$RSMOKE/stitched.jsonl"
+cmp "$RSMOKE/cold.json" "$RSMOKE/resumed.json"
+rm -rf "$RSMOKE"
+echo "    resume smoke: stitched trace and report byte-identical to cold"
 
 echo "All checks passed."
