@@ -41,11 +41,13 @@ use greenmatch::simulation::Simulation;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run_once [--config FILE | --preset small|medium] [--policy NAME] \
-         [--seed N] [--slots N] [--out FILE] [--trace FILE] [--csv FILE] [--profile] \
-         [--audit] [--audit-out FILE] [--describe-workload] \
+        "usage: run_once [--config FILE | --preset small|medium|mega] [--policy NAME] \
+         [--seed N] [--slots N] [--streams N] [--out FILE] [--trace FILE] [--csv FILE] \
+         [--profile] [--audit] [--audit-out FILE] [--describe-workload] \
          [--checkpoint-every N] [--checkpoint-file FILE] [--halt-after N] [--resume FILE]\n\
-         policies: all-on power-prop edf greedy-green greenmatch greenmatch30 greenmatch-carbon"
+         policies: all-on power-prop edf greedy-green greenmatch greenmatch30 greenmatch-carbon\n\
+         --streams N re-spreads the interactive half over N sessions at the\n\
+         same aggregate volume (mega preset = medium with --streams 1000000)"
     );
     std::process::exit(2)
 }
@@ -71,6 +73,7 @@ fn main() {
     let mut policy: Option<PolicyKind> = None;
     let mut seed: Option<u64> = None;
     let mut slots: Option<usize> = None;
+    let mut streams: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut trace: Option<String> = None;
     let mut csv: Option<String> = None;
@@ -99,12 +102,14 @@ fn main() {
                 cfg = Some(match args.next().as_deref() {
                     Some("small") => ExperimentConfig::small_demo(42),
                     Some("medium") => ExperimentConfig::medium(42),
+                    Some("mega") => ExperimentConfig::mega(42),
                     _ => usage(),
                 });
             }
             "--policy" => policy = Some(parse_policy(&args.next().unwrap_or_else(|| usage()))),
             "--seed" => seed = args.next().and_then(|s| s.parse().ok()).or_else(|| usage()),
             "--slots" => slots = args.next().and_then(|s| s.parse().ok()).or_else(|| usage()),
+            "--streams" => streams = args.next().and_then(|s| s.parse().ok()).or_else(|| usage()),
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => trace = Some(args.next().unwrap_or_else(|| usage())),
             "--csv" => csv = Some(args.next().unwrap_or_else(|| usage())),
@@ -150,6 +155,9 @@ fn main() {
     }
     if let Some(n) = slots {
         cfg.slots = n;
+    }
+    if let Some(n) = streams {
+        cfg.workload = cfg.workload.clone().with_interactive_streams(n);
     }
 
     if describe {

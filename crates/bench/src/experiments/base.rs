@@ -41,6 +41,7 @@ pub fn medium_cfg(ctx: &ExpContext, policy: PolicyKind) -> ExperimentConfig {
         sites: Vec::new(),
         wan_cost_per_unit: 0,
         matcher_warm_start: true,
+        site_parallel: true,
     }
 }
 

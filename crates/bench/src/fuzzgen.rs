@@ -100,6 +100,16 @@ pub fn fuzz_config(rng: &mut TestRng) -> ExperimentConfig {
     // Mostly warm-started matchers (the default), with occasional cold
     // runs so the fuzzer also exercises the rebuild-every-slot path.
     cfg.matcher_warm_start = !rng.next_u64().is_multiple_of(4);
+    // Mostly site-parallel phases (the default), with occasional
+    // sequential runs so the fuzzer covers the reference path too.
+    cfg.site_parallel = !rng.next_u64().is_multiple_of(4);
+    // Stream-count dimension: occasionally re-spread the interactive half
+    // over up to 10⁴ sessions (aggregate volume unchanged), exercising the
+    // activation index and shard-parallel synthesis at off-preset sizes.
+    if rng.next_u64().is_multiple_of(3) {
+        let streams = range_u64(rng, 10, 10_000) as usize;
+        cfg.workload = cfg.workload.with_interactive_streams(streams);
+    }
     if rng.next_u64().is_multiple_of(4) {
         cfg = cfg.with_failures(gm_storage::FailureSpec {
             afr: 5.0 + rng.unit_f64() * 25.0,
@@ -135,7 +145,7 @@ pub fn describe(cfg: &ExperimentConfig) -> String {
         Some(b) => format!("{:.0}kWh", b.capacity_wh / 1000.0),
     };
     format!(
-        "seed={} slots={} sites={} policy={} battery={} discharge={:?} forecast={:?} wan={} failures={}",
+        "seed={} slots={} sites={} policy={} battery={} discharge={:?} forecast={:?} wan={} failures={} streams={} site_par={}",
         cfg.seed,
         cfg.slots,
         cfg.n_sites(),
@@ -145,6 +155,8 @@ pub fn describe(cfg: &ExperimentConfig) -> String {
         cfg.energy.forecast,
         cfg.wan_cost_per_unit,
         cfg.failures.is_some(),
+        cfg.workload.interactive.streams,
+        cfg.site_parallel,
     )
 }
 
@@ -262,6 +274,8 @@ mod tests {
         let mut multi = 0;
         let mut with_battery = 0;
         let mut with_failures = 0;
+        let mut respread = 0;
+        let mut sequential = 0;
         for case in 0..64 {
             let mut rng = TestRng::for_case("fuzzgen-cover", case);
             let cfg = fuzz_config(&mut rng);
@@ -269,10 +283,14 @@ mod tests {
             multi += (cfg.n_sites() > 1) as u32;
             with_battery += cfg.energy.battery.is_some() as u32;
             with_failures += cfg.failures.is_some() as u32;
+            respread += (cfg.workload.interactive.streams != 100) as u32;
+            sequential += (!cfg.site_parallel) as u32;
         }
         assert!(multi > 10, "multi-site configs must be common ({multi}/64)");
         assert!(with_battery > 20, "battery configs must be common ({with_battery}/64)");
         assert!(with_failures > 5, "failure configs must appear ({with_failures}/64)");
+        assert!(respread > 5, "off-preset stream counts must appear ({respread}/64)");
+        assert!(sequential > 5, "sequential-phase configs must appear ({sequential}/64)");
     }
 
     #[test]

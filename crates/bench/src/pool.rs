@@ -1,185 +1,96 @@
-//! The process-wide work-stealing job pool every sweep feeds through.
+//! Sweep-level job submission over the shared [`gm_sim::WorkPool`].
 //!
 //! Historically each sweep spun up its own `std::thread::scope`, ran to a
-//! barrier and tore the threads down again — ~15 barriers per suite, with
-//! per-worker [`SlotScratch`] buffers rebuilt every time. The [`JobPool`]
-//! replaces all of that with one set of long-lived workers: sweeps submit
-//! batches of boxed jobs, each worker owns a single `SlotScratch` for the
-//! lifetime of the process, and batch completion is tracked per submission
-//! so callers still get a synchronous "all my runs finished" point without
-//! any global barrier between sweeps.
+//! barrier and tore the threads down again; a first-generation `JobPool`
+//! replaced that with dedicated sweep workers. Now that the simulation
+//! kernel itself fans work out (sharded request synthesis, per-site phase
+//! execution), sweeps and kernel shards must share **one** set of threads
+//! — otherwise a machine-wide sweep and the shards it spawns would
+//! oversubscribe every core. [`JobPool`] is therefore a thin facade over
+//! the process-wide [`gm_sim::WorkPool`]: it contributes the one thing the
+//! generic pool does not know about — a long-lived per-thread
+//! [`SlotScratch`] — and delegates scheduling, batch completion and panic
+//! propagation.
 //!
-//! Scheduling is work-stealing in shape — each worker has its own deque,
-//! pops its own back (LIFO, cache-warm) and steals a victim's front (FIFO,
-//! oldest first) — but all deques sit behind one mutex. Jobs here are
-//! whole simulation runs (hundreds of milliseconds to minutes), so
-//! scheduling cost is irrelevant and a single lock keeps the queue/counter
-//! invariants trivially correct; the crate stays `forbid(unsafe_code)`.
-//!
-//! A job panic (e.g. an invalid config) is caught on the worker, carried
-//! into the batch result, and re-raised on the submitting thread by
-//! [`JobPool::run_batch`] — the same surface behaviour the old scoped
-//! threads had, without killing the shared worker.
+//! Nesting is safe by the helping-submitter rule of the underlying pool: a
+//! sweep job that triggers sharded synthesis submits an inner batch and
+//! helps drain it inline. The inner shard tasks never touch the
+//! thread-local scratch (it is borrowed only for the duration of each
+//! outer job's closure body — by the time a nested batch is submitted the
+//! job owns its simulation's scratch through other means), so the
+//! `RefCell` borrow is never re-entered.
 
 use greenmatch::SlotScratch;
-use std::collections::VecDeque;
+use std::cell::RefCell;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-/// A unit of pool work: runs with the worker's long-lived scratch.
+pub use gm_sim::pool::set_max_workers;
+
+/// A unit of sweep work: runs with the worker's long-lived scratch.
 pub type Job = Box<dyn FnOnce(&mut SlotScratch) + Send + 'static>;
 
-/// Upper bound on pool width requested via [`set_max_workers`] (0 = no
-/// cap). Read once, when the global pool first starts.
-static MAX_WORKERS: AtomicUsize = AtomicUsize::new(0);
-
-/// Cap the global pool at `n` workers (`--jobs N`). Takes effect only if
-/// called before the first sweep starts the pool; later calls are ignored.
-pub fn set_max_workers(n: usize) {
-    MAX_WORKERS.store(n, Ordering::Relaxed);
+thread_local! {
+    /// One simulation scratch per pool thread (and per submitting thread —
+    /// the helping submitter runs jobs inline too), allocated on first use
+    /// and reused for the life of the thread.
+    static SCRATCH: RefCell<SlotScratch> = RefCell::new(SlotScratch::new());
 }
 
-struct PoolState {
-    /// One deque per worker. Owner pops back, thieves pop front.
-    queues: Vec<VecDeque<Job>>,
-    /// Round-robin submission cursor.
-    rr: usize,
-}
+/// Facade over the global [`gm_sim::WorkPool`] that supplies each job a
+/// long-lived per-thread [`SlotScratch`]. Obtain it with
+/// [`JobPool::global`].
+pub struct JobPool(());
 
-struct BatchProgress {
-    remaining: usize,
-    /// First panic payload from this batch's jobs, if any.
-    panic: Option<Box<dyn std::any::Any + Send>>,
-}
-
-struct Batch {
-    state: Mutex<BatchProgress>,
-    done_cv: Condvar,
-}
-
-/// The shared pool. Obtain it with [`JobPool::global`].
-pub struct JobPool {
-    state: Mutex<PoolState>,
-    work_cv: Condvar,
-    workers: usize,
-}
+static GLOBAL: JobPool = JobPool(());
 
 impl JobPool {
-    /// Start a pool with `workers` threads (used directly only by tests;
-    /// everything else goes through [`JobPool::global`]).
-    fn start(workers: usize) -> Arc<JobPool> {
-        let workers = workers.max(1);
-        let pool = Arc::new(JobPool {
-            state: Mutex::new(PoolState {
-                queues: (0..workers).map(|_| VecDeque::new()).collect(),
-                rr: 0,
-            }),
-            work_cv: Condvar::new(),
-            workers,
-        });
-        for me in 0..workers {
-            let pool = Arc::clone(&pool);
-            std::thread::Builder::new()
-                .name(format!("gm-sweep-{me}"))
-                .spawn(move || worker_loop(&pool, me))
-                .expect("spawn sweep worker");
-        }
-        pool
-    }
-
-    /// The process-wide pool, started on first use with one worker per
-    /// available core, capped by [`set_max_workers`]. Workers live (parked
-    /// when idle) for the rest of the process.
-    pub fn global() -> &'static Arc<JobPool> {
-        static POOL: OnceLock<Arc<JobPool>> = OnceLock::new();
-        POOL.get_or_init(|| {
-            let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-            let cap = MAX_WORKERS.load(Ordering::Relaxed);
-            let width = if cap == 0 { cores } else { cores.min(cap) };
-            JobPool::start(width)
-        })
+    /// The process-wide pool (see [`gm_sim::WorkPool::global`]; cap the
+    /// width with [`set_max_workers`] before first use).
+    pub fn global() -> &'static JobPool {
+        &GLOBAL
     }
 
     /// Number of worker threads.
     pub fn width(&self) -> usize {
-        self.workers
+        gm_sim::WorkPool::global().width()
     }
 
-    /// Submit `jobs` and block until every one has finished. If any job
-    /// panicked, the first panic is re-raised here after the whole batch
-    /// has drained (so sibling runs still complete and the pool survives).
+    /// Submit `jobs` and block until every one has finished. The
+    /// submitting thread helps drain the batch; if any job panicked, the
+    /// first panic is re-raised here after the whole batch has drained (so
+    /// sibling runs still complete and the pool survives).
     pub fn run_batch(&self, jobs: Vec<Job>) {
-        let n = jobs.len();
-        if n == 0 {
-            return;
-        }
-        let batch = Arc::new(Batch {
-            state: Mutex::new(BatchProgress { remaining: n, panic: None }),
-            done_cv: Condvar::new(),
-        });
-        {
-            let mut st = self.state.lock().expect("pool state");
-            for job in jobs {
-                let b = Arc::clone(&batch);
-                let wrapped: Job = Box::new(move |scratch| {
-                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| job(scratch)));
-                    let mut s = b.state.lock().expect("batch state");
-                    s.remaining -= 1;
-                    if let Err(payload) = outcome {
-                        s.panic.get_or_insert(payload);
-                    }
-                    if s.remaining == 0 {
-                        b.done_cv.notify_all();
-                    }
-                });
-                let q = st.rr % self.workers;
-                st.rr += 1;
-                st.queues[q].push_back(wrapped);
-            }
-            self.work_cv.notify_all();
-        }
-        let mut s = batch.state.lock().expect("batch state");
-        while s.remaining > 0 {
-            s = batch.done_cv.wait(s).expect("batch wait");
-        }
-        if let Some(payload) = s.panic.take() {
-            drop(s);
-            std::panic::resume_unwind(payload);
-        }
-    }
-}
-
-fn worker_loop(pool: &JobPool, me: usize) {
-    let mut scratch = SlotScratch::new();
-    loop {
-        let job = {
-            let mut st = pool.state.lock().expect("pool state");
-            'found: loop {
-                if let Some(job) = st.queues[me].pop_back() {
-                    break 'found job;
-                }
-                for k in 1..pool.workers {
-                    let victim = (me + k) % pool.workers;
-                    if let Some(job) = st.queues[victim].pop_front() {
-                        break 'found job;
-                    }
-                }
-                st = pool.work_cv.wait(st).expect("pool wait");
-            }
-        };
-        job(&mut scratch);
+        let tasks: Vec<gm_sim::pool::Task> = jobs
+            .into_iter()
+            .map(|job| {
+                Box::new(move || {
+                    SCRATCH.with(|scratch| {
+                        let mut scratch = scratch.borrow_mut();
+                        // catch_unwind inside the borrow so a panicking job
+                        // cannot poison the thread-local for its successors
+                        // on this worker; the pool re-raises it batch-wide.
+                        if let Err(payload) =
+                            std::panic::catch_unwind(AssertUnwindSafe(|| job(&mut scratch)))
+                        {
+                            drop(scratch);
+                            std::panic::resume_unwind(payload);
+                        }
+                    });
+                }) as gm_sim::pool::Task
+            })
+            .collect();
+        gm_sim::WorkPool::global().scatter(tasks);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn batch_runs_every_job_and_waits() {
-        let pool = JobPool::start(2);
         let counter = Arc::new(AtomicU64::new(0));
         let jobs: Vec<Job> = (0..25)
             .map(|i| {
@@ -189,17 +100,16 @@ mod tests {
                 }) as Job
             })
             .collect();
-        pool.run_batch(jobs);
+        JobPool::global().run_batch(jobs);
         assert_eq!(counter.load(Ordering::Relaxed), 25 * 26 / 2);
     }
 
     #[test]
     fn sequential_batches_share_workers() {
-        let pool = JobPool::start(1);
         let counter = Arc::new(AtomicU64::new(0));
         for _ in 0..3 {
             let c = Arc::clone(&counter);
-            pool.run_batch(vec![Box::new(move |_: &mut SlotScratch| {
+            JobPool::global().run_batch(vec![Box::new(move |_: &mut SlotScratch| {
                 c.fetch_add(1, Ordering::Relaxed);
             }) as Job]);
         }
@@ -208,12 +118,16 @@ mod tests {
 
     #[test]
     fn empty_batch_returns_immediately() {
-        JobPool::start(1).run_batch(Vec::new());
+        JobPool::global().run_batch(Vec::new());
+    }
+
+    #[test]
+    fn width_is_positive() {
+        assert!(JobPool::global().width() >= 1);
     }
 
     #[test]
     fn job_panic_surfaces_on_submitter_after_batch_drains() {
-        let pool = JobPool::start(2);
         let survivors = Arc::new(AtomicU64::new(0));
         let mut jobs: Vec<Job> = vec![Box::new(|_: &mut SlotScratch| panic!("boom in job"))];
         for _ in 0..4 {
@@ -222,7 +136,7 @@ mod tests {
                 s.fetch_add(1, Ordering::Relaxed);
             }));
         }
-        let err = std::panic::catch_unwind(AssertUnwindSafe(|| pool.run_batch(jobs)))
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| JobPool::global().run_batch(jobs)))
             .expect_err("panic must propagate");
         let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
         assert_eq!(msg, "boom in job");
@@ -230,7 +144,7 @@ mod tests {
         // The pool survives the panic and accepts new work.
         let after = Arc::new(AtomicU64::new(0));
         let a = Arc::clone(&after);
-        pool.run_batch(vec![Box::new(move |_: &mut SlotScratch| {
+        JobPool::global().run_batch(vec![Box::new(move |_: &mut SlotScratch| {
             a.fetch_add(1, Ordering::Relaxed);
         }) as Job]);
         assert_eq!(after.load(Ordering::Relaxed), 1);

@@ -355,6 +355,15 @@ pub struct ExperimentConfig {
     /// unless disabled.
     #[serde(default = "default_warm_start", skip_serializing_if = "is_warm_default")]
     pub matcher_warm_start: bool,
+    /// Run the per-site portions of the Forecast and Execute phases of a
+    /// multi-site slot on the worker pool instead of site-by-site. The two
+    /// paths produce byte-identical traces at any thread count (job bytes
+    /// are assigned in a sequential shadow pass; only the per-site disk
+    /// mechanics fan out) — this knob exists for A/B verification and
+    /// fuzzing, not for accuracy trade-offs. Single-site runs ignore it.
+    /// Defaults to `true`; omitted from archived JSON unless disabled.
+    #[serde(default = "default_warm_start", skip_serializing_if = "is_warm_default")]
+    pub site_parallel: bool,
 }
 
 fn default_warm_start() -> bool {
@@ -389,6 +398,7 @@ impl ExperimentConfig {
             sites: Vec::new(),
             wan_cost_per_unit: 0,
             matcher_warm_start: true,
+            site_parallel: true,
         }
     }
 
@@ -416,7 +426,19 @@ impl ExperimentConfig {
             sites: Vec::new(),
             wan_cost_per_unit: 0,
             matcher_warm_start: true,
+            site_parallel: true,
         }
+    }
+
+    /// The mega stress configuration: the medium data center driven by the
+    /// [`WorkloadSpec::mega_week`] million-stream interactive workload
+    /// (same aggregate request volume as `medium`, split over 10⁶
+    /// sessions). Exists to prove the workload kernel scales — per-slot
+    /// synthesis cost follows the *live* stream count, not the population.
+    pub fn mega(seed: u64) -> Self {
+        let mut cfg = ExperimentConfig::medium(seed);
+        cfg.workload = WorkloadSpec::mega_week(cfg.cluster.objects);
+        cfg
     }
 
     /// Horizon as a duration.
@@ -507,6 +529,14 @@ impl ExperimentConfig {
     #[must_use]
     pub fn with_matcher_warm_start(mut self, on: bool) -> Self {
         self.matcher_warm_start = on;
+        self
+    }
+
+    /// Enable or disable per-site phase parallelism (see
+    /// [`Self::site_parallel`]).
+    #[must_use]
+    pub fn with_site_parallel(mut self, on: bool) -> Self {
+        self.site_parallel = on;
         self
     }
 
@@ -683,6 +713,33 @@ mod tests {
         let json = serde_json::to_string(&cold).expect("serialises");
         let back: ExperimentConfig = serde_json::from_str(&json).expect("parses");
         assert!(!back.matcher_warm_start);
+    }
+
+    #[test]
+    fn site_parallel_knob_defaults_on_and_roundtrips() {
+        let cfg = ExperimentConfig::small_demo(3);
+        assert!(cfg.site_parallel);
+        let json = serde_json::to_string(&cfg).expect("serialises");
+        assert!(!json.contains("site_parallel"), "default stays out of archived JSON");
+        let back: ExperimentConfig = serde_json::from_str(&json).expect("parses");
+        assert!(back.site_parallel, "omitted field deserialises to on");
+        let seq = cfg.with_site_parallel(false);
+        let json = serde_json::to_string(&seq).expect("serialises");
+        let back: ExperimentConfig = serde_json::from_str(&json).expect("parses");
+        assert!(!back.site_parallel);
+    }
+
+    #[test]
+    fn mega_preset_keeps_mediums_aggregate_rate() {
+        let mega = ExperimentConfig::mega(1);
+        let medium = ExperimentConfig::medium(1);
+        assert_eq!(mega.workload.interactive.streams, 1_000_000);
+        let mega_rate =
+            mega.workload.interactive.streams as f64 * mega.workload.interactive.rate_rps;
+        let medium_rate =
+            medium.workload.interactive.streams as f64 * medium.workload.interactive.rate_rps;
+        assert!((mega_rate - medium_rate).abs() < 1e-6);
+        assert_eq!(mega.cluster, medium.cluster);
     }
 
     #[test]

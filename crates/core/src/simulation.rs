@@ -42,7 +42,7 @@ use gm_sim::time::{SimTime, SlotIdx};
 use gm_sim::{LogHistogram, SlotClock, TimeSeries};
 use gm_storage::{Cluster, FailureDice};
 use gm_workload::trace::Workload;
-use gm_workload::{BatchJob, JobId};
+use gm_workload::{BatchJob, JobId, LiveCursor};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -358,6 +358,12 @@ pub struct Simulation<'s> {
     /// Cursor into the submission-ordered batch population: jobs before it
     /// have been admitted.
     pub(crate) arrivals_cursor: usize,
+    /// Advancing live-set cursor over the interactive stream population —
+    /// the O(live + newly started) source of each slot's stream set.
+    /// Derived state, never snapshotted: [`LiveCursor::advance_to`] is
+    /// exact for any forward move, so a fresh cursor seeks to the resume
+    /// slot by itself.
+    pub(crate) live_cursor: LiveCursor,
     pub(crate) batch_report: BatchReport,
 
     pub(crate) positioning_s: f64,
@@ -463,6 +469,7 @@ impl<'s> Simulation<'s> {
             job_index: HashMap::new(),
             active_jobs: Vec::new(),
             arrivals_cursor: 0,
+            live_cursor: LiveCursor::new(),
             batch_report: BatchReport::default(),
             positioning_s,
             secs_per_byte,
@@ -636,6 +643,9 @@ impl<'s> Simulation<'s> {
         self.active_jobs = snap.active_jobs.clone();
         self.job_index = snap.active_jobs.iter().map(|&idx| (snap.jobs[idx].id, idx)).collect();
         self.arrivals_cursor = snap.arrivals_cursor;
+        // Belt and braces: the live cursor seeks correctly from any prior
+        // state, but a resumed run should start from the canonical one.
+        self.live_cursor = LiveCursor::new();
         self.batch_report = snap.batch_report.clone();
         self.hist = snap.hist.clone();
         self.repair_jobs = snap.repair_jobs.iter().map(|&(id, disk)| (JobId(id), disk)).collect();

@@ -19,6 +19,9 @@
 //! * [`dist`] — the probability distributions the workload and energy models
 //!   need (exponential, Poisson, Weibull, lognormal, Zipf, AR(1)), written
 //!   against [`rand::Rng`] so no extra dependency is required.
+//! * [`pool`] — a process-wide helping work pool for deterministic
+//!   fan-out (sharded synthesis, per-site phases, sweep runs); safe to
+//!   nest at any width because submitters help drain their own batches.
 //! * [`series`] — fixed-width slot time series with integration helpers
 //!   (power ⇒ energy bookkeeping).
 //! * [`stats`] — streaming moments (Welford) and counters.
@@ -33,6 +36,7 @@ pub mod dist;
 pub mod engine;
 pub mod event;
 pub mod hist;
+pub mod pool;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -41,6 +45,7 @@ pub mod time;
 pub use engine::{Engine, Model};
 pub use event::EventQueue;
 pub use hist::LogHistogram;
+pub use pool::WorkPool;
 pub use rng::RngFactory;
 pub use series::TimeSeries;
 pub use stats::{Counter, StreamingStats};

@@ -34,7 +34,7 @@ pub mod trace;
 
 pub use batch::BatchGenerator;
 pub use columns::RequestBatch;
-pub use interactive::{InteractiveSpec, InteractiveStream};
+pub use interactive::{InteractiveError, InteractiveSpec, InteractiveStream, LiveCursor};
 pub use job::{BatchJob, BatchKind, JobId, JobState};
 pub use stats::{characterize, WorkloadStats};
 pub use trace::{Workload, WorkloadSpec};

@@ -13,8 +13,9 @@ use crate::batch::{BatchGenerator, BatchSpec};
 use crate::columns::RequestBatch;
 use crate::interactive::{InteractiveGenerator, InteractiveSpec};
 use crate::job::{BatchJob, BatchKind, JobId, JobState};
+use gm_sim::pool::Task;
 use gm_sim::time::SimTime;
-use gm_sim::{RngFactory, SlotClock};
+use gm_sim::{RngFactory, SlotClock, WorkPool};
 use gm_storage::IoRequest;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -47,6 +48,26 @@ impl WorkloadSpec {
         spec
     }
 
+    /// The mega preset: the medium week with its interactive half split
+    /// across **one million** streams at constant aggregate request volume
+    /// — the scale proof of the interval-indexed workload kernel. Memory:
+    /// the population is ~32 MB of columns; synthesis cost per slot is
+    /// proportional to *live* streams, not the population.
+    pub fn mega_week(objects: usize) -> Self {
+        WorkloadSpec::medium_week(objects).with_interactive_streams(1_000_000)
+    }
+
+    /// Re-spread the interactive half across `streams` sessions, scaling
+    /// the per-stream rate inversely so the *aggregate* request volume (and
+    /// thus the served byte volume) stays what the preset calibrated.
+    pub fn with_interactive_streams(mut self, streams: usize) -> Self {
+        assert!(streams > 0);
+        let old = self.interactive.streams as f64;
+        self.interactive.rate_rps *= old / streams as f64;
+        self.interactive.streams = streams;
+        self
+    }
+
     /// Scale both halves' volume by `k` (streams and jobs), keeping shapes.
     pub fn scaled(mut self, k: f64) -> Self {
         assert!(k > 0.0);
@@ -56,10 +77,18 @@ impl WorkloadSpec {
     }
 }
 
+/// Live-set size below which sharded synthesis is not worth the fan-out
+/// overhead (task boxing + result stitching).
+const SHARD_THRESHOLD: usize = 8_192;
+/// Minimum number of live streams per shard once sharding kicks in.
+const STREAMS_PER_SHARD: usize = 2_048;
+
 /// A generated workload.
 pub struct Workload {
     spec: WorkloadSpec,
-    interactive: InteractiveGenerator,
+    /// `Arc` so shard tasks borrow the generator without copying the
+    /// (potentially tens of MB) stream columns.
+    interactive: Arc<InteractiveGenerator>,
     batch_jobs: Vec<BatchJob>,
     /// Memoised columnar slot batches, keyed by `(slot width, slot)` —
     /// the two inputs of request synthesis beyond the workload itself.
@@ -77,7 +106,7 @@ impl Workload {
     /// Build from a spec and master seed.
     pub fn generate(spec: WorkloadSpec, seed: u64) -> Self {
         let rngs = RngFactory::new(seed);
-        let interactive = InteractiveGenerator::new(spec.interactive.clone(), &rngs);
+        let interactive = Arc::new(InteractiveGenerator::new(spec.interactive.clone(), &rngs));
         let batch_jobs = BatchGenerator::new(spec.batch.clone()).generate(&rngs);
         Workload { spec, interactive, batch_jobs, slot_batches: Mutex::new(HashMap::new()) }
     }
@@ -97,9 +126,84 @@ impl Workload {
         &self.batch_jobs
     }
 
-    /// Requests of one slot (delegates to the interactive generator).
+    /// Shard count for a live set of `live` streams: 1 below the
+    /// threshold, else one shard per [`STREAMS_PER_SHARD`] streams capped
+    /// by the pool width.
+    fn auto_shards(live: usize) -> usize {
+        if live < SHARD_THRESHOLD {
+            1
+        } else {
+            WorkPool::global().width().min(live / STREAMS_PER_SHARD).max(1)
+        }
+    }
+
+    /// Synthesise the requests of the given live streams, fanned across
+    /// `shards` pool tasks, and return them in canonical slot order.
+    ///
+    /// **Shard-invariant by construction**: each stream's requests come
+    /// from its own `(stream, slot)`-keyed RNG, shards cover disjoint
+    /// contiguous ranges of the ascending live list, results are stitched
+    /// by shard index, and one stable sort by arrival produces the
+    /// canonical order. The output is byte-identical for every `shards`
+    /// value and thread count (a property test pins this).
+    fn synthesize_live(
+        &self,
+        clock: SlotClock,
+        slot: usize,
+        live: &[u32],
+        shards: usize,
+    ) -> Vec<IoRequest> {
+        let shards = shards.clamp(1, live.len().max(1));
+        let mut out = Vec::new();
+        if shards == 1 {
+            self.interactive.synthesize_streams_into(clock, slot, live, &mut out);
+        } else {
+            let chunk = live.len().div_ceil(shards);
+            let cells: Arc<Vec<Mutex<Vec<IoRequest>>>> =
+                Arc::new((0..shards).map(|_| Mutex::new(Vec::new())).collect());
+            let tasks: Vec<Task> = live
+                .chunks(chunk)
+                .enumerate()
+                .map(|(k, part)| {
+                    let generator = Arc::clone(&self.interactive);
+                    let cells = Arc::clone(&cells);
+                    let part = part.to_vec();
+                    Box::new(move || {
+                        let mut buf = Vec::new();
+                        generator.synthesize_streams_into(clock, slot, &part, &mut buf);
+                        *cells[k].lock().expect("shard cell") = buf;
+                    }) as Task
+                })
+                .collect();
+            WorkPool::global().scatter(tasks);
+            for cell in cells.iter() {
+                out.append(&mut cell.lock().expect("shard cell"));
+            }
+        }
+        out.sort_by_key(|r| r.arrival); // stable: ties keep stream order
+        out
+    }
+
+    /// Synthesise one slot's requests with an explicit shard count —
+    /// exposed so tests can assert byte-identity across shard counts.
+    /// Equals [`Self::requests_in_slot`] for every `shards ≥ 1`.
+    pub fn synthesize_slot_requests(
+        &self,
+        clock: SlotClock,
+        slot: usize,
+        shards: usize,
+    ) -> Vec<IoRequest> {
+        let mut live = Vec::new();
+        self.interactive.live_streams_in_slot(clock, slot, &mut live);
+        self.synthesize_live(clock, slot, &live, shards)
+    }
+
+    /// Requests of one slot (stateless live query + auto-sharded
+    /// synthesis).
     pub fn requests_in_slot(&self, clock: SlotClock, slot: usize) -> Vec<IoRequest> {
-        self.interactive.requests_in_slot(clock, slot)
+        let mut live = Vec::new();
+        self.interactive.live_streams_in_slot(clock, slot, &mut live);
+        self.synthesize_live(clock, slot, &live, Self::auto_shards(live.len()))
     }
 
     /// [`Self::requests_in_slot`] into a caller-owned buffer (cleared
@@ -118,13 +222,52 @@ impl Workload {
     /// an `Arc` thereafter, so runs over a cached shared world skip
     /// re-synthesis entirely.
     pub fn slot_batch(&self, clock: SlotClock, slot: usize) -> Arc<RequestBatch> {
+        self.slot_batch_inner(clock, slot, None)
+    }
+
+    /// [`Self::slot_batch`] for callers that already know the slot's live
+    /// stream set (the simulation's advancing [`crate::interactive::LiveCursor`]) —
+    /// skips the stateless live query on a memo miss. `live` must equal
+    /// the stateless set (debug-asserted); the returned batch is
+    /// byte-identical to [`Self::slot_batch`]'s.
+    pub fn slot_batch_with_live(
+        &self,
+        clock: SlotClock,
+        slot: usize,
+        live: &[u32],
+    ) -> Arc<RequestBatch> {
+        self.slot_batch_inner(clock, slot, Some(live))
+    }
+
+    fn slot_batch_inner(
+        &self,
+        clock: SlotClock,
+        slot: usize,
+        live: Option<&[u32]>,
+    ) -> Arc<RequestBatch> {
         let key = (clock.width().0, slot);
         let cell = {
             let mut map = self.slot_batches.lock().expect("slot batch lock");
             map.entry(key).or_insert_with(|| Arc::new(OnceLock::new())).clone()
         };
         cell.get_or_init(|| {
-            let requests = self.interactive.requests_in_slot(clock, slot);
+            let mut fallback = Vec::new();
+            let live = match live {
+                Some(l) => {
+                    #[cfg(debug_assertions)]
+                    {
+                        let mut check = Vec::new();
+                        self.interactive.live_streams_in_slot(clock, slot, &mut check);
+                        debug_assert_eq!(l, &check[..], "cursor live set diverged (slot {slot})");
+                    }
+                    l
+                }
+                None => {
+                    self.interactive.live_streams_in_slot(clock, slot, &mut fallback);
+                    &fallback
+                }
+            };
+            let requests = self.synthesize_live(clock, slot, live, Self::auto_shards(live.len()));
             Arc::new(RequestBatch::from_requests(&requests))
         })
         .clone()
@@ -231,7 +374,7 @@ impl Workload {
     /// Build a summary.
     pub fn summary(&self) -> WorkloadSummary {
         WorkloadSummary {
-            streams: self.interactive.streams().len(),
+            streams: self.interactive.stream_count(),
             batch_jobs: self.batch_jobs.len(),
             batch_bytes: self.total_batch_bytes(),
             horizon_hours: self.spec.interactive.horizon.as_hours_f64(),
@@ -250,7 +393,7 @@ mod tests {
     #[test]
     fn generates_both_halves() {
         let w = small();
-        assert_eq!(w.interactive().streams().len(), 100);
+        assert_eq!(w.interactive().stream_count(), 100);
         assert_eq!(w.batch_jobs().len(), 400);
         assert!(w.total_batch_bytes() > 0);
         let s = w.summary();
@@ -325,6 +468,52 @@ mod tests {
         let spec = WorkloadSpec::medium_week(100).scaled(0.5);
         assert_eq!(spec.interactive.streams, 394);
         assert_eq!(spec.batch.jobs, 1_574);
+    }
+
+    #[test]
+    fn with_interactive_streams_preserves_aggregate_rate() {
+        let base = WorkloadSpec::medium_week(100);
+        let spread = base.clone().with_interactive_streams(10_000);
+        assert_eq!(spread.interactive.streams, 10_000);
+        let before = base.interactive.streams as f64 * base.interactive.rate_rps;
+        let after = spread.interactive.streams as f64 * spread.interactive.rate_rps;
+        assert!((before - after).abs() < 1e-9, "{before} vs {after}");
+    }
+
+    #[test]
+    fn synthesis_is_shard_count_invariant() {
+        let w = small();
+        let c = SlotClock::hourly();
+        for slot in [10usize, 40, 90] {
+            let one = w.synthesize_slot_requests(c, slot, 1);
+            assert!(!one.is_empty(), "slot {slot} should have traffic");
+            for shards in [2usize, 3, 5, 16] {
+                assert_eq!(
+                    w.synthesize_slot_requests(c, slot, shards),
+                    one,
+                    "slot {slot}, {shards} shards"
+                );
+            }
+            assert_eq!(w.requests_in_slot(c, slot), one, "auto-sharded path");
+        }
+    }
+
+    #[test]
+    fn slot_batch_with_live_matches_plain_batch() {
+        let a = small();
+        let b = small();
+        let c = SlotClock::hourly();
+        let mut cursor = crate::interactive::LiveCursor::new();
+        for slot in 0..60 {
+            let live = cursor.advance_to(a.interactive(), c, slot).to_vec();
+            let via_cursor = a.slot_batch_with_live(c, slot, &live);
+            let plain = b.slot_batch(c, slot);
+            assert_eq!(
+                via_cursor.iter().collect::<Vec<_>>(),
+                plain.iter().collect::<Vec<_>>(),
+                "slot {slot}"
+            );
+        }
     }
 
     #[test]

@@ -31,8 +31,15 @@ cargo bench -p gm-bench --bench matcher_kernel | tee /tmp/gm_bench_matcher_kerne
 echo "==> cargo bench --bench branch"
 cargo bench -p gm-bench --bench branch | tee /tmp/gm_bench_branch.txt
 
+echo "==> cargo bench --bench mega (workload-kernel scaling, 1k..1M streams)"
+cargo bench -p gm-bench --bench mega | tee /tmp/gm_bench_mega.txt
+
 SUITE_SECONDS=null
 if [[ "$SKIP_SUITE" -eq 0 ]]; then
+    # Note: on a thermally-constrained box the suite timing right after
+    # ~20 min of criterion runs can read 10–30% high; for the recorded
+    # number, re-run `experiments all` on an idle machine and keep the
+    # stable repeat.
     echo "==> timing full experiment suite (experiments all)"
     cargo build --release -q
     OUT=$(mktemp -d)
@@ -70,6 +77,9 @@ bench_json() {
     echo '  ],'
     echo '  "branch": ['
     bench_json /tmp/gm_bench_branch.txt
+    echo '  ],'
+    echo '  "mega": ['
+    bench_json /tmp/gm_bench_mega.txt
     echo '  ]'
     echo '}'
 } > BENCH_sweep.json

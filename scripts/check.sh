@@ -18,8 +18,14 @@ cargo test -q --test telemetry warm_start
 echo "==> snapshot/resume byte-identity gate (branch vs cold)"
 cargo test -q --test snapshot
 
+echo "==> shard-invariance gate (10^5-stream workload kernel, release)"
+cargo test -q --release --test workload_kernel -- --ignored
+
 echo "==> cargo bench --bench e2e -- --test (smoke)"
 cargo bench -p gm-bench --bench e2e -- --test
+
+echo "==> cargo bench --bench mega -- --test (smoke)"
+cargo bench -p gm-bench --bench mega -- --test
 
 echo "==> cargo bench --bench sweep -- --test (smoke)"
 cargo bench -p gm-bench --bench sweep -- --test
@@ -27,6 +33,10 @@ cargo bench -p gm-bench --bench sweep -- --test
 echo "==> audited e2e smoke (run_once --audit)"
 cargo run --release -q -p gm-bench --bin run_once -- \
   --preset small --audit --audit-out target/audit-report.json
+
+echo "==> audited 10^5-stream smoke (mega kernel, few slots)"
+cargo run --release -q -p gm-bench --bin run_once -- \
+  --preset medium --streams 100000 --slots 8 --audit
 
 echo "==> conservation fuzz smoke (fixed seed)"
 cargo run --release -q -p gm-bench --bin fuzz -- \
