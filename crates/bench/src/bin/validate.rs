@@ -5,38 +5,57 @@
 //! validate                      # full scale (~2 min on one core)
 //! validate --quick              # reduced workload
 //! validate --results-dir DIR    # write run artifacts under DIR
+//! validate --check tiering      # one standalone check (CI smoke)
 //! ```
 
 use gm_bench::runner::ExpContext;
 use gm_bench::shapes;
 use std::path::PathBuf;
 
+fn usage() -> ! {
+    eprintln!("usage: validate [--quick] [--results-dir DIR] [--check tiering]");
+    std::process::exit(2);
+}
+
 fn main() {
     let mut quick = false;
     let mut results_dir: Option<PathBuf> = None;
+    let mut only: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--results-dir" => match args.next() {
                 Some(dir) => results_dir = Some(PathBuf::from(dir)),
-                None => {
-                    eprintln!("usage: validate [--quick] [--results-dir DIR]");
-                    std::process::exit(2);
-                }
+                None => usage(),
+            },
+            "--check" => match args.next() {
+                Some(name) => only = Some(name),
+                None => usage(),
             },
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: validate [--quick] [--results-dir DIR]");
-                std::process::exit(2);
+                usage();
             }
         }
     }
     let scale = if quick { 0.25 } else { 1.0 };
     let out_dir = results_dir.unwrap_or_else(|| std::env::temp_dir().join("gm-validate"));
     let ctx = ExpContext::new(out_dir, 42, scale);
-    eprintln!("running shape checks at scale {scale} ...");
-    let checks = shapes::run_all(&ctx);
+    let checks = match only.as_deref() {
+        None => {
+            eprintln!("running shape checks at scale {scale} ...");
+            shapes::run_all(&ctx)
+        }
+        Some("tiering") => {
+            eprintln!("running the tiering shape check at scale {scale} ...");
+            vec![shapes::tiering_check(&ctx)]
+        }
+        Some(other) => {
+            eprintln!("unknown standalone check {other:?} (available: tiering)");
+            usage();
+        }
+    };
 
     let mut failed = 0;
     let mut report = String::new();

@@ -42,6 +42,7 @@ pub fn medium_cfg(ctx: &ExpContext, policy: PolicyKind) -> ExperimentConfig {
         wan_cost_per_unit: 0,
         matcher_warm_start: true,
         site_parallel: true,
+        tiering: None,
     }
 }
 

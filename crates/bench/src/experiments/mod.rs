@@ -9,6 +9,7 @@ pub mod base;
 pub mod figures;
 pub mod geo;
 pub mod tables;
+pub mod tiering;
 pub mod whatif;
 
 use crate::runner::ExpContext;
@@ -114,6 +115,12 @@ pub fn registry() -> Vec<Experiment> {
             id: "ablate-discharge",
             about: "Battery discharge-timing ablation",
             run: ablations::discharge,
+        },
+        Experiment {
+            id: "tiering",
+            about:
+                "Temperature tiering: replication vs erasure coding across cold-fraction targets",
+            run: tiering::tiering,
         },
         Experiment {
             id: "whatif",

@@ -14,7 +14,9 @@
 //! `fuzz --seed S` replays the identical configuration sequence.
 
 use greenmatch::audit::AuditReport;
-use greenmatch::config::{DischargeStrategy, ExperimentConfig, ForecastKind, SourceKind};
+use greenmatch::config::{
+    DischargeStrategy, ExperimentConfig, ForecastKind, SourceKind, TieringConfig,
+};
 use greenmatch::policy::PolicyKind;
 use greenmatch::report::RunReport;
 use greenmatch::simulation::Simulation;
@@ -135,6 +137,21 @@ pub fn fuzz_config(rng: &mut TestRng) -> ExperimentConfig {
         }
         cfg = cfg.with_sites(sites).with_wan_cost(pick(rng, &[0, 200, 2_000, 100_000]));
     }
+
+    // Temperature tiering: roughly one case in three turns the classifier
+    // on, sampling the cold-fraction ceiling and the EC geometry. New
+    // dimensions draw *after* every pre-existing one, so a given
+    // (seed, case) still replays the same base configuration.
+    if rng.next_u64().is_multiple_of(3) {
+        let cold_fraction_target = pick(rng, &[0.3, 0.5, 0.8]);
+        let (ec_k, ec_m) = pick(rng, &[(4usize, 2usize), (6, 3)]);
+        cfg = cfg.with_tiering(TieringConfig {
+            cold_fraction_target,
+            ec_k,
+            ec_m,
+            ..TieringConfig::default()
+        });
+    }
     cfg
 }
 
@@ -144,8 +161,12 @@ pub fn describe(cfg: &ExperimentConfig) -> String {
         None => "none".to_string(),
         Some(b) => format!("{:.0}kWh", b.capacity_wh / 1000.0),
     };
+    let tiering = match &cfg.tiering {
+        None => "off".to_string(),
+        Some(t) => format!("{:.1}/{}+{}", t.cold_fraction_target, t.ec_k, t.ec_m),
+    };
     format!(
-        "seed={} slots={} sites={} policy={} battery={} discharge={:?} forecast={:?} wan={} failures={} streams={} site_par={}",
+        "seed={} slots={} sites={} policy={} battery={} discharge={:?} forecast={:?} wan={} failures={} streams={} site_par={} tiering={}",
         cfg.seed,
         cfg.slots,
         cfg.n_sites(),
@@ -157,6 +178,7 @@ pub fn describe(cfg: &ExperimentConfig) -> String {
         cfg.failures.is_some(),
         cfg.workload.interactive.streams,
         cfg.site_parallel,
+        tiering,
     )
 }
 
@@ -276,6 +298,8 @@ mod tests {
         let mut with_failures = 0;
         let mut respread = 0;
         let mut sequential = 0;
+        let mut tiered = 0;
+        let mut big_stripe = 0;
         for case in 0..64 {
             let mut rng = TestRng::for_case("fuzzgen-cover", case);
             let cfg = fuzz_config(&mut rng);
@@ -285,12 +309,16 @@ mod tests {
             with_failures += cfg.failures.is_some() as u32;
             respread += (cfg.workload.interactive.streams != 100) as u32;
             sequential += (!cfg.site_parallel) as u32;
+            tiered += cfg.tiering.is_some() as u32;
+            big_stripe += cfg.tiering.is_some_and(|t| t.ec_k == 6) as u32;
         }
         assert!(multi > 10, "multi-site configs must be common ({multi}/64)");
         assert!(with_battery > 20, "battery configs must be common ({with_battery}/64)");
         assert!(with_failures > 5, "failure configs must appear ({with_failures}/64)");
         assert!(respread > 5, "off-preset stream counts must appear ({respread}/64)");
         assert!(sequential > 5, "sequential-phase configs must appear ({sequential}/64)");
+        assert!(tiered > 5, "tiered configs must appear ({tiered}/64)");
+        assert!(big_stripe > 0, "both EC geometries must appear ({big_stripe}/64)");
     }
 
     #[test]

@@ -41,6 +41,41 @@ fn brown(results: &[(String, RunReport)], tag: &str) -> f64 {
         .brown_kwh
 }
 
+/// The DESIGN.md §1.8 tiering claim as a standalone check: demoting cold
+/// objects to erasure coding must pay off in at least one currency —
+/// brown energy or raw capacity — at equal served demand, with its
+/// migration traffic actually happening (the matcher defers it into
+/// renewable-powered slots; the green share is reported as evidence).
+/// Run by [`run_all`] and by `validate --check tiering` as a CI smoke.
+pub fn tiering_check(ctx: &ExpContext) -> ShapeCheck {
+    let gm = PolicyKind::GreenMatch { delay_fraction: 1.0 };
+    let results = run_tagged(vec![
+        ("tier-off".to_string(), medium_cfg(ctx, gm)),
+        (
+            "tier-on".to_string(),
+            medium_cfg(ctx, gm).with_tiering(greenmatch::config::TieringConfig::default()),
+        ),
+    ]);
+    let off = &results.iter().find(|(t, _)| t == "tier-off").expect("tier-off").1;
+    let on = &results.iter().find(|(t, _)| t == "tier-on").expect("tier-on").1;
+    check(
+        "tiering-cuts-brown-or-capacity",
+        (on.brown_kwh <= off.brown_kwh + 1e-6
+            || on.capacity_in_use_bytes < off.capacity_in_use_bytes)
+            && on.latency.count == off.latency.count
+            && on.migrations_completed > 0,
+        format!(
+            "brown {:.1} → {:.1} kWh, raw {:.2} → {:.2} TiB, {} migrations ({:.0}% green)",
+            off.brown_kwh,
+            on.brown_kwh,
+            off.capacity_in_use_bytes as f64 / (1u64 << 40) as f64,
+            on.capacity_in_use_bytes as f64 / (1u64 << 40) as f64,
+            on.migrations_completed,
+            on.migration_green_share * 100.0
+        ),
+    )
+}
+
 /// Run every shape check. `ctx.scale` trades fidelity for speed.
 pub fn run_all(ctx: &ExpContext) -> Vec<ShapeCheck> {
     let gm = PolicyKind::GreenMatch { delay_fraction: 1.0 };
@@ -183,7 +218,10 @@ pub fn run_all(ctx: &ExpContext) -> Vec<ShapeCheck> {
         format!("1 site {g1:.1} vs 3 offset sites {g3:.1} kWh"),
     ));
 
-    // 9. Conservation audit: the headline configuration and a mini-fuzz
+    // 9. Temperature tiering (standalone so CI can smoke it alone).
+    checks.push(tiering_check(ctx));
+
+    // 10. Conservation audit: the headline configuration and a mini-fuzz
     //    over random configurations run clean under the per-slot auditor
     //    and the post-run deep audit.
     let (_, audit) = crate::fuzzgen::run_audited(&medium_cfg(ctx, gm));

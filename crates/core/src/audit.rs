@@ -56,6 +56,9 @@ const MAX_VIOLATIONS: usize = 1_000;
 /// Batch job ids at or above this value are repair jobs (see
 /// `Simulation::next_repair_id`).
 const REPAIR_ID_BASE: u64 = 1 << 40;
+/// Batch job ids at or above this value are tier-migration jobs (see
+/// `Simulation::next_migration_id`); check before [`REPAIR_ID_BASE`].
+const MIGRATION_ID_BASE: u64 = 1 << 41;
 
 fn within(residual: f64, scale: f64) -> bool {
     residual.abs() <= ABS_TOL_WH + REL_TOL * scale.abs()
@@ -160,6 +163,8 @@ pub struct ConservationAuditor {
     next_slot: Option<usize>,
     /// `pending_jobs` of the previous outcome.
     prev_pending: Option<usize>,
+    /// `capacity_in_use_bytes` of the previous outcome.
+    prev_capacity: Option<u64>,
 }
 
 impl ConservationAuditor {
@@ -168,7 +173,12 @@ impl ConservationAuditor {
     pub fn new() -> (ConservationAuditor, Arc<Mutex<AuditReport>>) {
         let report = Arc::new(Mutex::new(AuditReport::default()));
         (
-            ConservationAuditor { report: report.clone(), next_slot: None, prev_pending: None },
+            ConservationAuditor {
+                report: report.clone(),
+                next_slot: None,
+                prev_pending: None,
+                prev_capacity: None,
+            },
             report,
         )
     }
@@ -372,9 +382,10 @@ impl SlotObserver for ConservationAuditor {
         // none), so pending may move within a window.
         if let Some(prev) = self.prev_pending {
             let ev = &o.events;
-            let low = prev as i64 + ev.jobs_submitted as i64
+            let low = prev as i64 + ev.jobs_submitted as i64 + ev.migrations_spawned as i64
                 - ev.jobs_completed as i64
-                - ev.repairs_completed as i64;
+                - ev.repairs_completed as i64
+                - ev.migrations_completed as i64;
             let high = low + ev.disk_failures as i64;
             let now = o.pending_jobs as i64;
             if now < low || now > high {
@@ -385,16 +396,40 @@ impl SlotObserver for ConservationAuditor {
                     residual: (now - low) as f64,
                     detail: format!(
                         "pending {now} outside [{low}, {high}] \
-                         (prev {prev}, +{} submitted, -{} completed, -{} repairs, ≤{} failures)",
+                         (prev {prev}, +{} submitted, +{} migrations, -{} completed, \
+                         -{} repairs, -{} migrations done, ≤{} failures)",
                         ev.jobs_submitted,
+                        ev.migrations_spawned,
                         ev.jobs_completed,
                         ev.repairs_completed,
+                        ev.migrations_completed,
                         ev.disk_failures
                     ),
                 });
             }
         }
         self.prev_pending = Some(o.pending_jobs);
+
+        // Migration byte conservation, exact: placement flips are the only
+        // thing that moves raw capacity, and each flip moves it by exactly
+        // written − released bytes.
+        if let Some(prev) = self.prev_capacity {
+            let expected =
+                prev as i128 - o.tier_bytes_released as i128 + o.tier_bytes_written as i128;
+            if o.capacity_in_use_bytes as i128 != expected {
+                report.push(AuditViolation {
+                    slot: Some(o.slot),
+                    site: None,
+                    invariant: "migration_byte_conservation",
+                    residual: o.capacity_in_use_bytes as f64 - expected as f64,
+                    detail: format!(
+                        "capacity {} != prev {} - released {} + written {}",
+                        o.capacity_in_use_bytes, prev, o.tier_bytes_released, o.tier_bytes_written
+                    ),
+                });
+            }
+        }
+        self.prev_capacity = Some(o.capacity_in_use_bytes);
     }
 }
 
@@ -541,21 +576,26 @@ impl Simulation<'_> {
             });
         }
 
-        // (b) Arrival accounting: every tracked job is either a submitted
-        // batch job or a spawned repair.
+        // (b) Arrival accounting: every tracked job is a submitted batch
+        // job, a spawned repair, or a spawned migration.
         let repairs_spawned = (self.next_repair_id - REPAIR_ID_BASE) as usize;
-        if self.jobs.len() != self.batch_report.jobs_submitted + repairs_spawned {
+        let migrations_spawned = (self.next_migration_id - MIGRATION_ID_BASE) as usize;
+        if self.jobs.len()
+            != self.batch_report.jobs_submitted + repairs_spawned + migrations_spawned
+        {
             report.push(AuditViolation {
                 slot: None,
                 site: None,
                 invariant: "arrival_accounting",
                 residual: self.jobs.len() as f64
-                    - (self.batch_report.jobs_submitted + repairs_spawned) as f64,
+                    - (self.batch_report.jobs_submitted + repairs_spawned + migrations_spawned)
+                        as f64,
                 detail: format!(
-                    "{} tracked jobs vs {} submitted + {} repairs spawned",
+                    "{} tracked jobs vs {} submitted + {} repairs + {} migrations spawned",
                     self.jobs.len(),
                     self.batch_report.jobs_submitted,
-                    repairs_spawned
+                    repairs_spawned,
+                    migrations_spawned
                 ),
             });
         }
@@ -578,6 +618,7 @@ impl Simulation<'_> {
         }
         let mut pending_batch = 0usize;
         let mut pending_repairs = 0usize;
+        let mut pending_migrations = 0usize;
         for &idx in &self.active_jobs {
             let j = &self.jobs[idx];
             if !j.is_pending() {
@@ -598,7 +639,9 @@ impl Simulation<'_> {
                     detail: format!("job {} missing from (or stale in) job_index", j.id.0),
                 });
             }
-            if j.id.0 >= REPAIR_ID_BASE {
+            if j.id.0 >= MIGRATION_ID_BASE {
+                pending_migrations += 1;
+            } else if j.id.0 >= REPAIR_ID_BASE {
                 pending_repairs += 1;
             } else {
                 pending_batch += 1;
@@ -635,6 +678,20 @@ impl Simulation<'_> {
                 ),
             });
         }
+        if migrations_spawned as u64 != self.migrations_completed + pending_migrations as u64 {
+            report.push(AuditViolation {
+                slot: None,
+                site: None,
+                invariant: "migration_job_accounting",
+                residual: migrations_spawned as f64
+                    - (self.migrations_completed + pending_migrations as u64) as f64,
+                detail: format!(
+                    "{migrations_spawned} migrations spawned != {} completed + \
+                     {pending_migrations} pending",
+                    self.migrations_completed
+                ),
+            });
+        }
 
         // Repair-table hygiene: exactly the pending repairs remain mapped
         // to replacement disks. A completed repair left in the table (the
@@ -660,6 +717,32 @@ impl Simulation<'_> {
                     invariant: "repair_table_stale_entry",
                     residual: 0.0,
                     detail: format!("repair_jobs entry {} is not a pending job", id.0),
+                });
+            }
+        }
+
+        // Migration-table hygiene, mirroring the repair table: exactly the
+        // pending migrations remain mapped to their object payloads.
+        if self.migration_jobs.len() != pending_migrations {
+            report.push(AuditViolation {
+                slot: None,
+                site: None,
+                invariant: "migration_table_size",
+                residual: self.migration_jobs.len() as f64 - pending_migrations as f64,
+                detail: format!(
+                    "migration_jobs holds {} entries for {pending_migrations} pending migrations",
+                    self.migration_jobs.len()
+                ),
+            });
+        }
+        for id in self.migration_jobs.keys() {
+            if !self.job_index.contains_key(id) {
+                report.push(AuditViolation {
+                    slot: None,
+                    site: None,
+                    invariant: "migration_table_stale_entry",
+                    residual: 0.0,
+                    detail: format!("migration_jobs entry {} is not a pending job", id.0),
                 });
             }
         }

@@ -236,6 +236,39 @@ pub enum DischargeStrategy {
     Reserve(f64),
 }
 
+/// The temperature-tiering layer of an experiment (None = every object
+/// stays on replication forever, the historic behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TieringConfig {
+    /// Classifier smoothing and hot/cold thresholds.
+    pub ewma: gm_storage::EwmaParams,
+    /// Ceiling on the fraction of objects allowed onto erasure coding.
+    pub cold_fraction_target: f64,
+    /// EC data shards.
+    pub ec_k: usize,
+    /// EC parity shards.
+    pub ec_m: usize,
+    /// Deadline window migration jobs get (they enter the deferrable pool,
+    /// so the matcher steers their bytes into green slots within this
+    /// window).
+    pub migration_deadline_hours: u64,
+    /// Per-direction cap on objects selected per slot (bounds the burst).
+    pub max_migrations_per_slot: usize,
+}
+
+impl Default for TieringConfig {
+    fn default() -> Self {
+        TieringConfig {
+            ewma: gm_storage::EwmaParams::default(),
+            cold_fraction_target: 0.5,
+            ec_k: 4,
+            ec_m: 2,
+            migration_deadline_hours: 24,
+            max_migrations_per_slot: 512,
+        }
+    }
+}
+
 /// The energy side of an experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EnergyConfig {
@@ -364,6 +397,13 @@ pub struct ExperimentConfig {
     /// Defaults to `true`; omitted from archived JSON unless disabled.
     #[serde(default = "default_warm_start", skip_serializing_if = "is_warm_default")]
     pub site_parallel: bool,
+    /// Temperature-tiered storage: hot/warm/cold classification with
+    /// erasure-coded demotion of cold objects, migration bytes scheduled
+    /// through the matcher. `None` (the default, omitted from archived
+    /// JSON) keeps the historic uniform-replication behaviour and leaves
+    /// every trace byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub tiering: Option<TieringConfig>,
 }
 
 fn default_warm_start() -> bool {
@@ -399,6 +439,7 @@ impl ExperimentConfig {
             wan_cost_per_unit: 0,
             matcher_warm_start: true,
             site_parallel: true,
+            tiering: None,
         }
     }
 
@@ -427,6 +468,7 @@ impl ExperimentConfig {
             wan_cost_per_unit: 0,
             matcher_warm_start: true,
             site_parallel: true,
+            tiering: None,
         }
     }
 
@@ -537,6 +579,14 @@ impl ExperimentConfig {
     #[must_use]
     pub fn with_site_parallel(mut self, on: bool) -> Self {
         self.site_parallel = on;
+        self
+    }
+
+    /// Enable (or with `None`, disable) temperature-tiered storage (see
+    /// [`Self::tiering`]).
+    #[must_use]
+    pub fn with_tiering(mut self, tiering: impl Into<Option<TieringConfig>>) -> Self {
+        self.tiering = tiering.into();
         self
     }
 
@@ -727,6 +777,21 @@ mod tests {
         let json = serde_json::to_string(&seq).expect("serialises");
         let back: ExperimentConfig = serde_json::from_str(&json).expect("parses");
         assert!(!back.site_parallel);
+    }
+
+    #[test]
+    fn tiering_knob_defaults_off_and_roundtrips() {
+        let cfg = ExperimentConfig::small_demo(3);
+        assert!(cfg.tiering.is_none());
+        let json = serde_json::to_string(&cfg).expect("serialises");
+        assert!(!json.contains("tiering"), "default stays out of archived JSON");
+        let back: ExperimentConfig = serde_json::from_str(&json).expect("parses");
+        assert!(back.tiering.is_none(), "omitted field deserialises to off");
+        let tiered = cfg.with_tiering(TieringConfig::default());
+        let json = serde_json::to_string(&tiered).expect("serialises");
+        let back: ExperimentConfig = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.tiering, tiered.tiering);
+        assert_eq!(back.tiering.unwrap().ec_k, 4);
     }
 
     #[test]

@@ -15,6 +15,10 @@ use gm_workload::{BatchJob, JobId};
 pub(crate) struct Classified {
     pub jobs_submitted: usize,
     pub disk_failures: u64,
+    pub tier_hot: u64,
+    pub tier_warm: u64,
+    pub tier_cold: u64,
+    pub migrations_spawned: usize,
 }
 
 pub(crate) fn run(
@@ -82,6 +86,39 @@ pub(crate) fn run(
         jobs_submitted += 1;
     }
 
+    // Temperature step: fold the slot's access hits into the classifier
+    // and turn its demote/promote picks into deferrable migration jobs —
+    // their bytes enter the same pool the matcher prices, so migration
+    // I/O competes for green slots like repair and batch work. A no-op
+    // (all zeros, no jobs) when tiering is off.
+    let mut tier = gm_storage::cluster::TierStep::default();
+    let mut migrations_spawned = 0usize;
+    if let Some(tcfg) = sim.cfg.tiering {
+        tier = sim.sites[0].cluster.tier_step(ctx.hours, tcfg.max_migrations_per_slot);
+        let deadline = now + gm_sim::SimDuration::from_hours(tcfg.migration_deadline_hours);
+        for (objs, bytes, demote) in [
+            (std::mem::take(&mut tier.demote), tier.demote_bytes, true),
+            (std::mem::take(&mut tier.promote), tier.promote_bytes, false),
+        ] {
+            if objs.is_empty() || bytes == 0 {
+                continue;
+            }
+            let id = JobId(sim.next_migration_id);
+            sim.next_migration_id += 1;
+            sim.migration_jobs.insert(id, crate::simulation::MigrationInfo { objs, demote });
+            sim.job_index.insert(id, sim.jobs.len());
+            sim.active_jobs.push(sim.jobs.len());
+            sim.jobs.push(BatchJob::new(
+                id,
+                gm_workload::BatchKind::Migration,
+                now,
+                deadline,
+                bytes,
+            ));
+            migrations_spawned += 1;
+        }
+    }
+
     // Columnar job table over the active (pending) jobs, in submission
     // order — one row pushed per job, landing in four parallel columns.
     let pending_count = sim.active_jobs.len();
@@ -98,5 +135,12 @@ pub(crate) fn run(
         });
     }
 
-    Classified { jobs_submitted, disk_failures }
+    Classified {
+        jobs_submitted,
+        disk_failures,
+        tier_hot: tier.hot,
+        tier_warm: tier.warm,
+        tier_cold: tier.cold,
+        migrations_spawned,
+    }
 }

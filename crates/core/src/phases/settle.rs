@@ -21,6 +21,11 @@ pub(crate) struct Settled {
     pub jobs_completed: usize,
     pub deadline_misses: usize,
     pub repairs_completed: u64,
+    pub migrations_completed: u64,
+    /// Replica bytes released by migrations completing this slot.
+    pub tier_bytes_released: u64,
+    /// Bytes newly written by migrations completing this slot.
+    pub tier_bytes_written: u64,
 }
 
 /// Settle one site's energy for the slot and record its ledger.
@@ -132,13 +137,25 @@ pub(crate) fn run(sim: &mut Simulation, ctx: &SlotContext) -> Settled {
     let mut jobs_completed = 0usize;
     let mut deadline_misses = 0usize;
     let mut slot_repairs = 0u64;
+    let mut slot_migrations = 0u64;
+    let mut tier_bytes_released = 0u64;
+    let mut tier_bytes_written = 0u64;
     for &idx in &sim.active_jobs {
         let j = &sim.jobs[idx];
         if let Some(met) = j.met_deadline() {
             // `remove` (not `get`): a completed repair must leave the map,
             // or it grows unboundedly and every retired id is consulted on
             // each execute-phase lookup forever.
-            if let Some(disk) = sim.repair_jobs.remove(&j.id) {
+            if let Some(info) = sim.migration_jobs.remove(&j.id) {
+                // The migration's I/O is done: flip the placement of every
+                // carried object and settle the capacity delta.
+                let (released, written) =
+                    sim.sites[0].cluster.complete_migration(&info.objs, info.demote);
+                tier_bytes_released += released;
+                tier_bytes_written += written;
+                sim.migrations_completed += 1;
+                slot_migrations += 1;
+            } else if let Some(disk) = sim.repair_jobs.remove(&j.id) {
                 sim.sites[0].cluster.mark_rebuilt(disk);
                 sim.repairs_completed += 1;
                 slot_repairs += 1;
@@ -163,5 +180,8 @@ pub(crate) fn run(sim: &mut Simulation, ctx: &SlotContext) -> Settled {
         jobs_completed,
         deadline_misses,
         repairs_completed: slot_repairs,
+        migrations_completed: slot_migrations,
+        tier_bytes_released,
+        tier_bytes_written,
     }
 }

@@ -169,6 +169,24 @@ pub struct RunReport {
     pub rebuild_bytes: u64,
     /// Repair jobs fully completed within the horizon.
     pub repairs_completed: u64,
+    /// Tier-migration jobs fully completed within the horizon (0 with
+    /// tiering off).
+    #[serde(default)]
+    pub migrations_completed: u64,
+    /// Migration I/O executed (bytes).
+    #[serde(default)]
+    pub migrated_bytes: u64,
+    /// Share of migration bytes executed under green energy: each slot's
+    /// migration bytes weighted by that slot's green fraction of load.
+    #[serde(default)]
+    pub migration_green_share: f64,
+    /// Raw storage capacity in use at the end of the run (replica bytes
+    /// plus EC shard bytes).
+    #[serde(default)]
+    pub capacity_in_use_bytes: u64,
+    /// Objects resident on erasure coding at the end of the run.
+    #[serde(default)]
+    pub ec_objects: u64,
     /// Read-cache hit ratio (0 when the cache is disabled).
     pub cache_hit_ratio: f64,
 
@@ -309,6 +327,17 @@ impl fmt::Display for RunReport {
                 self.failures, self.repairs_completed, self.lost_objects, self.degraded_reads
             )?;
         }
+        if self.migrations_completed > 0 || self.ec_objects > 0 {
+            writeln!(
+                f,
+                "tiering         : {} migrations done, {:.1} GiB moved ({:.1}% in green slots), {} EC objects, {:.2} TiB raw in use",
+                self.migrations_completed,
+                self.migrated_bytes as f64 / (1u64 << 30) as f64,
+                self.migration_green_share * 100.0,
+                self.ec_objects,
+                self.capacity_in_use_bytes as f64 / (1u64 << 40) as f64
+            )?;
+        }
         Ok(())
     }
 }
@@ -363,6 +392,11 @@ mod tests {
             degraded_reads: 0,
             rebuild_bytes: 0,
             repairs_completed: 0,
+            migrations_completed: 0,
+            migrated_bytes: 0,
+            migration_green_share: 0.0,
+            capacity_in_use_bytes: 0,
+            ec_objects: 0,
             cache_hit_ratio: 0.0,
             gears_series: vec![1; 24],
             load_series_wh: vec![0.0; 24],

@@ -43,7 +43,7 @@ use gm_sim::{LogHistogram, SlotClock, TimeSeries};
 use gm_storage::{Cluster, FailureDice};
 use gm_workload::trace::Workload;
 use gm_workload::{BatchJob, JobId, LiveCursor};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -112,6 +112,20 @@ pub struct SlotEvents {
     pub repairs_completed: u64,
     /// Disks that failed this slot (failure injection).
     pub disk_failures: u64,
+    /// Tier-migration jobs spawned by the classifier this slot.
+    pub migrations_spawned: usize,
+    /// Tier-migration jobs that completed (flipped placement) this slot.
+    pub migrations_completed: u64,
+}
+
+/// One tier-migration job's payload: the objects whose placement flips
+/// when the job's I/O completes, and the direction of the flip.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationInfo {
+    /// Object indices being moved (the home cluster's dense index space).
+    pub objs: Vec<u32>,
+    /// `true` for replicated→erasure demotion, `false` for promotion.
+    pub demote: bool,
 }
 
 /// Everything that happened in one simulated slot.
@@ -153,6 +167,20 @@ pub struct SlotOutcome {
     /// Always 0 when flow conservation holds (and for policies without a
     /// matcher); the conservation auditor asserts it.
     pub matcher_residual_units: i64,
+    /// Objects classified hot after this slot (0 with tiering off).
+    pub tier_hot: u64,
+    /// Objects classified warm after this slot (0 with tiering off).
+    pub tier_warm: u64,
+    /// Objects classified cold after this slot (0 with tiering off).
+    pub tier_cold: u64,
+    /// Migration-job bytes executed this slot.
+    pub migrated_bytes: u64,
+    /// Replica bytes released by migrations completing this slot.
+    pub tier_bytes_released: u64,
+    /// Bytes newly written by migrations completing this slot.
+    pub tier_bytes_written: u64,
+    /// Raw storage capacity in use after the slot (replicas + EC shards).
+    pub capacity_in_use_bytes: u64,
     /// Per-site breakdown of the aggregate fields above. Empty for
     /// single-site runs (the aggregates *are* the one site).
     #[serde(skip_serializing_if = "Vec::is_empty")]
@@ -380,6 +408,17 @@ pub struct Simulation<'s> {
     pub(crate) next_repair_id: u64,
     pub(crate) repairs_completed: u64,
 
+    /// Pending tier-migration jobs by id (home site only, like repairs).
+    pub(crate) migration_jobs: HashMap<JobId, MigrationInfo>,
+    pub(crate) next_migration_id: u64,
+    pub(crate) migrations_completed: u64,
+    /// Total migration-job bytes executed so far.
+    pub(crate) migrated_bytes: u64,
+    /// Of those, bytes executed in slots weighted by the slot's green
+    /// fraction of load — `migrated_green_bytes / migrated_bytes` is the
+    /// green-slot share of migration I/O.
+    pub(crate) migrated_green_bytes: f64,
+
     pub(crate) cursor: usize,
     pub(crate) observers: Vec<Box<dyn SlotObserver + Send>>,
     pub(crate) time_phases: bool,
@@ -422,6 +461,13 @@ impl<'s> Simulation<'s> {
             let rngs = gm_sim::RngFactory::new(cfg.site_seed(i));
             let mut cluster = Cluster::from_layout(site_world.layout);
             cluster.set_slot_width(width);
+            // Temperature tiering is a home-site concern (remote clusters
+            // hold no primary data, like failures and repairs).
+            if i == 0 {
+                if let Some(t) = cfg.tiering {
+                    cluster.enable_tiering(t.ewma, t.cold_fraction_target, t.ec_k, t.ec_m);
+                }
+            }
             let model = PlanningModel::from_spec(&site_cfg.cluster);
             let forecaster = site_cfg.forecast.build(&site_world.green_trace, clock, &rngs);
             let battery_spec = site_cfg.battery.unwrap_or_else(|| BatterySpec::lithium_ion(0.0));
@@ -479,6 +525,11 @@ impl<'s> Simulation<'s> {
             repair_jobs: HashMap::new(),
             next_repair_id: 1u64 << 40, // well above workload job ids
             repairs_completed: 0,
+            migration_jobs: HashMap::new(),
+            next_migration_id: 1u64 << 41, // above repair ids too
+            migrations_completed: 0,
+            migrated_bytes: 0,
+            migrated_green_bytes: 0.0,
             cursor: 0,
             observers: Vec::new(),
             time_phases: false,
@@ -536,6 +587,9 @@ impl<'s> Simulation<'s> {
         let mut repair_jobs: Vec<(u64, usize)> =
             self.repair_jobs.iter().map(|(id, &disk)| (id.0, disk)).collect();
         repair_jobs.sort_unstable();
+        let mut migration_jobs: Vec<(u64, MigrationInfo)> =
+            self.migration_jobs.iter().map(|(id, info)| (id.0, info.clone())).collect();
+        migration_jobs.sort_unstable_by_key(|(id, _)| *id);
         Snapshot {
             version: SNAPSHOT_VERSION,
             cfg: self.cfg.clone(),
@@ -563,6 +617,11 @@ impl<'s> Simulation<'s> {
             repair_jobs,
             next_repair_id: self.next_repair_id,
             repairs_completed: self.repairs_completed,
+            migration_jobs,
+            next_migration_id: self.next_migration_id,
+            migrations_completed: self.migrations_completed,
+            migrated_bytes: self.migrated_bytes,
+            migrated_green_bytes: self.migrated_green_bytes,
         }
     }
 
@@ -575,9 +634,12 @@ impl<'s> Simulation<'s> {
     /// site count or cluster shapes do not match this simulation.
     fn restore_overlay(&mut self, snap: &Snapshot) -> Result<(), ConfigError> {
         let invalid = |message: String| ConfigError::Invalid { message };
-        if snap.version != SNAPSHOT_VERSION {
+        // Version 1 snapshots (pre-tiering) restore with the migration
+        // fields at their defaults — an empty table, which is exactly the
+        // state every v1 run was in.
+        if snap.version != SNAPSHOT_VERSION && snap.version != 1 {
             return Err(invalid(format!(
-                "snapshot version {} not supported (this build reads version {})",
+                "snapshot version {} not supported (this build reads versions 1 and {})",
                 snap.version, SNAPSHOT_VERSION
             )));
         }
@@ -651,6 +713,12 @@ impl<'s> Simulation<'s> {
         self.repair_jobs = snap.repair_jobs.iter().map(|&(id, disk)| (JobId(id), disk)).collect();
         self.next_repair_id = snap.next_repair_id;
         self.repairs_completed = snap.repairs_completed;
+        self.migration_jobs =
+            snap.migration_jobs.iter().map(|(id, info)| (JobId(*id), info.clone())).collect();
+        self.next_migration_id = snap.next_migration_id;
+        self.migrations_completed = snap.migrations_completed;
+        self.migrated_bytes = snap.migrated_bytes;
+        self.migrated_green_bytes = snap.migrated_green_bytes;
         self.cursor = snap.cursor;
         Ok(())
     }
@@ -694,10 +762,23 @@ impl<'s> Simulation<'s> {
         let t = self.emit_phase(s, Phase::Plan, t);
         let gears = phases::gear::run(self, &ctx, &decision);
         let t = self.emit_phase(s, Phase::Gear, t);
+        // Migration jobs execute through the generic batch path; their
+        // slot share is the drop in their remaining work across execute.
+        let migration_remaining_before = self.migration_remaining_bytes();
         let executed_batch_bytes = phases::execute::run(self, &ctx, scratch, &decision, gears);
+        let migrated_bytes = migration_remaining_before - self.migration_remaining_bytes();
         let t = self.emit_phase(s, Phase::Execute, t);
         let settled = phases::settle::run(self, &ctx);
         self.emit_phase(s, Phase::Settle, t);
+
+        if migrated_bytes > 0 {
+            self.migrated_bytes += migrated_bytes;
+            let e = &settled.energy;
+            if e.load_wh > 0.0 {
+                let green_frac = ((e.load_wh - e.grid_wh) / e.load_wh).clamp(0.0, 1.0);
+                self.migrated_green_bytes += migrated_bytes as f64 * green_frac;
+            }
+        }
 
         self.cursor += 1;
 
@@ -736,17 +817,35 @@ impl<'s> Simulation<'s> {
                 deadline_misses: settled.deadline_misses,
                 repairs_completed: settled.repairs_completed,
                 disk_failures: classified.disk_failures,
+                migrations_spawned: classified.migrations_spawned,
+                migrations_completed: settled.migrations_completed,
             },
             latency: LatencyReport::from_histogram(&scratch.slot_hist),
             pending_jobs: self.job_index.len(),
             writelog_pending_bytes: self.sites[0].cluster.write_log().pending_total(),
             matcher_residual_units: self.policy.matcher_residual_units(),
+            tier_hot: classified.tier_hot,
+            tier_warm: classified.tier_warm,
+            tier_cold: classified.tier_cold,
+            migrated_bytes,
+            tier_bytes_released: settled.tier_bytes_released,
+            tier_bytes_written: settled.tier_bytes_written,
+            capacity_in_use_bytes: self.sites[0].cluster.capacity_in_use_bytes(),
             site_energy,
         };
         for obs in &mut self.observers {
             obs.on_slot(&outcome);
         }
         Some(outcome)
+    }
+
+    /// Remaining bytes across all tracked migration jobs (0 with tiering
+    /// off — the table stays empty, so the hot path pays one branch).
+    fn migration_remaining_bytes(&self) -> u64 {
+        if self.migration_jobs.is_empty() {
+            return 0;
+        }
+        self.migration_jobs.keys().map(|id| self.jobs[self.job_index[id]].remaining_bytes).sum()
     }
 
     /// Memoised expected interactive busy-seconds for an absolute slot
@@ -795,12 +894,14 @@ impl<'s> Simulation<'s> {
     /// called with the horizon exhausted; an early call reports the run so
     /// far, with every not-yet-simulated slot absent from the series).
     pub fn into_report(mut self) -> RunReport {
-        // Unfinished work at the end of the horizon (repair jobs are
-        // tracked separately and excluded from batch statistics).
+        // Unfinished work at the end of the horizon (repair and migration
+        // jobs are tracked separately and excluded from batch statistics).
         let horizon_end = self.clock.slot_end(self.slots - 1);
-        for j in
-            self.jobs.iter().filter(|j| j.is_pending() && !self.repair_jobs.contains_key(&j.id))
-        {
+        for j in self.jobs.iter().filter(|j| {
+            j.is_pending()
+                && !self.repair_jobs.contains_key(&j.id)
+                && !self.migration_jobs.contains_key(&j.id)
+        }) {
             self.batch_report.bytes_completed += j.total_bytes - j.remaining_bytes;
             if j.deadline <= horizon_end {
                 self.batch_report.unfinished_late += 1;
@@ -939,6 +1040,15 @@ impl<'s> Simulation<'s> {
             degraded_reads: home.cluster.degraded_reads(),
             rebuild_bytes: home.cluster.total_rebuild_bytes(),
             repairs_completed: self.repairs_completed,
+            migrations_completed: self.migrations_completed,
+            migrated_bytes: self.migrated_bytes,
+            migration_green_share: if self.migrated_bytes > 0 {
+                self.migrated_green_bytes / self.migrated_bytes as f64
+            } else {
+                0.0
+            },
+            capacity_in_use_bytes: home.cluster.capacity_in_use_bytes(),
+            ec_objects: home.cluster.ec_objects() as u64,
             cache_hit_ratio: home.cluster.cache().hit_ratio(),
             gears_series: std::mem::take(&mut home.gears_series),
             load_series_wh,

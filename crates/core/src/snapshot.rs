@@ -35,8 +35,31 @@ use std::io::{Read, Write};
 use std::path::Path;
 
 /// Format version; bumped whenever the snapshot shape changes
-/// incompatibly. Restore refuses snapshots from any other version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// incompatibly. Restore also accepts version 1 (pre-tiering): every new
+/// field defaults to the empty state a v1 run was necessarily in.
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// Serde default for [`Snapshot::next_migration_id`] (v1 snapshots never
+/// allocated one).
+fn migration_id_base() -> u64 {
+    1u64 << 41
+}
+
+/// Skip predicate: the id counter is omitted while still at its base, so
+/// a run that never migrated writes a v1-shaped snapshot.
+fn at_migration_id_base(id: &u64) -> bool {
+    *id == migration_id_base()
+}
+
+/// Skip predicate for the zero-valued migration counters.
+fn u64_is_zero(v: &u64) -> bool {
+    *v == 0
+}
+
+/// Skip predicate for the zero-valued green-byte accumulator.
+fn f64_is_zero(v: &f64) -> bool {
+    *v == 0.0
+}
 
 /// One site's share of a [`Snapshot`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -100,6 +123,24 @@ pub struct Snapshot {
     pub next_repair_id: u64,
     /// Disk repairs completed so far.
     pub repairs_completed: u64,
+    /// Migration-job table as `(job id, payload)` pairs sorted by id.
+    /// All five migration fields default (and are omitted at their
+    /// defaults), so v1 snapshots parse and a tiering-off run still writes
+    /// a v1-shaped snapshot.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub migration_jobs: Vec<(u64, crate::simulation::MigrationInfo)>,
+    /// Next migration-job id to allocate.
+    #[serde(default = "migration_id_base", skip_serializing_if = "at_migration_id_base")]
+    pub next_migration_id: u64,
+    /// Migrations completed so far.
+    #[serde(default, skip_serializing_if = "u64_is_zero")]
+    pub migrations_completed: u64,
+    /// Migration bytes executed so far.
+    #[serde(default, skip_serializing_if = "u64_is_zero")]
+    pub migrated_bytes: u64,
+    /// Green-fraction-weighted migration bytes so far.
+    #[serde(default, skip_serializing_if = "f64_is_zero")]
+    pub migrated_green_bytes: f64,
 }
 
 impl Snapshot {
@@ -112,9 +153,9 @@ impl Snapshot {
     pub fn from_json(json: &str) -> Result<Snapshot, String> {
         let snap: Snapshot =
             serde_json::from_str(json).map_err(|e| format!("malformed snapshot: {e}"))?;
-        if snap.version != SNAPSHOT_VERSION {
+        if snap.version != SNAPSHOT_VERSION && snap.version != 1 {
             return Err(format!(
-                "snapshot version {} not supported (this build reads version {})",
+                "snapshot version {} not supported (this build reads versions 1 and {})",
                 snap.version, SNAPSHOT_VERSION
             ));
         }

@@ -25,14 +25,16 @@
 use crate::cache::{LruCache, CACHE_HIT_SERVICE};
 use crate::disk::{Disk, DiskSpec};
 use crate::failure::FailureReport;
-use crate::layout::{LayoutKind, Topology};
-use crate::object::{DataObject, DiskIdx, ObjectId};
+use crate::layout::{obj_hash, LayoutKind, Topology};
+use crate::object::{DataObject, DiskIdx, ObjectId, Placement};
 use crate::queue::{DiskQueue, ServedRequest};
 use crate::request::{IoKind, IoRequest};
 use crate::server::{Server, ServerSpec};
+use crate::temperature::{EwmaEstimator, EwmaParams, Temperature, TemperatureEstimator};
 use crate::writelog::WriteLog;
 use gm_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Static cluster configuration.
@@ -212,6 +214,75 @@ pub struct ClusterSnapshot {
     pub total_forced_spinups: u64,
     /// RAM read-cache arena (recency order, hit/miss counters).
     pub cache: LruCache,
+    /// Temperature-tier state, present iff tiering was enabled. Absent in
+    /// pre-tiering snapshots (v1), which restore onto tiering-off clusters.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub tiering: Option<TieringSnapshot>,
+}
+
+/// Serialized temperature-tier state (mirrors [`Tiering`]'s dynamic
+/// fields; thresholds and EC geometry come from config on restore).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TieringSnapshot {
+    /// Smoothed per-object access rates.
+    pub rate: Vec<f64>,
+    /// Hits accumulated since the last `tier_step`.
+    pub hits: Vec<u32>,
+    /// Current per-object temperature.
+    pub temp: Vec<Temperature>,
+    /// Erasure-coded objects: `(object index, shard disks)`, sorted by
+    /// object index for byte-stable snapshots.
+    pub ec: Vec<(u32, Vec<DiskIdx>)>,
+    /// Objects with an in-flight migration, sorted.
+    pub migrating: Vec<u32>,
+    /// Raw bytes currently consumed across all placements.
+    pub capacity_bytes: u64,
+}
+
+/// One slot's classifier output: tier census plus the migration work the
+/// scheduler should enqueue.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TierStep {
+    /// Objects classified hot.
+    pub hot: u64,
+    /// Objects classified warm.
+    pub warm: u64,
+    /// Objects classified cold.
+    pub cold: u64,
+    /// Object indices selected for replicated→EC demotion this slot.
+    pub demote: Vec<u32>,
+    /// Object indices selected for EC→replicated promotion this slot.
+    pub promote: Vec<u32>,
+    /// Total I/O bytes the demotions will cost (read replica + write shards).
+    pub demote_bytes: u64,
+    /// Total I/O bytes the promotions will cost (read shards + write replicas).
+    pub promote_bytes: u64,
+}
+
+/// Live temperature-tier state: per-object access tracking, the swappable
+/// classifier, the EC placement overlay, and capacity accounting. Boxed on
+/// [`Cluster`] so tiering-off runs pay one pointer.
+#[derive(Debug)]
+struct Tiering {
+    /// Ceiling on the cold fraction of the fleet (demotion stops there).
+    cold_fraction_target: f64,
+    /// EC data shards.
+    k: usize,
+    /// EC parity shards.
+    m: usize,
+    /// The estimator (EWMA today; the trait keeps it swappable).
+    estimator: EwmaEstimator,
+    /// Serve hits per object since the last `tier_step`.
+    hits: Vec<u32>,
+    /// Current temperature per object.
+    temp: Vec<Temperature>,
+    /// EC placement overlay: object index → shard disks. Objects absent
+    /// here still follow the frozen replicated directory.
+    ec: HashMap<usize, Vec<DiskIdx>>,
+    /// Per-object in-flight-migration flag (placement flips at completion).
+    migrating: Vec<bool>,
+    /// Raw bytes consumed across all placements.
+    capacity_bytes: u64,
 }
 
 /// The live cluster.
@@ -248,6 +319,8 @@ pub struct Cluster {
     total_forced_spinups: u64,
     /// Read cache (disabled at zero capacity).
     cache: LruCache,
+    /// Temperature-tier state (None = tiering off; the default).
+    tiering: Option<Box<Tiering>>,
 }
 
 impl Cluster {
@@ -281,8 +354,210 @@ impl Cluster {
             total_spinups: 0,
             total_forced_spinups: 0,
             cache: LruCache::new(spec.cache_bytes),
+            tiering: None,
             layout,
         }
+    }
+
+    /// Turn the temperature layer on: track per-object access, classify
+    /// hot/warm/cold each `tier_step`, and overlay `k + m` erasure coding
+    /// for demoted objects. Must be called before any traffic (capacity
+    /// accounting starts from the all-replicated state).
+    pub fn enable_tiering(
+        &mut self,
+        params: EwmaParams,
+        cold_fraction_target: f64,
+        k: usize,
+        m: usize,
+    ) {
+        let spec = &self.layout.spec;
+        let topo = spec.topology;
+        assert!(k >= 1 && m >= 1, "EC needs k >= 1 data and m >= 1 parity shards");
+        assert!((0.0..=1.0).contains(&cold_fraction_target));
+        let per_gear = topo.servers_per_gear() * topo.bays;
+        assert!(
+            (k + m).div_ceil(topo.gears) <= per_gear,
+            "EC ({}+{}) shards do not fit {} gears of {} disks",
+            k,
+            m,
+            topo.gears,
+            per_gear
+        );
+        let n = spec.objects;
+        self.tiering = Some(Box::new(Tiering {
+            cold_fraction_target,
+            k,
+            m,
+            estimator: EwmaEstimator::new(params, n),
+            hits: vec![0; n],
+            temp: vec![Temperature::Warm; n],
+            ec: HashMap::new(),
+            migrating: vec![false; n],
+            capacity_bytes: n as u64 * spec.replication as u64 * spec.object_size_bytes,
+        }));
+    }
+
+    /// Whether the temperature layer is on.
+    pub fn tiering_enabled(&self) -> bool {
+        self.tiering.is_some()
+    }
+
+    /// Raw bytes consumed across all placements. With tiering off this is
+    /// the constant `objects × replication × size`.
+    pub fn capacity_in_use_bytes(&self) -> u64 {
+        match &self.tiering {
+            Some(t) => t.capacity_bytes,
+            None => {
+                let s = &self.layout.spec;
+                s.objects as u64 * s.replication as u64 * s.object_size_bytes
+            }
+        }
+    }
+
+    /// Number of objects currently on erasure coding.
+    pub fn ec_objects(&self) -> usize {
+        self.tiering.as_ref().map_or(0, |t| t.ec.len())
+    }
+
+    /// Current placement of an object: the frozen replicated directory
+    /// entry, unless the temperature layer has demoted it to EC.
+    pub fn placement_of(&self, obj: usize) -> Placement {
+        if let Some(t) = &self.tiering {
+            if let Some(shards) = t.ec.get(&obj) {
+                return Placement::Erasure { k: t.k, m: t.m, shards: shards.clone() };
+            }
+        }
+        Placement::Replicated { replicas: self.layout.directory[obj].replicas.clone() }
+    }
+
+    /// Deterministic EC shard placement for `obj`, packed bottom-up: shard
+    /// `s` goes to gear `s / per_gear`, so the `k` data shards fill the
+    /// lowest (powered-first) gears and parity sits above them. Where the
+    /// stripe fits gear 0 this mirrors the gear layout's replica-0
+    /// guarantee — a normal k-shard read never forces a spin-up; parity is
+    /// only touched by writes (write-log offloaded when dark) and
+    /// rebuilds. Spread within the gear by object hash with linear probing
+    /// for distinctness.
+    fn place_ec_shards(&self, obj: usize) -> Vec<DiskIdx> {
+        let t = self.tiering.as_ref().expect("shard placement needs tiering");
+        let topo = self.layout.spec.topology;
+        let per_gear = topo.servers_per_gear() * topo.bays;
+        let id = ObjectId(obj as u64);
+        let seed = self.layout.spec.layout_seed ^ 0xEC0D_E000;
+        let mut shards = Vec::with_capacity(t.k + t.m);
+        for s in 0..t.k + t.m {
+            let gear = s / per_gear;
+            let base = gear * per_gear;
+            let start = (obj_hash(seed, id, s as u64) % per_gear as u64) as usize;
+            let mut probe = 0;
+            loop {
+                let d = base + (start + probe) % per_gear;
+                if !shards.contains(&d) {
+                    shards.push(d);
+                    break;
+                }
+                probe += 1;
+                debug_assert!(probe <= per_gear, "gear {gear} exhausted placing shard {s}");
+            }
+        }
+        shards
+    }
+
+    /// Run one classification slot of width `hours`: fold the accumulated
+    /// serve hits into the estimator, reclassify every object, and select up
+    /// to `max_migrations` demotions and promotions. Demotion stops at the
+    /// cold-fraction ceiling; both directions skip objects already
+    /// migrating. Selected objects are marked in-flight — the placement
+    /// flips when the caller reports the migration job complete via
+    /// [`Cluster::complete_migration`]. No-op with tiering off.
+    pub fn tier_step(&mut self, hours: f64, max_migrations: usize) -> TierStep {
+        let Some(t) = &mut self.tiering else {
+            return TierStep::default();
+        };
+        let mut out = TierStep::default();
+        for obj in 0..t.hits.len() {
+            t.estimator.observe(obj, t.hits[obj], hours);
+            t.hits[obj] = 0;
+            t.temp[obj] = t.estimator.classify(obj, t.temp[obj]);
+            match t.temp[obj] {
+                Temperature::Hot => out.hot += 1,
+                Temperature::Warm => out.warm += 1,
+                Temperature::Cold => out.cold += 1,
+            }
+        }
+        let spec = &self.layout.spec;
+        let size = spec.object_size_bytes;
+        let shard_bytes = size.div_ceil(t.k as u64);
+        let ec_stored = (t.k + t.m) as u64 * shard_bytes;
+        // Demotions: cold replicated objects, up to the budget and the
+        // cold-fraction ceiling (counting EC residents and in-flight work).
+        let ceiling = (t.cold_fraction_target * spec.objects as f64).floor() as usize;
+        let mut cold_footprint = t.ec.len() + t.migrating.iter().filter(|&&f| f).count();
+        for obj in 0..t.temp.len() {
+            if out.demote.len() >= max_migrations || cold_footprint >= ceiling {
+                break;
+            }
+            if t.temp[obj] == Temperature::Cold && !t.migrating[obj] && !t.ec.contains_key(&obj) {
+                t.migrating[obj] = true;
+                cold_footprint += 1;
+                out.demote.push(obj as u32);
+                out.demote_bytes += size + ec_stored;
+            }
+        }
+        // Promotions: hot EC objects, up to the budget.
+        for obj in 0..t.temp.len() {
+            if out.promote.len() >= max_migrations {
+                break;
+            }
+            if t.temp[obj] == Temperature::Hot && !t.migrating[obj] && t.ec.contains_key(&obj) {
+                t.migrating[obj] = true;
+                out.promote.push(obj as u32);
+                out.promote_bytes += t.k as u64 * shard_bytes + spec.replication as u64 * size;
+            }
+        }
+        out
+    }
+
+    /// Flip the placement of migrated objects once their (scheduled,
+    /// green-matched) copy work has executed. `demote` installs EC shards
+    /// and releases the replicas; promotion restores the directory replicas
+    /// and releases the shards. Returns `(bytes released, bytes written)` —
+    /// the capacity-conservation pair the auditor checks.
+    pub fn complete_migration(&mut self, objs: &[u32], demote: bool) -> (u64, u64) {
+        if objs.is_empty() {
+            return (0, 0);
+        }
+        let placements: Vec<Vec<DiskIdx>> = if demote {
+            objs.iter().map(|&o| self.place_ec_shards(o as usize)).collect()
+        } else {
+            Vec::new()
+        };
+        let spec_size = self.layout.spec.object_size_bytes;
+        let replication = self.layout.spec.replication as u64;
+        let t = self.tiering.as_mut().expect("migration needs tiering");
+        let shard_bytes = spec_size.div_ceil(t.k as u64);
+        let ec_stored = (t.k + t.m) as u64 * shard_bytes;
+        let rep_stored = replication * spec_size;
+        let mut released = 0u64;
+        let mut written = 0u64;
+        for (i, &o) in objs.iter().enumerate() {
+            let obj = o as usize;
+            debug_assert!(t.migrating[obj], "completing a migration that was never scheduled");
+            t.migrating[obj] = false;
+            if demote {
+                let prev = t.ec.insert(obj, placements[i].clone());
+                debug_assert!(prev.is_none(), "demoting an already-EC object");
+                released += rep_stored;
+                written += ec_stored;
+            } else {
+                let prev = t.ec.remove(&obj);
+                debug_assert!(prev.is_some(), "promoting a replicated object");
+                released += ec_stored;
+                written += rep_stored;
+            }
+        }
+        t.capacity_bytes = t.capacity_bytes - released + written;
+        (released, written)
     }
 
     /// Capture the full mutable state for checkpointing. The layout is not
@@ -306,6 +581,21 @@ impl Cluster {
             total_spinups: self.total_spinups,
             total_forced_spinups: self.total_forced_spinups,
             cache: self.cache.clone(),
+            tiering: self.tiering.as_ref().map(|t| {
+                let mut ec: Vec<(u32, Vec<DiskIdx>)> =
+                    t.ec.iter().map(|(&o, s)| (o as u32, s.clone())).collect();
+                ec.sort_unstable_by_key(|(o, _)| *o);
+                let migrating: Vec<u32> =
+                    (0..t.migrating.len() as u32).filter(|&o| t.migrating[o as usize]).collect();
+                TieringSnapshot {
+                    rate: t.estimator.rate.clone(),
+                    hits: t.hits.clone(),
+                    temp: t.temp.clone(),
+                    ec,
+                    migrating,
+                    capacity_bytes: t.capacity_bytes,
+                }
+            }),
         }
     }
 
@@ -354,6 +644,34 @@ impl Cluster {
         self.total_spinups = snap.total_spinups;
         self.total_forced_spinups = snap.total_forced_spinups;
         self.cache = snap.cache.clone();
+        match (&mut self.tiering, &snap.tiering) {
+            (None, None) => {}
+            (Some(t), Some(ts)) => {
+                let n = t.hits.len();
+                if ts.rate.len() != n || ts.hits.len() != n || ts.temp.len() != n {
+                    return Err(format!(
+                        "tiering snapshot tracks {} objects, cluster has {n}",
+                        ts.rate.len()
+                    ));
+                }
+                t.estimator.rate = ts.rate.clone();
+                t.hits = ts.hits.clone();
+                t.temp = ts.temp.clone();
+                t.ec = ts.ec.iter().map(|(o, s)| (*o as usize, s.clone())).collect();
+                t.migrating = vec![false; n];
+                for &o in &ts.migrating {
+                    t.migrating[o as usize] = true;
+                }
+                t.capacity_bytes = ts.capacity_bytes;
+            }
+            (mine, theirs) => {
+                return Err(format!(
+                    "tiering mismatch: cluster {}, snapshot {}",
+                    if mine.is_some() { "on" } else { "off" },
+                    if theirs.is_some() { "on" } else { "off" }
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -464,12 +782,38 @@ impl Cluster {
             return FailureReport { disk, affected_objects: 0, lost_objects: 0, rebuild_bytes: 0 };
         }
         // Exposure check before marking, so co-failed disks are visible.
+        // Objects the temperature layer moved to EC are skipped here (their
+        // replicas were released) and scanned via the EC overlay instead.
         let mut lost = 0usize;
+        let mut affected = 0usize;
         for &oid in &self.disk_objects[disk] {
+            if self.tiering.as_ref().is_some_and(|t| t.ec.contains_key(&(oid as usize))) {
+                continue;
+            }
             let obj = &self.layout.directory[oid as usize];
             let intact = obj.replicas.iter().any(|&d| d != disk && !self.pending_rebuild[d]);
             if !intact {
                 lost += 1;
+            }
+            affected += 1;
+        }
+        let mut rebuild_bytes = affected as u64 * self.layout.spec.object_size_bytes;
+        // EC overlay: a shard on the failed disk is rebuilt by reading k
+        // survivors and writing the replacement; more than m failed shards
+        // is data loss. Sums only, so map order does not matter.
+        if let Some(t) = &self.tiering {
+            let shard_bytes = self.layout.spec.object_size_bytes.div_ceil(t.k as u64);
+            for shards in t.ec.values() {
+                if !shards.contains(&disk) {
+                    continue;
+                }
+                affected += 1;
+                rebuild_bytes += (t.k as u64 + 1) * shard_bytes;
+                let failed =
+                    shards.iter().filter(|&&d| d == disk || self.pending_rebuild[d]).count();
+                if failed > t.m {
+                    lost += 1;
+                }
             }
         }
         self.pending_rebuild[disk] = true;
@@ -478,8 +822,6 @@ impl Cluster {
         if self.servers[srv].is_on() {
             self.disks[disk].spin_up(now);
         }
-        let affected = self.disk_objects[disk].len();
-        let rebuild_bytes = affected as u64 * self.layout.spec.object_size_bytes;
         self.total_lost_objects += lost as u64;
         self.total_rebuild_bytes += rebuild_bytes;
         FailureReport { disk, affected_objects: affected, lost_objects: lost, rebuild_bytes }
@@ -582,6 +924,10 @@ impl Cluster {
     pub fn serve_request(&mut self, req: &IoRequest) -> ServedRequest {
         let obj_idx = req.object.0 as usize;
         let obj_size = self.layout.directory[obj_idx].size_bytes;
+        if let Some(t) = &mut self.tiering {
+            // Access tracking on the hot path: one saturating add.
+            t.hits[obj_idx] = t.hits[obj_idx].saturating_add(1);
+        }
         match req.kind {
             IoKind::Read => {
                 // RAM cache absorbs hot reads without touching a disk.
@@ -592,6 +938,11 @@ impl Cluster {
                         completion,
                         latency: CACHE_HIT_SERVICE,
                     };
+                }
+                if self.tiering.as_ref().is_some_and(|t| t.ec.contains_key(&obj_idx)) {
+                    let served = self.serve_ec_read(req, obj_idx);
+                    self.cache.insert(req.object, obj_size);
+                    return served;
                 }
                 // Pick the replica under a shared borrow, mutate after: this
                 // is the per-request hot path and must not clone the replica
@@ -638,6 +989,9 @@ impl Cluster {
             }
             IoKind::Write => {
                 self.cache.invalidate(req.object);
+                if self.tiering.as_ref().is_some_and(|t| t.ec.contains_key(&obj_idx)) {
+                    return self.serve_ec_write(req, obj_idx);
+                }
                 // Primary (gear 0 under the gear layout) takes the write in
                 // the client's critical path; other active replicas absorb
                 // it too; powered-down replicas are off-loaded to the log.
@@ -678,6 +1032,106 @@ impl Cluster {
                 ack.expect("primary replica always written")
             }
         }
+    }
+
+    /// Serve a read of an erasure-coded object: fan-in from the `k`
+    /// least-backlogged available shards, spinning intact shards up on
+    /// demand (forced) when fewer than `k` are powered. With fewer than `k`
+    /// intact shards the read is degraded — reconstruction would need data
+    /// that is mid-rebuild — and is served from whatever shards exist.
+    fn serve_ec_read(&mut self, req: &IoRequest, obj_idx: usize) -> ServedRequest {
+        let (k, shards) = {
+            let t = self.tiering.as_ref().expect("EC read needs tiering");
+            (t.k, t.ec[&obj_idx].clone())
+        };
+        // Choose k shards: available first, then intact (forced spin-up).
+        let mut chosen: Vec<(DiskIdx, bool)> = Vec::with_capacity(k);
+        let mut avail: Vec<DiskIdx> =
+            shards.iter().copied().filter(|&d| self.disk_available(d)).collect();
+        avail.sort_by_key(|&d| self.queues[d].next_free());
+        for &d in avail.iter().take(k) {
+            chosen.push((d, false));
+        }
+        if chosen.len() < k {
+            let mut intact: Vec<DiskIdx> = shards
+                .iter()
+                .copied()
+                .filter(|&d| !self.pending_rebuild[d] && !chosen.iter().any(|&(c, _)| c == d))
+                .collect();
+            intact.sort_by_key(|&d| self.queues[d].next_free());
+            for &d in &intact {
+                if chosen.len() == k {
+                    break;
+                }
+                chosen.push((d, true));
+            }
+        }
+        if chosen.len() < k {
+            // Fewer than k intact shards: degraded service from whatever
+            // shard replacements exist (mirrors the replicated fallback).
+            self.degraded_reads += 1;
+            for &d in &shards {
+                if chosen.len() == k {
+                    break;
+                }
+                if !chosen.iter().any(|&(c, _)| c == d) {
+                    chosen.push((d, true));
+                }
+            }
+        }
+        let per_shard = req.size_bytes.div_ceil(k as u64);
+        let mut slowest: Option<ServedRequest> = None;
+        for &(d, forced) in &chosen {
+            if forced {
+                self.ensure_disk_up(d, req.arrival, true);
+            }
+            let ready = self.ensure_disk_up(d, req.arrival, false);
+            let service = self.layout.spec.disk.service_time(per_shard, req.sequential);
+            let served = self.queues[d].serve(req.arrival, ready, service, self.slot_width);
+            slowest = Some(match slowest {
+                Some(prev) if prev.completion >= served.completion => prev,
+                _ => served,
+            });
+        }
+        // The client sees the slowest shard (k-fan-in barrier).
+        slowest.expect("k >= 1 shards served")
+    }
+
+    /// Serve a write to an erasure-coded object: a full-stripe update of
+    /// all `k + m` shards. Shard 0 carries the ack; powered-down shards
+    /// off-load to the write log exactly like replicated writes.
+    fn serve_ec_write(&mut self, req: &IoRequest, obj_idx: usize) -> ServedRequest {
+        let (k, n_shards, shards) = {
+            let t = self.tiering.as_ref().expect("EC write needs tiering");
+            (t.k, t.k + t.m, t.ec[&obj_idx].clone())
+        };
+        let per_shard = req.size_bytes.div_ceil(k as u64);
+        let mut ack: Option<ServedRequest> = None;
+        for (s, &disk) in shards.iter().enumerate().take(n_shards) {
+            if s == 0 || self.disk_available(disk) {
+                let ready =
+                    self.ensure_disk_up(disk, req.arrival, s == 0 && !self.disk_available(disk));
+                let service = self.layout.spec.disk.service_time(per_shard, req.sequential);
+                let served = self.queues[disk].serve(req.arrival, ready, service, self.slot_width);
+                if s == 0 {
+                    ack = Some(served);
+                }
+            } else {
+                let gear = self.layout.spec.topology.gear_of_disk(disk);
+                self.writelog.offload(gear, per_shard);
+                let log_disk = self
+                    .layout
+                    .spec
+                    .topology
+                    .disks_in_gear_range(0)
+                    .min_by_key(|&d| self.queues[d].next_free())
+                    .expect("gear 0 is never empty");
+                let service = self.layout.spec.disk.service_time(per_shard, true);
+                let ready = self.ensure_disk_up(log_disk, req.arrival, false);
+                self.queues[log_disk].serve(req.arrival, ready, service, self.slot_width);
+            }
+        }
+        ack.expect("shard 0 always written")
     }
 
     /// Add `bytes` of sequential batch work on `disk` starting no earlier
@@ -1086,6 +1540,174 @@ mod tests {
         spec.topology = Topology::new(3, 2, 3);
         let mut b = Cluster::new(spec);
         assert!(b.restore_state(&snap).is_err());
+    }
+
+    /// A small cluster with tiering on and every object already demoted to
+    /// `k + m` erasure coding (no traffic → the whole fleet cools).
+    fn tiered_cluster_all_cold(k: usize, m: usize) -> Cluster {
+        let mut c = Cluster::new(ClusterSpec::small());
+        c.enable_tiering(EwmaParams::default(), 1.0, k, m);
+        for _ in 0..8 {
+            let step = c.tier_step(1.0, usize::MAX);
+            if !step.demote.is_empty() {
+                c.complete_migration(&step.demote, true);
+            }
+        }
+        assert_eq!(c.ec_objects(), 1_000, "idle fleet fully demoted");
+        c
+    }
+
+    #[test]
+    fn demotion_halves_capacity_and_reads_fan_in() {
+        let mut c = Cluster::new(ClusterSpec::small());
+        c.enable_tiering(EwmaParams::default(), 1.0, 4, 2);
+        let replicated = c.capacity_in_use_bytes();
+        assert_eq!(replicated, 1_000 * 3 * (16 << 20));
+        let mut c = tiered_cluster_all_cold(4, 2);
+        // 4+2 EC at 4 MiB shards: 24 MiB per object vs 48 MiB replicated.
+        assert_eq!(c.capacity_in_use_bytes(), 1_000 * 6 * (4 << 20));
+        match c.placement_of(0) {
+            Placement::Erasure { k, m, shards } => {
+                assert_eq!((k, m), (4, 2));
+                let mut sorted = shards.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), 6, "shard disks distinct: {shards:?}");
+            }
+            p => panic!("object 0 should be EC, got {p:?}"),
+        }
+        // Reads still served, no degradation, cache fill intact.
+        let served = c.serve_request(&IoRequest::read(SimTime::from_secs(1), ObjectId(0), 1 << 20));
+        assert!(served.latency.as_secs_f64() < 0.2);
+        assert_eq!(c.degraded_reads(), 0);
+    }
+
+    #[test]
+    fn ec_survives_m_failures_and_rebuilds() {
+        let mut c = tiered_cluster_all_cold(4, 2);
+        let shards = match c.placement_of(0) {
+            Placement::Erasure { shards, .. } => shards,
+            _ => unreachable!(),
+        };
+        let shard_bytes = (16u64 << 20).div_ceil(4);
+        let mut reports = vec![];
+        for &d in shards.iter().take(2) {
+            reports.push(c.fail_disk(d, SimTime::from_secs(1)));
+        }
+        // Any object has at most 2 shards on 2 disks: m = 2 tolerated.
+        assert_eq!(c.total_lost_objects(), 0, "m shard losses lose nothing");
+        // Rebuilding one lost shard reads k survivors + writes 1.
+        assert!(reports[0].rebuild_bytes >= (4 + 1) * shard_bytes);
+        assert!(reports[0].affected_objects > 0);
+        for (i, &d) in shards.iter().take(2).enumerate() {
+            c.rebuild_step(d, reports[i].rebuild_bytes, SimTime::from_secs(10));
+            c.mark_rebuilt(d);
+            assert!(!c.is_rebuilding(d));
+        }
+        // Fully healed: reads are clean again.
+        c.serve_request(&IoRequest::read(SimTime::from_secs(20), ObjectId(0), 1 << 20));
+        assert_eq!(c.degraded_reads(), 0);
+    }
+
+    #[test]
+    fn ec_m_plus_one_failures_expose_objects() {
+        let mut c = tiered_cluster_all_cold(4, 2);
+        let shards = match c.placement_of(0) {
+            Placement::Erasure { shards, .. } => shards,
+            _ => unreachable!(),
+        };
+        for &d in shards.iter().take(3) {
+            c.fail_disk(d, SimTime::from_secs(1));
+        }
+        assert!(c.total_lost_objects() >= 1, "m+1 = 3 shard losses must expose at least object 0");
+    }
+
+    #[test]
+    fn ec_degraded_read_while_all_shards_pending() {
+        let mut c = tiered_cluster_all_cold(4, 2);
+        let shards = match c.placement_of(0) {
+            Placement::Erasure { shards, .. } => shards,
+            _ => unreachable!(),
+        };
+        for &d in &shards {
+            c.fail_disk(d, SimTime::from_secs(1));
+        }
+        let before = c.degraded_reads();
+        c.serve_request(&IoRequest::read(SimTime::from_secs(5), ObjectId(0), 1 << 20));
+        assert!(c.degraded_reads() > before, "all-shards-pending read is degraded");
+    }
+
+    #[test]
+    fn hot_ec_object_promotes_back_to_replication() {
+        let mut c = tiered_cluster_all_cold(4, 2);
+        let cap_cold = c.capacity_in_use_bytes();
+        // Hammer object 0 until the classifier calls it hot again.
+        let mut promoted = false;
+        for slot in 0..10 {
+            for i in 0..20u64 {
+                c.serve_request(&IoRequest::read(
+                    SimTime::from_secs(slot * 3600 + i),
+                    ObjectId(0),
+                    64 << 10,
+                ));
+            }
+            let step = c.tier_step(1.0, 8);
+            if step.promote.contains(&0) {
+                assert!(step.promote_bytes > 0);
+                let (released, written) = c.complete_migration(&step.promote, false);
+                assert_eq!(released, step.promote.len() as u64 * 6 * (4 << 20));
+                assert_eq!(written, step.promote.len() as u64 * 3 * (16 << 20));
+                promoted = true;
+                break;
+            }
+        }
+        assert!(promoted, "sustained traffic must promote the object");
+        assert!(matches!(c.placement_of(0), Placement::Replicated { .. }));
+        assert!(c.capacity_in_use_bytes() > cap_cold);
+    }
+
+    #[test]
+    fn tier_step_respects_budget_and_ceiling() {
+        let mut c = Cluster::new(ClusterSpec::small());
+        c.enable_tiering(EwmaParams::default(), 0.1, 4, 2);
+        let mut demoted = 0usize;
+        for _ in 0..20 {
+            let step = c.tier_step(1.0, 7);
+            assert!(step.demote.len() <= 7, "per-slot budget respected");
+            demoted += step.demote.len();
+            c.complete_migration(&step.demote, true);
+        }
+        assert_eq!(demoted, 100, "cold-fraction ceiling caps demotion at 10%");
+        assert_eq!(c.ec_objects(), 100);
+    }
+
+    #[test]
+    fn tiering_snapshot_roundtrips_and_rejects_mismatch() {
+        let mut a = tiered_cluster_all_cold(4, 2);
+        a.serve_request(&IoRequest::read(SimTime::from_secs(1), ObjectId(3), 1 << 20));
+        let snap = a.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let snap2: ClusterSnapshot = serde_json::from_str(&json).unwrap();
+        let mut b = Cluster::from_layout(a.layout().clone());
+        b.enable_tiering(EwmaParams::default(), 1.0, 4, 2);
+        b.restore_state(&snap2).expect("tiering-on snapshot restores");
+        assert_eq!(b.ec_objects(), a.ec_objects());
+        assert_eq!(b.capacity_in_use_bytes(), a.capacity_in_use_bytes());
+        assert_eq!(b.placement_of(5), a.placement_of(5));
+        // Tiering-off cluster refuses a tiering-on snapshot and vice versa.
+        let mut off = Cluster::from_layout(a.layout().clone());
+        assert!(off.restore_state(&snap2).is_err());
+        let off_snap = Cluster::from_layout(a.layout().clone()).snapshot();
+        let mut on = Cluster::from_layout(a.layout().clone());
+        on.enable_tiering(EwmaParams::default(), 1.0, 4, 2);
+        assert!(on.restore_state(&off_snap).is_err());
+    }
+
+    #[test]
+    fn tiering_off_snapshot_has_no_tiering_field() {
+        let c = small_cluster();
+        let json = serde_json::to_string(&c.snapshot()).unwrap();
+        assert!(!json.contains("tiering"), "absent field keeps v1 snapshots byte-identical");
     }
 
     #[test]

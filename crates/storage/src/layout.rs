@@ -131,7 +131,7 @@ impl LayoutKind {
 }
 
 /// Stateless deterministic hash of `(seed, object, salt)`.
-fn obj_hash(seed: u64, id: ObjectId, salt: u64) -> u64 {
+pub(crate) fn obj_hash(seed: u64, id: ObjectId, salt: u64) -> u64 {
     let mut s =
         seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt.wrapping_mul(0xD6E8_FEB8_6659_FD93);
     splitmix64(&mut s)

@@ -25,6 +25,8 @@
 //! * [`writelog`] — write off-loading for powered-down gears and the
 //!   reclaim (replay) bookkeeping.
 //! * [`request`] — I/O request types.
+//! * [`temperature`] — hot/warm/cold classification (EWMA with hysteresis)
+//!   driving replicated↔erasure-coded tier migration.
 //!
 //! Power is in watts, energy in watt-hours, sizes in bytes.
 
@@ -40,6 +42,7 @@ pub mod object;
 pub mod queue;
 pub mod request;
 pub mod server;
+pub mod temperature;
 pub mod writelog;
 
 pub use cache::LruCache;
@@ -49,8 +52,9 @@ pub use failure::{FailureDice, FailureReport, FailureSpec, HOURS_PER_YEAR};
 pub use layout::{
     ChainedDeclustering, CopysetLayout, GearLayout, Layout, LayoutKind, RandomLayout, Topology,
 };
-pub use object::{DataObject, ObjectId};
+pub use object::{DataObject, ObjectId, Placement};
 pub use queue::{DiskQueue, ServedRequest};
 pub use request::{IoKind, IoRequest};
 pub use server::{Server, ServerSpec};
+pub use temperature::{EwmaEstimator, EwmaParams, Temperature, TemperatureEstimator};
 pub use writelog::WriteLog;

@@ -26,6 +26,55 @@ pub struct DataObject {
     pub replicas: Vec<DiskIdx>,
 }
 
+/// Generalized directory entry: how an object's bytes are laid across
+/// disks. The frozen directory always stores the replicated form; the
+/// temperature layer overlays [`Placement::Erasure`] entries for objects it
+/// has demoted to cold erasure coding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// `R`-way replication: full copies on distinct disks, index 0 primary.
+    Replicated {
+        /// Disks holding each replica, in replica order.
+        replicas: Vec<DiskIdx>,
+    },
+    /// `k + m` erasure coding: any `k` of the `k + m` shards reconstruct
+    /// the object; each shard holds `ceil(size / k)` bytes.
+    Erasure {
+        /// Data shards required for a read.
+        k: usize,
+        /// Parity shards tolerated as losses.
+        m: usize,
+        /// Disks holding each shard (`k + m` distinct entries).
+        shards: Vec<DiskIdx>,
+    },
+}
+
+impl Placement {
+    /// All disks holding a piece of this object.
+    pub fn disks(&self) -> &[DiskIdx] {
+        match self {
+            Placement::Replicated { replicas } => replicas,
+            Placement::Erasure { shards, .. } => shards,
+        }
+    }
+
+    /// Raw bytes consumed on disk for an object of `size_bytes`.
+    pub fn stored_bytes(&self, size_bytes: u64) -> u64 {
+        match self {
+            Placement::Replicated { replicas } => replicas.len() as u64 * size_bytes,
+            Placement::Erasure { k, m, .. } => (*k + *m) as u64 * size_bytes.div_ceil(*k as u64),
+        }
+    }
+
+    /// How many disk losses this placement tolerates without data loss.
+    pub fn fault_tolerance(&self) -> usize {
+        match self {
+            Placement::Replicated { replicas } => replicas.len().saturating_sub(1),
+            Placement::Erasure { m, .. } => *m,
+        }
+    }
+}
+
 impl DataObject {
     /// Construct, asserting replica distinctness.
     pub fn new(id: ObjectId, size_bytes: u64, replicas: Vec<DiskIdx>) -> Self {

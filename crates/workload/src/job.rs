@@ -25,6 +25,9 @@ pub enum BatchKind {
     Analytics,
     /// Replication repair: re-write replicas (writes).
     Repair,
+    /// Tier migration: replicated↔erasure-coded placement change
+    /// (reads + writes). Spawned by the classifier, never by generators.
+    Migration,
 }
 
 impl BatchKind {
@@ -35,10 +38,12 @@ impl BatchKind {
             BatchKind::Backup => "backup",
             BatchKind::Analytics => "analytics",
             BatchKind::Repair => "repair",
+            BatchKind::Migration => "migration",
         }
     }
 
-    /// All kinds, for generators and reports.
+    /// All *generator-drawn* kinds (migration jobs come only from the
+    /// temperature classifier, so weights and coverage exclude them).
     pub const ALL: [BatchKind; 4] =
         [BatchKind::Scrub, BatchKind::Backup, BatchKind::Analytics, BatchKind::Repair];
 }

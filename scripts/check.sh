@@ -38,6 +38,15 @@ echo "==> audited 10^5-stream smoke (mega kernel, few slots)"
 cargo run --release -q -p gm-bench --bin run_once -- \
   --preset medium --streams 100000 --slots 8 --audit
 
+echo "==> tiering experiment smoke (quick sweep)"
+TSMOKE=$(mktemp -d)
+cargo run --release -q -p gm-bench --bin experiments -- \
+  tiering --quick --out "$TSMOKE" >/dev/null
+rm -rf "$TSMOKE"
+
+echo "==> tiering shape check (tiering-cuts-brown-or-capacity)"
+cargo run --release -q -p gm-bench --bin validate -- --quick --check tiering
+
 echo "==> conservation fuzz smoke (fixed seed)"
 cargo run --release -q -p gm-bench --bin fuzz -- \
   --cases 40 --seed 42 --out target/fuzz-violations.json
