@@ -6,6 +6,7 @@
 //! validate --quick              # reduced workload
 //! validate --results-dir DIR    # write run artifacts under DIR
 //! validate --check tiering      # one standalone check (CI smoke)
+//! validate --check admission    # the admission-gate check alone
 //! ```
 
 use gm_bench::runner::ExpContext;
@@ -13,7 +14,7 @@ use gm_bench::shapes;
 use std::path::PathBuf;
 
 fn usage() -> ! {
-    eprintln!("usage: validate [--quick] [--results-dir DIR] [--check tiering]");
+    eprintln!("usage: validate [--quick] [--results-dir DIR] [--check tiering|admission]");
     std::process::exit(2);
 }
 
@@ -51,8 +52,12 @@ fn main() {
             eprintln!("running the tiering shape check at scale {scale} ...");
             vec![shapes::tiering_check(&ctx)]
         }
+        Some("admission") => {
+            eprintln!("running the admission shape check at scale {scale} ...");
+            vec![shapes::admission_check(&ctx)]
+        }
         Some(other) => {
-            eprintln!("unknown standalone check {other:?} (available: tiering)");
+            eprintln!("unknown standalone check {other:?} (available: tiering, admission)");
             usage();
         }
     };

@@ -43,6 +43,8 @@ pub fn medium_cfg(ctx: &ExpContext, policy: PolicyKind) -> ExperimentConfig {
         matcher_warm_start: true,
         site_parallel: true,
         tiering: None,
+        admission: None,
+        feed_arrivals: false,
     }
 }
 

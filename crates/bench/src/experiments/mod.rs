@@ -5,6 +5,7 @@
 //! [`registry`] maps CLI identifiers to those functions.
 
 pub mod ablations;
+pub mod admission;
 pub mod base;
 pub mod figures;
 pub mod geo;
@@ -115,6 +116,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "ablate-discharge",
             about: "Battery discharge-timing ablation",
             run: ablations::discharge,
+        },
+        Experiment {
+            id: "admission",
+            about: "Admission-gate goodput-vs-violation frontier over alpha x forecaster",
+            run: admission::admission,
         },
         Experiment {
             id: "tiering",

@@ -15,7 +15,7 @@
 
 use greenmatch::audit::AuditReport;
 use greenmatch::config::{
-    DischargeStrategy, ExperimentConfig, ForecastKind, SourceKind, TieringConfig,
+    AdmissionConfig, DischargeStrategy, ExperimentConfig, ForecastKind, SourceKind, TieringConfig,
 };
 use greenmatch::policy::PolicyKind;
 use greenmatch::report::RunReport;
@@ -152,6 +152,24 @@ pub fn fuzz_config(rng: &mut TestRng) -> ExperimentConfig {
             ..TieringConfig::default()
         });
     }
+
+    // Admission gate: roughly one case in three submits every deferrable
+    // job to the α-confidence gate first, sampling the confidence level
+    // and the defer budget. Drawn after the tiering dimension so a given
+    // (seed, case) still replays the same base configuration.
+    if rng.next_u64().is_multiple_of(3) {
+        let alpha = pick(rng, &[0.5, 0.8, 0.9, 0.99]);
+        let defer_slots = range_u64(rng, 0, 6) as usize;
+        cfg = cfg.with_admission(AdmissionConfig { alpha, defer_slots });
+    }
+
+    // Arrival transport: roughly one case in four replays the workload
+    // through the in-process event feed instead of the batch cursor — the
+    // byte-identity contract means everything downstream must be unable
+    // to tell the difference, which the auditor now checks at fuzz scale.
+    if rng.next_u64().is_multiple_of(4) {
+        cfg = cfg.with_feed_arrivals(true);
+    }
     cfg
 }
 
@@ -165,8 +183,12 @@ pub fn describe(cfg: &ExperimentConfig) -> String {
         None => "off".to_string(),
         Some(t) => format!("{:.1}/{}+{}", t.cold_fraction_target, t.ec_k, t.ec_m),
     };
+    let admission = match &cfg.admission {
+        None => "off".to_string(),
+        Some(a) => format!("α{}/d{}", a.alpha, a.defer_slots),
+    };
     format!(
-        "seed={} slots={} sites={} policy={} battery={} discharge={:?} forecast={:?} wan={} failures={} streams={} site_par={} tiering={}",
+        "seed={} slots={} sites={} policy={} battery={} discharge={:?} forecast={:?} wan={} failures={} streams={} site_par={} tiering={} admission={} feed={}",
         cfg.seed,
         cfg.slots,
         cfg.n_sites(),
@@ -179,6 +201,8 @@ pub fn describe(cfg: &ExperimentConfig) -> String {
         cfg.workload.interactive.streams,
         cfg.site_parallel,
         tiering,
+        admission,
+        cfg.feed_arrivals,
     )
 }
 
@@ -300,6 +324,8 @@ mod tests {
         let mut sequential = 0;
         let mut tiered = 0;
         let mut big_stripe = 0;
+        let mut gated = 0;
+        let mut fed = 0;
         for case in 0..64 {
             let mut rng = TestRng::for_case("fuzzgen-cover", case);
             let cfg = fuzz_config(&mut rng);
@@ -311,6 +337,8 @@ mod tests {
             sequential += (!cfg.site_parallel) as u32;
             tiered += cfg.tiering.is_some() as u32;
             big_stripe += cfg.tiering.is_some_and(|t| t.ec_k == 6) as u32;
+            gated += cfg.admission.is_some() as u32;
+            fed += cfg.feed_arrivals as u32;
         }
         assert!(multi > 10, "multi-site configs must be common ({multi}/64)");
         assert!(with_battery > 20, "battery configs must be common ({with_battery}/64)");
@@ -319,6 +347,8 @@ mod tests {
         assert!(sequential > 5, "sequential-phase configs must appear ({sequential}/64)");
         assert!(tiered > 5, "tiered configs must appear ({tiered}/64)");
         assert!(big_stripe > 0, "both EC geometries must appear ({big_stripe}/64)");
+        assert!(gated > 5, "admission-gated configs must appear ({gated}/64)");
+        assert!(fed > 5, "feed-driven configs must appear ({fed}/64)");
     }
 
     #[test]

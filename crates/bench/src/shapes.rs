@@ -76,6 +76,56 @@ pub fn tiering_check(ctx: &ExpContext) -> ShapeCheck {
     )
 }
 
+/// The DESIGN.md §1.9 admission claim as a standalone check: under a
+/// supply-constrained scenario, tightening the gate's confidence α must
+/// not loosen it — work turned away (rejected plus still-held) grows
+/// monotonically in α and the violation rate of what *was* admitted never
+/// rises, because only work the α-confidence green lower band covers is
+/// ever admitted. Brown energy must fall alongside — the admitted set
+/// shrinks toward work the green band covers. The gate must also be
+/// non-degenerately active (the tightest setting turns something away),
+/// or the monotonicity holds vacuously. Run by [`run_all`] and by
+/// `validate --check admission` as a CI smoke.
+pub fn admission_check(ctx: &ExpContext) -> ShapeCheck {
+    let alphas = [0.5f64, 0.9, 0.99];
+    let configs = alphas
+        .iter()
+        .map(|&alpha| {
+            (
+                format!("a{:.0}", alpha * 100.0),
+                crate::experiments::admission::scarce_cfg(ctx)
+                    .with_admission(greenmatch::config::AdmissionConfig { alpha, defer_slots: 4 }),
+            )
+        })
+        .collect();
+    let results = run_tagged(configs);
+    let mut pass = true;
+    let mut prev_away = 0u64;
+    let mut prev_miss = f64::INFINITY;
+    let mut prev_brown = f64::INFINITY;
+    let mut detail = String::new();
+    for (i, &alpha) in alphas.iter().enumerate() {
+        let r = &results[i].1;
+        let adm = r.admission.clone().expect("gate ran");
+        let away = adm.rejected + adm.pending_at_end as u64;
+        let miss = r.batch.miss_rate();
+        pass &= away >= prev_away && miss <= prev_miss + 1e-9 && r.brown_kwh <= prev_brown + 1e-6;
+        if !detail.is_empty() {
+            detail.push_str(", ");
+        }
+        detail.push_str(&format!(
+            "α={alpha}: {away} away / {:.2}% miss / {:.1} brown kWh",
+            miss * 100.0,
+            r.brown_kwh
+        ));
+        prev_away = away;
+        prev_miss = miss;
+        prev_brown = r.brown_kwh;
+    }
+    pass &= prev_away > 0; // the tightest gate actually turned work away
+    check("admission-tightens-violations", pass, detail)
+}
+
 /// Run every shape check. `ctx.scale` trades fidelity for speed.
 pub fn run_all(ctx: &ExpContext) -> Vec<ShapeCheck> {
     let gm = PolicyKind::GreenMatch { delay_fraction: 1.0 };
@@ -220,6 +270,9 @@ pub fn run_all(ctx: &ExpContext) -> Vec<ShapeCheck> {
 
     // 9. Temperature tiering (standalone so CI can smoke it alone).
     checks.push(tiering_check(ctx));
+
+    // 9b. Admission control (standalone so CI can smoke it alone).
+    checks.push(admission_check(ctx));
 
     // 10. Conservation audit: the headline configuration and a mini-fuzz
     //    over random configurations run clean under the per-slot auditor

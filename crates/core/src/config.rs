@@ -269,6 +269,36 @@ impl Default for TieringConfig {
     }
 }
 
+/// Streaming admission control (None = accept everything, the historic
+/// behaviour).
+///
+/// With admission on, newly arriving deferrable batch jobs pass a
+/// *Cucumber-style* energy-aware gate before they ever reach the planner:
+/// a job is accepted only while the `alpha`-confidence **lower band** of
+/// the green-energy forecast over its feasible window covers the energy
+/// already committed to accepted work plus its own demand. Jobs that fail
+/// the check are held (deferred) for up to `defer_slots` slots — arrivals
+/// are re-examined each slot as the forecast rolls forward — and rejected
+/// once deferral can no longer help. Rejected work never enters the job
+/// pool, so the matcher prices only admitted bytes. Internally spawned
+/// repair and migration jobs bypass admission: they are obligations, not
+/// offered load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Confidence level of the green lower band in `[0.5, 1)`: higher
+    /// alpha = a more pessimistic supply estimate = a tighter gate.
+    pub alpha: f64,
+    /// How many slots an arrival may be held awaiting headroom before the
+    /// gate must decide (0 = decide on arrival).
+    pub defer_slots: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig { alpha: 0.9, defer_slots: 4 }
+    }
+}
+
 /// The energy side of an experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EnergyConfig {
@@ -404,6 +434,19 @@ pub struct ExperimentConfig {
     /// every trace byte-identical.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub tiering: Option<TieringConfig>,
+    /// Streaming admission control over newly arriving batch jobs (see
+    /// [`AdmissionConfig`]). `None` (the default, omitted from archived
+    /// JSON) accepts every arrival and leaves every trace byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub admission: Option<AdmissionConfig>,
+    /// Pull batch arrivals from an incremental event feed instead of the
+    /// materialised population cursor. With no external feed attached the
+    /// builder self-attaches a replay feed over the workload, which is
+    /// byte-identical to the cursor walk — this knob exists for service
+    /// mode (`gm-serve`) and for fuzzing the equivalence, not for accuracy
+    /// trade-offs. Defaults to `false`; omitted from archived JSON.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub feed_arrivals: bool,
 }
 
 fn default_warm_start() -> bool {
@@ -412,6 +455,10 @@ fn default_warm_start() -> bool {
 
 fn is_warm_default(on: &bool) -> bool {
     *on
+}
+
+fn is_false(on: &bool) -> bool {
+    !*on
 }
 
 impl ExperimentConfig {
@@ -440,6 +487,8 @@ impl ExperimentConfig {
             matcher_warm_start: true,
             site_parallel: true,
             tiering: None,
+            admission: None,
+            feed_arrivals: false,
         }
     }
 
@@ -469,6 +518,8 @@ impl ExperimentConfig {
             matcher_warm_start: true,
             site_parallel: true,
             tiering: None,
+            admission: None,
+            feed_arrivals: false,
         }
     }
 
@@ -587,6 +638,22 @@ impl ExperimentConfig {
     #[must_use]
     pub fn with_tiering(mut self, tiering: impl Into<Option<TieringConfig>>) -> Self {
         self.tiering = tiering.into();
+        self
+    }
+
+    /// Enable (or with `None`, disable) streaming admission control (see
+    /// [`Self::admission`]).
+    #[must_use]
+    pub fn with_admission(mut self, admission: impl Into<Option<AdmissionConfig>>) -> Self {
+        self.admission = admission.into();
+        self
+    }
+
+    /// Pull batch arrivals through an event feed instead of the population
+    /// cursor (see [`Self::feed_arrivals`]).
+    #[must_use]
+    pub fn with_feed_arrivals(mut self, on: bool) -> Self {
+        self.feed_arrivals = on;
         self
     }
 
@@ -792,6 +859,25 @@ mod tests {
         let back: ExperimentConfig = serde_json::from_str(&json).expect("parses");
         assert_eq!(back.tiering, tiered.tiering);
         assert_eq!(back.tiering.unwrap().ec_k, 4);
+    }
+
+    #[test]
+    fn admission_knob_defaults_off_and_roundtrips() {
+        let cfg = ExperimentConfig::small_demo(3);
+        assert!(cfg.admission.is_none());
+        assert!(!cfg.feed_arrivals);
+        let json = serde_json::to_string(&cfg).expect("serialises");
+        assert!(!json.contains("admission"), "default stays out of archived JSON");
+        assert!(!json.contains("feed_arrivals"), "default stays out of archived JSON");
+        let back: ExperimentConfig = serde_json::from_str(&json).expect("parses");
+        assert!(back.admission.is_none(), "omitted field deserialises to off");
+        assert!(!back.feed_arrivals);
+        let gated = cfg.with_admission(AdmissionConfig::default()).with_feed_arrivals(true);
+        let json = serde_json::to_string(&gated).expect("serialises");
+        let back: ExperimentConfig = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.admission, gated.admission);
+        assert!((back.admission.unwrap().alpha - 0.9).abs() < 1e-12);
+        assert!(back.feed_arrivals);
     }
 
     #[test]

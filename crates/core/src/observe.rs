@@ -32,6 +32,9 @@ pub enum Phase {
     Forecast,
     /// Failure injection, batch arrivals and job-view assembly.
     Classify,
+    /// The admission gate over newly arrived deferrable jobs (a no-op
+    /// instant when admission control is off).
+    Admission,
     /// Context assembly and the policy decision (matching).
     Plan,
     /// Gear shifting.
@@ -284,6 +287,8 @@ pub struct PhaseProfile {
     pub forecast_ns: u64,
     /// Total nanoseconds in the classify phase.
     pub classify_ns: u64,
+    /// Total nanoseconds in the admission phase.
+    pub admission_ns: u64,
     /// Total nanoseconds in the plan phase.
     pub plan_ns: u64,
     /// Total nanoseconds in the gear phase.
@@ -299,6 +304,7 @@ impl PhaseProfile {
     pub fn total_ns(&self) -> u64 {
         self.forecast_ns
             + self.classify_ns
+            + self.admission_ns
             + self.plan_ns
             + self.gear_ns
             + self.execute_ns
@@ -313,12 +319,13 @@ impl PhaseProfile {
         let total = self.total_ns().max(1) as f64;
         let pct = |ns: u64| ns as f64 / total * 100.0;
         format!(
-            "{} slots, {:.2} ms/slot (forecast {:.0}%, classify {:.0}%, plan {:.0}%, \
-             gear {:.0}%, execute {:.0}%, settle {:.0}%)",
+            "{} slots, {:.2} ms/slot (forecast {:.0}%, classify {:.0}%, admission {:.0}%, \
+             plan {:.0}%, gear {:.0}%, execute {:.0}%, settle {:.0}%)",
             self.slots,
             total / self.slots as f64 / 1e6,
             pct(self.forecast_ns),
             pct(self.classify_ns),
+            pct(self.admission_ns),
             pct(self.plan_ns),
             pct(self.gear_ns),
             pct(self.execute_ns),
@@ -356,6 +363,7 @@ impl SlotObserver for PhaseTimer {
                 p.forecast_ns += nanos;
             }
             Phase::Classify => p.classify_ns += nanos,
+            Phase::Admission => p.admission_ns += nanos,
             Phase::Plan => p.plan_ns += nanos,
             Phase::Gear => p.gear_ns += nanos,
             Phase::Execute => p.execute_ns += nanos,

@@ -1,0 +1,144 @@
+//! Phase 3 — Admission: the energy-aware gate over deferrable arrivals.
+//!
+//! With admission control configured (see
+//! [`crate::config::AdmissionConfig`]), newly arrived deferrable batch
+//! jobs do not enter the job pool directly: classify parks them in the
+//! admission queue and this phase decides their fate against the
+//! α-confidence **lower** band of the green-energy forecast
+//! ([`SlotScratch::admission_lower_wh`], filled by the forecast phase):
+//!
+//! * **accept** — the window of lower-band supply up to the job's deadline
+//!   covers the energy already committed to pending work plus this job's
+//!   own demand. The job enters the pool exactly as a directly admitted
+//!   one would.
+//! * **defer** — supply is short but the job has both deadline slack and
+//!   defer budget left; it is held and retried next slot against a fresh
+//!   forecast.
+//! * **reject** — supply is short and the job is out of slack or budget.
+//!   Rejected work never reaches the matcher: the planner prices only
+//!   admitted jobs, which is what keeps the violation rate of an
+//!   α-confident gate low — the gate, not the matcher, absorbs overload.
+//!
+//! Repair and migration jobs are internal obligations spawned by classify
+//! itself and never pass through the gate. With admission off the phase is
+//! an instant no-op (classify has already filled the job columns).
+
+use super::{SlotContext, SlotScratch};
+use crate::scheduler::DEFAULT_HORIZON;
+use crate::simulation::Simulation;
+
+/// What the admission phase decided, for the slot outcome.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct AdmissionOutcome {
+    pub accepted: usize,
+    pub deferred: usize,
+    pub rejected: usize,
+    pub rejected_bytes: u64,
+}
+
+/// The pure accept test: does the lower-band supply over the first
+/// `window` horizon slots cover the energy already committed plus this
+/// job's demand? `window` is clamped to `[1, lower_wh.len()]`; an empty
+/// band (degenerate forecaster) accepts everything, like the default
+/// degenerate bands would.
+pub(crate) fn admissible(lower_wh: &[f64], window: usize, committed_wh: f64, job_wh: f64) -> bool {
+    if lower_wh.is_empty() {
+        return true;
+    }
+    let window = window.clamp(1, lower_wh.len());
+    let supply: f64 = lower_wh[..window].iter().sum();
+    supply >= committed_wh + job_wh
+}
+
+pub(crate) fn run(
+    sim: &mut Simulation,
+    ctx: &SlotContext,
+    scratch: &mut SlotScratch,
+) -> AdmissionOutcome {
+    let Some(gate) = sim.cfg.admission else {
+        // Admission off: classify filled the job columns already.
+        return AdmissionOutcome::default();
+    };
+    let mut out = AdmissionOutcome::default();
+
+    // Energy already owed to pending work (repairs and migrations
+    // included — they bypassed the gate but still burn the same watts),
+    // grown by each acceptance within the slot.
+    let committed_bytes: u64 =
+        sim.active_jobs.iter().map(|&idx| sim.jobs[idx].remaining_bytes).sum();
+    let model = sim.sites[0].model;
+    let mut committed_wh = model.batch_energy_wh(committed_bytes);
+
+    // Held jobs retry first (FIFO — oldest holds get first claim on
+    // supply), then this slot's fresh arrivals.
+    let held = std::mem::take(&mut sim.admission_held);
+    let queue = std::mem::take(&mut sim.admission_queue);
+    for (job, held_slots) in held.into_iter().chain(queue.into_iter().map(|j| (j, 0))) {
+        let deadline_slot = crate::simulation::deadline_slot_for(ctx.clock, job.deadline);
+        let window = (deadline_slot.saturating_sub(ctx.slot) + 1).min(DEFAULT_HORIZON);
+        let job_wh = model.batch_energy_wh(job.remaining_bytes);
+        if admissible(&scratch.admission_lower_wh, window, committed_wh, job_wh) {
+            committed_wh += job_wh;
+            sim.batch_report.jobs_submitted += 1;
+            sim.batch_report.bytes_submitted += job.total_bytes;
+            sim.job_index.insert(job.id, sim.jobs.len());
+            sim.active_jobs.push(sim.jobs.len());
+            sim.jobs.push(job);
+            out.accepted += 1;
+        } else if held_slots < gate.defer_slots && deadline_slot > ctx.slot {
+            sim.admission_held.push((job, held_slots + 1));
+            out.deferred += 1;
+        } else {
+            out.rejected += 1;
+            out.rejected_bytes += job.total_bytes;
+        }
+    }
+    sim.admission_accepted += out.accepted as u64;
+    sim.admission_deferred += out.deferred as u64;
+    sim.admission_rejected += out.rejected as u64;
+    sim.admission_rejected_bytes += out.rejected_bytes;
+
+    // The gate changed (or at least finalised) the pending set; build the
+    // policy's columnar view now instead of in classify.
+    super::classify::fill_job_columns(sim, ctx, scratch);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::admissible;
+
+    #[test]
+    fn accepts_when_supply_covers_demand() {
+        let band = [100.0, 100.0, 0.0, 0.0];
+        assert!(admissible(&band, 2, 150.0, 50.0));
+        assert!(!admissible(&band, 2, 150.0, 51.0));
+    }
+
+    #[test]
+    fn window_limits_the_visible_supply() {
+        let band = [10.0, 10.0, 500.0];
+        assert!(!admissible(&band, 2, 0.0, 30.0), "slot 2's surplus is past the deadline");
+        assert!(admissible(&band, 3, 0.0, 30.0));
+        // Degenerate windows clamp instead of panicking.
+        assert!(admissible(&band, 0, 0.0, 5.0));
+        assert!(admissible(&band, 99, 0.0, 520.0));
+    }
+
+    #[test]
+    fn acceptance_is_monotone_in_headroom() {
+        let band = [60.0, 40.0];
+        let mut last = true;
+        for committed in [0.0, 20.0, 40.0, 60.0, 80.0, 100.0] {
+            let now = admissible(&band, 2, committed, 10.0);
+            assert!(last || !now, "acceptance must not recover as committed load grows");
+            last = now;
+        }
+        assert!(!last);
+    }
+
+    #[test]
+    fn empty_band_is_an_open_gate() {
+        assert!(admissible(&[], 1, 1e9, 1e9));
+    }
+}

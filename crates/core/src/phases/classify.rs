@@ -61,23 +61,41 @@ pub(crate) fn run(
     }
     let disk_failures = cluster.total_failures() - failures_before;
 
-    // Batch arrivals: the population is submission-ordered, so a cursor
-    // replaces the historic whole-population filter per slot.
+    // Batch arrivals land in the scratch staging buffer first — from the
+    // event feed in service mode, else via a cursor over the
+    // submission-ordered population (no per-slot scan). Both sources
+    // deliver the same jobs in the same order, which is what makes a
+    // feed-driven run byte-identical to its batch replay.
     let mut jobs_submitted = 0usize;
     let slot_end = ctx.slot_end;
-    let population = sim.workload.batch_jobs();
-    while sim.arrivals_cursor < population.len() {
-        let job = &population[sim.arrivals_cursor];
-        if job.submit >= slot_end {
-            break;
+    if let Some(feed) = sim.feed.as_mut() {
+        feed.take_arrivals_before(s, slot_end, &mut scratch.feed_jobs);
+    } else {
+        scratch.feed_jobs.clear();
+        let population = sim.workload.batch_jobs();
+        while sim.arrivals_cursor < population.len() {
+            let job = &population[sim.arrivals_cursor];
+            if job.submit >= slot_end {
+                break;
+            }
+            sim.arrivals_cursor += 1;
+            scratch.feed_jobs.push(job.clone());
         }
-        sim.arrivals_cursor += 1;
+    }
+    let gated = sim.cfg.admission.is_some();
+    for job in scratch.feed_jobs.drain(..) {
         if job.submit < ctx.now {
             // Parity with the historic in-slot filter (`submit >= start`);
             // unreachable for a submission-sorted population.
             continue;
         }
-        let job = job.clone();
+        if gated {
+            // Deferrable external work faces the admission gate first; it
+            // only enters the pool (and the submission counters) if the
+            // admission phase accepts it.
+            sim.admission_queue.push(job);
+            continue;
+        }
         sim.batch_report.jobs_submitted += 1;
         sim.batch_report.bytes_submitted += job.total_bytes;
         sim.job_index.insert(job.id, sim.jobs.len());
@@ -119,8 +137,29 @@ pub(crate) fn run(
         }
     }
 
-    // Columnar job table over the active (pending) jobs, in submission
-    // order — one row pushed per job, landing in four parallel columns.
+    // With admission off the pending set is final — build the policy's
+    // columnar view now. With admission on the gate may still accept jobs
+    // into the pool, so the admission phase builds it instead.
+    if !gated {
+        fill_job_columns(sim, ctx, scratch);
+    }
+
+    Classified {
+        jobs_submitted,
+        disk_failures,
+        tier_hot: tier.hot,
+        tier_warm: tier.warm,
+        tier_cold: tier.cold,
+        migrations_spawned,
+    }
+}
+
+/// Columnar job table over the active (pending) jobs, in submission order
+/// — one row pushed per job, landing in four parallel columns. Called by
+/// classify when admission is off, and by the admission phase (after the
+/// gate has settled the pending set) when it is on.
+pub(crate) fn fill_job_columns(sim: &mut Simulation, ctx: &SlotContext, scratch: &mut SlotScratch) {
+    let now = ctx.now;
     let pending_count = sim.active_jobs.len();
     let share_bps = sim.total_batch_bw * TOTAL_RHO / pending_count.max(1) as f64;
     scratch.jobs.clear();
@@ -133,14 +172,5 @@ pub(crate) fn run(
             deadline_slot: deadline_slot_for(ctx.clock, j.deadline),
             critical: j.is_critical(now, share_bps),
         });
-    }
-
-    Classified {
-        jobs_submitted,
-        disk_failures,
-        tier_hot: tier.hot,
-        tier_warm: tier.warm,
-        tier_cold: tier.cold,
-        migrations_spawned,
     }
 }

@@ -56,6 +56,31 @@ pub(crate) fn run(sim: &mut Simulation, ctx: &SlotContext, scratch: &mut SlotScr
         }
     }
 
+    // Admission gate's supply view: the α-confidence *lower* band per
+    // horizon slot, summed across sites (accepted work may be placed at
+    // any site, so the gate sees the fleet-wide conservative supply).
+    // Runs as an extra sequential pass after the point forecasts — every
+    // forecaster's bands are a pure function of its state and the slot
+    // (the noisy oracle draws counter-based noise), so this pass perturbs
+    // nothing the band-oblivious paths computed.
+    if let Some(gate) = sim.cfg.admission {
+        scratch.admission_lower_wh.clear();
+        scratch.admission_lower_wh.resize(DEFAULT_HORIZON, 0.0);
+        for site in &mut sim.sites {
+            site.forecaster.predict_bands_into(
+                ctx.slot,
+                DEFAULT_HORIZON,
+                gate.alpha,
+                &mut scratch.band_point,
+                &mut scratch.band_lower,
+                &mut scratch.band_upper,
+            );
+            for (acc, lo) in scratch.admission_lower_wh.iter_mut().zip(&scratch.band_lower) {
+                *acc += lo * ctx.hours;
+            }
+        }
+    }
+
     scratch.interactive_busy_secs.clear();
     for k in 0..DEFAULT_HORIZON {
         let busy = sim.expected_busy_secs(ctx.slot + k);

@@ -5,13 +5,16 @@
 //! this directory:
 //!
 //! ```text
-//! Forecast → Classify → Plan → Gear → Execute → Settle
+//! Forecast → Classify → Admission → Plan → Gear → Execute → Settle
 //! ```
 //!
 //! * [`forecast`] — battery relaxation, green-energy forecast, expected
 //!   interactive busy-time over the planning horizon.
 //! * [`classify`] — failure injection (spawning repair jobs), batch
 //!   arrivals, and assembly of the policy-visible [`crate::policy::JobView`]s.
+//! * [`admission`] — the energy-aware gate over newly arrived deferrable
+//!   jobs (accept / defer / reject against the green lower band); an
+//!   instant no-op when admission control is off.
 //! * [`plan`] — build the [`crate::policy::SchedContext`] over the scratch
 //!   buffers and ask the policy for its [`crate::policy::Decision`].
 //! * [`gear`] — clamp and apply the gear decision to the cluster.
@@ -36,6 +39,7 @@
 //! exactly the boundaries reported to [`crate::observe::SlotObserver`]s
 //! via [`crate::observe::Phase`] timing callbacks.
 
+pub(crate) mod admission;
 pub(crate) mod classify;
 pub(crate) mod execute;
 pub(crate) mod forecast;
@@ -99,6 +103,21 @@ pub struct SlotScratch {
     /// Batch bytes executed per site this slot (index = site). Written by
     /// [`execute`] for multi-site runs only; empty otherwise.
     pub site_executed_bytes: Vec<u64>,
+    /// α-confidence **lower** band of green energy per horizon slot (Wh),
+    /// summed across sites. Written by [`forecast`] and read by
+    /// [`admission`] only when admission control is configured; empty
+    /// otherwise.
+    pub admission_lower_wh: Vec<f64>,
+    /// Reusable buffers for the probabilistic forecast calls (point /
+    /// lower / upper bands per site). Only touched with admission on.
+    pub band_point: Vec<f64>,
+    /// See [`SlotScratch::band_point`].
+    pub band_lower: Vec<f64>,
+    /// See [`SlotScratch::band_point`].
+    pub band_upper: Vec<f64>,
+    /// This slot's batch arrivals when pulled from an event feed. Written
+    /// by [`classify`]; drained into the admission queue or the job pool.
+    pub feed_jobs: Vec<gm_workload::BatchJob>,
 }
 
 impl Default for SlotScratch {
@@ -111,6 +130,11 @@ impl Default for SlotScratch {
             slot_hist: LogHistogram::for_latency_secs(),
             remote_green_forecast_wh: Vec::new(),
             site_executed_bytes: Vec::new(),
+            admission_lower_wh: Vec::new(),
+            band_point: Vec::new(),
+            band_lower: Vec::new(),
+            band_upper: Vec::new(),
+            feed_jobs: Vec::new(),
         }
     }
 }

@@ -67,6 +67,35 @@ impl BatchReport {
     }
 }
 
+/// Admission-gate summary; present on a [`RunReport`] only when admission
+/// control ran (see [`crate::config::AdmissionConfig`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionReport {
+    /// Deferrable jobs the gate accepted into the pool.
+    pub accepted: u64,
+    /// Defer decisions (a job held across two slots counts twice).
+    pub deferred: u64,
+    /// Jobs turned away.
+    pub rejected: u64,
+    /// Bytes of work turned away.
+    pub rejected_bytes: u64,
+    /// Jobs still held by the gate when the horizon ended.
+    pub pending_at_end: usize,
+}
+
+impl AdmissionReport {
+    /// Fraction of gated jobs the gate turned away (rejected over
+    /// accepted + rejected; deferrals resolve into one or the other).
+    pub fn rejection_rate(&self) -> f64 {
+        let decided = self.accepted + self.rejected;
+        if decided == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / decided as f64
+        }
+    }
+}
+
 /// Per-site energy breakdown of a multi-site run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SiteReport {
@@ -151,6 +180,9 @@ pub struct RunReport {
     pub latency: LatencyReport,
     /// Batch completion.
     pub batch: BatchReport,
+    /// Admission-gate counters; `None` when admission control is off.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub admission: Option<AdmissionReport>,
 
     /// Disk spin-ups (policy + forced).
     pub spinups: u64,
@@ -303,6 +335,17 @@ impl fmt::Display for RunReport {
             self.batch.jobs_submitted,
             self.batch.miss_rate() * 100.0
         )?;
+        if let Some(a) = &self.admission {
+            writeln!(
+                f,
+                "admission       : {} accepted, {} deferrals, {} rejected ({:.1} GiB turned away, {} still held)",
+                a.accepted,
+                a.deferred,
+                a.rejected,
+                a.rejected_bytes as f64 / (1u64 << 30) as f64,
+                a.pending_at_end
+            )?;
+        }
         writeln!(
             f,
             "mechanics       : {} spin-ups ({} forced), carbon {:.1} kg, grid cost ${:.2}",
@@ -384,6 +427,7 @@ mod tests {
                 bytes_submitted: 1 << 40,
                 bytes_completed: 1 << 39,
             },
+            admission: None,
             spinups: 42,
             forced_spinups: 2,
             writelog_peak_bytes: 1 << 30,

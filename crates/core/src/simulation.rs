@@ -13,6 +13,8 @@
 //!   Forecast — battery self-discharge, green forecast, expected
 //!              interactive busy time
 //!   Classify — failure injection, batch arrivals, job views
+//!   Admission— accept/defer/reject deferrable arrivals against the
+//!              α-confidence green lower band (no-op when off)
 //!   Plan     — SchedContext assembly over the scratch, policy.decide()
 //!   Gear     — clamp and apply the gear decision
 //!   Execute  — serve interactive requests, spread batch bytes over
@@ -31,7 +33,7 @@ use crate::config::{ConfigError, ExperimentConfig};
 use crate::observe::{Phase, SlotObserver};
 use crate::phases::{self, SlotContext, SlotScratch};
 use crate::policy::{Decision, PlanningModel};
-use crate::report::{BatchReport, LatencyReport, RunReport, SiteReport};
+use crate::report::{AdmissionReport, BatchReport, LatencyReport, RunReport, SiteReport};
 use crate::scheduler::DEFAULT_HORIZON;
 use crate::snapshot::{SiteSnapshot, Snapshot, SNAPSHOT_VERSION};
 use crate::world::{self, World, WorldCache};
@@ -42,7 +44,7 @@ use gm_sim::time::{SimTime, SlotIdx};
 use gm_sim::{LogHistogram, SlotClock, TimeSeries};
 use gm_storage::{Cluster, FailureDice};
 use gm_workload::trace::Workload;
-use gm_workload::{BatchJob, JobId, LiveCursor};
+use gm_workload::{BatchJob, EventFeed, JobId, LiveCursor};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -116,6 +118,13 @@ pub struct SlotEvents {
     pub migrations_spawned: usize,
     /// Tier-migration jobs that completed (flipped placement) this slot.
     pub migrations_completed: u64,
+    /// Deferrable jobs the admission gate held back this slot (always 0
+    /// with admission control off).
+    pub jobs_deferred: usize,
+    /// Deferrable jobs the admission gate turned away this slot.
+    pub jobs_rejected: usize,
+    /// Bytes of batch work turned away this slot.
+    pub rejected_bytes: u64,
 }
 
 /// One tier-migration job's payload: the objects whose placement flips
@@ -262,6 +271,7 @@ pub struct SimulationBuilder<'c, 's> {
     scratch: Option<&'s mut SlotScratch>,
     observers: Vec<Box<dyn SlotObserver + Send>>,
     resume: Option<&'c Snapshot>,
+    feed: Option<EventFeed>,
 }
 
 impl<'c, 's> SimulationBuilder<'c, 's> {
@@ -293,7 +303,22 @@ impl<'c, 's> SimulationBuilder<'c, 's> {
             scratch: Some(scratch),
             observers: self.observers,
             resume: self.resume,
+            feed: self.feed,
         }
+    }
+
+    /// Drive batch arrivals from an external [`EventFeed`] instead of the
+    /// workload's population cursor (service mode). The feed's driver owns
+    /// the pace: classify blocks until each slot's batch has been
+    /// delivered, so a slow producer delays the simulated clock rather
+    /// than dropping work. A feed replayed from the config's own workload
+    /// produces a byte-identical run to the batch cursor; see
+    /// [`gm_workload::EventFeed::replay`]. Implies what
+    /// [`crate::config::ExperimentConfig::with_feed_arrivals`] would have
+    /// set up, but with the caller's feed instead of a self-replay.
+    pub fn feed(mut self, feed: EventFeed) -> Self {
+        self.feed = Some(feed);
+        self
     }
 
     /// Attach an observer (repeatable).
@@ -338,6 +363,16 @@ impl<'c, 's> SimulationBuilder<'c, 's> {
             None => Scratch::Owned(Box::new(SlotScratch::new())),
         };
         let mut sim = Simulation::assemble(self.cfg, world, scratch);
+        sim.feed = match self.feed {
+            Some(feed) => Some(feed),
+            // Self-driving service mode: replay the materialised workload
+            // through a pre-loaded feed. Exercises the exact feed path
+            // (and is pinned byte-identical to the cursor walk).
+            None if self.cfg.feed_arrivals => {
+                Some(EventFeed::replay(&sim.workload, sim.clock, sim.slots))
+            }
+            None => None,
+        };
         if let Some(snap) = self.resume {
             sim.restore_overlay(snap)?;
         }
@@ -419,6 +454,23 @@ pub struct Simulation<'s> {
     /// green-slot share of migration I/O.
     pub(crate) migrated_green_bytes: f64,
 
+    /// Deferrable arrivals awaiting this slot's admission decision —
+    /// filled by classify, drained by the admission phase within the same
+    /// slot, so it is always empty at slot boundaries (and hence never
+    /// snapshotted). Unused (empty) with admission control off.
+    pub(crate) admission_queue: Vec<BatchJob>,
+    /// Jobs the admission gate deferred, with the number of slots each has
+    /// been held; retried FIFO every slot.
+    pub(crate) admission_held: Vec<(BatchJob, usize)>,
+    /// Run totals of the admission gate's decisions.
+    pub(crate) admission_accepted: u64,
+    pub(crate) admission_deferred: u64,
+    pub(crate) admission_rejected: u64,
+    pub(crate) admission_rejected_bytes: u64,
+    /// Arrival source in service mode: an event feed replaces the
+    /// population cursor (which then stays at 0). `None` for batch runs.
+    pub(crate) feed: Option<EventFeed>,
+
     pub(crate) cursor: usize,
     pub(crate) observers: Vec<Box<dyn SlotObserver + Send>>,
     pub(crate) time_phases: bool,
@@ -440,6 +492,7 @@ impl<'s> Simulation<'s> {
             scratch: None,
             observers: Vec::new(),
             resume: None,
+            feed: None,
         }
     }
 
@@ -530,6 +583,13 @@ impl<'s> Simulation<'s> {
             migrations_completed: 0,
             migrated_bytes: 0,
             migrated_green_bytes: 0.0,
+            admission_queue: Vec::new(),
+            admission_held: Vec::new(),
+            admission_accepted: 0,
+            admission_deferred: 0,
+            admission_rejected: 0,
+            admission_rejected_bytes: 0,
+            feed: None,
             cursor: 0,
             observers: Vec::new(),
             time_phases: false,
@@ -622,6 +682,11 @@ impl<'s> Simulation<'s> {
             migrations_completed: self.migrations_completed,
             migrated_bytes: self.migrated_bytes,
             migrated_green_bytes: self.migrated_green_bytes,
+            admission_held: self.admission_held.clone(),
+            admission_accepted: self.admission_accepted,
+            admission_deferred: self.admission_deferred,
+            admission_rejected: self.admission_rejected,
+            admission_rejected_bytes: self.admission_rejected_bytes,
         }
     }
 
@@ -634,12 +699,12 @@ impl<'s> Simulation<'s> {
     /// site count or cluster shapes do not match this simulation.
     fn restore_overlay(&mut self, snap: &Snapshot) -> Result<(), ConfigError> {
         let invalid = |message: String| ConfigError::Invalid { message };
-        // Version 1 snapshots (pre-tiering) restore with the migration
-        // fields at their defaults — an empty table, which is exactly the
-        // state every v1 run was in.
-        if snap.version != SNAPSHOT_VERSION && snap.version != 1 {
+        // Older snapshots restore with the newer fields at their defaults
+        // — empty migration (v1) and admission (v2) tables, which is
+        // exactly the state every such run was in.
+        if !(1..=SNAPSHOT_VERSION).contains(&snap.version) {
             return Err(invalid(format!(
-                "snapshot version {} not supported (this build reads versions 1 and {})",
+                "snapshot version {} not supported (this build reads versions 1 through {})",
                 snap.version, SNAPSHOT_VERSION
             )));
         }
@@ -719,12 +784,32 @@ impl<'s> Simulation<'s> {
         self.migrations_completed = snap.migrations_completed;
         self.migrated_bytes = snap.migrated_bytes;
         self.migrated_green_bytes = snap.migrated_green_bytes;
+        self.admission_queue.clear();
+        self.admission_held = snap.admission_held.clone();
+        self.admission_accepted = snap.admission_accepted;
+        self.admission_deferred = snap.admission_deferred;
+        self.admission_rejected = snap.admission_rejected;
+        self.admission_rejected_bytes = snap.admission_rejected_bytes;
+        // Service mode: a feed restarts from slot 0 on every build, but
+        // everything submitted before the resume cursor is already in the
+        // snapshot — discard it. Only the self-driving replay feed is
+        // fast-forwarded here (it is fully pre-loaded, so this never
+        // blocks); resuming across an *external* feed is the driver's
+        // contract to honour.
+        if snap.cursor > 0 && self.cfg.feed_arrivals {
+            if let Some(feed) = self.feed.as_mut() {
+                let last = snap.cursor - 1;
+                let mut consumed = Vec::new();
+                feed.take_arrivals_before(last, self.clock.slot_end(last), &mut consumed);
+            }
+        }
         self.cursor = snap.cursor;
         Ok(())
     }
 
     /// Simulate one slot through the phase pipeline
-    /// (`Forecast → Classify → Plan → Gear → Execute → Settle`, see
+    /// (`Forecast → Classify → Admission → Plan → Gear → Execute →
+    /// Settle`, see
     /// [`crate::phases`]), exchanging bulk data through the simulation's
     /// scratch (its own, or the caller's — see
     /// [`SimulationBuilder::scratch`]). Returns `None` once the horizon is
@@ -758,6 +843,8 @@ impl<'s> Simulation<'s> {
         let t = self.emit_phase(s, Phase::Forecast, t);
         let classified = phases::classify::run(self, &ctx, scratch);
         let t = self.emit_phase(s, Phase::Classify, t);
+        let admitted = phases::admission::run(self, &ctx, scratch);
+        let t = self.emit_phase(s, Phase::Admission, t);
         let decision = phases::plan::run(self, &ctx, scratch);
         let t = self.emit_phase(s, Phase::Plan, t);
         let gears = phases::gear::run(self, &ctx, &decision);
@@ -812,13 +899,16 @@ impl<'s> Simulation<'s> {
             battery_soc_wh: soc,
             battery_soc_frac: if usable > 0.0 { soc / usable } else { 0.0 },
             events: SlotEvents {
-                jobs_submitted: classified.jobs_submitted,
+                jobs_submitted: classified.jobs_submitted + admitted.accepted,
                 jobs_completed: settled.jobs_completed,
                 deadline_misses: settled.deadline_misses,
                 repairs_completed: settled.repairs_completed,
                 disk_failures: classified.disk_failures,
                 migrations_spawned: classified.migrations_spawned,
                 migrations_completed: settled.migrations_completed,
+                jobs_deferred: admitted.deferred,
+                jobs_rejected: admitted.rejected,
+                rejected_bytes: admitted.rejected_bytes,
             },
             latency: LatencyReport::from_histogram(&scratch.slot_hist),
             pending_jobs: self.job_index.len(),
@@ -1007,6 +1097,13 @@ impl<'s> Simulation<'s> {
             Vec::new()
         };
 
+        let admission = self.cfg.admission.is_some().then_some(AdmissionReport {
+            accepted: self.admission_accepted,
+            deferred: self.admission_deferred,
+            rejected: self.admission_rejected,
+            rejected_bytes: self.admission_rejected_bytes,
+            pending_at_end: self.admission_held.len(),
+        });
         let home = &mut self.sites[0];
         RunReport {
             policy: self.policy.label(),
@@ -1050,6 +1147,7 @@ impl<'s> Simulation<'s> {
             capacity_in_use_bytes: home.cluster.capacity_in_use_bytes(),
             ec_objects: home.cluster.ec_objects() as u64,
             cache_hit_ratio: home.cluster.cache().hit_ratio(),
+            admission,
             gears_series: std::mem::take(&mut home.gears_series),
             load_series_wh,
             green_series_wh,

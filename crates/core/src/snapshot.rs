@@ -35,9 +35,10 @@ use std::io::{Read, Write};
 use std::path::Path;
 
 /// Format version; bumped whenever the snapshot shape changes
-/// incompatibly. Restore also accepts version 1 (pre-tiering): every new
-/// field defaults to the empty state a v1 run was necessarily in.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// incompatibly. Restore also accepts versions 1 (pre-tiering) and 2
+/// (pre-admission): every newer field defaults to the empty state such a
+/// run was necessarily in.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Serde default for [`Snapshot::next_migration_id`] (v1 snapshots never
 /// allocated one).
@@ -141,6 +142,26 @@ pub struct Snapshot {
     /// Green-fraction-weighted migration bytes so far.
     #[serde(default, skip_serializing_if = "f64_is_zero")]
     pub migrated_green_bytes: f64,
+    /// Jobs the admission gate is holding, as `(job, slots held)` pairs in
+    /// hold order. Like the migration fields, the five admission fields
+    /// default (and are omitted at their defaults), so v1/v2 snapshots
+    /// parse and an admission-off run writes a v2-shaped snapshot. The
+    /// slot-scoped admission *queue* is never captured — it is empty at
+    /// every slot boundary.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub admission_held: Vec<(BatchJob, usize)>,
+    /// Jobs the gate has accepted so far.
+    #[serde(default, skip_serializing_if = "u64_is_zero")]
+    pub admission_accepted: u64,
+    /// Defer decisions so far (a job held twice counts twice).
+    #[serde(default, skip_serializing_if = "u64_is_zero")]
+    pub admission_deferred: u64,
+    /// Jobs the gate has turned away so far.
+    #[serde(default, skip_serializing_if = "u64_is_zero")]
+    pub admission_rejected: u64,
+    /// Bytes of turned-away work so far.
+    #[serde(default, skip_serializing_if = "u64_is_zero")]
+    pub admission_rejected_bytes: u64,
 }
 
 impl Snapshot {
@@ -153,9 +174,9 @@ impl Snapshot {
     pub fn from_json(json: &str) -> Result<Snapshot, String> {
         let snap: Snapshot =
             serde_json::from_str(json).map_err(|e| format!("malformed snapshot: {e}"))?;
-        if snap.version != SNAPSHOT_VERSION && snap.version != 1 {
+        if !(1..=SNAPSHOT_VERSION).contains(&snap.version) {
             return Err(format!(
-                "snapshot version {} not supported (this build reads versions 1 and {})",
+                "snapshot version {} not supported (this build reads versions 1 through {})",
                 snap.version, SNAPSHOT_VERSION
             ));
         }

@@ -13,10 +13,11 @@
 //! * [`NoisyOracle`] — the oracle with multiplicative lognormal error of a
 //!   configurable magnitude, for dose–response studies.
 
-use gm_sim::dist::lognormal_mean_cv;
+use gm_sim::dist::{lognormal_mean_cv, normal_quantile};
 use gm_sim::time::SlotIdx;
 use gm_sim::{RngFactory, TimeSeries};
 use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// The portable mutable state of a [`Forecaster`], for checkpointing.
@@ -25,16 +26,95 @@ use serde::{Deserialize, Serialize};
 /// so a snapshot cannot serialize them whole. Instead each implementation
 /// exports only what it has *learned* since construction; restoring means
 /// rebuilding the forecaster from the resume config and importing this
-/// state on top. Stateless forecasters (oracle, persistence) export
+/// state on top. Stateless forecasters (oracle, noisy oracle) export
 /// [`ForecasterState::Stateless`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ForecasterState {
     /// Nothing to carry: the forecaster reads only the immutable trace.
     Stateless,
-    /// EWMA per slot-of-day position (`None` = no observation yet).
+    /// EWMA per slot-of-day position (`None` = no observation yet) —
+    /// legacy shape (snapshot v1/v2, before error tracking). Still
+    /// importable; no longer exported.
     Ewma(Vec<Option<f64>>),
-    /// Raw RNG words of the noise stream, mid-sequence.
+    /// Raw RNG words of a noise stream mid-sequence — legacy shape
+    /// (snapshot v1/v2 `NoisyOracle`, whose noise was a sequential
+    /// stream). Accepted and ignored on import: noise is now a pure
+    /// function of the forecast slot, so there is no stream position to
+    /// restore.
     Rng([u64; 4]),
+    /// Learned state plus tracked forecast errors (snapshot v3): EWMA
+    /// per-position values (empty for persistence) and the error ring
+    /// buffer with its write cursor.
+    Tracked {
+        /// EWMA per slot-of-day position; empty for trackers without one.
+        ewma: Vec<Option<f64>>,
+        /// Recent `actual - predicted` samples (W), ring order.
+        errors: Vec<f64>,
+        /// Next write position in the ring.
+        cursor: usize,
+    },
+}
+
+/// Ring buffer of recent forecast errors (`actual − predicted`, in W) from
+/// which empirical quantiles give a forecaster its confidence bands.
+///
+/// Bounded at two weeks of hourly slots so a long-lived service forgets
+/// stale seasons; below [`ErrorTracker::MIN_SAMPLES`] observations the
+/// quantiles are `None` and bands degenerate to the point forecast.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ErrorTracker {
+    errors: Vec<f64>,
+    cursor: usize,
+}
+
+impl ErrorTracker {
+    /// Ring capacity: two hourly weeks.
+    pub const CAPACITY: usize = 336;
+    /// Minimum samples before quantiles are considered meaningful.
+    pub const MIN_SAMPLES: usize = 8;
+
+    /// Record one error sample (`actual − predicted`).
+    pub fn observe(&mut self, error: f64) {
+        if self.errors.len() < Self::CAPACITY {
+            self.errors.push(error);
+        } else {
+            self.errors[self.cursor] = error;
+        }
+        self.cursor = (self.cursor + 1) % Self::CAPACITY;
+    }
+
+    /// Number of tracked samples.
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Whether no samples are tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Empirical `q`-quantile of the tracked errors (the `ceil(q·n)`-th
+    /// smallest), or `None` below the sample minimum.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q));
+        if self.errors.len() < Self::MIN_SAMPLES {
+            return None;
+        }
+        let mut sorted = self.errors.clone();
+        sorted.sort_by(f64::total_cmp);
+        let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[target - 1])
+    }
+
+    /// Portable form for [`ForecasterState::Tracked`].
+    fn export(&self) -> (Vec<f64>, usize) {
+        (self.errors.clone(), self.cursor)
+    }
+
+    fn import(&mut self, errors: &[f64], cursor: usize) {
+        self.errors = errors.to_vec();
+        self.cursor = cursor.min(Self::CAPACITY - 1);
+    }
 }
 
 /// Predicts average green power (W) for future slots.
@@ -54,6 +134,34 @@ pub trait Forecaster {
         let mut out = Vec::with_capacity(horizon);
         self.predict_into(from_slot, horizon, &mut out);
         out
+    }
+
+    /// Probabilistic forecast: the point prediction plus a per-slot
+    /// `alpha`-confidence band, `alpha ∈ [0.5, 1)`. The one-sided
+    /// semantics admission control needs: for each slot `k`,
+    /// `P(actual ≥ lower[k]) ≥ alpha` and `P(actual ≤ upper[k]) ≥ alpha`
+    /// under the forecaster's error model. `point` receives exactly what
+    /// [`Forecaster::predict_into`] would, so band-aware callers see the
+    /// identical point forecast as band-oblivious ones. All three buffers
+    /// are cleared first.
+    ///
+    /// Default: degenerate bands (`lower == upper == point`) — exact for
+    /// the oracle, neutral for forecasters without an error model.
+    fn predict_bands_into(
+        &mut self,
+        from_slot: SlotIdx,
+        horizon: usize,
+        alpha: f64,
+        point: &mut Vec<f64>,
+        lower: &mut Vec<f64>,
+        upper: &mut Vec<f64>,
+    ) {
+        debug_assert!((0.5..1.0).contains(&alpha), "confidence level out of range: {alpha}");
+        self.predict_into(from_slot, horizon, point);
+        lower.clear();
+        lower.extend_from_slice(point);
+        upper.clear();
+        upper.extend_from_slice(point);
     }
 
     /// Feed the realised production of a completed slot. Stateless
@@ -107,6 +215,7 @@ impl Forecaster for OracleForecaster {
 pub struct PersistenceForecaster {
     trace: TimeSeries,
     slots_per_day: usize,
+    errors: ErrorTracker,
 }
 
 impl PersistenceForecaster {
@@ -114,25 +223,76 @@ impl PersistenceForecaster {
     /// values at least one day in the past).
     pub fn new(trace: TimeSeries) -> Self {
         let slots_per_day = trace.clock().slots_per_day();
-        PersistenceForecaster { trace, slots_per_day }
+        PersistenceForecaster { trace, slots_per_day, errors: ErrorTracker::default() }
+    }
+
+    fn point_at(&self, s: SlotIdx) -> f64 {
+        if s >= self.slots_per_day {
+            self.trace.get(s - self.slots_per_day)
+        } else {
+            0.0
+        }
     }
 }
 
 impl Forecaster for PersistenceForecaster {
     fn predict_into(&mut self, from_slot: SlotIdx, horizon: usize, out: &mut Vec<f64>) {
         out.clear();
-        out.extend((from_slot..from_slot + horizon).map(|s| {
-            if s >= self.slots_per_day {
-                self.trace.get(s - self.slots_per_day)
-            } else {
-                0.0
-            }
-        }));
+        out.extend((from_slot..from_slot + horizon).map(|s| self.point_at(s)));
+    }
+
+    fn predict_bands_into(
+        &mut self,
+        from_slot: SlotIdx,
+        horizon: usize,
+        alpha: f64,
+        point: &mut Vec<f64>,
+        lower: &mut Vec<f64>,
+        upper: &mut Vec<f64>,
+    ) {
+        self.predict_into(from_slot, horizon, point);
+        empirical_bands(&self.errors, alpha, point, lower, upper);
+    }
+
+    fn observe_actual(&mut self, slot: SlotIdx, power_w: f64) {
+        self.errors.observe(power_w - self.point_at(slot));
+    }
+
+    fn export_state(&self) -> ForecasterState {
+        let (errors, cursor) = self.errors.export();
+        ForecasterState::Tracked { ewma: Vec::new(), errors, cursor }
+    }
+
+    fn import_state(&mut self, state: &ForecasterState) {
+        if let ForecasterState::Tracked { errors, cursor, .. } = state {
+            self.errors.import(errors, *cursor);
+        }
     }
 
     fn label(&self) -> String {
         "persistence".into()
     }
+}
+
+/// Shared band construction from tracked empirical errors: shift the point
+/// by the error distribution's tails, clamped at zero power. With too few
+/// samples the bands collapse to the point forecast.
+fn empirical_bands(
+    errors: &ErrorTracker,
+    alpha: f64,
+    point: &[f64],
+    lower: &mut Vec<f64>,
+    upper: &mut Vec<f64>,
+) {
+    debug_assert!((0.5..1.0).contains(&alpha), "confidence level out of range: {alpha}");
+    lower.clear();
+    upper.clear();
+    let (lo_shift, hi_shift) = match (errors.quantile(1.0 - alpha), errors.quantile(alpha)) {
+        (Some(lo), Some(hi)) => (lo.min(0.0), hi.max(0.0)),
+        _ => (0.0, 0.0),
+    };
+    lower.extend(point.iter().map(|&p| (p + lo_shift).max(0.0)));
+    upper.extend(point.iter().map(|&p| p + hi_shift));
 }
 
 /// Exponentially-weighted moving average per slot-of-day position.
@@ -146,6 +306,7 @@ pub struct EwmaForecaster {
     slots_per_day: usize,
     /// EWMA per slot-of-day; None until first observation at that position.
     state: Vec<Option<f64>>,
+    errors: ErrorTracker,
 }
 
 impl EwmaForecaster {
@@ -154,12 +315,26 @@ impl EwmaForecaster {
     pub fn new(alpha: f64, slots_per_day: usize) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0);
         assert!(slots_per_day > 0);
-        EwmaForecaster { alpha, slots_per_day, state: vec![None; slots_per_day] }
+        EwmaForecaster {
+            alpha,
+            slots_per_day,
+            state: vec![None; slots_per_day],
+            errors: ErrorTracker::default(),
+        }
     }
 
     /// Record the actual production of `slot`.
+    ///
+    /// Observations are keyed by `slot % slots_per_day` — the position in
+    /// the (site-local, since per-site traces are rotated by their UTC
+    /// offset at materialisation) day — never by a running call count, so
+    /// the learned pattern is invariant to *when* observation starts and
+    /// to snapshot-resume forward seeks.
     pub fn observe(&mut self, slot: SlotIdx, power_w: f64) {
         let pos = slot % self.slots_per_day;
+        // Track the error of what this forecaster would have predicted for
+        // `slot` just before observing it (cold positions predict 0).
+        self.errors.observe(power_w - self.state[pos].unwrap_or(0.0));
         self.state[pos] = Some(match self.state[pos] {
             None => power_w,
             Some(prev) => self.alpha * power_w + (1.0 - self.alpha) * prev,
@@ -176,22 +351,50 @@ impl Forecaster for EwmaForecaster {
         );
     }
 
+    fn predict_bands_into(
+        &mut self,
+        from_slot: SlotIdx,
+        horizon: usize,
+        alpha: f64,
+        point: &mut Vec<f64>,
+        lower: &mut Vec<f64>,
+        upper: &mut Vec<f64>,
+    ) {
+        self.predict_into(from_slot, horizon, point);
+        empirical_bands(&self.errors, alpha, point, lower, upper);
+    }
+
     fn observe_actual(&mut self, slot: SlotIdx, power_w: f64) {
         self.observe(slot, power_w);
     }
 
     fn export_state(&self) -> ForecasterState {
-        ForecasterState::Ewma(self.state.clone())
+        let (errors, cursor) = self.errors.export();
+        ForecasterState::Tracked { ewma: self.state.clone(), errors, cursor }
     }
 
     fn import_state(&mut self, state: &ForecasterState) {
-        if let ForecasterState::Ewma(s) = state {
-            assert_eq!(
-                s.len(),
-                self.slots_per_day,
-                "EWMA state length must match the clock's slots-per-day"
-            );
-            self.state = s.clone();
+        match state {
+            // Legacy shape (snapshot v1/v2): EWMA values, no error ring.
+            ForecasterState::Ewma(s) => {
+                assert_eq!(
+                    s.len(),
+                    self.slots_per_day,
+                    "EWMA state length must match the clock's slots-per-day"
+                );
+                self.state = s.clone();
+            }
+            // A tracked state from another forecaster kind (e.g. a
+            // persistence checkpoint resumed under EWMA in a what-if
+            // branch) carries no per-position vector — ignore it rather
+            // than adopt a shape this forecaster did not produce.
+            ForecasterState::Tracked { ewma, errors, cursor }
+                if ewma.len() == self.slots_per_day =>
+            {
+                self.state = ewma.clone();
+                self.errors.import(errors, *cursor);
+            }
+            _ => {}
         }
     }
 
@@ -203,45 +406,80 @@ impl Forecaster for EwmaForecaster {
 /// Oracle perturbed by multiplicative lognormal noise with unit mean and the
 /// given coefficient of variation — a controllable "how wrong can the
 /// forecast be before the policy breaks" knob.
+///
+/// Noise is **counter-based**: slot `s`'s multiplier comes from a
+/// `keyed_seed((slot, draw))`-seeded generator, so the forecast for a slot
+/// is a pure function of `(master seed, slot)`. Historically the noise was
+/// a sequential stream, which made "the forecast for slot s" depend on the
+/// call pattern and on which earlier slots were zero — overlapping predict
+/// windows disagreed, and there was no well-defined quantity to put a
+/// confidence band around.
 pub struct NoisyOracle {
     trace: TimeSeries,
     cv: f64,
-    rng: SmallRng,
+    /// Pre-mixed base of the per-slot noise seeds.
+    noise_base: u64,
 }
 
 impl NoisyOracle {
     /// Noisy oracle with error coefficient-of-variation `cv`.
     pub fn new(trace: TimeSeries, cv: f64, rngs: &RngFactory) -> Self {
         assert!(cv >= 0.0);
-        NoisyOracle { trace, cv, rng: rngs.stream("forecast-noise") }
+        NoisyOracle { trace, cv, noise_base: rngs.seed_for("forecast-noise") }
+    }
+
+    /// The (slot-pure) noise multiplier applied to slot `s`.
+    fn multiplier(&self, s: SlotIdx) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(RngFactory::keyed_seed(self.noise_base, s as u64, 0));
+        lognormal_mean_cv(&mut rng, 1.0, self.cv)
     }
 }
 
 impl Forecaster for NoisyOracle {
     fn predict_into(&mut self, from_slot: SlotIdx, horizon: usize, out: &mut Vec<f64>) {
-        // Draw order must stay exactly one lognormal per non-zero slot in
-        // ascending slot order: the noise stream is part of the seeded
-        // byte-identity contract.
         out.clear();
         out.extend((from_slot..from_slot + horizon).map(|s| {
             let v = self.trace.get(s);
             if v == 0.0 || self.cv == 0.0 {
                 v
             } else {
-                v * lognormal_mean_cv(&mut self.rng, 1.0, self.cv)
+                v * self.multiplier(s)
             }
         }));
     }
 
-    fn export_state(&self) -> ForecasterState {
-        ForecasterState::Rng(self.rng.state())
+    fn predict_bands_into(
+        &mut self,
+        from_slot: SlotIdx,
+        horizon: usize,
+        alpha: f64,
+        point: &mut Vec<f64>,
+        lower: &mut Vec<f64>,
+        upper: &mut Vec<f64>,
+    ) {
+        debug_assert!((0.5..1.0).contains(&alpha), "confidence level out of range: {alpha}");
+        self.predict_into(from_slot, horizon, point);
+        lower.clear();
+        upper.clear();
+        if self.cv == 0.0 {
+            lower.extend_from_slice(point);
+            upper.extend_from_slice(point);
+            return;
+        }
+        // Analytic quantiles: the point is `actual × X` with
+        // `X ~ LogNormal(mean 1, cv)`, so `actual = point / X` and
+        // `ln(actual/point) ~ N(σ²/2, σ)` with `σ² = ln(1 + cv²)`.
+        let sigma2 = (1.0 + self.cv * self.cv).ln();
+        let sigma = sigma2.sqrt();
+        let lo = (sigma2 / 2.0 + sigma * normal_quantile(1.0 - alpha)).exp();
+        let hi = (sigma2 / 2.0 + sigma * normal_quantile(alpha)).exp();
+        lower.extend(point.iter().map(|&p| p * lo.min(1.0)));
+        upper.extend(point.iter().map(|&p| p * hi.max(1.0)));
     }
 
-    fn import_state(&mut self, state: &ForecasterState) {
-        if let ForecasterState::Rng(words) = state {
-            self.rng = SmallRng::from_state(*words);
-        }
-    }
+    // Noise is a pure function of the forecast slot — nothing to
+    // checkpoint. Legacy `Rng` states from v1/v2 snapshots are accepted by
+    // the default `import_state` no-op.
 
     fn label(&self) -> String {
         format!("noisy-oracle(cv={})", self.cv)
@@ -346,15 +584,174 @@ mod tests {
     }
 
     #[test]
-    fn noisy_oracle_state_resumes_the_stream() {
+    fn noisy_oracle_overlapping_windows_agree() {
+        // Regression (the satellite bugfix): noise is a pure function of
+        // the forecast slot, so two predict windows that overlap must
+        // return identical values for the shared slots. Under the old
+        // sequential noise stream the second window's draws were offset by
+        // the first call's draw count and this failed.
         let t = trace(&vec![100.0; 64]);
         let rngs = RngFactory::new(9);
-        let mut a = NoisyOracle::new(t.clone(), 0.3, &rngs);
+        let mut f = NoisyOracle::new(t, 0.3, &rngs);
+        let a = f.predict(0, 24);
+        let b = f.predict(12, 24);
+        assert_eq!(&a[12..24], &b[..12], "overlap must agree");
+        // Repeated identical calls agree too (old code re-drew noise).
+        assert_eq!(f.predict(0, 24), a);
+        // Zero slots consume no draw alignment: a trace with leading zeros
+        // gives the same slot-10 forecast as one without.
+        let mut dark_start = vec![0.0; 10];
+        dark_start.extend(vec![100.0; 54]);
+        let mut g = NoisyOracle::new(trace(&dark_start), 0.3, &RngFactory::new(9));
+        assert_eq!(g.predict(10, 5), f.predict(10, 5));
+    }
+
+    #[test]
+    fn noisy_oracle_is_stateless() {
+        // Slot-pure noise means there is no stream position to carry: a
+        // fresh same-seed instance reproduces any window without replaying
+        // earlier calls, and legacy Rng states import as a no-op.
+        let t = trace(&vec![100.0; 64]);
+        let mut a = NoisyOracle::new(t.clone(), 0.3, &RngFactory::new(9));
         let _ = a.predict(0, 16);
-        let state = a.export_state();
+        assert_eq!(a.export_state(), ForecasterState::Stateless);
         let mut b = NoisyOracle::new(t, 0.3, &RngFactory::new(9));
-        b.import_state(&state);
+        b.import_state(&ForecasterState::Rng([1, 2, 3, 4]));
         assert_eq!(a.predict(16, 16), b.predict(16, 16));
+    }
+
+    #[test]
+    fn noisy_oracle_bands_bracket_and_tighten_with_alpha() {
+        let t = trace(&vec![100.0; 48]);
+        let mut f = NoisyOracle::new(t, 0.4, &RngFactory::new(5));
+        let (mut p, mut lo, mut hi) = (Vec::new(), Vec::new(), Vec::new());
+        let mut prev_lo: Option<Vec<f64>> = None;
+        for alpha in [0.5, 0.8, 0.9, 0.99] {
+            f.predict_bands_into(0, 24, alpha, &mut p, &mut lo, &mut hi);
+            assert_eq!(p, f.predict(0, 24), "bands do not perturb the point forecast");
+            for k in 0..24 {
+                assert!(lo[k] <= p[k] && p[k] <= hi[k], "alpha={alpha} k={k}");
+                assert!(lo[k] > 0.0, "lognormal lower band stays positive");
+            }
+            if let Some(prev) = &prev_lo {
+                for k in 0..24 {
+                    assert!(lo[k] <= prev[k] + 1e-12, "lower band shrinks as alpha rises");
+                }
+            }
+            prev_lo = Some(lo.clone());
+        }
+        // cv = 0 collapses the bands onto the (exact) point.
+        let mut exact = NoisyOracle::new(trace(&[7.0; 8]), 0.0, &RngFactory::new(5));
+        exact.predict_bands_into(0, 8, 0.9, &mut p, &mut lo, &mut hi);
+        assert_eq!(p, lo);
+        assert_eq!(p, hi);
+    }
+
+    #[test]
+    fn empirical_bands_track_observed_errors() {
+        let mut f = EwmaForecaster::new(0.5, 24);
+        let (mut p, mut lo, mut hi) = (Vec::new(), Vec::new(), Vec::new());
+        // Before enough observations: degenerate bands.
+        f.predict_bands_into(0, 24, 0.9, &mut p, &mut lo, &mut hi);
+        assert_eq!(p, lo);
+        assert_eq!(p, hi);
+        // Two days of alternating actuals around 100 W build an error
+        // distribution; the band must then bracket the point.
+        for day in 0..4 {
+            for h in 0..24 {
+                let actual = if (day * 24 + h) % 2 == 0 { 80.0 } else { 120.0 };
+                f.observe(day * 24 + h, actual);
+            }
+        }
+        f.predict_bands_into(96, 24, 0.9, &mut p, &mut lo, &mut hi);
+        let mut widened = false;
+        for k in 0..24 {
+            assert!(lo[k] <= p[k] && p[k] <= hi[k], "k={k}");
+            assert!(lo[k] >= 0.0);
+            widened |= hi[k] - lo[k] > 1.0;
+        }
+        assert!(widened, "tracked errors must widen the band");
+    }
+
+    #[test]
+    fn persistence_tracks_errors_too() {
+        let mut f = PersistenceForecaster::new(two_day_trace());
+        let (mut p, mut lo, mut hi) = (Vec::new(), Vec::new(), Vec::new());
+        // Day 2 actuals are double day 1's, so persistence under-predicts
+        // and the tracked errors are positive: upper band lifts.
+        for s in 0..48 {
+            let actual = if s < 24 { s as f64 } else { 2.0 * (s - 24) as f64 };
+            f.observe_actual(s, actual);
+        }
+        f.predict_bands_into(48, 24, 0.9, &mut p, &mut lo, &mut hi);
+        let lifted = (0..24).any(|k| hi[k] > p[k] + 1.0);
+        assert!(lifted, "positive errors must lift the upper band");
+        for k in 0..24 {
+            assert!(lo[k] <= p[k] && p[k] <= hi[k], "k={k}");
+        }
+    }
+
+    #[test]
+    fn tracked_state_roundtrips_bands() {
+        // Resume fidelity for the error ring: export mid-run, import into
+        // a fresh instance, and both future observations and bands agree
+        // with the uninterrupted run.
+        let mut cold = EwmaForecaster::new(0.4, 24);
+        let mut split = EwmaForecaster::new(0.4, 24);
+        for s in 0..30 {
+            let v = (s % 24) as f64 * 3.0 + 5.0;
+            cold.observe(s, v);
+            split.observe(s, v);
+        }
+        let state = split.export_state();
+        let mut resumed = EwmaForecaster::new(0.4, 24);
+        resumed.import_state(&state);
+        for s in 30..40 {
+            let v = (s % 24) as f64 * 2.0;
+            cold.observe(s, v);
+            resumed.observe(s, v);
+        }
+        let (mut p1, mut l1, mut h1) = (Vec::new(), Vec::new(), Vec::new());
+        let (mut p2, mut l2, mut h2) = (Vec::new(), Vec::new(), Vec::new());
+        cold.predict_bands_into(40, 24, 0.9, &mut p1, &mut l1, &mut h1);
+        resumed.predict_bands_into(40, 24, 0.9, &mut p2, &mut l2, &mut h2);
+        assert_eq!(p1, p2);
+        assert_eq!(l1, l2);
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn ewma_observe_is_keyed_by_position_not_call_count() {
+        // The satellite-3 audit pin: observations are keyed by
+        // slot-of-day position, so a forecaster that starts observing
+        // mid-run (a snapshot-resume forward seek) learns exactly what an
+        // uninterrupted one knowing the same slots would, and an
+        // observation affects only its own position.
+        let mut f = EwmaForecaster::new(0.4, 24);
+        f.observe(30, 80.0); // day 2, hour 6
+        let p = f.predict(48, 24);
+        assert_eq!(p[6], 80.0, "observation lands at its slot-local position");
+        assert!(p.iter().enumerate().all(|(k, &v)| k == 6 || v == 0.0));
+        // Same observations, different starting day: identical pattern.
+        let mut early = EwmaForecaster::new(0.4, 24);
+        let mut late = EwmaForecaster::new(0.4, 24);
+        for h in 0..24 {
+            early.observe(48 + h, h as f64);
+            late.observe(96 + h, h as f64);
+        }
+        assert_eq!(early.predict(120, 24), late.predict(120, 24));
+    }
+
+    #[test]
+    fn error_tracker_ring_overwrites_oldest() {
+        let mut t = ErrorTracker::default();
+        for i in 0..(ErrorTracker::CAPACITY + 10) {
+            t.observe(i as f64);
+        }
+        assert_eq!(t.len(), ErrorTracker::CAPACITY);
+        // The oldest 10 samples were overwritten: the minimum is 10.
+        assert_eq!(t.quantile(0.0).unwrap(), 10.0);
+        assert_eq!(t.quantile(1.0).unwrap(), (ErrorTracker::CAPACITY + 9) as f64);
     }
 
     #[test]

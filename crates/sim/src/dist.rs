@@ -89,6 +89,61 @@ pub fn lognormal_mean_cv<R: Rng + ?Sized>(rng: &mut R, mean: f64, cv: f64) -> f6
     lognormal(rng, mu, sigma2.sqrt())
 }
 
+/// Inverse CDF (quantile function) of the standard normal distribution.
+///
+/// Acklam's rational approximation (relative error < 1.15e-9 over the open
+/// unit interval) — accurate far beyond what confidence-band arithmetic
+/// needs, with no dependency on `erf`. `p` must lie strictly inside (0, 1);
+/// the closed endpoints would be ±∞.
+#[allow(clippy::excessive_precision)] // Acklam's published coefficients, verbatim
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal quantile needs p in (0,1), got {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
 /// Zipf sampler over ranks `0..n` with exponent `s` (popularity skew).
 ///
 /// Builds the CDF once (O(n)) and samples with binary search (O(log n)).
@@ -209,6 +264,38 @@ mod tests {
     }
 
     const N: usize = 40_000;
+
+    #[test]
+    fn normal_quantile_matches_reference_points() {
+        // Classic z-table values; Acklam's approximation is good to ~1e-9.
+        for (p, z) in [
+            (0.5, 0.0),
+            (0.8413447460685429, 1.0),
+            (0.975, 1.959963984540054),
+            (0.99, 2.3263478740408408),
+            (0.001, -3.090232306167813),
+        ] {
+            assert!((normal_quantile(p) - z).abs() < 1e-7, "p={p}: {}", normal_quantile(p));
+        }
+    }
+
+    #[test]
+    fn normal_quantile_is_monotone_and_antisymmetric() {
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..1000 {
+            let p = i as f64 / 1000.0;
+            let z = normal_quantile(p);
+            assert!(z > prev, "monotone at p={p}");
+            assert!((z + normal_quantile(1.0 - p)).abs() < 1e-8, "antisymmetric at p={p}");
+            prev = z;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "normal quantile needs p in")]
+    fn normal_quantile_rejects_endpoints() {
+        let _ = normal_quantile(1.0);
+    }
 
     #[test]
     fn normal_moments() {

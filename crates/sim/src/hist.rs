@@ -67,19 +67,39 @@ impl LogHistogram {
         LogHistogram::new(1e-6, 20)
     }
 
+    /// Bucket index of value `v`: the smallest `i` with
+    /// `v <= bucket_upper(i)`. The ln-based estimate only seeds the search;
+    /// the answer is always settled against [`Self::bucket_upper`] itself,
+    /// so the two functions share one integer mapping by construction and a
+    /// value exactly on a bucket edge can never land in a bucket whose
+    /// upper bound is below it (which would make `quantile` under-report).
     fn bucket_of(&self, v: f64) -> usize {
         if v <= self.floor {
             return 0;
         }
-        ((v.ln() - self.ln_floor) / self.ln_factor).floor() as usize + 1
+        let mut i =
+            (((v.ln() - self.ln_floor) / self.ln_factor).floor() as usize).saturating_add(1);
+        // The float estimate is off by at most a few ulps of an index;
+        // nudge it until the defining inequalities hold exactly:
+        // bucket_upper(i-1) < v <= bucket_upper(i).
+        while i > 0 && v <= self.bucket_upper(i - 1) {
+            i -= 1;
+        }
+        while v > self.bucket_upper(i) {
+            // Terminates: bucket_upper grows monotonically to +inf (powi
+            // overflow saturates at inf, and `v > inf` is false).
+            i += 1;
+        }
+        i
     }
 
-    /// Upper bound of bucket `i`.
+    /// Upper bound of bucket `i` — the single source of truth for bucket
+    /// geometry ([`Self::bucket_of`] is derived from it).
     fn bucket_upper(&self, i: usize) -> f64 {
         if i == 0 {
             self.floor
         } else {
-            self.floor * self.factor.powi(i as i32)
+            self.floor * self.factor.powi(i.min(i32::MAX as usize) as i32)
         }
     }
 
@@ -238,6 +258,41 @@ mod tests {
             // 20 buckets/decade => factor ~1.122; allow 13% overshoot.
             assert!(est <= exact * 1.13, "q{q}: est {est} >> exact {exact}");
         }
+    }
+
+    #[test]
+    fn bucket_mapping_agrees_on_exact_edges() {
+        // `bucket_of` and `bucket_upper` must share one integer mapping:
+        // a value exactly equal to a bucket's upper bound belongs to that
+        // bucket, so `bucket_upper(bucket_of(v)) >= v` holds with equality
+        // on edges and a single recorded edge value quantiles to itself.
+        for bpd in [1u32, 3, 7, 10, 20, 29] {
+            let h = LogHistogram::new(1e-6, bpd);
+            for k in 0..300 {
+                let edge = h.bucket_upper(k);
+                if !edge.is_finite() {
+                    break;
+                }
+                assert_eq!(h.bucket_of(edge), k, "bpd={bpd} k={k} edge={edge}");
+                assert!(h.bucket_upper(h.bucket_of(edge)) >= edge);
+                let mut one = LogHistogram::new(1e-6, bpd);
+                one.record(edge);
+                assert_eq!(one.quantile(0.99), edge, "bpd={bpd} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_values_never_under_report() {
+        // Indices far past `powi`'s overflow point must saturate at +inf
+        // inside the mapping, leaving quantiles capped by the exact max
+        // rather than wrapped into an under-estimate.
+        let mut h = LogHistogram::new(1e-6, 30);
+        for v in [1e300, f64::MAX, 1.0] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(1.0), f64::MAX);
+        assert!(h.quantile(0.5) >= 1e300);
     }
 
     #[test]

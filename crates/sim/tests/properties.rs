@@ -54,6 +54,38 @@ proptest! {
     }
 
     #[test]
+    fn histogram_quantile_never_under_estimates(
+        values in proptest::collection::vec(1e-7f64..1e4, 1..400),
+        bpd in 1u32..30,
+    ) {
+        // The documented contract: a quantile estimate is the upper bound
+        // of the bucket holding the target observation, so it may never be
+        // below the exact order statistic and may exceed it by at most one
+        // bucket width (one geometric factor), or sit in the floor bucket.
+        let factor = 10f64.powf(1.0 / bpd as f64);
+        let mut values = values;
+        // Salt the sample with values exactly on bucket edges — the
+        // historical failure mode of the split ln/powi bucket mapping.
+        for k in [1i32, 2, 7, 40, 100] {
+            values.push(1e-6 * factor.powi(k));
+        }
+        let mut h = LogHistogram::new(1e-6, bpd);
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.01, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let target = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            let exact = sorted[target - 1];
+            let est = h.quantile(q);
+            prop_assert!(est >= exact, "q={}: est {} under-estimates exact {}", q, est, exact);
+            let bound = (exact * factor).max(1e-6) * (1.0 + 1e-12);
+            prop_assert!(est <= bound, "q={}: est {} > one bucket over exact {}", q, est, exact);
+        }
+    }
+
+    #[test]
     fn histogram_merge_matches_sequential(
         a in proptest::collection::vec(1e-6f64..1e2, 0..200),
         b in proptest::collection::vec(1e-6f64..1e2, 0..200),

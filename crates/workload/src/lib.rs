@@ -27,6 +27,7 @@
 
 pub mod batch;
 pub mod columns;
+pub mod feed;
 pub mod interactive;
 pub mod job;
 pub mod stats;
@@ -34,6 +35,7 @@ pub mod trace;
 
 pub use batch::BatchGenerator;
 pub use columns::RequestBatch;
+pub use feed::{EventFeed, FeedBatch, FeedSender};
 pub use interactive::{InteractiveError, InteractiveSpec, InteractiveStream, LiveCursor};
 pub use job::{BatchJob, BatchKind, JobId, JobState};
 pub use stats::{characterize, WorkloadStats};

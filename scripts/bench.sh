@@ -34,6 +34,10 @@ cargo bench -p gm-bench --bench branch | tee /tmp/gm_bench_branch.txt
 echo "==> cargo bench --bench mega (workload-kernel scaling, 1k..1M streams)"
 cargo bench -p gm-bench --bench mega | tee /tmp/gm_bench_mega.txt
 
+echo "==> gm-serve decision latency (mega preset, 1M+ requests/slot)"
+cargo run --release -q -p gm-bench --bin serve -- \
+  --preset mega --out /tmp/gm_serve_mega.json >/dev/null
+
 SUITE_SECONDS=null
 if [[ "$SKIP_SUITE" -eq 0 ]]; then
     # Note: on a thermally-constrained box the suite timing right after
@@ -80,7 +84,10 @@ bench_json() {
     echo '  ],'
     echo '  "mega": ['
     bench_json /tmp/gm_bench_mega.txt
-    echo '  ]'
+    echo '  ],'
+    echo '  "serve":'
+    # Decision-latency distribution of the mega serve loop, verbatim.
+    sed 's/^/  /' /tmp/gm_serve_mega.json
     echo '}'
 } > BENCH_sweep.json
 

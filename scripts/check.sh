@@ -47,6 +47,13 @@ rm -rf "$TSMOKE"
 echo "==> tiering shape check (tiering-cuts-brown-or-capacity)"
 cargo run --release -q -p gm-bench --bin validate -- --quick --check tiering
 
+echo "==> admission shape check (admission-tightens-violations)"
+cargo run --release -q -p gm-bench --bin validate -- --quick --check admission
+
+echo "==> gm-serve smoke (feed == batch replay, gated)"
+cargo run --release -q -p gm-bench --bin serve -- \
+  --preset small --slots 48 --verify --audit >/dev/null
+
 echo "==> conservation fuzz smoke (fixed seed)"
 cargo run --release -q -p gm-bench --bin fuzz -- \
   --cases 40 --seed 42 --out target/fuzz-violations.json

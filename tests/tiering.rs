@@ -151,11 +151,11 @@ fn tiering_off_snapshot_stays_v1_shaped_and_v1_restores() {
     let json = sim.snapshot().to_json();
     drop(sim);
     assert!(!json.contains("migration"), "tiering-off snapshot must stay v1-shaped");
-    assert!(json.contains("\"version\":2"));
+    assert!(json.contains("\"version\":3"));
 
     // Rewind the version field: this is byte-for-byte what a pre-tiering
     // build would have written.
-    let v1_json = json.replace("\"version\":2", "\"version\":1");
+    let v1_json = json.replace("\"version\":3", "\"version\":1");
     let snap = Snapshot::from_json(&v1_json).expect("v1 snapshots must still parse");
     assert_eq!(snap.version, 1);
 
